@@ -1,0 +1,18 @@
+//! Criterion bench for the repository ablation sweep (heaviest target:
+//! three 500-episode baselines plus the LLM runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_bench::experiments::ablation_suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("full_suite_one_seed", |b| {
+        b.iter(|| black_box(ablation_suite(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the FIG2 experiment: times the two searches whose
+//! outputs regenerate Fig. 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_bench::experiments::{LCDA_EPISODES, NACIM_EPISODES};
+use lcda_core::space::DesignSpace;
+use lcda_core::{CoDesign, CoDesignConfig, Objective};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let space = DesignSpace::nacim_cifar10();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("lcda_20_episodes", |b| {
+        b.iter(|| {
+            let cfg = CoDesignConfig::builder(Objective::AccuracyEnergy)
+                .episodes(LCDA_EPISODES)
+                .seed(1)
+                .build();
+            let out = CoDesign::with_expert_llm(space.clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
+            black_box(out.best.reward)
+        })
+    });
+    g.bench_function("nacim_500_episodes", |b| {
+        b.iter(|| {
+            let cfg = CoDesignConfig::builder(Objective::AccuracyEnergy)
+                .episodes(NACIM_EPISODES)
+                .seed(1)
+                .build();
+            let out = CoDesign::with_rl(space.clone(), cfg).unwrap().run().unwrap();
+            black_box(out.best.reward)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for the FIG3 experiment: per-episode cost of each
+//! optimizer (the quantity behind the reward-vs-episode curves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_core::space::DesignSpace;
+use lcda_core::{CoDesign, CoDesignConfig, Objective};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let space = DesignSpace::nacim_cifar10();
+    let mut g = c.benchmark_group("fig3_per_episode");
+    g.sample_size(20);
+    // One episode (propose + evaluate + observe) per optimizer, measured
+    // by running a 5-episode budget and dividing mentally; Criterion
+    // reports the 5-episode time.
+    g.bench_function("lcda_5_episodes", |b| {
+        b.iter(|| {
+            let cfg = CoDesignConfig::builder(Objective::AccuracyEnergy)
+                .episodes(5)
+                .seed(2)
+                .build();
+            black_box(
+                CoDesign::with_expert_llm(space.clone(), cfg)
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .best
+                    .reward,
+            )
+        })
+    });
+    g.bench_function("nacim_5_episodes", |b| {
+        b.iter(|| {
+            let cfg = CoDesignConfig::builder(Objective::AccuracyEnergy)
+                .episodes(5)
+                .seed(2)
+                .build();
+            black_box(
+                CoDesign::with_rl(space.clone(), cfg)
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .best
+                    .reward,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

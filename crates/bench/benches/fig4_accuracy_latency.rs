@@ -1,0 +1,33 @@
+//! Criterion bench for the FIG4 experiment (accuracy-latency objective).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_bench::experiments::LCDA_EPISODES;
+use lcda_core::space::DesignSpace;
+use lcda_core::{CoDesign, CoDesignConfig, Objective};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let space = DesignSpace::nacim_cifar10();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for (name, finetuned) in [("lcda_pretrained_20", false), ("lcda_finetuned_20", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = CoDesignConfig::builder(Objective::AccuracyLatency)
+                    .episodes(LCDA_EPISODES)
+                    .seed(1)
+                    .build();
+                let run = if finetuned {
+                    CoDesign::with_finetuned_llm(space.clone(), cfg)
+                } else {
+                    CoDesign::with_expert_llm(space.clone(), cfg)
+                };
+                black_box(run.unwrap().run().unwrap().best.reward)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench for the KERNEL-UTIL mechanism table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_bench::experiments::kernel_utilization;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("kernel_utilization_table", |b| {
+        b.iter(|| black_box(kernel_utilization()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for the SPEEDUP analysis pipeline (one seed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_bench::experiments::speedup_table;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speedup");
+    g.sample_size(10);
+    g.bench_function("one_seed_full_comparison", |b| {
+        b.iter(|| black_box(speedup_table(&[1], 0.02)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the substrates every episode leans on: the conv
+//! kernel, the crossbar macro, the mapper, the chip rollup, the
+//! Monte-Carlo engine, prompt render/parse and the surrogate evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcda_core::evaluate::AccuracyEvaluator;
+use lcda_core::space::DesignSpace;
+use lcda_core::surrogate::SurrogateEvaluator;
+use lcda_llm::design::DesignChoices;
+use lcda_llm::parse::parse_design;
+use lcda_llm::prompt::{HistoryEntry, PromptBuilder};
+use lcda_neurosim::chip::{Chip, ChipConfig};
+use lcda_neurosim::isaac::reference_network;
+use lcda_neurosim::mapper::{LayerMapping, LayerWorkload, Precision};
+use lcda_tensor::ops::{conv2d_forward, Conv2dParams, ConvGeometry};
+use lcda_tensor::rng::SeedRng;
+use lcda_tensor::{Shape, Tensor};
+use lcda_variation::montecarlo;
+use lcda_variation::weights::WeightPerturber;
+use lcda_variation::VariationConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Tensor substrate: a CIFAR-sized conv layer forward pass.
+    let mut rng = SeedRng::new(0);
+    let geom = ConvGeometry::new(32, 32, 32, 3, 1, 1).unwrap();
+    let params = Conv2dParams::new(geom, 32).unwrap();
+    let input = Tensor::from_vec(
+        Shape::d4(1, 32, 32, 32),
+        (0..32 * 32 * 32).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+    )
+    .unwrap();
+    let weight = Tensor::from_vec(
+        params.weight_shape(),
+        (0..32 * 288).map(|_| rng.uniform(-0.1, 0.1)).collect(),
+    )
+    .unwrap();
+    let bias = Tensor::zeros(Shape::d1(32));
+    c.bench_function("tensor/conv2d_32x32x32_k3", |b| {
+        b.iter(|| black_box(conv2d_forward(&input, &weight, &bias, &params).unwrap().0))
+    });
+
+    // NeuroSim substrate: mapping and whole-chip evaluation.
+    let chip = Chip::new(ChipConfig::isaac_default()).unwrap();
+    let layer = LayerWorkload::conv(64, 16, 16, 128, 3, 1, 1).unwrap();
+    c.bench_function("neurosim/map_layer", |b| {
+        b.iter(|| {
+            black_box(
+                LayerMapping::map(&layer, &chip.config().xbar, Precision::int8()).unwrap(),
+            )
+        })
+    });
+    let net = reference_network();
+    c.bench_function("neurosim/evaluate_reference_chip", |b| {
+        b.iter(|| black_box(chip.evaluate(&net).unwrap().energy_pj))
+    });
+
+    // Variation substrate: perturbing a weight buffer + MC statistics.
+    let perturber = WeightPerturber::new(VariationConfig::rram_moderate(), 1.0);
+    c.bench_function("variation/perturb_64k_weights", |b| {
+        let mut w = vec![0.25f32; 65536];
+        b.iter(|| {
+            perturber.perturb(&mut w, 7);
+            black_box(w[0])
+        })
+    });
+    c.bench_function("variation/mc_run_64_trials", |b| {
+        b.iter(|| black_box(montecarlo::run(64, 1, |t, s| (t as f32) + (s % 7) as f32)))
+    });
+
+    // LLM substrate: render the Algorithm-1 prompt and parse a response.
+    let choices = DesignChoices::nacim_default();
+    let history: Vec<HistoryEntry> = (0..20)
+        .map(|i| HistoryEntry {
+            design: lcda_llm::design::CandidateDesign::reference(),
+            performance: i as f64 / 20.0,
+        })
+        .collect();
+    let builder = PromptBuilder::new(&choices);
+    c.bench_function("llm/render_prompt_20_history", |b| {
+        b.iter(|| black_box(builder.render(&history).len()))
+    });
+    let response = "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]";
+    c.bench_function("llm/parse_response", |b| {
+        b.iter(|| black_box(parse_design(response, &choices).unwrap()))
+    });
+
+    // Core: one surrogate evaluation.
+    let space = DesignSpace::nacim_cifar10();
+    let mut surrogate = SurrogateEvaluator::new(space.clone(), 0);
+    let d = space.reference_design();
+    c.bench_function("core/surrogate_accuracy", |b| {
+        b.iter(|| black_box(surrogate.accuracy(&d).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # lcda-bench
+//!
+//! The experiment harness that regenerates every figure of the LCDA paper
+//! plus the repository's own ablations. Each experiment is a pure
+//! function from a seed to a data structure with a text renderer, so the
+//! same code backs both the `cargo run -p lcda-bench --bin figN` binaries
+//! (which print the series the paper plots) and the Criterion benches
+//! (which time the underlying searches).
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | FIG2 | accuracy-energy scatter, LCDA vs NACIM | [`experiments::fig2`] |
+//! | FIG3 | reward-vs-episode curves (a: 1–20, b: 21–500) | [`experiments::fig3`] |
+//! | FIG4 | accuracy-latency scatter, LCDA falls short | [`experiments::fig4`] |
+//! | FIG5 | LCDA vs LCDA-naive ablation | [`experiments::fig5`] |
+//! | SPEEDUP | the 25× episodes-to-quality headline | [`experiments::speedup_table`] |
+//! | KERNEL-UTIL | §IV-B crossbar-utilization mechanism | [`experiments::kernel_utilization`] |
+//! | ABL | repo ablations (noise injection, personas, optimizers) | [`experiments::ablation_suite`] |
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod render;

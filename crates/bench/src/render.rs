@@ -1,0 +1,254 @@
+//! Plain-text renderers for the experiment payloads: scatter tables,
+//! ASCII trade-off plots and the speedup table.
+
+use crate::experiments::{AblationRow, Fig3Data, KernelUtilRow, ScatterData};
+use lcda_core::analysis::SpeedupReport;
+use std::fmt::Write as _;
+
+/// Renders a two-series scatter as a table plus a coarse ASCII plot.
+pub fn scatter(data: &ScatterData, cost_label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ({} pts, best {:+.3})   vs   {} ({} pts, best {:+.3})",
+        data.lcda_name,
+        data.lcda.len(),
+        data.lcda_best,
+        data.baseline_name,
+        data.baseline.len(),
+        data.baseline_best
+    );
+    let _ = writeln!(out, "\n{:>10}  {:>14}  series", "accuracy", cost_label);
+    let mut all: Vec<(f64, f64, &str)> = data
+        .lcda
+        .iter()
+        .map(|&(a, c)| (a, c, data.lcda_name.as_str()))
+        .chain(
+            data.baseline
+                .iter()
+                .map(|&(a, c)| (a, c, data.baseline_name.as_str())),
+        )
+        .collect();
+    all.sort_by(|x, y| x.1.total_cmp(&y.1));
+    for (a, c, s) in &all {
+        let _ = writeln!(out, "{a:>10.3}  {c:>14.4e}  {s}");
+    }
+    out.push('\n');
+    out.push_str(&ascii_plot(data));
+    out
+}
+
+/// A coarse ASCII scatter plot (accuracy up, cost right); `■` = LCDA
+/// series, `·` = baseline, `◆` = both in the same cell.
+pub fn ascii_plot(data: &ScatterData) -> String {
+    const W: usize = 64;
+    const H: usize = 16;
+    let all_costs: Vec<f64> = data
+        .lcda
+        .iter()
+        .chain(&data.baseline)
+        .map(|p| p.1)
+        .collect();
+    let all_accs: Vec<f64> = data
+        .lcda
+        .iter()
+        .chain(&data.baseline)
+        .map(|p| p.0)
+        .collect();
+    if all_costs.is_empty() {
+        return "(no valid designs to plot)\n".to_string();
+    }
+    let (cmin, cmax) = bounds(&all_costs);
+    let (amin, amax) = bounds(&all_accs);
+    let mut grid = vec![vec![' '; W]; H];
+    let mut place = |pts: &[(f64, f64)], mark: char| {
+        for &(a, c) in pts {
+            let x = norm(c, cmin, cmax) * (W - 1) as f64;
+            let y = (1.0 - norm(a, amin, amax)) * (H - 1) as f64;
+            let cell = &mut grid[y as usize][x as usize];
+            *cell = match (*cell, mark) {
+                (' ', m) => m,
+                (existing, m) if existing == m => m,
+                _ => '◆',
+            };
+        }
+    };
+    place(&data.baseline, '·');
+    place(&data.lcda, '■');
+    let mut out = String::new();
+    let _ = writeln!(out, "accuracy {amax:.2} ┐  (■ {}, · {})", data.lcda_name, data.baseline_name);
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "             │{line}");
+    }
+    let _ = writeln!(out, "    {amin:.2} └{}", "─".repeat(W));
+    let _ = writeln!(out, "               {cmin:.2e} → {cmax:.2e} (lower cost = left = better)");
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 1.0, hi + 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn norm(x: f64, lo: f64, hi: f64) -> f64 {
+    ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+}
+
+/// Renders the two Fig. 3 panels.
+pub fn fig3(data: &Fig3Data) -> String {
+    let mut out = String::new();
+    let (la, na) = data.panel_a();
+    let _ = writeln!(out, "panel (a) — episodes 1–20, per-episode reward:");
+    let _ = writeln!(out, "{:>7}  {:>10}  {:>10}", "episode", "LCDA", "NACIM");
+    for (i, (l, n)) in la.iter().zip(&na).enumerate() {
+        let _ = writeln!(out, "{:>7}  {l:>+10.3}  {n:>+10.3}", i + 1);
+    }
+    let (lb, nb) = data.panel_b();
+    let _ = writeln!(
+        out,
+        "\npanel (b) — episodes 21–{}, running best (LCDA projected at its 20-episode max):",
+        20 + nb.len()
+    );
+    let _ = writeln!(out, "{:>7}  {:>10}  {:>10}", "episode", "LCDA", "NACIM");
+    for (i, (l, n)) in lb.iter().zip(&nb).enumerate() {
+        if (i + 1) % 40 == 0 || i == 0 || i + 1 == nb.len() {
+            let _ = writeln!(out, "{:>7}  {l:>+10.3}  {n:>+10.3}", 21 + i);
+        }
+    }
+    out
+}
+
+/// Renders the speedup table.
+pub fn speedup_table(reports: &[SpeedupReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>10}  {:>14}  {:>16}  {:>9}",
+        "seed#", "target", "LCDA episodes", "NACIM episodes", "speedup"
+    );
+    for (i, r) in reports.iter().enumerate() {
+        let baseline = match r.baseline_episodes {
+            Some(n) => format!("{n}"),
+            None => format!(">{}", 500),
+        };
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>+10.3}  {:>14}  {:>16}  {:>8.1}x",
+            i, r.target, r.fast_episodes, baseline, r.speedup_lower_bound
+        );
+    }
+    let gm = geometric_mean(reports.iter().map(|r| r.speedup_lower_bound));
+    let _ = writeln!(out, "\ngeometric-mean speedup: {gm:.1}x  (paper reports 25x)");
+    out
+}
+
+fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+/// Renders the kernel-utilization mechanism table.
+pub fn kernel_util(rows: &[KernelUtilRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>5} {:>6} {:>7} {:>6} {:>12} {:>12} {:>9}",
+        "c_in", "k", "rows", "groups", "util", "latency(ns)", "energy(pJ)", "var-pen"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>5} {:>6} {:>7} {:>5.1}% {:>12.0} {:>12.3e} {:>9.4}",
+            r.c_in,
+            r.kernel,
+            r.rows_needed,
+            r.row_groups,
+            r.utilization * 100.0,
+            r.latency_ns,
+            r.energy_pj,
+            r.variation_penalty
+        );
+    }
+    out
+}
+
+/// Renders the ablation table.
+pub fn ablations(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10} {:>10} {:>9}",
+        "configuration", "best", "mean", "episodes"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<38} {:>+10.3} {:>+10.3} {:>9}",
+            r.name, r.best_reward, r.mean_reward, r.episodes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ScatterData;
+
+    fn sample() -> ScatterData {
+        ScatterData {
+            lcda_name: "LCDA".into(),
+            lcda: vec![(0.8, 1e7), (0.7, 5e6)],
+            lcda_best: 0.5,
+            baseline_name: "NACIM".into(),
+            baseline: vec![(0.6, 2e6), (0.5, 1e6)],
+            baseline_best: 0.4,
+        }
+    }
+
+    #[test]
+    fn scatter_renders_all_points() {
+        let s = scatter(&sample(), "energy(pJ)");
+        assert!(s.matches("LCDA").count() >= 3);
+        assert!(s.contains("0.800"));
+        assert!(s.contains("NACIM"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty() {
+        let mut d = sample();
+        d.lcda.clear();
+        d.baseline.clear();
+        assert!(ascii_plot(&d).contains("no valid designs"));
+    }
+
+    #[test]
+    fn ascii_plot_has_marks() {
+        let p = ascii_plot(&sample());
+        assert!(p.contains('■'));
+        assert!(p.contains('·'));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        let gm = geometric_mean([4.0, 16.0].into_iter());
+        assert!((gm - 8.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+    }
+}

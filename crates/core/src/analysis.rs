@@ -1,0 +1,193 @@
+//! Post-run analysis: reward curves, projection and the speedup headline.
+//!
+//! The paper's efficiency claim (§IV-A): "while NACIM necessitates a
+//! minimum of 500 episodes … LCDA can unearth comparable solutions within
+//! just 20 episodes. This staggering difference translates into a speedup
+//! of 25 times."
+
+use crate::codesign::Outcome;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 3 series: per-episode rewards plus the running best, with the
+/// paper's projection rule applied ("we use the maximum reward of the
+/// first 20 episodes of LCDA to project its results" into later episodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardCurve {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Reward of each episode actually run.
+    pub rewards: Vec<f64>,
+    /// Running maximum after each episode.
+    pub best_so_far: Vec<f64>,
+}
+
+impl RewardCurve {
+    /// Builds the curve from a run outcome.
+    pub fn from_outcome(outcome: &Outcome) -> Self {
+        RewardCurve {
+            optimizer: outcome.optimizer.clone(),
+            rewards: outcome.history.iter().map(|r| r.reward).collect(),
+            best_so_far: outcome.best_so_far(),
+        }
+    }
+
+    /// Extends the running-best series to `episodes` entries by repeating
+    /// the final maximum — the Fig. 3(b) projection.
+    pub fn project_to(&self, episodes: usize) -> Vec<f64> {
+        let mut out = self.best_so_far.clone();
+        let last = out.last().copied().unwrap_or(f64::NEG_INFINITY);
+        while out.len() < episodes {
+            out.push(last);
+        }
+        out.truncate(episodes);
+        out
+    }
+
+    /// First episode (1-based count) whose running best reaches `target`,
+    /// or `None` if never.
+    pub fn episodes_to_reach(&self, target: f64) -> Option<u32> {
+        self.best_so_far
+            .iter()
+            .position(|&b| b >= target)
+            .map(|i| i as u32 + 1)
+    }
+
+    /// The final best reward.
+    pub fn final_best(&self) -> f64 {
+        self.best_so_far.last().copied().unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// The speedup comparison between a fast method and a baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Name of the fast method (LCDA).
+    pub fast_name: String,
+    /// Name of the baseline (NACIM).
+    pub baseline_name: String,
+    /// The reward target both must reach (the fast method's final best,
+    /// relaxed by `tolerance`).
+    pub target: f64,
+    /// Episodes the fast method needed.
+    pub fast_episodes: u32,
+    /// Episodes the baseline needed (`None` = never reached the target
+    /// within its budget).
+    pub baseline_episodes: Option<u32>,
+    /// `baseline / fast`, when both reached the target; when the baseline
+    /// never reached it, the baseline's full budget is used as a lower
+    /// bound.
+    pub speedup_lower_bound: f64,
+}
+
+/// Computes the episodes-to-comparable-reward speedup.
+///
+/// `tolerance` relaxes the target: the baseline only has to come within
+/// `tolerance` of the fast method's best reward ("comparable solutions"),
+/// e.g. `0.02`.
+pub fn speedup(fast: &RewardCurve, baseline: &RewardCurve, tolerance: f64) -> SpeedupReport {
+    let target = fast.final_best() - tolerance;
+    let fast_episodes = fast
+        .episodes_to_reach(target)
+        .unwrap_or(fast.rewards.len() as u32)
+        .max(1);
+    let baseline_episodes = baseline.episodes_to_reach(target);
+    let baseline_count = baseline_episodes.unwrap_or(baseline.rewards.len() as u32);
+    SpeedupReport {
+        fast_name: fast.optimizer.clone(),
+        baseline_name: baseline.optimizer.clone(),
+        target,
+        fast_episodes,
+        baseline_episodes,
+        speedup_lower_bound: f64::from(baseline_count) / f64::from(fast_episodes),
+    }
+}
+
+/// Mean of a slice (0 for empty) — small shared helper for the benches.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(name: &str, rewards: &[f64]) -> RewardCurve {
+        let mut best = f64::NEG_INFINITY;
+        let best_so_far = rewards
+            .iter()
+            .map(|&r| {
+                best = best.max(r);
+                best
+            })
+            .collect();
+        RewardCurve {
+            optimizer: name.into(),
+            rewards: rewards.to_vec(),
+            best_so_far,
+        }
+    }
+
+    #[test]
+    fn best_so_far_monotone() {
+        let c = curve("x", &[0.1, 0.5, 0.3, 0.7]);
+        assert_eq!(c.best_so_far, vec![0.1, 0.5, 0.5, 0.7]);
+        assert_eq!(c.final_best(), 0.7);
+    }
+
+    #[test]
+    fn projection_repeats_final_best() {
+        let c = curve("x", &[0.1, 0.5]);
+        assert_eq!(c.project_to(5), vec![0.1, 0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(c.project_to(1), vec![0.1]);
+    }
+
+    #[test]
+    fn episodes_to_reach() {
+        let c = curve("x", &[0.1, 0.5, 0.3, 0.7]);
+        assert_eq!(c.episodes_to_reach(0.5), Some(2));
+        assert_eq!(c.episodes_to_reach(0.71), None);
+        assert_eq!(c.episodes_to_reach(-1.0), Some(1));
+    }
+
+    #[test]
+    fn speedup_paper_shape() {
+        // LCDA reaches 0.7 in 4 episodes; NACIM reaches it at episode 100.
+        let fast = curve("lcda", &[0.2, 0.4, 0.6, 0.7]);
+        let mut slow_rewards = vec![0.1; 99];
+        slow_rewards.push(0.7);
+        let slow = curve("nacim", &slow_rewards);
+        let report = speedup(&fast, &slow, 0.0);
+        assert_eq!(report.fast_episodes, 4);
+        assert_eq!(report.baseline_episodes, Some(100));
+        assert!((report.speedup_lower_bound - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_when_baseline_never_reaches() {
+        let fast = curve("lcda", &[0.9]);
+        let slow = curve("nacim", &vec![0.1; 50]);
+        let report = speedup(&fast, &slow, 0.0);
+        assert_eq!(report.baseline_episodes, None);
+        assert!((report.speedup_lower_bound - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerance_relaxes_target() {
+        let fast = curve("lcda", &[0.7]);
+        let slow = curve("nacim", &[0.69, 0.69]);
+        let strict = speedup(&fast, &slow, 0.0);
+        assert_eq!(strict.baseline_episodes, None);
+        let relaxed = speedup(&fast, &slow, 0.02);
+        assert_eq!(relaxed.baseline_episodes, Some(1));
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

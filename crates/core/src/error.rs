@@ -1,0 +1,103 @@
+use std::fmt;
+
+/// Error type for the co-design framework, wrapping every substrate's
+/// error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// DNN substrate failure.
+    Dnn(lcda_dnn::DnnError),
+    /// Hardware model failure.
+    Neurosim(lcda_neurosim::NeurosimError),
+    /// LLM machinery failure.
+    Llm(lcda_llm::LlmError),
+    /// Optimizer failure.
+    Optim(lcda_optim::OptimError),
+    /// Variation model failure.
+    Variation(lcda_variation::VariationError),
+    /// A co-design configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dnn(e) => write!(f, "dnn: {e}"),
+            CoreError::Neurosim(e) => write!(f, "hardware model: {e}"),
+            CoreError::Llm(e) => write!(f, "llm: {e}"),
+            CoreError::Optim(e) => write!(f, "optimizer: {e}"),
+            CoreError::Variation(e) => write!(f, "variation: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid co-design config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dnn(e) => Some(e),
+            CoreError::Neurosim(e) => Some(e),
+            CoreError::Llm(e) => Some(e),
+            CoreError::Optim(e) => Some(e),
+            CoreError::Variation(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<lcda_dnn::DnnError> for CoreError {
+    fn from(e: lcda_dnn::DnnError) -> Self {
+        CoreError::Dnn(e)
+    }
+}
+
+impl From<lcda_neurosim::NeurosimError> for CoreError {
+    fn from(e: lcda_neurosim::NeurosimError) -> Self {
+        CoreError::Neurosim(e)
+    }
+}
+
+impl From<lcda_llm::LlmError> for CoreError {
+    fn from(e: lcda_llm::LlmError) -> Self {
+        CoreError::Llm(e)
+    }
+}
+
+impl From<lcda_optim::OptimError> for CoreError {
+    fn from(e: lcda_optim::OptimError) -> Self {
+        CoreError::Optim(e)
+    }
+}
+
+impl From<lcda_variation::VariationError> for CoreError {
+    fn from(e: lcda_variation::VariationError) -> Self {
+        CoreError::Variation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_substrate() {
+        use std::error::Error;
+        let errors: Vec<CoreError> = vec![
+            lcda_dnn::DnnError::InvalidDataset("x".into()).into(),
+            lcda_neurosim::NeurosimError::InvalidConfig("x".into()).into(),
+            lcda_llm::LlmError::InvalidChoices("x".into()).into(),
+            lcda_optim::OptimError::InvalidConfig("x".into()).into(),
+            lcda_variation::VariationError::ZeroTrials.into(),
+        ];
+        for e in errors {
+            assert!(e.source().is_some(), "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(CoreError::InvalidConfig("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

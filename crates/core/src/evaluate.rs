@@ -1,0 +1,160 @@
+//! Evaluator interfaces and the NeuroSim-backed hardware cost evaluator.
+
+use crate::space::DesignSpace;
+use crate::{CoreError, Result};
+use lcda_llm::design::CandidateDesign;
+use lcda_neurosim::chip::Chip;
+use lcda_neurosim::NeurosimError;
+use serde::{Deserialize, Serialize};
+
+/// The hardware metrics the reward functions consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwMetrics {
+    /// Dynamic energy per inference, pJ.
+    pub energy_pj: f64,
+    /// Single-image inference latency, ns.
+    pub latency_ns: f64,
+    /// Chip area, mm².
+    pub area_mm2: f64,
+    /// Leakage power, µW.
+    pub leakage_uw: f64,
+}
+
+impl HwMetrics {
+    /// Frames per second implied by the latency.
+    pub fn fps(&self) -> f64 {
+        1.0e9 / self.latency_ns
+    }
+}
+
+/// Evaluates a candidate's DNN accuracy under device variation (the
+/// paper's "DNN performance evaluator", §III-C).
+pub trait AccuracyEvaluator {
+    /// Mean Monte-Carlo accuracy of the candidate in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for designs the evaluator cannot realize.
+    fn accuracy(&mut self, design: &CandidateDesign) -> Result<f64>;
+
+    /// Evaluator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Evaluates a candidate's hardware cost (the paper's "hardware cost
+/// evaluator", §III-D).
+pub trait HardwareCostEvaluator {
+    /// The four headline metrics, or `Ok(None)` when the design violates
+    /// the platform constraint (→ reward −1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed designs (distinct from constraint
+    /// violations, which are a valid evaluation outcome).
+    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>>;
+
+    /// Evaluator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The NeuroSim-style hardware cost evaluator: builds the candidate's
+/// calibrated chip and evaluates its workloads.
+#[derive(Debug, Clone)]
+pub struct NeurosimCostEvaluator {
+    space: DesignSpace,
+}
+
+impl NeurosimCostEvaluator {
+    /// Creates the evaluator for a design space.
+    pub fn new(space: DesignSpace) -> Self {
+        NeurosimCostEvaluator { space }
+    }
+}
+
+impl HardwareCostEvaluator for NeurosimCostEvaluator {
+    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
+        let config = self.space.chip_config(design)?;
+        let chip = Chip::new(config).map_err(CoreError::from)?;
+        let layers = self.space.workloads(design)?;
+        match chip.evaluate_checked(&layers) {
+            Ok(report) => Ok(Some(HwMetrics {
+                energy_pj: report.energy_pj,
+                latency_ns: report.latency_ns,
+                area_mm2: report.area_mm2,
+                leakage_uw: report.leakage_uw,
+            })),
+            Err(NeurosimError::ConstraintViolation { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "neurosim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_design_is_valid_and_on_anchor() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = NeurosimCostEvaluator::new(space.clone());
+        let m = eval
+            .cost(&space.reference_design())
+            .unwrap()
+            .expect("reference must fit the area budget");
+        // Calibration pins the reference to the ISAAC anchors.
+        assert!((m.energy_pj - 8.0e7).abs() / 8.0e7 < 1e-9, "{}", m.energy_pj);
+        assert!((m.fps() - 1600.0).abs() / 1600.0 < 1e-9, "{}", m.fps());
+        assert!(m.area_mm2 > 0.0 && m.area_mm2 < space.area_budget_mm2);
+    }
+
+    #[test]
+    fn bigger_designs_cost_more() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = NeurosimCostEvaluator::new(space.clone());
+        let small = {
+            let mut d = space.reference_design();
+            for c in &mut d.conv {
+                c.channels = 16;
+            }
+            d.conv[0].channels = 16;
+            d
+        };
+        // Keep channels monotone-feasible: all 16 is fine.
+        let ms = eval.cost(&small).unwrap().unwrap();
+        let mr = eval.cost(&space.reference_design()).unwrap().unwrap();
+        assert!(ms.energy_pj < mr.energy_pj);
+        assert!(ms.area_mm2 < mr.area_mm2);
+    }
+
+    #[test]
+    fn oversized_design_violates_budget() {
+        let mut space = DesignSpace::nacim_cifar10();
+        space.area_budget_mm2 = 0.001;
+        let mut eval = NeurosimCostEvaluator::new(space.clone());
+        assert!(eval.cost(&space.reference_design()).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_design_is_an_error_not_invalid() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = NeurosimCostEvaluator::new(space.clone());
+        let mut d = space.reference_design();
+        d.hw.tech = "nonsense".into();
+        assert!(eval.cost(&d).is_err());
+    }
+
+    #[test]
+    fn fps_helper() {
+        let m = HwMetrics {
+            energy_pj: 1.0,
+            latency_ns: 500_000.0,
+            area_mm2: 1.0,
+            leakage_uw: 0.0,
+        };
+        assert!((m.fps() - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! # lcda-core
+//!
+//! The LCDA framework (Yan et al., SOCC 2023): LLM-driven software/
+//! hardware co-design of compute-in-memory DNN accelerators.
+//!
+//! Like every co-design framework the paper surveys, LCDA has four
+//! components (§III):
+//!
+//! 1. **design optimizer** — any [`lcda_optim::Optimizer`]; the paper's
+//!    contribution plugs an LLM in via `lcda_optim::llm_opt::LlmOptimizer`,
+//! 2. **design generator** — [`space::DesignSpace`], turning a parsed
+//!    candidate into a trainable [`lcda_dnn::arch::Architecture`] and a
+//!    [`lcda_neurosim::chip::ChipConfig`],
+//! 3. **DNN performance evaluator** — [`evaluate::AccuracyEvaluator`]
+//!    implementations: the fast calibrated [`surrogate::SurrogateEvaluator`]
+//!    and the real [`trained::TrainedEvaluator`] (noise-injection training
+//!    plus Monte-Carlo evaluation, §III-C),
+//! 4. **hardware cost evaluator** — [`evaluate::NeurosimCostEvaluator`],
+//!    the NeuroSim-style macro model of §III-D.
+//!
+//! [`codesign::CoDesign`] wires them into the Algorithm-2 episode loop;
+//! [`reward`] provides Eq. 1 and Eq. 2; [`pareto`] and [`analysis`]
+//! post-process the exploration history into the paper's figures and the
+//! 25× speedup headline.
+//!
+//! # Example
+//!
+//! ```
+//! use lcda_core::{CoDesign, CoDesignConfig, Objective};
+//! use lcda_core::space::DesignSpace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = DesignSpace::nacim_cifar10();
+//! let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+//!     .episodes(4)
+//!     .seed(7)
+//!     .build();
+//! let mut run = CoDesign::with_expert_llm(space, config)?;
+//! let outcome = run.run()?;
+//! assert_eq!(outcome.history.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod analysis;
+pub mod codesign;
+pub mod evaluate;
+pub mod mo;
+pub mod pareto;
+pub mod reward;
+pub mod space;
+pub mod surrogate;
+pub mod trained;
+
+pub use codesign::{CoDesign, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, Outcome};
+pub use error::CoreError;
+pub use reward::Objective;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

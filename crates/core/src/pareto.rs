@@ -1,0 +1,147 @@
+//! Pareto-front extraction for the accuracy-vs-cost scatter plots
+//! (Figs. 2, 4, 5).
+//!
+//! Points are `(accuracy, cost)` with accuracy maximized and cost
+//! (energy or latency) minimized — "designs located nearer to the
+//! upper-left corner are preferable".
+
+use serde::{Deserialize, Serialize};
+
+/// A design candidate's position in the trade-off plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Accuracy (higher is better).
+    pub accuracy: f64,
+    /// Hardware cost — energy in pJ or latency in ns (lower is better).
+    pub cost: f64,
+}
+
+impl TradeoffPoint {
+    /// Creates a point.
+    pub fn new(accuracy: f64, cost: f64) -> Self {
+        TradeoffPoint { accuracy, cost }
+    }
+
+    /// True when `self` dominates `other`: no worse in both dimensions
+    /// and strictly better in at least one.
+    pub fn dominates(&self, other: &TradeoffPoint) -> bool {
+        let no_worse = self.accuracy >= other.accuracy && self.cost <= other.cost;
+        let strictly = self.accuracy > other.accuracy || self.cost < other.cost;
+        no_worse && strictly
+    }
+}
+
+/// Extracts the Pareto front (non-dominated points), sorted by ascending
+/// cost. Duplicate points are kept once.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut front: Vec<TradeoffPoint> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points
+            .iter()
+            .enumerate()
+            .any(|(j, q)| j != i && (q.dominates(p) || (q == p && j < i)));
+        if !dominated {
+            front.push(*p);
+        }
+    }
+    front.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    front
+}
+
+/// The hypervolume indicator of a front with respect to a reference point
+/// `(acc_ref, cost_ref)` (acc_ref below all points, cost_ref above all
+/// points): the area dominated by the front. Used to compare LCDA's and
+/// NACIM's fronts quantitatively ("the Pareto Frontiers of both designs
+/// are alike").
+pub fn hypervolume(front: &[TradeoffPoint], acc_ref: f64, cost_ref: f64) -> f64 {
+    // Standard 2-D sweep: visit points by descending accuracy; each
+    // non-dominated point adds the rectangle between its cost and the
+    // current cost boundary at its accuracy level.
+    let mut by_acc = front.to_vec();
+    by_acc.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
+    let mut volume = 0.0;
+    let mut last_cost = cost_ref;
+    for p in by_acc {
+        if p.cost >= last_cost || p.accuracy <= acc_ref {
+            continue;
+        }
+        volume += (last_cost - p.cost) * (p.accuracy - acc_ref);
+        last_cost = p.cost;
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: f64, c: f64) -> TradeoffPoint {
+        TradeoffPoint::new(a, c)
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(p(0.9, 10.0).dominates(&p(0.8, 20.0)));
+        assert!(p(0.9, 10.0).dominates(&p(0.9, 20.0)));
+        assert!(p(0.9, 10.0).dominates(&p(0.8, 10.0)));
+        assert!(!p(0.9, 10.0).dominates(&p(0.9, 10.0))); // equal
+        assert!(!p(0.9, 20.0).dominates(&p(0.8, 10.0))); // trade-off
+    }
+
+    #[test]
+    fn front_extraction() {
+        let points = vec![
+            p(0.9, 30.0),
+            p(0.8, 10.0),
+            p(0.7, 5.0),
+            p(0.6, 20.0),  // dominated by (0.8, 10)
+            p(0.85, 40.0), // dominated by (0.9, 30)
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front, vec![p(0.7, 5.0), p(0.8, 10.0), p(0.9, 30.0)]);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let points = vec![p(0.8, 10.0), p(0.8, 10.0)];
+        assert_eq!(pareto_front(&points).len(), 1);
+    }
+
+    #[test]
+    fn empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        assert_eq!(pareto_front(&[p(0.5, 1.0)]), vec![p(0.5, 1.0)]);
+    }
+
+    #[test]
+    fn hypervolume_rectangle() {
+        // One point: rectangle (cost_ref − cost) × (acc − acc_ref).
+        let hv = hypervolume(&[p(0.8, 10.0)], 0.0, 20.0);
+        assert!((hv - 10.0 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_two_points() {
+        // (0.5, 5) and (0.9, 15) with ref acc 0, cost 20:
+        // area = (20−15)·0.9 + (15−5)·0.5 = 4.5 + 5 = 9.5
+        let hv = hypervolume(&[p(0.5, 5.0), p(0.9, 15.0)], 0.0, 20.0);
+        assert!((hv - 9.5).abs() < 1e-9, "hv {hv}");
+    }
+
+    #[test]
+    fn hypervolume_monotone_in_front_quality() {
+        let weak = hypervolume(&[p(0.6, 15.0)], 0.0, 20.0);
+        let strong = hypervolume(&[p(0.6, 15.0), p(0.8, 10.0)], 0.0, 20.0);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn hypervolume_ignores_out_of_range_points() {
+        let hv = hypervolume(&[p(0.8, 30.0)], 0.0, 20.0); // cost beyond ref
+        assert_eq!(hv, 0.0);
+    }
+}

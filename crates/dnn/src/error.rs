@@ -1,0 +1,60 @@
+use lcda_tensor::TensorError;
+use std::fmt;
+
+/// Error type for network construction, training and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An architecture description was invalid.
+    InvalidArchitecture(String),
+    /// A dataset request was invalid (zero samples, bad split, …).
+    InvalidDataset(String),
+    /// A training configuration value was invalid.
+    InvalidTraining(String),
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DnnError::InvalidArchitecture(msg) => write!(f, "invalid architecture: {msg}"),
+            DnnError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            DnnError::InvalidTraining(msg) => write!(f, "invalid training config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error;
+        let e = DnnError::from(TensorError::InvalidArgument("k".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DnnError>();
+    }
+}

@@ -1,0 +1,389 @@
+//! Regularization layers: 2-D batch normalization and dropout.
+//!
+//! The noise-injection training of §III-C benefits from normalization —
+//! perturbed weights shift activation statistics, and BatchNorm's
+//! per-channel renormalization absorbs part of that shift. Both layers
+//! respect the network's train/eval mode.
+
+use crate::layer::Param;
+use crate::{DnnError, Result};
+use lcda_tensor::rng::SeedRng;
+use lcda_tensor::{Shape, Tensor, TensorError};
+
+/// Per-channel batch normalization over NCHW batches.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2dLayer {
+    /// Learnable scale γ (one per channel).
+    pub gamma: Param,
+    /// Learnable shift β (one per channel).
+    pub beta: Param,
+    /// Running mean used in eval mode.
+    pub running_mean: Vec<f32>,
+    /// Running variance used in eval mode.
+    pub running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    /// Forward-pass cache: normalized input, inverse std, input shape.
+    cache: Option<(Tensor, Vec<f32>, Shape)>,
+}
+
+impl BatchNorm2dLayer {
+    /// Creates the layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2dLayer {
+            gamma: Param {
+                value: Tensor::ones(Shape::d1(channels)),
+                grad: Tensor::zeros(Shape::d1(channels)),
+            },
+            beta: Param {
+                value: Tensor::zeros(Shape::d1(channels)),
+                grad: Tensor::zeros(Shape::d1(channels)),
+            },
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn check(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        if input.shape().rank() != 4 {
+            return Err(DnnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.shape().rank(),
+                op: "batchnorm2d",
+            }));
+        }
+        let d = input.shape().dims();
+        if d[1] != self.gamma.value.len() {
+            return Err(DnnError::Tensor(TensorError::ShapeMismatch {
+                lhs: input.shape().to_string(),
+                rhs: format!("(n, {}, h, w)", self.gamma.value.len()),
+                op: "batchnorm2d",
+            }));
+        }
+        Ok((d[0], d[1], d[2], d[3]))
+    }
+
+    /// Forward pass; batch statistics in training mode, running
+    /// statistics in eval mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for non-NCHW input.
+    #[allow(clippy::needless_range_loop)] // per-channel index form mirrors the math
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let (n, c, h, w) = self.check(input)?;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        let mut x_hat = vec![0.0f32; src.len()];
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if training {
+                let mut sum = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ch) * plane;
+                    sum += src[base..base + plane].iter().sum::<f32>();
+                }
+                let mean = sum / count;
+                let mut var = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ch) * plane;
+                    var += src[base..base + plane]
+                        .iter()
+                        .map(|&x| (x - mean) * (x - mean))
+                        .sum::<f32>();
+                }
+                let var = var / count;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.as_slice()[ch];
+            let b = self.beta.value.as_slice()[ch];
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    let xh = (src[i] - mean) * inv_std;
+                    x_hat[i] = xh;
+                    out[i] = g * xh + b;
+                }
+            }
+        }
+        if training {
+            self.cache = Some((
+                Tensor::from_vec(input.shape().clone(), x_hat)?,
+                inv_stds,
+                input.shape().clone(),
+            ));
+        }
+        Ok(Tensor::from_vec(input.shape().clone(), out)?)
+    }
+
+    /// Backward pass (training mode only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when called before a training-mode forward.
+    #[allow(clippy::needless_range_loop)] // per-channel index form mirrors the math
+    pub fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        let (x_hat, inv_stds, shape) = self.cache.as_ref().ok_or_else(|| {
+            DnnError::InvalidTraining("batchnorm backward before training forward".into())
+        })?;
+        if d_out.shape() != shape {
+            return Err(DnnError::Tensor(TensorError::ShapeMismatch {
+                lhs: d_out.shape().to_string(),
+                rhs: shape.to_string(),
+                op: "batchnorm2d backward",
+            }));
+        }
+        let d = shape.dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let dy = d_out.as_slice();
+        let xh = x_hat.as_slice();
+        let mut dx = vec![0.0f32; dy.len()];
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xh = 0.0f32;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    sum_dy += dy[i];
+                    sum_dy_xh += dy[i] * xh[i];
+                }
+            }
+            self.beta.grad.as_mut_slice()[ch] += sum_dy;
+            self.gamma.grad.as_mut_slice()[ch] += sum_dy_xh;
+            let g = self.gamma.value.as_slice()[ch];
+            let scale = g * inv_stds[ch];
+            let mean_dy = sum_dy / count;
+            let mean_dy_xh = sum_dy_xh / count;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    dx[i] = scale * (dy[i] - mean_dy - xh[i] * mean_dy_xh);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(shape.clone(), dx)?)
+    }
+}
+
+/// Inverted dropout: active only in training mode; eval is the identity.
+#[derive(Debug, Clone)]
+pub struct DropoutLayer {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    rng: SeedRng,
+    mask: Option<Tensor>,
+}
+
+impl DropoutLayer {
+    /// Creates the layer with a drop probability and a seed for the mask
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidTraining`] for `p` outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(DnnError::InvalidTraining(format!(
+                "dropout probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(DropoutLayer {
+            p,
+            rng: SeedRng::new(seed),
+            mask: None,
+        })
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if !training || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.chance(f64::from(keep)) {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(input.shape().clone(), mask_data)
+            .expect("mask matches input shape");
+        let out = input.mul(&mask).expect("same shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward pass: gradient flows only through kept units.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch; an eval-mode forward makes
+    /// backward the identity.
+    pub fn backward(&mut self, d_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            None => Ok(d_out.clone()),
+            Some(mask) => Ok(d_out.mul(mask)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> Tensor {
+        let mut rng = SeedRng::new(1);
+        Tensor::from_vec(
+            Shape::d4(4, 3, 5, 5),
+            (0..300).map(|_| rng.uniform(-2.0, 3.0)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batchnorm_normalizes_training_batches() {
+        let mut bn = BatchNorm2dLayer::new(3);
+        let x = sample_input();
+        let y = bn.forward(&x, true).unwrap();
+        // Per-channel mean ≈ 0, var ≈ 1 (γ=1, β=0 initially).
+        let d = y.shape().dims();
+        let plane = d[2] * d[3];
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for s in 0..d[0] {
+                let base = (s * 3 + ch) * plane;
+                vals.extend_from_slice(&y.as_slice()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "ch {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "ch {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2dLayer::new(3);
+        let x = sample_input();
+        // Momentum 0.1 → running stats converge as 0.9^k; 80 passes leave
+        // <0.1% residual of the initial (0, 1) state.
+        for _ in 0..80 {
+            bn.forward(&x, true).unwrap();
+        }
+        let y_eval = bn.forward(&x, false).unwrap();
+        let y_train = bn.forward(&x, true).unwrap();
+        // After the running stats converge to the (constant) batch stats,
+        // eval ≈ train output.
+        let max_diff = y_eval
+            .as_slice()
+            .iter()
+            .zip(y_train.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 0.05, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn batchnorm_gradients_match_finite_differences() {
+        let mut bn = BatchNorm2dLayer::new(2);
+        let mut rng = SeedRng::new(2);
+        let x = Tensor::from_vec(
+            Shape::d4(2, 2, 2, 2),
+            (0..16).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        // Loss = Σ y².
+        let loss = |bn: &mut BatchNorm2dLayer, x: &Tensor| -> f32 {
+            let y = bn.forward(x, true).unwrap();
+            y.as_slice().iter().map(|v| v * v).sum()
+        };
+        let y = bn.forward(&x, true).unwrap();
+        let d_out = y.scale(2.0);
+        let dx = bn.backward(&d_out).unwrap();
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+            let an = dx.as_slice()[idx];
+            assert!(
+                (fd - an).abs() < 0.05 * an.abs().max(0.5),
+                "x[{idx}]: fd {fd} vs an {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_rejects_wrong_shapes() {
+        let mut bn = BatchNorm2dLayer::new(3);
+        assert!(bn.forward(&Tensor::zeros(Shape::d2(2, 3)), true).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(Shape::d4(1, 5, 4, 4)), true)
+            .is_err());
+        assert!(bn.backward(&Tensor::zeros(Shape::d4(1, 3, 4, 4))).is_err());
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = DropoutLayer::new(0.5, 0).unwrap();
+        let x = sample_input();
+        let y = d.forward(&x, false);
+        assert_eq!(x, y);
+        let g = d.backward(&x).unwrap();
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = DropoutLayer::new(0.3, 1).unwrap();
+        let x = Tensor::ones(Shape::d2(100, 100));
+        let y = d.forward(&x, true);
+        // Inverted dropout: E[y] = E[x].
+        assert!((y.mean() - 1.0).abs() < 0.03, "mean {}", y.mean());
+        // Roughly 30% of units dropped.
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32
+            / y.len() as f32;
+        assert!((dropped - 0.3).abs() < 0.03, "dropped {dropped}");
+    }
+
+    #[test]
+    fn dropout_backward_masks_gradient() {
+        let mut d = DropoutLayer::new(0.5, 2).unwrap();
+        let x = Tensor::ones(Shape::d1(64));
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(Shape::d1(64))).unwrap();
+        for (gy, yy) in g.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(*gy == 0.0, *yy == 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_validates_probability() {
+        assert!(DropoutLayer::new(1.0, 0).is_err());
+        assert!(DropoutLayer::new(-0.1, 0).is_err());
+        assert!(DropoutLayer::new(0.0, 0).is_ok());
+    }
+}

@@ -1,0 +1,221 @@
+//! Monte-Carlo accuracy evaluation under device variation.
+//!
+//! Implements the evaluation method of Yan et al. (ASP-DAC'21), which the
+//! LCDA paper uses as its DNN performance evaluator: sample many chip
+//! instances (weight perturbations), measure test accuracy on each, and
+//! report the distribution.
+
+use crate::dataset::SynthCifar;
+use crate::metrics::accuracy;
+use crate::network::Network;
+use crate::Result;
+use lcda_variation::montecarlo::{trial_seed, McStats};
+use lcda_variation::weights::WeightPerturber;
+use lcda_variation::VariationConfig;
+
+/// Configuration of a Monte-Carlo accuracy evaluation.
+#[derive(Debug, Clone)]
+pub struct McEvalConfig {
+    /// Number of simulated chip instances.
+    pub trials: u32,
+    /// The device-variation corner.
+    pub variation: VariationConfig,
+    /// Base seed; trial `t` uses a seed derived from it.
+    pub seed: u64,
+    /// Time since programming, seconds (retention drift applies when the
+    /// corner configures it; 0 = read immediately).
+    pub elapsed_seconds: f64,
+}
+
+impl Default for McEvalConfig {
+    fn default() -> Self {
+        McEvalConfig {
+            trials: 16,
+            variation: VariationConfig::rram_moderate(),
+            seed: 0,
+            elapsed_seconds: 0.0,
+        }
+    }
+}
+
+/// Evaluates the clean (no-variation) accuracy of a network on a dataset.
+///
+/// # Errors
+///
+/// Propagates tensor/shape errors.
+pub fn clean_accuracy(network: &mut Network, data: &SynthCifar) -> Result<f32> {
+    let preds = network.predict(data.images())?;
+    accuracy(&preds, data.labels())
+}
+
+/// Runs the Monte-Carlo evaluation: for each trial, perturb the weight
+/// matrices the way crossbar programming would, measure accuracy, restore
+/// the clean weights.
+///
+/// # Errors
+///
+/// Propagates dataset/tensor errors; zero trials yield an error from the
+/// statistics layer.
+pub fn mc_accuracy(
+    network: &mut Network,
+    data: &SynthCifar,
+    config: &McEvalConfig,
+) -> Result<McStats> {
+    let clean = network.snapshot_weights();
+    let w_max = network.max_abs_weight().max(1e-3);
+    let perturber = WeightPerturber::new(config.variation.clone(), w_max);
+    let mut samples = Vec::with_capacity(config.trials as usize);
+    for t in 0..config.trials {
+        let seed = trial_seed(config.seed, t);
+        let mut matrix_index = 0u64;
+        network.perturb_weight_matrices(|w| {
+            perturber.perturb_after(
+                w,
+                seed.wrapping_add(matrix_index),
+                config.elapsed_seconds,
+            );
+            matrix_index += 1;
+        });
+        let preds = network.predict(data.images())?;
+        samples.push(accuracy(&preds, data.labels())?);
+        network.restore_weights(&clean);
+    }
+    McStats::from_samples(&samples).map_err(|_| {
+        crate::DnnError::InvalidTraining("monte-carlo evaluation needs trials > 0".into())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::trainer::{TrainConfig, Trainer};
+
+    fn trained_network_and_data() -> (Network, SynthCifar) {
+        let data = SynthCifar::generate_classes(48, 8, 4, 21).unwrap();
+        let net = Architecture::tiny_test().build(6).unwrap();
+        let mut cfg = TrainConfig::fast_test();
+        cfg.epochs = 8;
+        let mut t = Trainer::new(net, cfg);
+        t.fit(&data).unwrap();
+        (t.into_network(), data)
+    }
+
+    #[test]
+    fn ideal_variation_matches_clean_accuracy() {
+        let (mut net, data) = trained_network_and_data();
+        let clean = clean_accuracy(&mut net, &data).unwrap();
+        let stats = mc_accuracy(
+            &mut net,
+            &data,
+            &McEvalConfig {
+                trials: 3,
+                variation: VariationConfig::ideal(),
+                seed: 0,
+                elapsed_seconds: 0.0,
+            },
+        )
+        .unwrap();
+        assert!((stats.mean - clean).abs() < 1e-6);
+        assert_eq!(stats.std, 0.0);
+    }
+
+    #[test]
+    fn variation_degrades_accuracy_on_average() {
+        let (mut net, data) = trained_network_and_data();
+        let clean = clean_accuracy(&mut net, &data).unwrap();
+        let stats = mc_accuracy(
+            &mut net,
+            &data,
+            &McEvalConfig {
+                trials: 12,
+                variation: VariationConfig::rram_severe(),
+                seed: 1,
+                elapsed_seconds: 0.0,
+            },
+        )
+        .unwrap();
+        assert!(
+            stats.mean <= clean + 0.05,
+            "severe variation should not help: clean={clean} mc={}",
+            stats.mean
+        );
+        assert!(stats.std >= 0.0);
+    }
+
+    #[test]
+    fn weights_restored_after_evaluation() {
+        let (mut net, data) = trained_network_and_data();
+        let before = net.snapshot_weights();
+        mc_accuracy(&mut net, &data, &McEvalConfig::default()).unwrap();
+        assert_eq!(net.snapshot_weights(), before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut net, data) = trained_network_and_data();
+        let cfg = McEvalConfig {
+            trials: 5,
+            variation: VariationConfig::rram_moderate(),
+            seed: 9,
+            elapsed_seconds: 0.0,
+        };
+        let a = mc_accuracy(&mut net, &data, &cfg).unwrap();
+        let b = mc_accuracy(&mut net, &data, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let (mut net, data) = trained_network_and_data();
+        let cfg = McEvalConfig {
+            trials: 0,
+            ..McEvalConfig::default()
+        };
+        assert!(mc_accuracy(&mut net, &data, &cfg).is_err());
+    }
+}
+
+#[cfg(test)]
+mod retention_tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::trainer::{TrainConfig, Trainer};
+    use lcda_variation::RetentionConfig;
+
+    #[test]
+    fn accuracy_decays_with_retention_time() {
+        let data = SynthCifar::generate_classes(48, 8, 4, 41).unwrap();
+        let net = Architecture::tiny_test().build(12).unwrap();
+        let mut cfg = TrainConfig::fast_test();
+        cfg.epochs = 8;
+        let mut t = Trainer::new(net, cfg);
+        t.fit(&data).unwrap();
+        let mut net = t.into_network();
+
+        let variation = VariationConfig::ideal().with_retention(RetentionConfig {
+            nu: 0.2, // exaggerated drift so the tiny model shows the effect
+            t0_seconds: 1.0,
+        });
+        let acc_at = |net: &mut crate::network::Network, secs: f64| {
+            mc_accuracy(
+                net,
+                &data,
+                &McEvalConfig {
+                    trials: 4,
+                    variation: variation.clone(),
+                    seed: 5,
+                    elapsed_seconds: secs,
+                },
+            )
+            .unwrap()
+            .mean
+        };
+        let fresh = acc_at(&mut net, 0.0);
+        let aged = acc_at(&mut net, 3600.0 * 24.0 * 365.0);
+        assert!(
+            aged <= fresh + 1e-6,
+            "year-old weights should not read better: {aged} vs {fresh}"
+        );
+    }
+}

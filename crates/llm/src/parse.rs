@@ -1,0 +1,305 @@
+//! Parsing LLM response text into candidate designs.
+//!
+//! The design generator "parses GPT-4 outputs" (§III-B, following GENIUS).
+//! Real model output is messy — surrounding prose, whitespace, trailing
+//! punctuation — so the parser scans for the first well-formed rollout
+//! list instead of demanding an exact format, then validates every value
+//! against the design space.
+
+use crate::design::{CandidateDesign, ConvChoice, DesignChoices, HwChoice};
+use crate::{LlmError, Result};
+
+fn snippet(text: &str) -> String {
+    text.chars().take(48).collect()
+}
+
+/// Extracts the first balanced `[[…],[…]]` list of integer pairs from
+/// free-form text.
+fn extract_pairs(text: &str) -> Result<(Vec<(u32, u32)>, usize)> {
+    let bytes = text.as_bytes();
+    let start = text.find("[[").ok_or_else(|| LlmError::ParseResponse {
+        reason: "no rollout list found".into(),
+        snippet: snippet(text),
+    })?;
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth = depth.checked_sub(1).ok_or_else(|| LlmError::ParseResponse {
+                    reason: "unbalanced brackets".into(),
+                    snippet: snippet(&text[start..]),
+                })?;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let end = end.ok_or_else(|| LlmError::ParseResponse {
+        reason: "unterminated rollout list".into(),
+        snippet: snippet(&text[start..]),
+    })?;
+    let inner = &text[start + 1..end];
+    let mut pairs = Vec::new();
+    let mut rest = inner;
+    while let Some(open) = rest.find('[') {
+        let close = rest[open..]
+            .find(']')
+            .map(|c| open + c)
+            .ok_or_else(|| LlmError::ParseResponse {
+                reason: "unterminated pair".into(),
+                snippet: snippet(rest),
+            })?;
+        let body = &rest[open + 1..close];
+        let nums: Vec<&str> = body.split(',').map(str::trim).collect();
+        if nums.len() != 2 {
+            return Err(LlmError::ParseResponse {
+                reason: format!("pair has {} elements", nums.len()),
+                snippet: snippet(body),
+            });
+        }
+        let parse_num = |s: &str| -> Result<u32> {
+            s.parse::<u32>().map_err(|_| LlmError::ParseResponse {
+                reason: format!("`{s}` is not a number"),
+                snippet: snippet(body),
+            })
+        };
+        pairs.push((parse_num(nums[0])?, parse_num(nums[1])?));
+        rest = &rest[close + 1..];
+    }
+    if pairs.is_empty() {
+        return Err(LlmError::ParseResponse {
+            reason: "empty rollout list".into(),
+            snippet: snippet(inner),
+        });
+    }
+    Ok((pairs, end))
+}
+
+/// Extracts the `hw: [xbar, adc, cell, tech]` suffix if present.
+fn extract_hw(text: &str) -> Result<Option<HwChoice>> {
+    let Some(pos) = text.find("hw:") else {
+        return Ok(None);
+    };
+    let after = &text[pos + 3..];
+    let open = after.find('[').ok_or_else(|| LlmError::ParseResponse {
+        reason: "hw section without bracket".into(),
+        snippet: snippet(after),
+    })?;
+    let close = after[open..]
+        .find(']')
+        .map(|c| open + c)
+        .ok_or_else(|| LlmError::ParseResponse {
+            reason: "unterminated hw section".into(),
+            snippet: snippet(after),
+        })?;
+    let parts: Vec<&str> = after[open + 1..close].split(',').map(str::trim).collect();
+    if parts.len() != 4 {
+        return Err(LlmError::ParseResponse {
+            reason: format!("hw section has {} fields, expected 4", parts.len()),
+            snippet: snippet(&after[open..close]),
+        });
+    }
+    let num = |s: &str| -> Result<u32> {
+        s.parse::<u32>().map_err(|_| LlmError::ParseResponse {
+            reason: format!("`{s}` is not a number"),
+            snippet: snippet(s),
+        })
+    };
+    Ok(Some(HwChoice {
+        xbar_size: num(parts[0])?,
+        adc_bits: num(parts[1])? as u8,
+        cell_bits: num(parts[2])? as u8,
+        tech: parts[3].to_ascii_lowercase(),
+    }))
+}
+
+/// Parses a response into a design, validating against the space.
+///
+/// Missing hardware sections fall back to the mid-point hardware choice
+/// (the paper's prompt only mandates the rollout pairs).
+///
+/// # Errors
+///
+/// Returns [`LlmError::ParseResponse`] for malformed text and
+/// [`LlmError::OutOfSpace`] when values are not in the design space.
+pub fn parse_design(text: &str, choices: &DesignChoices) -> Result<CandidateDesign> {
+    choices.validate()?;
+    let (pairs, _) = extract_pairs(text)?;
+    if pairs.len() != choices.num_conv_layers {
+        return Err(LlmError::ParseResponse {
+            reason: format!(
+                "expected {} pairs, got {}",
+                choices.num_conv_layers,
+                pairs.len()
+            ),
+            snippet: snippet(text),
+        });
+    }
+    let conv: Vec<ConvChoice> = pairs
+        .into_iter()
+        .map(|(channels, kernel)| ConvChoice { channels, kernel })
+        .collect();
+    let hw = match extract_hw(text)? {
+        Some(hw) => hw,
+        None => HwChoice {
+            xbar_size: choices.xbar_options[choices.xbar_options.len() / 2],
+            adc_bits: choices.adc_options[choices.adc_options.len() / 2],
+            cell_bits: choices.cell_options[choices.cell_options.len() / 2],
+            tech: choices.tech_options[0].clone(),
+        },
+    };
+    let design = CandidateDesign { conv, hw };
+    choices.contains(&design)?;
+    Ok(design)
+}
+
+/// Parses the history lines back out of a rendered prompt — used by the
+/// simulated LLM, which (like GPT-4) only ever sees text.
+///
+/// Lines look like `design [[32,3],…] | hw: [128,8,2,rram] -> perf: 0.51`.
+/// Unparseable lines are skipped, mirroring how a language model glosses
+/// over noise.
+pub fn parse_history(
+    prompt: &str,
+    choices: &DesignChoices,
+) -> Vec<(CandidateDesign, f64)> {
+    let mut out = Vec::new();
+    for line in prompt.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix(crate::prompt::HISTORY_LINE_PREFIX) else {
+            continue;
+        };
+        let Some(arrow) = rest.rfind("-> perf:") else {
+            continue;
+        };
+        let (design_text, perf_text) = rest.split_at(arrow);
+        let Ok(design) = parse_design(design_text, choices) else {
+            continue;
+        };
+        let Ok(perf) = perf_text.trim_start_matches("-> perf:").trim().parse::<f64>() else {
+            continue;
+        };
+        out.push((design, perf));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::{HistoryEntry, PromptBuilder};
+
+    fn space() -> DesignChoices {
+        DesignChoices::nacim_default()
+    }
+
+    #[test]
+    fn parses_clean_response() {
+        let d = parse_design(
+            "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]",
+            &space(),
+        )
+        .unwrap();
+        assert_eq!(d, CandidateDesign::reference());
+    }
+
+    #[test]
+    fn parses_response_with_prose() {
+        let text = "Sure! Based on the results, I suggest:\n\n  \
+                    [[16, 3], [24, 3], [32, 5], [48, 3], [64, 3], [96, 3]] \
+                    with hw: [256, 6, 2, fefet]. This should improve accuracy.";
+        let d = parse_design(text, &space()).unwrap();
+        assert_eq!(d.conv[2].kernel, 5);
+        assert_eq!(d.hw.xbar_size, 256);
+        assert_eq!(d.hw.tech, "fefet");
+    }
+
+    #[test]
+    fn missing_hw_defaults_to_midpoint() {
+        let d = parse_design("[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]", &space()).unwrap();
+        assert_eq!(d.hw.xbar_size, 128);
+        assert_eq!(d.hw.adc_bits, 6);
+        assert_eq!(d.hw.tech, "rram");
+    }
+
+    #[test]
+    fn rejects_wrong_pair_count() {
+        assert!(parse_design("[[32,3],[32,3]]", &space()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_space_values() {
+        // 300 channels not in the space.
+        let e = parse_design(
+            "[[300,3],[32,3],[64,3],[64,3],[128,3],[128,3]]",
+            &space(),
+        );
+        assert!(matches!(e, Err(LlmError::OutOfSpace(_))));
+        // kernel 9 not in the space.
+        let e = parse_design(
+            "[[32,9],[32,3],[64,3],[64,3],[128,3],[128,3]]",
+            &space(),
+        );
+        assert!(matches!(e, Err(LlmError::OutOfSpace(_))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_design("no list here", &space()).is_err());
+        assert!(parse_design("[[32,3", &space()).is_err());
+        assert!(parse_design("[[a,b],[32,3],[64,3],[64,3],[128,3],[128,3]]", &space()).is_err());
+        assert!(parse_design("[]", &space()).is_err());
+        assert!(parse_design("[[1,2,3],[32,3],[64,3],[64,3],[128,3],[128,3]]", &space()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_hw() {
+        let e = parse_design(
+            "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] hw: [128,8]",
+            &space(),
+        );
+        assert!(e.is_err());
+        let e = parse_design(
+            "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] hw: [999,8,2,rram]",
+            &space(),
+        );
+        assert!(matches!(e, Err(LlmError::OutOfSpace(_))));
+    }
+
+    #[test]
+    fn history_roundtrips_through_prompt() {
+        let choices = space();
+        let history = vec![
+            HistoryEntry {
+                design: CandidateDesign::reference(),
+                performance: 0.42,
+            },
+            HistoryEntry {
+                design: CandidateDesign::reference(),
+                performance: -1.0,
+            },
+        ];
+        let prompt = PromptBuilder::new(&choices).render(&history);
+        let parsed = parse_history(&prompt, &choices);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, CandidateDesign::reference());
+        assert!((parsed[0].1 - 0.42).abs() < 1e-9);
+        assert_eq!(parsed[1].1, -1.0);
+    }
+
+    #[test]
+    fn history_skips_noise_lines() {
+        let choices = space();
+        let text = "design gibberish -> perf: 0.5\n\
+                    design [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram] -> perf: 0.7\n\
+                    design [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram] -> perf: xyz\n";
+        let parsed = parse_history(text, &choices);
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed[0].1 - 0.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! The Algorithm-1 prompt template (`GPT-Prompts`).
+//!
+//! Renders the system and user prompts the paper sends to GPT-4: the role
+//! statement, the task framing, the backbone model description, the design
+//! space, the history of explored designs with their normalized
+//! performance, and the response-format instruction. The rendered text is
+//! what a [`crate::LanguageModel`] consumes — including the simulated LLM,
+//! which must *parse this text back*, so the template doubles as a wire
+//! format.
+
+use crate::design::{CandidateDesign, DesignChoices};
+use serde::{Deserialize, Serialize};
+
+/// Which multi-objective trade-off the prompt asks the model to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PromptObjective {
+    /// §IV-A: balance accuracy and inference energy (Eq. 1).
+    #[default]
+    AccuracyEnergy,
+    /// §IV-B: balance accuracy and inference latency (Eq. 2).
+    AccuracyLatency,
+    /// Fig. 5 ablation: generic black-box optimization with no co-design
+    /// framing at all.
+    Naive,
+}
+
+impl PromptObjective {
+    /// The prose injected into the prompt for this objective.
+    pub fn description(self) -> &'static str {
+        match self {
+            PromptObjective::AccuracyEnergy => {
+                "The model's performance is a combination of hardware performance and \
+                 model accuracy: the reward is the model accuracy minus the square root \
+                 of the inference energy normalized to the original ISAAC design \
+                 (8e7 pJ). Lower energy is better."
+            }
+            PromptObjective::AccuracyLatency => {
+                "The model's performance is a combination of hardware performance and \
+                 model accuracy: the reward is the model accuracy plus the frames per \
+                 second normalized to the original ISAAC design (1600 FPS). Lower \
+                 latency is better."
+            }
+            PromptObjective::Naive => {
+                "The performance is a black-box score of the parameter vector. Higher \
+                 is better."
+            }
+        }
+    }
+
+    /// Marker token embedded in the prompt so a text-only model can detect
+    /// the objective (the simulated LLM keys off this).
+    pub fn marker(self) -> &'static str {
+        match self {
+            PromptObjective::AccuracyEnergy => "objective: accuracy-energy",
+            PromptObjective::AccuracyLatency => "objective: accuracy-latency",
+            PromptObjective::Naive => "objective: generic",
+        }
+    }
+}
+
+/// One explored design with its normalized performance (an entry of
+/// `l_des` / `l_perf`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// The explored design.
+    pub design: CandidateDesign,
+    /// Its scalar performance (−1 for invalid hardware, per the paper).
+    pub performance: f64,
+}
+
+/// Renders Algorithm-1 prompts for a fixed design space and objective.
+#[derive(Debug, Clone)]
+pub struct PromptBuilder {
+    choices: DesignChoices,
+    objective: PromptObjective,
+}
+
+/// Section header that precedes the design-space description; part of the
+/// wire format parsed by the simulated LLM.
+pub const CHOICES_HEADER: &str = "Available options per decision:";
+
+/// Section header that precedes the history lines.
+pub const HISTORY_HEADER: &str = "Here are some experimental results that you can use as a reference:";
+
+/// Prefix of each history line.
+pub const HISTORY_LINE_PREFIX: &str = "design ";
+
+impl PromptBuilder {
+    /// Creates a builder over a design space with the default
+    /// (accuracy-energy) objective.
+    pub fn new(choices: &DesignChoices) -> Self {
+        PromptBuilder {
+            choices: choices.clone(),
+            objective: PromptObjective::AccuracyEnergy,
+        }
+    }
+
+    /// Selects the objective framing.
+    pub fn objective(mut self, objective: PromptObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The paper's system prompt (`prompt_s`).
+    pub fn system_prompt(&self) -> &'static str {
+        match self.objective {
+            PromptObjective::Naive => "You are a helpful assistant.",
+            _ => "You are an expert in the field of neural architecture search.",
+        }
+    }
+
+    /// Renders the full prompt (system + user) for the given exploration
+    /// history.
+    pub fn render(&self, history: &[HistoryEntry]) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(self.system_prompt());
+        out.push_str("\n\n");
+        match self.objective {
+            PromptObjective::Naive => {
+                out.push_str(
+                    "Your task is to suggest a parameter vector that maximizes a score. ",
+                );
+            }
+            _ => {
+                out.push_str(
+                    "Your task is to assist me in selecting the best rollout numbers for a \
+                     given model architecture. The model will be trained and tested on \
+                     CIFAR10, and your objective will be to maximize the model's \
+                     performance on CIFAR10. The model architecture is a backbone of six \
+                     convolution layers (each followed by ReLU, with 2x2 max pooling after \
+                     every second layer) and two fully connected layers with hidden size \
+                     1024, deployed on a compute-in-memory crossbar accelerator. ",
+                );
+            }
+        }
+        out.push_str(self.objective.description());
+        out.push('\n');
+        out.push_str(self.objective.marker());
+        out.push_str("\n\n");
+
+        out.push_str(CHOICES_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "channels: {:?}\nkernels: {:?}\nlayers: {}\nxbar: {:?}\nadc_bits: {:?}\ncell_bits: {:?}\ntech: {:?}\n\n",
+            self.choices.channel_options,
+            self.choices.kernel_options,
+            self.choices.num_conv_layers,
+            self.choices.xbar_options,
+            self.choices.adc_options,
+            self.choices.cell_options,
+            self.choices.tech_options,
+        ));
+
+        out.push_str(
+            "If the hardware is invalid (e.g., too large in area), the performance I \
+             give you will be -1. After you give me a rollout list, I will give you the \
+             design's performance I calculated.\n\n",
+        );
+
+        out.push_str(HISTORY_HEADER);
+        out.push('\n');
+        if history.is_empty() {
+            out.push_str("(no designs explored yet)\n");
+        } else {
+            for h in history {
+                out.push_str(HISTORY_LINE_PREFIX);
+                out.push_str(&h.design.to_response_text());
+                out.push_str(&format!(" -> perf: {:.6}\n", h.performance));
+            }
+        }
+        out.push('\n');
+        out.push_str(
+            "Please suggest a rollout list that can improve the model's performance \
+             beyond the experimental results provided above. Your response should be the \
+             rollout list consisting of ",
+        );
+        out.push_str(&format!(
+            "{} number pairs followed by the hardware choice, e.g. \
+             [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]. \
+             Please do not include anything else other than the rollout list in your \
+             response.",
+            self.choices.num_conv_layers
+        ));
+        out
+    }
+
+    /// The design space this builder renders.
+    pub fn choices(&self) -> &DesignChoices {
+        &self.choices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_contains_all_sections() {
+        let choices = DesignChoices::nacim_default();
+        let p = PromptBuilder::new(&choices).render(&[]);
+        assert!(p.contains("expert in the field of neural architecture search"));
+        assert!(p.contains(CHOICES_HEADER));
+        assert!(p.contains(HISTORY_HEADER));
+        assert!(p.contains("(no designs explored yet)"));
+        assert!(p.contains("performance I give you will be -1"));
+        assert!(p.contains("objective: accuracy-energy"));
+        assert!(p.contains("channels: [16, 24, 32, 48, 64, 96, 128]"));
+    }
+
+    #[test]
+    fn history_is_rendered() {
+        let choices = DesignChoices::nacim_default();
+        let history = vec![
+            HistoryEntry {
+                design: CandidateDesign::reference(),
+                performance: 0.5123,
+            },
+            HistoryEntry {
+                design: CandidateDesign::reference(),
+                performance: -1.0,
+            },
+        ];
+        let p = PromptBuilder::new(&choices).render(&history);
+        let history_lines = p
+            .lines()
+            .filter(|l| l.trim_start().starts_with(HISTORY_LINE_PREFIX))
+            .count();
+        assert_eq!(history_lines, 2);
+        assert!(p.contains("perf: 0.512300"));
+        assert!(p.contains("perf: -1.000000"));
+    }
+
+    #[test]
+    fn latency_objective_marker() {
+        let choices = DesignChoices::nacim_default();
+        let p = PromptBuilder::new(&choices)
+            .objective(PromptObjective::AccuracyLatency)
+            .render(&[]);
+        assert!(p.contains("objective: accuracy-latency"));
+        assert!(p.contains("1600 FPS"));
+    }
+
+    #[test]
+    fn naive_objective_strips_codesign_framing() {
+        let choices = DesignChoices::nacim_default();
+        let p = PromptBuilder::new(&choices)
+            .objective(PromptObjective::Naive)
+            .render(&[]);
+        assert!(!p.contains("neural architecture search"));
+        assert!(!p.contains("CIFAR10"));
+        assert!(!p.contains("compute-in-memory"));
+        assert!(p.contains("objective: generic"));
+    }
+
+    #[test]
+    fn objective_descriptions_nonempty() {
+        for o in [
+            PromptObjective::AccuracyEnergy,
+            PromptObjective::AccuracyLatency,
+            PromptObjective::Naive,
+        ] {
+            assert!(!o.description().is_empty());
+            assert!(o.marker().starts_with("objective:"));
+        }
+    }
+}

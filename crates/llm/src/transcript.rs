@@ -1,0 +1,116 @@
+//! Conversation transcripts.
+//!
+//! Every LCDA episode exchanges one prompt and one response with the
+//! model. Recording the exchange gives the paper's "explainable NAS"
+//! property a concrete artifact: the transcript is human-readable and can
+//! be serialized alongside the experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// One prompt/response exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exchange {
+    /// Episode index this exchange belongs to.
+    pub episode: u32,
+    /// The rendered prompt sent to the model.
+    pub prompt: String,
+    /// The model's raw response text.
+    pub response: String,
+    /// Optional model-provided rationale for the proposal.
+    pub rationale: Option<String>,
+}
+
+/// An ordered record of every exchange with a model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChatTranscript {
+    model: String,
+    exchanges: Vec<Exchange>,
+}
+
+impl ChatTranscript {
+    /// Creates an empty transcript for a named model.
+    pub fn new(model: impl Into<String>) -> Self {
+        ChatTranscript {
+            model: model.into(),
+            exchanges: Vec::new(),
+        }
+    }
+
+    /// The model name this transcript records.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Appends an exchange.
+    pub fn record(
+        &mut self,
+        episode: u32,
+        prompt: impl Into<String>,
+        response: impl Into<String>,
+        rationale: Option<String>,
+    ) {
+        self.exchanges.push(Exchange {
+            episode,
+            prompt: prompt.into(),
+            response: response.into(),
+            rationale,
+        });
+    }
+
+    /// All exchanges in order.
+    pub fn exchanges(&self) -> &[Exchange] {
+        &self.exchanges
+    }
+
+    /// Number of exchanges (== episodes spoken to the model).
+    pub fn len(&self) -> usize {
+        self.exchanges.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.exchanges.is_empty()
+    }
+
+    /// Approximate prompt-token count across the whole transcript,
+    /// using the standard ~4 characters/token heuristic. Useful for
+    /// reporting search cost in LLM-API terms.
+    pub fn approx_prompt_tokens(&self) -> u64 {
+        self.exchanges
+            .iter()
+            .map(|e| e.prompt.len() as u64 / 4)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut t = ChatTranscript::new("sim-llm/pretrained");
+        assert!(t.is_empty());
+        t.record(0, "p0", "r0", None);
+        t.record(1, "p1", "r1", Some("because".into()));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.exchanges()[1].rationale.as_deref(), Some("because"));
+        assert_eq!(t.model(), "sim-llm/pretrained");
+    }
+
+    #[test]
+    fn token_estimate() {
+        let mut t = ChatTranscript::new("m");
+        t.record(0, "x".repeat(400), "y", None);
+        assert_eq!(t.approx_prompt_tokens(), 100);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = ChatTranscript::new("m");
+        t.record(0, "p", "r", Some("why".into()));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ChatTranscript = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based robustness tests: the simulated models must produce
+//! valid, parseable designs for arbitrary histories, and the parser must
+//! never panic on arbitrary text.
+
+use lcda_llm::adaptive::AdaptiveLlm;
+use lcda_llm::design::DesignChoices;
+use lcda_llm::parse::{parse_design, parse_history};
+use lcda_llm::persona::Persona;
+use lcda_llm::prompt::{HistoryEntry, PromptBuilder, PromptObjective};
+use lcda_llm::sim::SimLlm;
+use lcda_llm::LanguageModel;
+use proptest::prelude::*;
+
+fn arb_history(max: usize) -> impl Strategy<Value = Vec<HistoryEntry>> {
+    let choices = DesignChoices::nacim_default();
+    let slots: Vec<usize> = (0..choices.slot_count())
+        .map(|s| choices.slot_options(s))
+        .collect();
+    let one = (
+        slots
+            .into_iter()
+            .map(|n| 0..n)
+            .collect::<Vec<_>>(),
+        -1.0f64..1.0,
+    )
+        .prop_map(move |(idx, perf)| HistoryEntry {
+            design: DesignChoices::nacim_default().decode(&idx).unwrap(),
+            performance: perf,
+        });
+    prop::collection::vec(one, 0..max)
+}
+
+proptest! {
+    /// For ANY history, every persona and the adaptive model answer with
+    /// text that parses into an in-space design.
+    #[test]
+    fn models_always_answer_parseably(
+        history in arb_history(12),
+        seed in 0u64..500,
+        objective in prop::sample::select(vec![
+            PromptObjective::AccuracyEnergy,
+            PromptObjective::AccuracyLatency,
+        ]),
+    ) {
+        let choices = DesignChoices::nacim_default();
+        let prompt = PromptBuilder::new(&choices).objective(objective).render(&history);
+        for persona in [Persona::Pretrained, Persona::FineTuned] {
+            let response = SimLlm::new(persona, seed).complete(&prompt).unwrap();
+            let d = parse_design(&response, &choices).unwrap();
+            prop_assert!(choices.contains(&d).is_ok());
+        }
+        let response = AdaptiveLlm::new(seed).complete(&prompt).unwrap();
+        prop_assert!(parse_design(&response, &choices).is_ok());
+    }
+
+    /// The naive persona (its prompt has no co-design framing) also always
+    /// answers parseably.
+    #[test]
+    fn naive_always_answers_parseably(history in arb_history(8), seed in 0u64..200) {
+        let choices = DesignChoices::nacim_default();
+        let prompt = PromptBuilder::new(&choices)
+            .objective(PromptObjective::Naive)
+            .render(&history);
+        let response = SimLlm::new(Persona::Naive, seed).complete(&prompt).unwrap();
+        prop_assert!(parse_design(&response, &choices).is_ok());
+    }
+
+    /// parse_design never panics on arbitrary text — it returns Ok or Err.
+    #[test]
+    fn parser_is_total(text in ".{0,200}") {
+        let choices = DesignChoices::nacim_default();
+        let _ = parse_design(&text, &choices);
+    }
+
+    /// parse_history never panics and only returns in-space designs.
+    #[test]
+    fn history_parser_is_total(text in ".{0,400}") {
+        let choices = DesignChoices::nacim_default();
+        for (d, _) in parse_history(&text, &choices) {
+            prop_assert!(choices.contains(&d).is_ok());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Peripheral circuit macro models.
+//!
+//! Analytic scaling laws for the mixed-signal and digital circuits that
+//! surround every crossbar array: DACs on the word lines, ADCs on the bit
+//! lines, shift-and-add units that stitch bit-slices together, SRAM
+//! buffers for intermediate activations, and a simple H-tree interconnect.
+//! Constants follow the scaling trends used in ISAAC and NeuroSim (ADC
+//! energy/area exponential in resolution, SAR conversion time linear in
+//! bits); the absolute scale is pinned by [`crate::isaac`] calibration.
+
+use crate::{NeurosimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Successive-approximation ADC model.
+///
+/// Energy and area grow exponentially with resolution (each extra bit
+/// roughly doubles the capacitor DAC), conversion time grows linearly
+/// (one bit-cycle per bit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Resolution in bits.
+    pub bits: u8,
+}
+
+impl Adc {
+    /// Creates an ADC model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidConfig`] outside 1..=12 bits.
+    pub fn new(bits: u8) -> Result<Self> {
+        if !(1..=12).contains(&bits) {
+            return Err(NeurosimError::InvalidConfig(format!(
+                "adc resolution must be 1..=12 bits, got {bits}"
+            )));
+        }
+        Ok(Adc { bits })
+    }
+
+    /// Energy per conversion, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        // ~ 5 fJ/conversion-step Walden figure of merit.
+        0.005 * (1u64 << self.bits) as f64
+    }
+
+    /// Conversion latency, nanoseconds (SAR: one cycle per bit at 1 GHz).
+    pub fn latency_ns(&self) -> f64 {
+        self.bits as f64
+    }
+
+    /// Area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        3.0e-4 * (1u64 << self.bits) as f64 / 256.0
+    }
+
+    /// Leakage power, microwatts.
+    pub fn leakage_uw(&self) -> f64 {
+        0.2 * self.bits as f64
+    }
+}
+
+/// Word-line DAC model (input activations are streamed bit-serially in
+/// ISAAC, so resolutions are small).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    /// Resolution in bits.
+    pub bits: u8,
+}
+
+impl Dac {
+    /// Creates a DAC model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidConfig`] outside 1..=4 bits.
+    pub fn new(bits: u8) -> Result<Self> {
+        if !(1..=4).contains(&bits) {
+            return Err(NeurosimError::InvalidConfig(format!(
+                "dac resolution must be 1..=4 bits, got {bits}"
+            )));
+        }
+        Ok(Dac { bits })
+    }
+
+    /// Energy to drive one word line for one cycle, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        0.002 * (1u64 << self.bits) as f64
+    }
+
+    /// Area per word-line driver, mm².
+    pub fn area_mm2(&self) -> f64 {
+        1.0e-6 * (1u64 << self.bits) as f64
+    }
+}
+
+/// Shift-and-add unit combining bit-slice partial sums.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ShiftAdd;
+
+impl ShiftAdd {
+    /// Energy per shift-add operation, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        0.02
+    }
+
+    /// Latency per shift-add stage, nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        0.5
+    }
+
+    /// Area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        5.0e-5
+    }
+}
+
+/// SRAM buffer macro for intermediate activations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramBuffer {
+    /// Capacity in kilobytes.
+    pub kb: u32,
+}
+
+impl SramBuffer {
+    /// Creates a buffer model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidConfig`] for a zero-sized buffer.
+    pub fn new(kb: u32) -> Result<Self> {
+        if kb == 0 {
+            return Err(NeurosimError::InvalidConfig(
+                "buffer capacity must be positive".to_string(),
+            ));
+        }
+        Ok(SramBuffer { kb })
+    }
+
+    /// Energy per byte accessed, picojoules.
+    pub fn energy_per_byte_pj(&self) -> f64 {
+        // Larger arrays burn more per access (longer bit lines), ~sqrt law.
+        0.05 * (self.kb as f64 / 64.0).sqrt().max(0.5)
+    }
+
+    /// Area, mm² (~0.25 mm² per 64 KB at the modelled node).
+    pub fn area_mm2(&self) -> f64 {
+        0.25 * self.kb as f64 / 64.0
+    }
+
+    /// Leakage, microwatts.
+    pub fn leakage_uw(&self) -> f64 {
+        2.0 * self.kb as f64 / 64.0
+    }
+}
+
+/// A simple H-tree style on-chip interconnect cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Interconnect;
+
+impl Interconnect {
+    /// Energy to move one byte between tiles, picojoules.
+    pub fn energy_per_byte_pj(&self) -> f64 {
+        0.2
+    }
+
+    /// Extra latency per layer boundary crossing, nanoseconds.
+    pub fn hop_latency_ns(&self) -> f64 {
+        2.0
+    }
+}
+
+/// Digital post-processing (activation, pooling) unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DigitalUnit;
+
+impl DigitalUnit {
+    /// Energy per activation function evaluation, picojoules.
+    pub fn energy_per_op_pj(&self) -> f64 {
+        0.01
+    }
+
+    /// Throughput-equivalent latency per element, nanoseconds (heavily
+    /// pipelined, so tiny).
+    pub fn latency_per_op_ns(&self) -> f64 {
+        0.01
+    }
+
+    /// Area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        0.02
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_scaling_monotone() {
+        let a4 = Adc::new(4).unwrap();
+        let a6 = Adc::new(6).unwrap();
+        let a8 = Adc::new(8).unwrap();
+        assert!(a6.energy_pj() > a4.energy_pj());
+        assert!(a8.energy_pj() > a6.energy_pj());
+        assert!(a8.area_mm2() > a4.area_mm2());
+        assert!(a8.latency_ns() > a4.latency_ns());
+        // Exponential energy: 8-bit ≈ 16× the 4-bit energy.
+        assert!((a8.energy_pj() / a4.energy_pj() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adc_bounds() {
+        assert!(Adc::new(0).is_err());
+        assert!(Adc::new(13).is_err());
+        assert!(Adc::new(12).is_ok());
+    }
+
+    #[test]
+    fn dac_bounds_and_scaling() {
+        assert!(Dac::new(0).is_err());
+        assert!(Dac::new(5).is_err());
+        let d1 = Dac::new(1).unwrap();
+        let d2 = Dac::new(2).unwrap();
+        assert!(d2.energy_pj() > d1.energy_pj());
+    }
+
+    #[test]
+    fn buffer_scaling() {
+        let small = SramBuffer::new(16).unwrap();
+        let large = SramBuffer::new(256).unwrap();
+        assert!(large.area_mm2() > small.area_mm2());
+        assert!(large.leakage_uw() > small.leakage_uw());
+        assert!(SramBuffer::new(0).is_err());
+    }
+
+    #[test]
+    fn constants_positive() {
+        assert!(ShiftAdd.energy_pj() > 0.0);
+        assert!(ShiftAdd.latency_ns() > 0.0);
+        assert!(ShiftAdd.area_mm2() > 0.0);
+        assert!(Interconnect.energy_per_byte_pj() > 0.0);
+        assert!(DigitalUnit.energy_per_op_pj() > 0.0);
+    }
+
+    #[test]
+    fn adc_dominates_cell_read_energy() {
+        // A core CiM premise: the ADC, not the cell read, dominates energy.
+        use crate::device::DeviceTech;
+        let adc = Adc::new(8).unwrap();
+        let cell = DeviceTech::Rram.params().read_energy_pj();
+        assert!(adc.energy_pj() > 10.0 * cell);
+    }
+}

@@ -1,0 +1,280 @@
+//! Memory-cell technology models.
+//!
+//! DNN+NeuroSim is "compatible with various device technologies, including
+//! SRAM and emerging non-volatile memory (NVM) like RRAM, PCM, STT-MRAM,
+//! and FeFET". Each technology here carries the electrical and geometric
+//! parameters the crossbar macro needs, with values in the ranges the CiM
+//! literature reports; exact absolute numbers are pinned by the ISAAC
+//! calibration in [`crate::isaac`].
+
+use crate::{NeurosimError, Result};
+use lcda_variation::VariationConfig;
+use serde::{Deserialize, Serialize};
+
+/// A memory-cell technology selectable in the hardware design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DeviceTech {
+    /// Resistive RAM — the NACIM / ISAAC default.
+    #[default]
+    Rram,
+    /// Ferroelectric FET.
+    Fefet,
+    /// Phase-change memory.
+    Pcm,
+    /// Spin-transfer-torque MRAM.
+    SttMram,
+    /// 8T SRAM compute cell (volatile baseline).
+    Sram,
+}
+
+impl DeviceTech {
+    /// All supported technologies.
+    pub const ALL: [DeviceTech; 5] = [
+        DeviceTech::Rram,
+        DeviceTech::Fefet,
+        DeviceTech::Pcm,
+        DeviceTech::SttMram,
+        DeviceTech::Sram,
+    ];
+
+    /// Electrical and geometric parameters of this technology.
+    pub fn params(self) -> DeviceParams {
+        match self {
+            DeviceTech::Rram => DeviceParams {
+                tech: self,
+                r_on_ohm: 1.0e5,
+                r_off_ohm: 1.0e7,
+                read_voltage_v: 0.2,
+                read_pulse_ns: 5.0,
+                write_energy_pj: 1.0,
+                cell_area_f2: 4.0,
+                max_cell_bits: 4,
+                leakage_nw_per_cell: 0.0,
+            },
+            DeviceTech::Fefet => DeviceParams {
+                tech: self,
+                r_on_ohm: 2.0e5,
+                r_off_ohm: 5.0e7,
+                read_voltage_v: 0.15,
+                read_pulse_ns: 4.0,
+                write_energy_pj: 0.2,
+                cell_area_f2: 6.0,
+                max_cell_bits: 5,
+                leakage_nw_per_cell: 0.0,
+            },
+            DeviceTech::Pcm => DeviceParams {
+                tech: self,
+                r_on_ohm: 5.0e4,
+                r_off_ohm: 5.0e6,
+                read_voltage_v: 0.2,
+                read_pulse_ns: 8.0,
+                write_energy_pj: 10.0,
+                cell_area_f2: 4.0,
+                max_cell_bits: 3,
+                leakage_nw_per_cell: 0.0,
+            },
+            DeviceTech::SttMram => DeviceParams {
+                tech: self,
+                r_on_ohm: 3.0e3,
+                r_off_ohm: 6.0e3,
+                read_voltage_v: 0.1,
+                read_pulse_ns: 3.0,
+                write_energy_pj: 0.5,
+                cell_area_f2: 20.0,
+                max_cell_bits: 1,
+                leakage_nw_per_cell: 0.0,
+            },
+            DeviceTech::Sram => DeviceParams {
+                tech: self,
+                r_on_ohm: 1.0e4,
+                r_off_ohm: 1.0e6,
+                read_voltage_v: 0.8,
+                read_pulse_ns: 1.0,
+                write_energy_pj: 0.05,
+                cell_area_f2: 160.0,
+                max_cell_bits: 1,
+                leakage_nw_per_cell: 5.0,
+            },
+        }
+    }
+
+    /// The variation corner this technology exhibits (used by the accuracy
+    /// evaluators). SRAM and STT-MRAM store digital values and suffer no
+    /// analog programming variation.
+    pub fn variation_config(self) -> VariationConfig {
+        match self {
+            DeviceTech::Rram => VariationConfig::rram_moderate(),
+            DeviceTech::Fefet => VariationConfig::fefet_moderate(),
+            DeviceTech::Pcm => VariationConfig::rram_severe(),
+            DeviceTech::SttMram | DeviceTech::Sram => VariationConfig::ideal(),
+        }
+    }
+
+    /// Short lowercase name, stable across versions (used in prompts and
+    /// serialized designs).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceTech::Rram => "rram",
+            DeviceTech::Fefet => "fefet",
+            DeviceTech::Pcm => "pcm",
+            DeviceTech::SttMram => "stt-mram",
+            DeviceTech::Sram => "sram",
+        }
+    }
+
+    /// Parses a technology from its [`DeviceTech::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidConfig`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "rram" => Ok(DeviceTech::Rram),
+            "fefet" => Ok(DeviceTech::Fefet),
+            "pcm" => Ok(DeviceTech::Pcm),
+            "stt-mram" | "sttmram" => Ok(DeviceTech::SttMram),
+            "sram" => Ok(DeviceTech::Sram),
+            other => Err(NeurosimError::InvalidConfig(format!(
+                "unknown device technology `{other}`"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Electrical/geometric parameters of one memory cell technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Technology these parameters describe.
+    pub tech: DeviceTech,
+    /// Low-resistance (on) state, ohms.
+    pub r_on_ohm: f64,
+    /// High-resistance (off) state, ohms.
+    pub r_off_ohm: f64,
+    /// Read voltage applied on the word line, volts.
+    pub read_voltage_v: f64,
+    /// Read pulse width, nanoseconds.
+    pub read_pulse_ns: f64,
+    /// Energy to program one cell, picojoules.
+    pub write_energy_pj: f64,
+    /// Cell footprint in F² (F = feature size).
+    pub cell_area_f2: f64,
+    /// Maximum bits one cell can store.
+    pub max_cell_bits: u8,
+    /// Standby leakage per cell, nanowatts (non-zero only for volatile
+    /// cells).
+    pub leakage_nw_per_cell: f64,
+}
+
+impl DeviceParams {
+    /// Average read current through a cell at mid conductance, amperes.
+    pub fn avg_read_current_a(&self) -> f64 {
+        // Mid-point conductance between on and off states.
+        let g_avg = 0.5 * (1.0 / self.r_on_ohm + 1.0 / self.r_off_ohm);
+        self.read_voltage_v * g_avg
+    }
+
+    /// Energy of one cell read, picojoules: `V · I · t_pulse`.
+    pub fn read_energy_pj(&self) -> f64 {
+        self.read_voltage_v * self.avg_read_current_a() * self.read_pulse_ns * 1e-9 * 1e12
+    }
+
+    /// Cell area in mm² at the given feature size (nanometres).
+    pub fn cell_area_mm2(&self, feature_nm: f64) -> f64 {
+        let f_mm = feature_nm * 1e-6;
+        self.cell_area_f2 * f_mm * f_mm
+    }
+
+    /// On/off conductance ratio — a sanity metric for multi-bit storage.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.r_off_ohm / self.r_on_ohm
+    }
+
+    /// Validates that a requested cell precision is supported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidConfig`] when `bits` is zero or
+    /// exceeds [`DeviceParams::max_cell_bits`].
+    pub fn check_cell_bits(&self, bits: u8) -> Result<()> {
+        if bits == 0 || bits > self.max_cell_bits {
+            return Err(NeurosimError::InvalidConfig(format!(
+                "{} supports 1..={} bits per cell, got {bits}",
+                self.tech, self.max_cell_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_techs_have_sane_params() {
+        for tech in DeviceTech::ALL {
+            let p = tech.params();
+            assert!(p.r_on_ohm > 0.0 && p.r_off_ohm > p.r_on_ohm, "{tech}");
+            assert!(p.read_voltage_v > 0.0 && p.read_pulse_ns > 0.0);
+            assert!(p.max_cell_bits >= 1);
+            assert!(p.read_energy_pj() > 0.0);
+            assert!(p.cell_area_mm2(32.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn name_parse_roundtrip() {
+        for tech in DeviceTech::ALL {
+            assert_eq!(DeviceTech::parse(tech.name()).unwrap(), tech);
+        }
+        assert!(DeviceTech::parse("memristor-9000").is_err());
+    }
+
+    #[test]
+    fn sram_cell_is_much_larger_than_rram() {
+        let sram = DeviceTech::Sram.params().cell_area_mm2(32.0);
+        let rram = DeviceTech::Rram.params().cell_area_mm2(32.0);
+        assert!(sram > 10.0 * rram);
+    }
+
+    #[test]
+    fn only_volatile_cells_leak() {
+        assert!(DeviceTech::Sram.params().leakage_nw_per_cell > 0.0);
+        assert_eq!(DeviceTech::Rram.params().leakage_nw_per_cell, 0.0);
+    }
+
+    #[test]
+    fn cell_bits_validation() {
+        let rram = DeviceTech::Rram.params();
+        assert!(rram.check_cell_bits(0).is_err());
+        assert!(rram.check_cell_bits(4).is_ok());
+        assert!(rram.check_cell_bits(5).is_err());
+        let stt = DeviceTech::SttMram.params();
+        assert!(stt.check_cell_bits(2).is_err());
+    }
+
+    #[test]
+    fn digital_cells_have_ideal_variation() {
+        assert_eq!(DeviceTech::Sram.variation_config().severity(), 0.0);
+        assert!(DeviceTech::Rram.variation_config().severity() > 0.0);
+        assert!(
+            DeviceTech::Pcm.variation_config().severity()
+                > DeviceTech::Fefet.variation_config().severity()
+        );
+    }
+
+    #[test]
+    fn on_off_ratio_supports_multibit() {
+        // Multi-bit storage needs a healthy on/off window.
+        for tech in [DeviceTech::Rram, DeviceTech::Fefet, DeviceTech::Pcm] {
+            let p = tech.params();
+            assert!(p.on_off_ratio() >= 50.0, "{tech}");
+        }
+    }
+}

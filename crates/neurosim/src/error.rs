@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Error type for hardware-model configuration and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NeurosimError {
+    /// A hardware configuration value was invalid.
+    InvalidConfig(String),
+    /// A layer workload was malformed (zero dimensions, kernel larger than
+    /// the padded input, …).
+    InvalidWorkload(String),
+    /// The design exceeds the platform constraint (e.g. area budget); the
+    /// paper's prompt scores such designs −1.
+    ConstraintViolation {
+        /// The metric that violated its budget.
+        metric: &'static str,
+        /// Evaluated value.
+        value: f64,
+        /// Configured budget.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for NeurosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeurosimError::InvalidConfig(msg) => write!(f, "invalid hardware config: {msg}"),
+            NeurosimError::InvalidWorkload(msg) => write!(f, "invalid layer workload: {msg}"),
+            NeurosimError::ConstraintViolation {
+                metric,
+                value,
+                budget,
+            } => write!(f, "{metric} {value:.3} exceeds budget {budget:.3}"),
+        }
+    }
+}
+
+impl std::error::Error for NeurosimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = NeurosimError::ConstraintViolation {
+            metric: "area_mm2",
+            value: 120.0,
+            budget: 100.0,
+        };
+        assert!(e.to_string().contains("exceeds budget"));
+        assert!(NeurosimError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<NeurosimError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! The ISAAC reference design and normalization calibration.
+//!
+//! The LCDA paper's reward functions normalize every candidate against
+//! "the original ISAAC design": energy against `8×10⁷` pJ (Eq. 1) and
+//! throughput against `1600` FPS (Eq. 2). This module pins our macro model
+//! to those anchors: [`calibrate`] evaluates the paper's reference
+//! backbone on the uncalibrated model and computes the multiplicative
+//! factors that land the reference exactly on the ISAAC numbers. All
+//! relative orderings between candidate designs are unaffected — only the
+//! absolute scale is fixed.
+
+use crate::chip::{Chip, ChipConfig};
+use crate::mapper::LayerWorkload;
+use crate::Result;
+
+/// Energy per inference of the ISAAC reference, picojoules (Eq. 1's
+/// normalization constant).
+pub const ISAAC_ENERGY_PJ: f64 = 8.0e7;
+
+/// Throughput of the ISAAC reference, frames per second (Eq. 2's
+/// normalization constant).
+pub const ISAAC_FPS: f64 = 1600.0;
+
+/// Latency of the ISAAC reference, nanoseconds (`1e9 / ISAAC_FPS`).
+pub const ISAAC_LATENCY_NS: f64 = 1.0e9 / ISAAC_FPS;
+
+/// The paper's reference backbone: six convolution layers and two
+/// fully-connected layers on 32×32×3 CIFAR-10 input, with the
+/// prompt-template rollout `[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]`
+/// and the hidden size fixed at 1024 (§IV). 2×2 pooling follows every
+/// second convolution.
+pub fn reference_network() -> Vec<LayerWorkload> {
+    // All `unwrap`s are on constants validated by the tests below.
+    vec![
+        LayerWorkload::conv(3, 32, 32, 32, 3, 1, 1).unwrap(),
+        LayerWorkload::conv(32, 32, 32, 32, 3, 1, 1).unwrap(),
+        // pool -> 16x16
+        LayerWorkload::conv(32, 16, 16, 64, 3, 1, 1).unwrap(),
+        LayerWorkload::conv(64, 16, 16, 64, 3, 1, 1).unwrap(),
+        // pool -> 8x8
+        LayerWorkload::conv(64, 8, 8, 128, 3, 1, 1).unwrap(),
+        LayerWorkload::conv(128, 8, 8, 128, 3, 1, 1).unwrap(),
+        // pool -> 4x4, flatten 128*4*4 = 2048
+        LayerWorkload::fc(2048, 1024).unwrap(),
+        LayerWorkload::fc(1024, 10).unwrap(),
+    ]
+}
+
+/// Calibrates a chip configuration so that the reference network lands
+/// exactly on [`ISAAC_ENERGY_PJ`] and [`ISAAC_LATENCY_NS`].
+///
+/// The returned configuration is `config` with its `calibration` field
+/// replaced; every other field is untouched.
+///
+/// # Errors
+///
+/// Propagates configuration/evaluation errors from the macro model.
+pub fn calibrate(mut config: ChipConfig) -> Result<ChipConfig> {
+    config.calibration = (1.0, 1.0);
+    let chip = Chip::new(config)?;
+    let report = chip.evaluate(&reference_network())?;
+    config.calibration = (
+        ISAAC_ENERGY_PJ / report.energy_pj,
+        ISAAC_LATENCY_NS / report.latency_ns,
+    );
+    Ok(config)
+}
+
+/// A fully calibrated ISAAC-default chip, the starting point for the
+/// hardware design space.
+///
+/// # Errors
+///
+/// Propagates configuration errors (none for the built-in default).
+pub fn calibrated_default() -> Result<Chip> {
+    Chip::new(calibrate(ChipConfig::isaac_default())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_network_shape() {
+        let net = reference_network();
+        assert_eq!(net.len(), 8);
+        // Six convs then two FCs.
+        assert!(net[..6]
+            .iter()
+            .all(|l| matches!(l, LayerWorkload::Conv { .. })));
+        assert!(net[6..]
+            .iter()
+            .all(|l| matches!(l, LayerWorkload::Fc { .. })));
+    }
+
+    #[test]
+    fn calibration_hits_isaac_anchors() {
+        let chip = calibrated_default().unwrap();
+        let r = chip.evaluate(&reference_network()).unwrap();
+        assert!(
+            (r.energy_pj - ISAAC_ENERGY_PJ).abs() / ISAAC_ENERGY_PJ < 1e-9,
+            "energy {}",
+            r.energy_pj
+        );
+        assert!(
+            (r.latency_ns - ISAAC_LATENCY_NS).abs() / ISAAC_LATENCY_NS < 1e-9,
+            "latency {}",
+            r.latency_ns
+        );
+        assert!((r.fps() - ISAAC_FPS).abs() / ISAAC_FPS < 1e-9);
+    }
+
+    #[test]
+    fn calibration_preserves_orderings() {
+        // A bigger network must still cost more than a smaller one after
+        // calibration.
+        let chip = calibrated_default().unwrap();
+        let small = vec![LayerWorkload::conv(3, 32, 32, 16, 3, 1, 1).unwrap()];
+        let large = vec![
+            LayerWorkload::conv(3, 32, 32, 128, 3, 1, 1).unwrap(),
+            LayerWorkload::conv(128, 32, 32, 128, 3, 1, 1).unwrap(),
+        ];
+        let rs = chip.evaluate(&small).unwrap();
+        let rl = chip.evaluate(&large).unwrap();
+        assert!(rl.energy_pj > rs.energy_pj);
+        assert!(rl.latency_ns > rs.latency_ns);
+    }
+
+    #[test]
+    fn calibration_only_touches_calibration_field() {
+        let base = ChipConfig::isaac_default();
+        let cal = calibrate(base).unwrap();
+        assert_eq!(cal.xbar, base.xbar);
+        assert_eq!(cal.buffer_kb, base.buffer_kb);
+        assert_ne!(cal.calibration, (1.0, 1.0));
+    }
+
+    #[test]
+    fn reference_stays_inside_area_budget() {
+        let chip = calibrated_default().unwrap();
+        chip.evaluate_checked(&reference_network()).unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! # lcda-neurosim
+//!
+//! A DNN+NeuroSim-style circuit-level macro model of ISAAC-like
+//! compute-in-memory (CiM) DNN accelerators.
+//!
+//! DNN+NeuroSim (Peng et al., IEDM'19) benchmarks CiM architectures by
+//! composing analytic models of devices, crossbar arrays, peripheral
+//! circuits and the chip-level hierarchy into four headline metrics: chip
+//! **area**, inference **latency**, **dynamic energy** and **leakage
+//! power**. This crate rebuilds that modelling stack from scratch:
+//!
+//! - [`device`] — NVM/SRAM cell technologies (RRAM, FeFET, PCM, STT-MRAM,
+//!   SRAM) with read/write electrical parameters and per-technology
+//!   variation corners,
+//! - [`components`] — peripheral circuit models (DAC, ADC, shift-and-add,
+//!   SRAM buffers, interconnect) with bit-width scaling laws,
+//! - [`crossbar`] — the crossbar array macro: per-activation latency,
+//!   energy and area including ADC multiplexing,
+//! - [`mapper`] — lowering DNN layers onto bit-sliced crossbar tiles,
+//!   including the **row/column utilization** arithmetic behind the
+//!   paper's §IV-B kernel-size discussion,
+//! - [`chip`] — whole-chip rollup producing a [`chip::ChipReport`],
+//! - [`isaac`] — the ISAAC reference configuration and the calibration
+//!   that pins the reference design to the paper's normalization constants
+//!   (8×10⁷ pJ per inference, 1600 FPS).
+//!
+//! # Example
+//!
+//! ```
+//! use lcda_neurosim::chip::{Chip, ChipConfig};
+//! use lcda_neurosim::mapper::LayerWorkload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chip = Chip::new(ChipConfig::isaac_default())?;
+//! let layers = vec![LayerWorkload::conv(3, 32, 32, 16, 3, 1, 1)?];
+//! let report = chip.evaluate(&layers)?;
+//! assert!(report.energy_pj > 0.0 && report.latency_ns > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod chip;
+pub mod components;
+pub mod crossbar;
+pub mod device;
+pub mod isaac;
+pub mod mapper;
+
+pub use error::NeurosimError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, NeurosimError>;

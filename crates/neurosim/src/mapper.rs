@@ -1,0 +1,385 @@
+//! Lowering DNN layers onto bit-sliced crossbar tiles.
+//!
+//! A convolution with kernel `k` and `c_in` input channels needs
+//! `k²·c_in` crossbar **rows** (the im2col patch length) and
+//! `c_out · ⌈w_bits / cell_bits⌉` **columns** (one column group per weight
+//! bit-slice). Whatever does not divide evenly into the physical array
+//! leaves rows/columns idle — the *utilization* effect behind §IV-B of the
+//! LCDA paper, where a 5×5 kernel "can result in a very low utilization
+//! rate and lower efficiency" while 3×3 and 7×7 map tightly.
+
+use crate::crossbar::CrossbarConfig;
+use crate::{NeurosimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One DNN layer described by the quantities the hardware model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerWorkload {
+    /// A 2-D convolution layer.
+    Conv {
+        /// Input channels.
+        c_in: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        w: u32,
+        /// Output channels.
+        c_out: u32,
+        /// Square kernel side.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+        /// Zero padding.
+        padding: u32,
+    },
+    /// A fully-connected layer.
+    Fc {
+        /// Input features.
+        inputs: u32,
+        /// Output features.
+        outputs: u32,
+    },
+}
+
+impl LayerWorkload {
+    /// Creates a validated convolution workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidWorkload`] for zero dimensions or a
+    /// kernel larger than the padded input.
+    pub fn conv(
+        c_in: u32,
+        h: u32,
+        w: u32,
+        c_out: u32,
+        kernel: u32,
+        stride: u32,
+        padding: u32,
+    ) -> Result<Self> {
+        if c_in == 0 || h == 0 || w == 0 || c_out == 0 || kernel == 0 || stride == 0 {
+            return Err(NeurosimError::InvalidWorkload(
+                "conv dimensions must be positive".to_string(),
+            ));
+        }
+        if h + 2 * padding < kernel || w + 2 * padding < kernel {
+            return Err(NeurosimError::InvalidWorkload(format!(
+                "kernel {kernel} exceeds padded input {}x{}",
+                h + 2 * padding,
+                w + 2 * padding
+            )));
+        }
+        Ok(LayerWorkload::Conv {
+            c_in,
+            h,
+            w,
+            c_out,
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Creates a validated fully-connected workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidWorkload`] for zero dimensions.
+    pub fn fc(inputs: u32, outputs: u32) -> Result<Self> {
+        if inputs == 0 || outputs == 0 {
+            return Err(NeurosimError::InvalidWorkload(
+                "fc dimensions must be positive".to_string(),
+            ));
+        }
+        Ok(LayerWorkload::Fc { inputs, outputs })
+    }
+
+    /// Output spatial size `(out_h, out_w)`; `(1, 1)` for FC layers.
+    pub fn out_dims(&self) -> (u32, u32) {
+        match *self {
+            LayerWorkload::Conv {
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => (
+                (h + 2 * padding - kernel) / stride + 1,
+                (w + 2 * padding - kernel) / stride + 1,
+            ),
+            LayerWorkload::Fc { .. } => (1, 1),
+        }
+    }
+
+    /// Crossbar rows the layer occupies (the im2col patch length).
+    pub fn rows_needed(&self) -> u32 {
+        match *self {
+            LayerWorkload::Conv { c_in, kernel, .. } => c_in * kernel * kernel,
+            LayerWorkload::Fc { inputs, .. } => inputs,
+        }
+    }
+
+    /// Logical output columns (before bit-slicing).
+    pub fn logical_cols(&self) -> u32 {
+        match *self {
+            LayerWorkload::Conv { c_out, .. } => c_out,
+            LayerWorkload::Fc { outputs, .. } => outputs,
+        }
+    }
+
+    /// Crossbar activations per inference (output pixels; 1 for FC).
+    pub fn pixels(&self) -> u32 {
+        let (oh, ow) = self.out_dims();
+        oh * ow
+    }
+
+    /// Multiply-accumulate operations per inference.
+    pub fn macs(&self) -> u64 {
+        self.rows_needed() as u64 * self.logical_cols() as u64 * self.pixels() as u64
+    }
+
+    /// Number of weights.
+    pub fn weights(&self) -> u64 {
+        self.rows_needed() as u64 * self.logical_cols() as u64
+    }
+
+    /// Input elements consumed per inference.
+    pub fn input_elems(&self) -> u64 {
+        match *self {
+            LayerWorkload::Conv { c_in, h, w, .. } => c_in as u64 * h as u64 * w as u64,
+            LayerWorkload::Fc { inputs, .. } => inputs as u64,
+        }
+    }
+
+    /// Output elements produced per inference.
+    pub fn output_elems(&self) -> u64 {
+        self.logical_cols() as u64 * self.pixels() as u64
+    }
+}
+
+/// Fixed-point precision assumptions for mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Weight bits.
+    pub weight_bits: u8,
+    /// Activation bits.
+    pub activation_bits: u8,
+}
+
+impl Precision {
+    /// The ISAAC default: 8-bit weights and activations.
+    pub fn int8() -> Self {
+        Precision {
+            weight_bits: 8,
+            activation_bits: 8,
+        }
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision::int8()
+    }
+}
+
+/// The result of mapping one layer onto crossbar arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Row groups (vertical tiling of the patch dimension).
+    pub row_groups: u32,
+    /// Column groups (horizontal tiling of the bit-sliced outputs).
+    pub col_groups: u32,
+    /// Total arrays = `row_groups * col_groups`.
+    pub arrays: u32,
+    /// Physical columns occupied (logical cols × bit slices).
+    pub cols_needed: u32,
+    /// Crossbar rows occupied.
+    pub rows_needed: u32,
+    /// Column bit-slices per logical weight.
+    pub col_slices: u32,
+    /// Word-line cycles per activation (activation bits / DAC bits).
+    pub input_cycles: u32,
+    /// Fraction of allocated crossbar cells actually used, in `(0, 1]`.
+    pub utilization: f64,
+}
+
+impl LayerMapping {
+    /// Maps a layer onto a crossbar configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeurosimError::InvalidConfig`] when the crossbar
+    /// configuration itself is invalid.
+    pub fn map(
+        workload: &LayerWorkload,
+        xbar: &CrossbarConfig,
+        precision: Precision,
+    ) -> Result<Self> {
+        xbar.validate()?;
+        let rows_needed = workload.rows_needed();
+        let col_slices = u32::from(precision.weight_bits).div_ceil(u32::from(xbar.cell_bits));
+        let cols_needed = workload.logical_cols() * col_slices;
+        let row_groups = rows_needed.div_ceil(xbar.rows);
+        let col_groups = cols_needed.div_ceil(xbar.cols);
+        let arrays = row_groups * col_groups;
+        let input_cycles =
+            u32::from(precision.activation_bits).div_ceil(u32::from(xbar.dac_bits));
+        let utilization = (rows_needed as f64 * cols_needed as f64)
+            / (arrays as f64 * xbar.rows as f64 * xbar.cols as f64);
+        Ok(LayerMapping {
+            row_groups,
+            col_groups,
+            arrays,
+            cols_needed,
+            rows_needed,
+            col_slices,
+            input_cycles,
+            utilization,
+        })
+    }
+
+    /// Rows actually driven in row-group `g` (the last group may be
+    /// partial).
+    pub fn rows_in_group(&self, g: u32, xbar_rows: u32) -> u32 {
+        debug_assert!(g < self.row_groups);
+        if g + 1 == self.row_groups {
+            self.rows_needed - g * xbar_rows
+        } else {
+            xbar_rows
+        }
+    }
+
+    /// Columns actually read in col-group `g`.
+    pub fn cols_in_group(&self, g: u32, xbar_cols: u32) -> u32 {
+        debug_assert!(g < self.col_groups);
+        if g + 1 == self.col_groups {
+            self.cols_needed - g * xbar_cols
+        } else {
+            xbar_cols
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> CrossbarConfig {
+        CrossbarConfig::isaac_default() // 128x128, 2-bit cells, 1-bit DAC
+    }
+
+    #[test]
+    fn conv_geometry() {
+        let l = LayerWorkload::conv(3, 32, 32, 16, 3, 1, 1).unwrap();
+        assert_eq!(l.out_dims(), (32, 32));
+        assert_eq!(l.rows_needed(), 27);
+        assert_eq!(l.logical_cols(), 16);
+        assert_eq!(l.pixels(), 1024);
+        assert_eq!(l.macs(), 27 * 16 * 1024);
+        assert_eq!(l.weights(), 27 * 16);
+    }
+
+    #[test]
+    fn fc_geometry() {
+        let l = LayerWorkload::fc(1024, 10).unwrap();
+        assert_eq!(l.out_dims(), (1, 1));
+        assert_eq!(l.rows_needed(), 1024);
+        assert_eq!(l.pixels(), 1);
+        assert_eq!(l.macs(), 10240);
+    }
+
+    #[test]
+    fn invalid_workloads_rejected() {
+        assert!(LayerWorkload::conv(0, 32, 32, 16, 3, 1, 1).is_err());
+        assert!(LayerWorkload::conv(3, 2, 2, 16, 7, 1, 0).is_err());
+        assert!(LayerWorkload::fc(0, 10).is_err());
+    }
+
+    #[test]
+    fn mapping_counts() {
+        // 3x3 conv from 32 channels: rows = 288 → 3 row groups of 128.
+        let l = LayerWorkload::conv(32, 16, 16, 64, 3, 1, 1).unwrap();
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.rows_needed, 288);
+        assert_eq!(m.row_groups, 3);
+        assert_eq!(m.col_slices, 4); // 8 weight bits / 2 cell bits
+        assert_eq!(m.cols_needed, 256);
+        assert_eq!(m.col_groups, 2);
+        assert_eq!(m.arrays, 6);
+        assert_eq!(m.input_cycles, 8); // 8 act bits / 1-bit DAC
+        let expected_util = (288.0 * 256.0) / (6.0 * 128.0 * 128.0);
+        assert!((m.utilization - expected_util).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_group_sizes() {
+        let l = LayerWorkload::conv(32, 16, 16, 64, 3, 1, 1).unwrap();
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.rows_in_group(0, 128), 128);
+        assert_eq!(m.rows_in_group(2, 128), 32); // 288 - 256
+        assert_eq!(m.cols_in_group(0, 128), 128);
+        assert_eq!(m.cols_in_group(1, 128), 128);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        for k in [1u32, 3, 5, 7] {
+            for c in [16u32, 24, 32, 48, 64, 96, 128] {
+                let l = LayerWorkload::conv(c, 16, 16, c, k, 1, k / 2).unwrap();
+                let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+                assert!(
+                    m.utilization > 0.0 && m.utilization <= 1.0,
+                    "k={k} c={c} util={}",
+                    m.utilization
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_utilization_depends_on_fit() {
+        // The §IV-B effect: utilization is a non-monotone function of the
+        // kernel size because it depends on how k²·c_in packs into the
+        // physical rows. With c_in = 16 on 128 rows: 3x3 → 144 rows over 2
+        // groups (56%), 7x7 → 784 rows over 7 groups (87.5%).
+        let c_in = 16;
+        let u = |k: u32| {
+            let l = LayerWorkload::conv(c_in, 16, 16, 32, k, 1, k / 2).unwrap();
+            LayerMapping::map(&l, &xbar(), Precision::int8())
+                .unwrap()
+                .utilization
+        };
+        assert!(u(7) > u(3), "u3={} u7={}", u(3), u(7));
+        // And a perfectly-fitting case reaches 100% row packing:
+        let l = LayerWorkload::conv(128, 16, 16, 32, 1, 1, 0).unwrap();
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.row_groups, 1);
+        assert_eq!(m.utilization, 1.0);
+    }
+
+    #[test]
+    fn fewer_cell_bits_means_more_columns() {
+        let l = LayerWorkload::conv(16, 16, 16, 32, 3, 1, 1).unwrap();
+        let mut x1 = xbar();
+        x1.cell_bits = 1;
+        let mut x4 = xbar();
+        x4.cell_bits = 4;
+        let m1 = LayerMapping::map(&l, &x1, Precision::int8()).unwrap();
+        let m4 = LayerMapping::map(&l, &x4, Precision::int8()).unwrap();
+        assert_eq!(m1.col_slices, 8);
+        assert_eq!(m4.col_slices, 2);
+        assert!(m1.cols_needed > m4.cols_needed);
+    }
+
+    #[test]
+    fn wider_dac_fewer_input_cycles() {
+        let l = LayerWorkload::fc(256, 64).unwrap();
+        let mut x2 = xbar();
+        x2.dac_bits = 2;
+        let m1 = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        let m2 = LayerMapping::map(&l, &x2, Precision::int8()).unwrap();
+        assert_eq!(m1.input_cycles, 8);
+        assert_eq!(m2.input_cycles, 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the hardware macro model's invariants.
+
+use lcda_neurosim::chip::{Chip, ChipConfig};
+use lcda_neurosim::mapper::{LayerMapping, LayerWorkload, Precision};
+use proptest::prelude::*;
+
+fn arb_conv() -> impl Strategy<Value = LayerWorkload> {
+    (
+        1u32..128,
+        prop::sample::select(vec![4u32, 8, 16, 32]),
+        1u32..128,
+        prop::sample::select(vec![1u32, 3, 5, 7]),
+    )
+        .prop_map(|(c_in, size, c_out, k)| {
+            LayerWorkload::conv(c_in, size, size, c_out, k, 1, k / 2).unwrap()
+        })
+}
+
+proptest! {
+    /// Mapping conserves arrays and keeps utilization physical.
+    #[test]
+    fn mapping_invariants(layer in arb_conv()) {
+        let xbar = ChipConfig::isaac_default().xbar;
+        let m = LayerMapping::map(&layer, &xbar, Precision::int8()).unwrap();
+        prop_assert_eq!(m.arrays, m.row_groups * m.col_groups);
+        prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        prop_assert!(m.rows_needed <= m.row_groups * xbar.rows);
+        prop_assert!(m.cols_needed <= m.col_groups * xbar.cols);
+        // One fewer group would not fit.
+        prop_assert!(m.rows_needed > (m.row_groups - 1) * xbar.rows);
+        prop_assert!(m.cols_needed > (m.col_groups - 1) * xbar.cols);
+    }
+
+    /// Chip metrics are positive, finite, and the energy breakdown sums to
+    /// the total for any single-layer network.
+    #[test]
+    fn chip_metrics_sane(layer in arb_conv()) {
+        let chip = Chip::new(ChipConfig::isaac_default()).unwrap();
+        let r = chip.evaluate(&[layer]).unwrap();
+        prop_assert!(r.energy_pj > 0.0 && r.energy_pj.is_finite());
+        prop_assert!(r.latency_ns > 0.0 && r.latency_ns.is_finite());
+        prop_assert!(r.area_mm2 > 0.0);
+        prop_assert!((r.energy_breakdown.total() - r.energy_pj).abs() / r.energy_pj < 1e-9);
+        prop_assert!(r.fps() > 0.0);
+    }
+
+    /// Appending a layer never reduces energy, latency or area.
+    #[test]
+    fn adding_layers_is_monotone(a in arb_conv(), b in arb_conv()) {
+        let chip = Chip::new(ChipConfig::isaac_default()).unwrap();
+        let one = chip.evaluate(&[a]).unwrap();
+        let two = chip.evaluate(&[a, b]).unwrap();
+        prop_assert!(two.energy_pj > one.energy_pj);
+        prop_assert!(two.latency_ns > one.latency_ns);
+        prop_assert!(two.area_mm2 >= one.area_mm2);
+    }
+
+    /// Calibration scales energy/latency exactly and leaves area alone.
+    #[test]
+    fn calibration_is_a_pure_scale(layer in arb_conv(), e in 0.1f64..10.0, t in 0.1f64..10.0) {
+        let base_chip = Chip::new(ChipConfig::isaac_default()).unwrap();
+        let mut cfg = ChipConfig::isaac_default();
+        cfg.calibration = (e, t);
+        let scaled_chip = Chip::new(cfg).unwrap();
+        let base = base_chip.evaluate(&[layer]).unwrap();
+        let scaled = scaled_chip.evaluate(&[layer]).unwrap();
+        prop_assert!((scaled.energy_pj / base.energy_pj - e).abs() < 1e-9);
+        prop_assert!((scaled.latency_ns / base.latency_ns - t).abs() < 1e-9);
+        prop_assert_eq!(scaled.area_mm2, base.area_mm2);
+    }
+}

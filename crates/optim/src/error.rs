@@ -1,0 +1,73 @@
+use lcda_llm::LlmError;
+use std::fmt;
+
+/// Error type for the design optimizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimError {
+    /// An LLM interaction failed (prompt rendering, completion, parsing).
+    Llm(LlmError),
+    /// The LLM's responses failed to parse `attempts` times in a row.
+    LlmRetriesExhausted {
+        /// Number of attempts made.
+        attempts: u32,
+        /// The last parse error message.
+        last_error: String,
+    },
+    /// A configuration value was invalid (zero population, bad rates, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::Llm(e) => write!(f, "llm error: {e}"),
+            OptimError::LlmRetriesExhausted {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "llm response unparseable after {attempts} attempts: {last_error}"
+            ),
+            OptimError::InvalidConfig(msg) => write!(f, "invalid optimizer config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimError::Llm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LlmError> for OptimError {
+    fn from(e: LlmError) -> Self {
+        OptimError::Llm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OptimError::from(LlmError::InvalidChoices("x".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("llm error"));
+        let e = OptimError::LlmRetriesExhausted {
+            attempts: 3,
+            last_error: "bad".into(),
+        };
+        assert!(e.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<OptimError>();
+    }
+}

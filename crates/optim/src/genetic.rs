@@ -1,0 +1,301 @@
+//! A tournament-selection genetic algorithm over the flat index encoding.
+//!
+//! The paper cites genetic algorithms (NSGA-Net, Lu et al. GECCO'19) as
+//! the other mainstream SW-HW co-design optimizer family and notes that
+//! they suffer the same cold-start problem as RL: the initial population
+//! is random, and heuristic knowledge cannot seed it. This implementation
+//! keeps a fixed-size population, proposes unevaluated genomes
+//! generation-in/generation-out, and evolves via tournament selection,
+//! uniform crossover and per-slot mutation.
+
+use crate::{Optimizer, OptimError, Result};
+use lcda_llm::design::{CandidateDesign, DesignChoices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Genetic algorithm hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Per-slot mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl GaConfig {
+    /// Benchmark defaults.
+    pub fn standard() -> Self {
+        GaConfig {
+            population: 20,
+            mutation_rate: 0.15,
+            tournament: 3,
+        }
+    }
+
+    /// Validates hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for degenerate values.
+    pub fn validate(&self) -> Result<()> {
+        if self.population < 2 {
+            return Err(OptimError::InvalidConfig(
+                "population must be at least 2".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(OptimError::InvalidConfig(
+                "mutation rate must be a probability".into(),
+            ));
+        }
+        if self.tournament == 0 || self.tournament > self.population {
+            return Err(OptimError::InvalidConfig(
+                "tournament size must be in 1..=population".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::standard()
+    }
+}
+
+type Genome = Vec<usize>;
+
+/// Tournament-selection GA over design genomes.
+#[derive(Debug)]
+pub struct GeneticOptimizer {
+    choices: DesignChoices,
+    config: GaConfig,
+    rng: StdRng,
+    /// Genomes awaiting evaluation.
+    pending: Vec<Genome>,
+    /// Evaluated genomes with fitness, most recent generation first.
+    evaluated: Vec<(Genome, f64)>,
+    /// All fitness values ever observed, for repeat lookups.
+    fitness_cache: HashMap<Genome, f64>,
+}
+
+impl GeneticOptimizer {
+    /// Creates the optimizer with a random initial population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for invalid hyper-parameters.
+    pub fn new(choices: DesignChoices, config: GaConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        choices.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pending = (0..config.population)
+            .map(|_| random_genome(&choices, &mut rng))
+            .collect();
+        Ok(GeneticOptimizer {
+            choices,
+            config,
+            rng,
+            pending,
+            evaluated: Vec::new(),
+            fitness_cache: HashMap::new(),
+        })
+    }
+
+    /// The best evaluated design so far, if any.
+    pub fn best(&self) -> Option<(CandidateDesign, f64)> {
+        self.evaluated
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(g, f)| {
+                (
+                    self.choices.decode(g).expect("genomes are in-space"),
+                    *f,
+                )
+            })
+    }
+
+    fn tournament_pick(&mut self) -> Genome {
+        let pool = &self.evaluated;
+        debug_assert!(!pool.is_empty());
+        let mut best: Option<&(Genome, f64)> = None;
+        for _ in 0..self.config.tournament {
+            let c = &pool[self.rng.gen_range(0..pool.len())];
+            if best.is_none() || c.1 > best.expect("set above").1 {
+                best = Some(c);
+            }
+        }
+        best.expect("tournament ran at least once").0.clone()
+    }
+
+    fn breed(&mut self) -> Genome {
+        let a = self.tournament_pick();
+        let b = self.tournament_pick();
+        let mut child: Genome = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| if self.rng.gen_bool(0.5) { x } else { y })
+            .collect();
+        for (slot, gene) in child.iter_mut().enumerate() {
+            if self.rng.gen_bool(self.config.mutation_rate) {
+                *gene = self.rng.gen_range(0..self.choices.slot_options(slot));
+            }
+        }
+        child
+    }
+
+    /// Evolves a new generation of pending genomes (keeps the elite).
+    fn next_generation(&mut self) {
+        // Keep only the freshest `population` evaluated individuals as the
+        // breeding pool (truncation survival).
+        self.evaluated
+            .sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.evaluated.truncate(self.config.population);
+        // Offspring generation: tournament parents, uniform crossover,
+        // per-slot mutation. (Elitism is implicit: survivors stay in the
+        // breeding pool and `best()` reads from the evaluated archive.)
+        let n = self.config.population;
+        let mut fresh = Vec::with_capacity(n);
+        for _ in 0..n {
+            fresh.push(self.breed());
+        }
+        self.pending = fresh;
+    }
+}
+
+fn random_genome(choices: &DesignChoices, rng: &mut StdRng) -> Genome {
+    (0..choices.slot_count())
+        .map(|s| rng.gen_range(0..choices.slot_options(s)))
+        .collect()
+}
+
+impl Optimizer for GeneticOptimizer {
+    fn propose(&mut self) -> Result<CandidateDesign> {
+        if self.pending.is_empty() {
+            if self.evaluated.is_empty() {
+                // Nothing observed yet: replenish randomly.
+                let mut rng_pop = Vec::with_capacity(self.config.population);
+                for _ in 0..self.config.population {
+                    rng_pop.push(random_genome(&self.choices, &mut self.rng));
+                }
+                self.pending = rng_pop;
+            } else {
+                self.next_generation();
+            }
+        }
+        let g = self.pending.pop().expect("replenished above");
+        Ok(self.choices.decode(&g).expect("genomes are in-space"))
+    }
+
+    fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {
+        let genome = self.choices.encode(design)?;
+        self.fitness_cache.insert(genome.clone(), reward);
+        self.evaluated.push((genome, reward));
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "genetic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> DesignChoices {
+        DesignChoices::nacim_default()
+    }
+
+    /// Fitness: number of slots set to their maximum index (a OneMax-style
+    /// separable problem any working GA must crack).
+    fn onemax(choices: &DesignChoices, d: &CandidateDesign) -> f64 {
+        let idx = choices.encode(d).unwrap();
+        idx.iter()
+            .enumerate()
+            .filter(|(s, &i)| i == choices.slot_options(*s) - 1)
+            .count() as f64
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GaConfig::standard().validate().is_ok());
+        assert!(GaConfig {
+            population: 1,
+            ..GaConfig::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            mutation_rate: 1.5,
+            ..GaConfig::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            tournament: 0,
+            ..GaConfig::standard()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn improves_on_onemax() {
+        let choices = space();
+        let mut opt = GeneticOptimizer::new(choices.clone(), GaConfig::standard(), 1).unwrap();
+        let mut first_gen_best = f64::NEG_INFINITY;
+        let mut last_best = f64::NEG_INFINITY;
+        for ep in 0..400 {
+            let d = opt.propose().unwrap();
+            let f = onemax(&choices, &d);
+            if ep < 20 {
+                first_gen_best = first_gen_best.max(f);
+            }
+            last_best = last_best.max(f);
+            opt.observe(&d, f).unwrap();
+        }
+        assert!(
+            last_best >= first_gen_best + 3.0,
+            "GA should improve: first {first_gen_best}, last {last_best}"
+        );
+        assert!(opt.best().unwrap().1 >= last_best - 1e-9);
+    }
+
+    #[test]
+    fn proposals_always_in_space() {
+        let choices = space();
+        let mut opt = GeneticOptimizer::new(choices.clone(), GaConfig::standard(), 2).unwrap();
+        for _ in 0..100 {
+            let d = opt.propose().unwrap();
+            choices.contains(&d).unwrap();
+            opt.observe(&d, 0.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut opt = GeneticOptimizer::new(space(), GaConfig::standard(), seed).unwrap();
+            let mut out = Vec::new();
+            for _ in 0..30 {
+                let d = opt.propose().unwrap();
+                let f = d.conv[0].channels as f64;
+                opt.observe(&d, f).unwrap();
+                out.push(d);
+            }
+            out
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn best_empty_before_observations() {
+        let opt = GeneticOptimizer::new(space(), GaConfig::standard(), 3).unwrap();
+        assert!(opt.best().is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! The LLM-driven design optimizer — LCDA's contribution.
+//!
+//! Wraps any [`LanguageModel`] in the [`Optimizer`] interface by running
+//! the Algorithm-1/Algorithm-2 loop: render the prompt from the
+//! exploration history, send it to the model, parse the response into a
+//! design, retrying on unparseable responses. Every exchange is recorded
+//! in a [`ChatTranscript`] so runs are auditable (the paper's
+//! "explainable NAS" direction).
+
+use crate::{Optimizer, OptimError, Result};
+use lcda_llm::design::{CandidateDesign, DesignChoices};
+use lcda_llm::parse::parse_design;
+use lcda_llm::prompt::{HistoryEntry, PromptBuilder, PromptObjective};
+use lcda_llm::transcript::ChatTranscript;
+use lcda_llm::LanguageModel;
+
+/// Drives a language model through the co-design loop.
+#[derive(Debug)]
+pub struct LlmOptimizer<M> {
+    model: M,
+    builder: PromptBuilder,
+    choices: DesignChoices,
+    history: Vec<HistoryEntry>,
+    transcript: ChatTranscript,
+    max_retries: u32,
+    /// When set, the prompt carries at most this many history entries:
+    /// the top half by performance plus the most recent ones.
+    max_history: Option<usize>,
+    episode: u32,
+    name: String,
+}
+
+impl<M: LanguageModel> LlmOptimizer<M> {
+    /// Creates the optimizer with the default retry budget (3 attempts
+    /// per episode, matching how loosely real LLM output follows format
+    /// instructions).
+    pub fn new(model: M, choices: DesignChoices, objective: PromptObjective) -> Self {
+        let name = format!("lcda/{}", model.model_name());
+        let transcript = ChatTranscript::new(model.model_name());
+        LlmOptimizer {
+            builder: PromptBuilder::new(&choices).objective(objective),
+            model,
+            choices,
+            history: Vec::new(),
+            transcript,
+            max_retries: 3,
+            max_history: None,
+            episode: 0,
+            name,
+        }
+    }
+
+    /// Overrides the per-episode parse retry budget.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries.max(1);
+        self
+    }
+
+    /// Caps the history entries rendered into each prompt — real LLM
+    /// context windows are finite, and GENIUS-style loops keep the prompt
+    /// bounded by showing the best results plus the freshest ones. The cap
+    /// keeps half the budget for the top performers and half for recency.
+    pub fn max_history(mut self, entries: usize) -> Self {
+        self.max_history = Some(entries.max(2));
+        self
+    }
+
+    /// The history entries that will be rendered into the next prompt.
+    fn prompt_history(&self) -> Vec<HistoryEntry> {
+        let Some(cap) = self.max_history else {
+            return self.history.clone();
+        };
+        if self.history.len() <= cap {
+            return self.history.clone();
+        }
+        let keep_best = cap / 2;
+        let keep_recent = cap - keep_best;
+        // Indices of the top performers…
+        let mut by_perf: Vec<usize> = (0..self.history.len()).collect();
+        by_perf.sort_by(|&a, &b| {
+            self.history[b]
+                .performance
+                .total_cmp(&self.history[a].performance)
+        });
+        let mut keep: Vec<usize> = by_perf.into_iter().take(keep_best).collect();
+        // …plus the most recent entries.
+        keep.extend(self.history.len() - keep_recent..self.history.len());
+        keep.sort_unstable();
+        keep.dedup();
+        keep.into_iter().map(|i| self.history[i].clone()).collect()
+    }
+
+    /// The recorded conversation.
+    pub fn transcript(&self) -> &ChatTranscript {
+        &self.transcript
+    }
+
+    /// The exploration history (`l_des` / `l_perf`).
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// Access to the underlying model (e.g. to read rationales).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+impl<M: LanguageModel> Optimizer for LlmOptimizer<M> {
+    fn propose(&mut self) -> Result<CandidateDesign> {
+        let prompt = self.builder.render(&self.prompt_history());
+        let mut last_error = String::new();
+        for _ in 0..self.max_retries {
+            let response = self.model.complete(&prompt)?;
+            match parse_design(&response, &self.choices) {
+                Ok(design) => {
+                    self.transcript
+                        .record(self.episode, prompt, response, None);
+                    self.episode += 1;
+                    return Ok(design);
+                }
+                Err(e) => last_error = e.to_string(),
+            }
+        }
+        Err(OptimError::LlmRetriesExhausted {
+            attempts: self.max_retries,
+            last_error,
+        })
+    }
+
+    fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {
+        self.choices.contains(design)?;
+        self.history.push(HistoryEntry {
+            design: design.clone(),
+            performance: reward,
+        });
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcda_llm::persona::Persona;
+    use lcda_llm::sim::SimLlm;
+    use lcda_llm::LlmError;
+
+    fn make() -> LlmOptimizer<SimLlm> {
+        LlmOptimizer::new(
+            SimLlm::new(Persona::Pretrained, 1),
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        )
+    }
+
+    #[test]
+    fn propose_observe_loop() {
+        let mut opt = make();
+        for ep in 0..8 {
+            let d = opt.propose().unwrap();
+            opt.observe(&d, ep as f64 * 0.1).unwrap();
+        }
+        assert_eq!(opt.history().len(), 8);
+        assert_eq!(opt.transcript().len(), 8);
+        // History should appear in the next prompt.
+        let prompt = opt.builder.render(opt.history());
+        assert!(prompt.contains("perf: 0.700000"));
+    }
+
+    #[test]
+    fn transcript_records_prompts_and_responses() {
+        let mut opt = make();
+        let d = opt.propose().unwrap();
+        opt.observe(&d, 0.3).unwrap();
+        let ex = &opt.transcript().exchanges()[0];
+        assert!(ex.prompt.contains("objective: accuracy-energy"));
+        assert!(ex.response.contains("[["));
+    }
+
+    #[test]
+    fn observe_rejects_out_of_space_design() {
+        let mut opt = make();
+        let mut d = opt.propose().unwrap();
+        d.hw.xbar_size = 4096;
+        assert!(opt.observe(&d, 0.0).is_err());
+    }
+
+    /// A model that always answers garbage: the retry budget must be
+    /// exhausted and surfaced as an error, not a panic or a loop.
+    struct BrokenModel;
+    impl LanguageModel for BrokenModel {
+        fn complete(&mut self, _prompt: &str) -> lcda_llm::Result<String> {
+            Ok("I am sorry, I cannot help with that.".to_string())
+        }
+        fn model_name(&self) -> &str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn unparseable_responses_exhaust_retries() {
+        let mut opt = LlmOptimizer::new(
+            BrokenModel,
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        );
+        match opt.propose() {
+            Err(OptimError::LlmRetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected retries exhausted, got {other:?}"),
+        }
+    }
+
+    /// A model that errors outright (e.g. API failure): propagate.
+    struct FailingModel;
+    impl LanguageModel for FailingModel {
+        fn complete(&mut self, _prompt: &str) -> lcda_llm::Result<String> {
+            Err(LlmError::UnintelligiblePrompt("offline".into()))
+        }
+        fn model_name(&self) -> &str {
+            "failing"
+        }
+    }
+
+    #[test]
+    fn model_errors_propagate() {
+        let mut opt = LlmOptimizer::new(
+            FailingModel,
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        );
+        assert!(matches!(opt.propose(), Err(OptimError::Llm(_))));
+    }
+
+    #[test]
+    fn name_includes_model() {
+        let opt = make();
+        assert_eq!(opt.name(), "lcda/sim-llm/pretrained");
+    }
+
+    #[test]
+    fn history_cap_keeps_best_and_recent() {
+        let mut opt = make().max_history(6);
+        for ep in 0..16u32 {
+            let d = opt.propose().unwrap();
+            // Episode 3 gets a standout reward; later ones mediocre.
+            let reward = if ep == 3 { 5.0 } else { f64::from(ep) * 0.01 };
+            opt.observe(&d, reward).unwrap();
+        }
+        let rendered = opt.prompt_history();
+        assert!(rendered.len() <= 6);
+        // The standout entry survives truncation…
+        assert!(rendered.iter().any(|h| (h.performance - 5.0).abs() < 1e-9));
+        // …and so does the most recent one.
+        assert!(rendered
+            .iter()
+            .any(|h| (h.performance - 0.15).abs() < 1e-9));
+        // Full history is still tracked internally.
+        assert_eq!(opt.history().len(), 16);
+    }
+
+    #[test]
+    fn history_cap_is_noop_below_capacity() {
+        let mut opt = make().max_history(10);
+        for _ in 0..4 {
+            let d = opt.propose().unwrap();
+            opt.observe(&d, 0.1).unwrap();
+        }
+        assert_eq!(opt.prompt_history().len(), 4);
+    }
+}

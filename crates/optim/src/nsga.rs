@@ -1,0 +1,523 @@
+//! NSGA-II: multi-objective genetic search (Deb et al. 2002), the
+//! algorithm behind NSGA-Net (Lu et al., GECCO'19 — the paper's reference
+//! \[14\]).
+//!
+//! Where the scalarized optimizers collapse accuracy and hardware cost
+//! into one reward (Eqs. 1–2), NSGA-II evolves a population toward the
+//! whole Pareto front at once: selection ranks individuals by
+//! non-domination front and breaks ties by crowding distance, so the
+//! front both advances and stays spread out.
+//!
+//! All objectives are **maximized**; negate costs before feeding them in.
+
+use crate::{Optimizer, OptimError, Result};
+use lcda_llm::design::{CandidateDesign, DesignChoices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `a` Pareto-dominates `b` (all objectives maximized).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Fast non-dominated sort: partitions indices into fronts
+/// (front 0 = non-dominated).
+pub fn fast_non_dominated_sort(fitnesses: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = fitnesses.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    let mut fronts: Vec<Vec<usize>> = vec![Vec::new()];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&fitnesses[i], &fitnesses[j]) {
+                dominated_by[i].push(j);
+            } else if dominates(&fitnesses[j], &fitnesses[i]) {
+                domination_count[i] += 1;
+            }
+        }
+        if domination_count[i] == 0 {
+            fronts[0].push(i);
+        }
+    }
+    let mut k = 0;
+    while !fronts[k].is_empty() {
+        let mut next = Vec::new();
+        for &i in &fronts[k] {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(next);
+        k += 1;
+    }
+    fronts.pop(); // the trailing empty front
+    fronts
+}
+
+/// Crowding distance of each member of one front (same index order as the
+/// input). Boundary points get `f64::INFINITY`.
+#[allow(clippy::needless_range_loop)] // objective index form mirrors the algorithm
+pub fn crowding_distance(front: &[Vec<f64>]) -> Vec<f64> {
+    let n = front.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let m = front[0].len();
+    let mut distance = vec![0.0f64; n];
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| front[a][obj].total_cmp(&front[b][obj]));
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let span = front[order[n - 1]][obj] - front[order[0]][obj];
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let prev = front[order[w - 1]][obj];
+            let next = front[order[w + 1]][obj];
+            distance[order[w]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+/// A sequential multi-objective optimizer: propose a design, observe its
+/// objective *vector*.
+pub trait MultiObjectiveOptimizer {
+    /// Proposes the next design to evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no design can be produced.
+    fn propose(&mut self) -> Result<CandidateDesign>;
+
+    /// Feeds back the objective vector (all maximized).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-space designs or wrong vector length.
+    fn observe(&mut self, design: &CandidateDesign, objectives: &[f64]) -> Result<()>;
+
+    /// The current non-dominated archive.
+    fn pareto_archive(&self) -> Vec<(CandidateDesign, Vec<f64>)>;
+}
+
+/// NSGA-II configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NsgaConfig {
+    /// Population size per generation.
+    pub population: usize,
+    /// Per-slot mutation probability.
+    pub mutation_rate: f64,
+    /// Number of objectives (fixed per run).
+    pub objectives: usize,
+}
+
+impl NsgaConfig {
+    /// Two-objective default (accuracy vs −cost).
+    pub fn standard() -> Self {
+        NsgaConfig {
+            population: 24,
+            mutation_rate: 0.12,
+            objectives: 2,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for degenerate values.
+    pub fn validate(&self) -> Result<()> {
+        if self.population < 4 {
+            return Err(OptimError::InvalidConfig(
+                "nsga population must be at least 4".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(OptimError::InvalidConfig(
+                "mutation rate must be a probability".into(),
+            ));
+        }
+        if self.objectives == 0 {
+            return Err(OptimError::InvalidConfig(
+                "need at least one objective".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NsgaConfig {
+    fn default() -> Self {
+        NsgaConfig::standard()
+    }
+}
+
+type Genome = Vec<usize>;
+
+/// The NSGA-II optimizer over the flat design encoding.
+#[derive(Debug)]
+pub struct Nsga2Optimizer {
+    choices: DesignChoices,
+    config: NsgaConfig,
+    rng: StdRng,
+    pending: Vec<Genome>,
+    evaluated: Vec<(Genome, Vec<f64>)>,
+}
+
+impl Nsga2Optimizer {
+    /// Creates the optimizer with a random initial population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for invalid configuration.
+    pub fn new(choices: DesignChoices, config: NsgaConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        choices.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pending = (0..config.population)
+            .map(|_| random_genome(&choices, &mut rng))
+            .collect();
+        Ok(Nsga2Optimizer {
+            choices,
+            config,
+            rng,
+            pending,
+            evaluated: Vec::new(),
+        })
+    }
+
+    /// `(front_rank, crowding)` of every evaluated individual, aligned
+    /// with `self.evaluated`.
+    fn rank_population(&self) -> Vec<(usize, f64)> {
+        let fits: Vec<Vec<f64>> = self.evaluated.iter().map(|(_, f)| f.clone()).collect();
+        let fronts = fast_non_dominated_sort(&fits);
+        let mut out = vec![(usize::MAX, 0.0f64); fits.len()];
+        for (rank, front) in fronts.iter().enumerate() {
+            let front_fits: Vec<Vec<f64>> =
+                front.iter().map(|&i| fits[i].clone()).collect();
+            let crowd = crowding_distance(&front_fits);
+            for (pos, &i) in front.iter().enumerate() {
+                out[i] = (rank, crowd[pos]);
+            }
+        }
+        out
+    }
+
+    /// Binary tournament on (rank, crowding).
+    fn tournament(&mut self, ranks: &[(usize, f64)]) -> Genome {
+        let n = self.evaluated.len();
+        let a = self.rng.gen_range(0..n);
+        let b = self.rng.gen_range(0..n);
+        let winner = match ranks[a].0.cmp(&ranks[b].0) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                if ranks[a].1 >= ranks[b].1 {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+        self.evaluated[winner].0.clone()
+    }
+
+    fn next_generation(&mut self) {
+        // Environmental selection: keep the best `population` by
+        // (rank, crowding).
+        let ranks = self.rank_population();
+        let mut order: Vec<usize> = (0..self.evaluated.len()).collect();
+        order.sort_by(|&a, &b| {
+            ranks[a]
+                .0
+                .cmp(&ranks[b].0)
+                .then_with(|| ranks[b].1.total_cmp(&ranks[a].1))
+        });
+        order.truncate(self.config.population);
+        let survivors: Vec<(Genome, Vec<f64>)> =
+            order.iter().map(|&i| self.evaluated[i].clone()).collect();
+        self.evaluated = survivors;
+        let ranks = self.rank_population();
+
+        let mut offspring = Vec::with_capacity(self.config.population);
+        for _ in 0..self.config.population {
+            let a = self.tournament(&ranks);
+            let b = self.tournament(&ranks);
+            let mut child: Genome = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| if self.rng.gen_bool(0.5) { x } else { y })
+                .collect();
+            for (slot, gene) in child.iter_mut().enumerate() {
+                if self.rng.gen_bool(self.config.mutation_rate) {
+                    *gene = self.rng.gen_range(0..self.choices.slot_options(slot));
+                }
+            }
+            offspring.push(child);
+        }
+        self.pending = offspring;
+    }
+}
+
+fn random_genome(choices: &DesignChoices, rng: &mut StdRng) -> Genome {
+    (0..choices.slot_count())
+        .map(|s| rng.gen_range(0..choices.slot_options(s)))
+        .collect()
+}
+
+impl MultiObjectiveOptimizer for Nsga2Optimizer {
+    fn propose(&mut self) -> Result<CandidateDesign> {
+        if self.pending.is_empty() {
+            if self.evaluated.is_empty() {
+                let mut fresh = Vec::with_capacity(self.config.population);
+                for _ in 0..self.config.population {
+                    fresh.push(random_genome(&self.choices, &mut self.rng));
+                }
+                self.pending = fresh;
+            } else {
+                self.next_generation();
+            }
+        }
+        let g = self.pending.pop().expect("replenished above");
+        Ok(self.choices.decode(&g).expect("genomes are in-space"))
+    }
+
+    fn observe(&mut self, design: &CandidateDesign, objectives: &[f64]) -> Result<()> {
+        if objectives.len() != self.config.objectives {
+            return Err(OptimError::InvalidConfig(format!(
+                "expected {} objectives, got {}",
+                self.config.objectives,
+                objectives.len()
+            )));
+        }
+        let genome = self.choices.encode(design)?;
+        self.evaluated.push((genome, objectives.to_vec()));
+        Ok(())
+    }
+
+    fn pareto_archive(&self) -> Vec<(CandidateDesign, Vec<f64>)> {
+        let fits: Vec<Vec<f64>> = self.evaluated.iter().map(|(_, f)| f.clone()).collect();
+        if fits.is_empty() {
+            return Vec::new();
+        }
+        let fronts = fast_non_dominated_sort(&fits);
+        fronts[0]
+            .iter()
+            .map(|&i| {
+                (
+                    self.choices
+                        .decode(&self.evaluated[i].0)
+                        .expect("genomes are in-space"),
+                    self.evaluated[i].1.clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Adapter: drives an NSGA-II run from a scalar reward by treating it as
+/// a single objective — lets the multi-objective engine slot into the
+/// scalar [`Optimizer`] benches for comparison.
+#[derive(Debug)]
+pub struct ScalarizedNsga2(pub Nsga2Optimizer);
+
+impl Optimizer for ScalarizedNsga2 {
+    fn propose(&mut self) -> Result<CandidateDesign> {
+        MultiObjectiveOptimizer::propose(&mut self.0)
+    }
+
+    fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {
+        MultiObjectiveOptimizer::observe(&mut self.0, design, &[reward])
+    }
+
+    fn name(&self) -> &str {
+        "nsga2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_semantics() {
+        assert!(dominates(&[1.0, 2.0], &[0.5, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[0.5, 1.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 0.0], &[0.0, 1.0]));
+        assert!(!dominates(&[0.5, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn non_dominated_sort_layers() {
+        // Points on two clear fronts.
+        let fits = vec![
+            vec![1.0, 0.0], // front 0
+            vec![0.0, 1.0], // front 0
+            vec![0.5, 0.5], // front 0
+            vec![0.4, 0.4], // dominated by (0.5,0.5) → front 1
+            vec![0.0, 0.0], // dominated by everything → front 2
+        ];
+        let fronts = fast_non_dominated_sort(&fits);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn crowding_prefers_boundaries() {
+        let front = vec![
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+            vec![0.45, 0.55], // crowded near the middle point
+            vec![1.0, 0.0],
+        ];
+        let d = crowding_distance(&front);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[2].is_finite());
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        assert!(crowding_distance(&[vec![1.0]]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[vec![1.0], vec![2.0]])
+            .iter()
+            .all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[]).is_empty());
+    }
+
+    /// Bi-objective test problem over the design encoding: maximize
+    /// (sum of channel indices, −sum of channel indices offsets) — a
+    /// trade-off with a known front along the index diagonal.
+    fn objectives(choices: &DesignChoices, d: &CandidateDesign) -> Vec<f64> {
+        let idx = choices.encode(d).unwrap();
+        let a: f64 = idx.iter().map(|&i| i as f64).sum();
+        let b: f64 = idx
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| (choices.slot_options(s) - 1 - i) as f64)
+            .sum();
+        vec![a, b]
+    }
+
+    #[test]
+    fn front_advances_and_spreads() {
+        let choices = DesignChoices::nacim_default();
+        let mut opt = Nsga2Optimizer::new(choices.clone(), NsgaConfig::standard(), 1).unwrap();
+        for _ in 0..400 {
+            let d = MultiObjectiveOptimizer::propose(&mut opt).unwrap();
+            let f = objectives(&choices, &d);
+            MultiObjectiveOptimizer::observe(&mut opt, &d, &f).unwrap();
+        }
+        let archive = opt.pareto_archive();
+        assert!(!archive.is_empty());
+        // The true front satisfies a + b = total slack; evolved points
+        // should be close to it.
+        let total: f64 = (0..choices.slot_count())
+            .map(|s| (choices.slot_options(s) - 1) as f64)
+            .sum();
+        for (_, f) in &archive {
+            assert!((f[0] + f[1] - total).abs() < 1e-9, "on-diagonal by construction");
+        }
+        // Spread: the archive should cover distinct trade-offs.
+        let distinct: std::collections::HashSet<i64> =
+            archive.iter().map(|(_, f)| f[0] as i64).collect();
+        assert!(distinct.len() >= 3, "front should spread, got {distinct:?}");
+        // And no archive member dominates another.
+        for (i, (_, a)) in archive.iter().enumerate() {
+            for (j, (_, b)) in archive.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(a, b) || !dominates(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observe_validates_arity_and_space() {
+        let choices = DesignChoices::nacim_default();
+        let mut opt = Nsga2Optimizer::new(choices, NsgaConfig::standard(), 2).unwrap();
+        let d = MultiObjectiveOptimizer::propose(&mut opt).unwrap();
+        assert!(MultiObjectiveOptimizer::observe(&mut opt, &d, &[1.0]).is_err());
+        let mut foreign = d.clone();
+        foreign.conv[0].channels = 7777;
+        assert!(MultiObjectiveOptimizer::observe(&mut opt, &foreign, &[1.0, 2.0]).is_err());
+        assert!(MultiObjectiveOptimizer::observe(&mut opt, &d, &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(NsgaConfig {
+            population: 2,
+            ..NsgaConfig::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(NsgaConfig {
+            mutation_rate: -0.1,
+            ..NsgaConfig::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(NsgaConfig {
+            objectives: 0,
+            ..NsgaConfig::standard()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn empty_archive_before_observations() {
+        let opt =
+            Nsga2Optimizer::new(DesignChoices::tiny_test(), NsgaConfig::standard(), 3).unwrap();
+        assert!(opt.pareto_archive().is_empty());
+    }
+
+    #[test]
+    fn scalarized_adapter_runs() {
+        let choices = DesignChoices::nacim_default();
+        let inner = Nsga2Optimizer::new(
+            choices.clone(),
+            NsgaConfig {
+                objectives: 1,
+                ..NsgaConfig::standard()
+            },
+            4,
+        )
+        .unwrap();
+        let mut opt = ScalarizedNsga2(inner);
+        for _ in 0..60 {
+            let d = opt.propose().unwrap();
+            let idx = choices.encode(&d).unwrap();
+            opt.observe(&d, idx[0] as f64).unwrap();
+        }
+        assert_eq!(opt.name(), "nsga2");
+    }
+}

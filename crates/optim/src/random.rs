@@ -1,0 +1,106 @@
+//! Uniform random search — the floor baseline.
+
+use crate::{Optimizer, Result};
+use lcda_llm::design::{CandidateDesign, DesignChoices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples designs uniformly at random, avoiding exact repeats while the
+/// space allows it.
+#[derive(Debug)]
+pub struct RandomOptimizer {
+    choices: DesignChoices,
+    rng: StdRng,
+    seen: HashSet<CandidateDesign>,
+}
+
+impl RandomOptimizer {
+    /// Creates the optimizer over a design space.
+    pub fn new(choices: DesignChoices, seed: u64) -> Self {
+        RandomOptimizer {
+            choices,
+            rng: StdRng::seed_from_u64(seed),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn sample(&mut self) -> CandidateDesign {
+        let idx: Vec<usize> = (0..self.choices.slot_count())
+            .map(|s| self.rng.gen_range(0..self.choices.slot_options(s)))
+            .collect();
+        self.choices
+            .decode(&idx)
+            .expect("indices in range by construction")
+    }
+}
+
+impl Optimizer for RandomOptimizer {
+    fn propose(&mut self) -> Result<CandidateDesign> {
+        for _ in 0..64 {
+            let d = self.sample();
+            if !self.seen.contains(&d) {
+                return Ok(d);
+            }
+        }
+        // Space nearly exhausted — accept a repeat rather than spin.
+        Ok(self.sample())
+    }
+
+    fn observe(&mut self, design: &CandidateDesign, _reward: f64) -> Result<()> {
+        self.seen.insert(design.clone());
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposals_are_in_space() {
+        let choices = DesignChoices::nacim_default();
+        let mut opt = RandomOptimizer::new(choices.clone(), 0);
+        for _ in 0..20 {
+            let d = opt.propose().unwrap();
+            choices.contains(&d).unwrap();
+            opt.observe(&d, 0.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn avoids_repeats_in_large_space() {
+        let choices = DesignChoices::nacim_default();
+        let mut opt = RandomOptimizer::new(choices, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..50 {
+            let d = opt.propose().unwrap();
+            assert!(seen.insert(d.clone()));
+            opt.observe(&d, 0.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let choices = DesignChoices::nacim_default();
+        let a = RandomOptimizer::new(choices.clone(), 9).propose().unwrap();
+        let b = RandomOptimizer::new(choices, 9).propose().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_space_still_proposes() {
+        // Tiny space: 2 channel x 2 kernel per layer, 2 layers, 1 hw combo
+        // = 16 designs.
+        let choices = DesignChoices::tiny_test();
+        let mut opt = RandomOptimizer::new(choices, 2);
+        for _ in 0..40 {
+            let d = opt.propose().unwrap();
+            opt.observe(&d, 0.0).unwrap();
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The NACIM-style reinforcement-learning controller.
+//!
+//! NACIM (Jiang et al., IEEE TC'20) searches the joint DNN/hardware space
+//! with a reinforcement-learning controller trained by policy gradient.
+//! This module implements that controller in its standard NAS form: one
+//! categorical distribution per decision slot, sampled independently,
+//! updated with REINFORCE against an exponential-moving-average baseline.
+//!
+//! Crucially for the paper's argument, the controller **cold-starts from
+//! a uniform policy**: its first hundreds of proposals are essentially
+//! random, and heuristic knowledge ("more channels → more accuracy")
+//! cannot be injected — there is no reward signal for it until designs
+//! have been evaluated. This is the behaviour LCDA's 25× speedup claim is
+//! measured against (Figs. 2–3).
+
+use crate::{Optimizer, OptimError, Result};
+use lcda_llm::design::{CandidateDesign, DesignChoices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the REINFORCE controller.
+#[derive(Debug, Clone, Copy)]
+pub struct RlConfig {
+    /// Policy-gradient learning rate.
+    pub learning_rate: f64,
+    /// EMA coefficient for the reward baseline.
+    pub baseline_decay: f64,
+    /// Lower bound on per-option probability (entropy floor) so the
+    /// policy never collapses irreversibly.
+    pub min_prob: f64,
+}
+
+impl RlConfig {
+    /// The defaults used by the benchmarks.
+    pub fn standard() -> Self {
+        RlConfig {
+            learning_rate: 0.15,
+            baseline_decay: 0.9,
+            min_prob: 0.01,
+        }
+    }
+
+    /// Validates hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(OptimError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.baseline_decay) {
+            return Err(OptimError::InvalidConfig(
+                "baseline decay must be in [0, 1)".into(),
+            ));
+        }
+        if !(0.0..0.5).contains(&self.min_prob) {
+            return Err(OptimError::InvalidConfig(
+                "min_prob must be in [0, 0.5)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig::standard()
+    }
+}
+
+/// REINFORCE controller over the flat index encoding of the design space.
+#[derive(Debug)]
+pub struct RlOptimizer {
+    choices: DesignChoices,
+    config: RlConfig,
+    /// Per-slot logits; uniform (all zero) at construction.
+    logits: Vec<Vec<f64>>,
+    baseline: f64,
+    baseline_initialized: bool,
+    rng: StdRng,
+}
+
+impl RlOptimizer {
+    /// Creates a controller with a uniform initial policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for invalid hyper-parameters
+    /// or an invalid design space.
+    pub fn new(choices: DesignChoices, config: RlConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        choices.validate()?;
+        let logits = (0..choices.slot_count())
+            .map(|s| vec![0.0f64; choices.slot_options(s)])
+            .collect();
+        Ok(RlOptimizer {
+            choices,
+            config,
+            logits,
+            baseline: 0.0,
+            baseline_initialized: false,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The current per-option probabilities of one slot (softmax of the
+    /// logits, floored at `min_prob` and renormalized).
+    pub fn slot_probs(&self, slot: usize) -> Vec<f64> {
+        let logits = &self.logits[slot];
+        let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+        let sum: f64 = probs.iter().sum();
+        // Mix with the uniform distribution so every option keeps at least
+        // `min_prob` mass exactly: p' = floor + (1 − k·floor)·p.
+        let k = probs.len() as f64;
+        let floor = self.config.min_prob.min(1.0 / k);
+        for p in &mut probs {
+            *p = floor + (1.0 - k * floor) * (*p / sum);
+        }
+        probs
+    }
+
+    /// Shannon entropy (nats) of the whole policy — high at cold start,
+    /// shrinking as the controller converges.
+    pub fn policy_entropy(&self) -> f64 {
+        (0..self.logits.len())
+            .map(|s| {
+                self.slot_probs(s)
+                    .iter()
+                    .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    fn sample_slot(&mut self, slot: usize) -> usize {
+        let probs = self.slot_probs(slot);
+        let mut target: f64 = self.rng.gen_range(0.0..1.0);
+        for (i, &p) in probs.iter().enumerate() {
+            if target < p {
+                return i;
+            }
+            target -= p;
+        }
+        probs.len() - 1
+    }
+}
+
+impl Optimizer for RlOptimizer {
+    fn propose(&mut self) -> Result<CandidateDesign> {
+        let idx: Vec<usize> = (0..self.choices.slot_count())
+            .map(|s| self.sample_slot(s))
+            .collect();
+        Ok(self
+            .choices
+            .decode(&idx)
+            .expect("sampled indices in range by construction"))
+    }
+
+    fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {
+        let idx = self.choices.encode(design)?;
+        if !self.baseline_initialized {
+            self.baseline = reward;
+            self.baseline_initialized = true;
+        }
+        let advantage = reward - self.baseline;
+        self.baseline = self.config.baseline_decay * self.baseline
+            + (1.0 - self.config.baseline_decay) * reward;
+        // REINFORCE: ∇ log π(a) for a categorical softmax is
+        // (1{i = a} − p_i) per option logit.
+        for (slot, &action) in idx.iter().enumerate() {
+            let probs = self.slot_probs(slot);
+            for (i, logit) in self.logits[slot].iter_mut().enumerate() {
+                let indicator = if i == action { 1.0 } else { 0.0 };
+                *logit += self.config.learning_rate * advantage * (indicator - probs[i]);
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "nacim-rl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DesignChoices {
+        DesignChoices::tiny_test()
+    }
+
+    #[test]
+    fn starts_uniform() {
+        let opt = RlOptimizer::new(tiny(), RlConfig::standard(), 0).unwrap();
+        let p = opt.slot_probs(0);
+        assert_eq!(p.len(), 2);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_start_proposals_are_spread_out() {
+        let mut opt = RlOptimizer::new(DesignChoices::nacim_default(), RlConfig::standard(), 1)
+            .unwrap();
+        let mut kernels_seen = std::collections::HashSet::new();
+        for _ in 0..60 {
+            let d = opt.propose().unwrap();
+            for c in &d.conv {
+                kernels_seen.insert(c.kernel);
+            }
+        }
+        // An untrained policy explores the whole kernel menu — including
+        // the degenerate options an expert would skip.
+        assert_eq!(kernels_seen.len(), 4);
+    }
+
+    #[test]
+    fn policy_concentrates_on_rewarded_option() {
+        // Reward designs whose first-slot choice is option 1.
+        let mut opt = RlOptimizer::new(tiny(), RlConfig::standard(), 2).unwrap();
+        for _ in 0..300 {
+            let d = opt.propose().unwrap();
+            let idx = opt.choices.encode(&d).unwrap();
+            let reward = if idx[0] == 1 { 1.0 } else { 0.0 };
+            opt.observe(&d, reward).unwrap();
+        }
+        let p = opt.slot_probs(0);
+        assert!(p[1] > 0.9, "policy should concentrate: {p:?}");
+    }
+
+    #[test]
+    fn entropy_decreases_with_training() {
+        let mut opt = RlOptimizer::new(tiny(), RlConfig::standard(), 3).unwrap();
+        let initial = opt.policy_entropy();
+        for _ in 0..300 {
+            let d = opt.propose().unwrap();
+            let idx = opt.choices.encode(&d).unwrap();
+            let reward = idx.iter().sum::<usize>() as f64;
+            opt.observe(&d, reward).unwrap();
+        }
+        assert!(opt.policy_entropy() < initial);
+    }
+
+    #[test]
+    fn entropy_floor_prevents_collapse() {
+        let cfg = RlConfig {
+            min_prob: 0.05,
+            ..RlConfig::standard()
+        };
+        let mut opt = RlOptimizer::new(tiny(), cfg, 4).unwrap();
+        for _ in 0..500 {
+            let d = opt.propose().unwrap();
+            let idx = opt.choices.encode(&d).unwrap();
+            opt.observe(&d, if idx[0] == 0 { 1.0 } else { -1.0 }).unwrap();
+        }
+        let p = opt.slot_probs(0);
+        assert!(p.iter().all(|&x| x >= 0.049), "floor violated: {p:?}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(RlConfig {
+            learning_rate: 0.0,
+            ..RlConfig::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(RlConfig {
+            baseline_decay: 1.0,
+            ..RlConfig::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(RlConfig {
+            min_prob: 0.6,
+            ..RlConfig::standard()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn observe_rejects_foreign_design() {
+        let mut opt = RlOptimizer::new(tiny(), RlConfig::standard(), 5).unwrap();
+        let mut d = opt.propose().unwrap();
+        d.conv[0].channels = 9999;
+        assert!(opt.observe(&d, 0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RlOptimizer::new(tiny(), RlConfig::standard(), 6)
+            .unwrap()
+            .propose()
+            .unwrap();
+        let b = RlOptimizer::new(tiny(), RlConfig::standard(), 6)
+            .unwrap()
+            .propose()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

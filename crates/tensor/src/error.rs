@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// Follows C-GOOD-ERR: implements [`std::error::Error`], `Send`, `Sync`,
+/// and renders a lowercase, concise message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer length.
+    ShapeDataMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes were incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Left-hand shape, rendered.
+        lhs: String,
+        /// Right-hand shape, rendered.
+        rhs: String,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor that was provided.
+        actual: usize,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound that was violated.
+        bound: usize,
+    },
+    /// A configuration value was invalid (e.g. zero-sized kernel).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but buffer holds {actual}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "incompatible shapes {lhs} and {rhs} for {op}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (bound {bound})")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::ShapeDataMismatch {
+            expected: 6,
+            actual: 4,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("shape implies"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("invalid argument"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Weight initializers.
+//!
+//! The trained-evaluator path of LCDA builds a fresh CNN per design
+//! candidate; these initializers give each layer a sane starting point.
+
+use crate::rng::SeedRng;
+use crate::{Shape, Tensor};
+
+/// Weight initialization strategy.
+///
+/// # Example
+///
+/// ```
+/// use lcda_tensor::{Shape, init::Init, rng::SeedRng};
+/// let mut rng = SeedRng::new(1);
+/// let w = Init::XavierUniform.tensor(Shape::d2(64, 32), 32, 64, &mut rng);
+/// assert_eq!(w.len(), 64 * 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// All zeros — used for biases.
+    Zeros,
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    #[default]
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU networks.
+    HeNormal,
+    /// Uniform in `[-0.05, 0.05]`.
+    SmallUniform,
+}
+
+impl Init {
+    /// Materializes a tensor of the given shape.
+    ///
+    /// `fan_in` / `fan_out` are the layer's input/output connectivity used
+    /// by the scaled schemes; pass the tensor's dimensions for dense layers
+    /// and `k*k*c` terms for convolutions.
+    pub fn tensor(self, shape: Shape, fan_in: usize, fan_out: usize, rng: &mut SeedRng) -> Tensor {
+        let n = shape.len();
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in.max(1) + fan_out.max(1)) as f32).sqrt();
+                (0..n).map(|_| rng.uniform(-a, a)).collect()
+            }
+            Init::HeNormal => {
+                let s = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| rng.normal_with(0.0, s)).collect()
+            }
+            Init::SmallUniform => (0..n).map(|_| rng.uniform(-0.05, 0.05)).collect(),
+        };
+        Tensor::from_vec(shape, data).expect("shape/data lengths match by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_are_zero() {
+        let mut rng = SeedRng::new(0);
+        let t = Init::Zeros.tensor(Shape::d1(16), 16, 16, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = SeedRng::new(1);
+        let fan_in = 100;
+        let fan_out = 100;
+        let a = (6.0 / 200.0f32).sqrt();
+        let t = Init::XavierUniform.tensor(Shape::d1(10_000), fan_in, fan_out, &mut rng);
+        assert!(t.max() <= a && t.min() >= -a);
+        // Should actually spread across the range.
+        assert!(t.std() > a / 4.0);
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = SeedRng::new(2);
+        let t = Init::HeNormal.tensor(Shape::d1(50_000), 128, 64, &mut rng);
+        let expected = (2.0f32 / 128.0).sqrt();
+        assert!((t.std() - expected).abs() < expected * 0.1);
+        assert!(t.mean().abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SeedRng::new(5);
+        let mut b = SeedRng::new(5);
+        let ta = Init::HeNormal.tensor(Shape::d1(32), 8, 8, &mut a);
+        let tb = Init::HeNormal.tensor(Shape::d1(32), 8, 8, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn zero_fan_does_not_divide_by_zero() {
+        let mut rng = SeedRng::new(6);
+        let t = Init::XavierUniform.tensor(Shape::d1(4), 0, 0, &mut rng);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

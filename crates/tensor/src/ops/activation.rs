@@ -1,0 +1,95 @@
+//! Activation functions (forward + backward).
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// ReLU forward: `max(0, x)` elementwise.
+pub fn relu_forward(input: &Tensor) -> Tensor {
+    input.map(|x| x.max(0.0))
+}
+
+/// ReLU backward: passes the upstream gradient where the *input* was
+/// positive.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn relu_backward(d_out: &Tensor, input: &Tensor) -> Result<Tensor> {
+    d_out.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Row-wise softmax of a `(n, classes)` matrix, numerically stabilized by
+/// subtracting each row's max.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix input.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.shape().rank(),
+            op: "softmax_rows",
+        });
+    }
+    let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    let src = logits.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for r in 0..n {
+        let row = &src[r * c..(r + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (o, &x) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
+            let e = (x - m).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * c..(r + 1) * c] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(Shape::d2(n, c), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu_forward(&x).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
+        let g = Tensor::from_slice(&[10.0, 10.0, 10.0]);
+        assert_eq!(relu_backward(&g, &x).unwrap().as_slice(), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits =
+            Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        for r in 0..2 {
+            let s: f32 = p.row(r).unwrap().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Larger logit → larger probability.
+        assert!(p.at(&[0, 2]).unwrap() > p.at(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let logits = Tensor::from_vec(Shape::d2(1, 2), vec![1000.0, 1001.0]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rejects_rank1() {
+        assert!(softmax_rows(&Tensor::from_slice(&[1.0, 2.0])).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! 2-D convolution forward and backward passes.
+
+use super::im2col::{col2im, im2col, ConvGeometry};
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// A convolution layer's hyper-parameters plus its geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Input-plane geometry (channels, size, kernel, stride, padding).
+    pub geom: ConvGeometry,
+    /// Output channels.
+    pub out_channels: usize,
+}
+
+impl Conv2dParams {
+    /// Creates parameters, validating the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for invalid geometry or a
+    /// zero `out_channels`.
+    pub fn new(geom: ConvGeometry, out_channels: usize) -> Result<Self> {
+        if out_channels == 0 {
+            return Err(TensorError::InvalidArgument(
+                "out_channels must be positive".to_string(),
+            ));
+        }
+        Ok(Conv2dParams { geom, out_channels })
+    }
+
+    /// Expected weight shape `(out_channels, c_in * k * k)`.
+    pub fn weight_shape(&self) -> Shape {
+        Shape::d2(self.out_channels, self.geom.patch_rows())
+    }
+
+    /// Expected output shape for a batch of `n` samples.
+    pub fn output_shape(&self, n: usize) -> Shape {
+        Shape::d4(n, self.out_channels, self.geom.out_h(), self.geom.out_w())
+    }
+
+    /// Multiply-accumulate count for one sample — the quantity the
+    /// NeuroSim-style cost model multiplies by per-MAC energy.
+    pub fn macs(&self) -> u64 {
+        self.out_channels as u64 * self.geom.patch_rows() as u64 * self.geom.patch_cols() as u64
+    }
+}
+
+fn check_input(input: &Tensor, p: &Conv2dParams, op: &'static str) -> Result<usize> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.shape().rank(),
+            op,
+        });
+    }
+    let d = input.shape().dims();
+    if d[1] != p.geom.in_channels || d[2] != p.geom.in_h || d[3] != p.geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_string(),
+            rhs: format!("(n, {}, {}, {})", p.geom.in_channels, p.geom.in_h, p.geom.in_w),
+            op,
+        });
+    }
+    Ok(d[0])
+}
+
+/// Convolution forward pass via im2col + matmul.
+///
+/// `input` is `(n, c_in, h, w)`, `weight` is `(c_out, c_in*k*k)`, `bias` is
+/// `(c_out)`. Returns `(n, c_out, out_h, out_w)` and caches the per-sample
+/// patch matrices for the backward pass.
+///
+/// # Errors
+///
+/// Returns shape errors when any operand disagrees with `params`.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: &Conv2dParams,
+) -> Result<(Tensor, Vec<Tensor>)> {
+    let n = check_input(input, params, "conv2d_forward")?;
+    if weight.shape() != &params.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.shape().to_string(),
+            rhs: params.weight_shape().to_string(),
+            op: "conv2d_forward",
+        });
+    }
+    if bias.shape() != &Shape::d1(params.out_channels) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: bias.shape().to_string(),
+            rhs: Shape::d1(params.out_channels).to_string(),
+            op: "conv2d_forward",
+        });
+    }
+    let geom = &params.geom;
+    let plane = geom.in_channels * geom.in_h * geom.in_w;
+    let out_plane = params.out_channels * geom.patch_cols();
+    let mut out = vec![0.0f32; n * out_plane];
+    let mut cols_cache = Vec::with_capacity(n);
+    for s in 0..n {
+        let sample = Tensor::from_vec(
+            Shape::d3(geom.in_channels, geom.in_h, geom.in_w),
+            input.as_slice()[s * plane..(s + 1) * plane].to_vec(),
+        )?;
+        let cols = im2col(&sample, geom)?;
+        let prod = weight.matmul(&cols)?; // (c_out, oh*ow)
+        let dst = &mut out[s * out_plane..(s + 1) * out_plane];
+        let pc = geom.patch_cols();
+        for c in 0..params.out_channels {
+            let b = bias.as_slice()[c];
+            for (d, &v) in dst[c * pc..(c + 1) * pc]
+                .iter_mut()
+                .zip(&prod.as_slice()[c * pc..(c + 1) * pc])
+            {
+                *d = v + b;
+            }
+        }
+        cols_cache.push(cols);
+    }
+    Ok((
+        Tensor::from_vec(params.output_shape(n), out)?,
+        cols_cache,
+    ))
+}
+
+/// Convolution backward pass.
+///
+/// Given `d_out` `(n, c_out, oh, ow)` and the cached patch matrices from
+/// [`conv2d_forward`], returns `(d_input, d_weight, d_bias)`.
+///
+/// # Errors
+///
+/// Returns shape errors when operands disagree with `params` or the cache
+/// length does not match the batch.
+pub fn conv2d_backward(
+    d_out: &Tensor,
+    weight: &Tensor,
+    cols_cache: &[Tensor],
+    params: &Conv2dParams,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let n = cols_cache.len();
+    if d_out.shape() != &params.output_shape(n) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: d_out.shape().to_string(),
+            rhs: params.output_shape(n).to_string(),
+            op: "conv2d_backward",
+        });
+    }
+    let geom = &params.geom;
+    let pc = geom.patch_cols();
+    let out_plane = params.out_channels * pc;
+    let plane = geom.in_channels * geom.in_h * geom.in_w;
+
+    let mut d_weight = Tensor::zeros(params.weight_shape());
+    let mut d_bias = Tensor::zeros(Shape::d1(params.out_channels));
+    let mut d_input = vec![0.0f32; n * plane];
+    let w_t = weight.transpose()?;
+
+    for (s, cols) in cols_cache.iter().enumerate() {
+        let d_mat = Tensor::from_vec(
+            Shape::d2(params.out_channels, pc),
+            d_out.as_slice()[s * out_plane..(s + 1) * out_plane].to_vec(),
+        )?;
+        // dW += dOut_mat * cols^T
+        let dw = d_mat.matmul(&cols.transpose()?)?;
+        d_weight.axpy(1.0, &dw)?;
+        // db += row sums of dOut_mat
+        for c in 0..params.out_channels {
+            let sum: f32 = d_mat.as_slice()[c * pc..(c + 1) * pc].iter().sum();
+            d_bias.as_mut_slice()[c] += sum;
+        }
+        // dInput = col2im(W^T * dOut_mat)
+        let d_cols = w_t.matmul(&d_mat)?;
+        let d_sample = col2im(&d_cols, geom)?;
+        d_input[s * plane..(s + 1) * plane].copy_from_slice(d_sample.as_slice());
+    }
+    Ok((
+        Tensor::from_vec(
+            Shape::d4(n, geom.in_channels, geom.in_h, geom.in_w),
+            d_input,
+        )?,
+        d_weight,
+        d_bias,
+    ))
+}
+
+/// Reference direct (nested-loop) convolution used to validate the im2col
+/// path in tests. Slow; not for production use.
+///
+/// # Errors
+///
+/// Returns shape errors as [`conv2d_forward`] does.
+pub fn conv2d_forward_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let n = check_input(input, params, "conv2d_forward_direct")?;
+    let geom = &params.geom;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let mut out = Tensor::zeros(params.output_shape(n));
+    for s in 0..n {
+        for co in 0..params.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.as_slice()[co];
+                    for ci in 0..geom.in_channels {
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let iy = (oy * geom.stride + ki) as isize - geom.padding as isize;
+                                let ix = (ox * geom.stride + kj) as isize - geom.padding as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= geom.in_h as isize
+                                    || ix >= geom.in_w as isize
+                                {
+                                    continue;
+                                }
+                                let x = input
+                                    .at(&[s, ci, iy as usize, ix as usize])
+                                    .expect("validated bounds");
+                                let w = weight
+                                    .at(&[co, (ci * k + ki) * k + kj])
+                                    .expect("validated bounds");
+                                acc += x * w;
+                            }
+                        }
+                    }
+                    out.set(&[s, co, oy, ox], acc)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn rand_tensor(shape: Shape, rng: &mut SeedRng) -> Tensor {
+        let n = shape.len();
+        Tensor::from_vec(shape, (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn im2col_matches_direct() {
+        let mut rng = SeedRng::new(42);
+        for &(k, s, p) in &[(1usize, 1usize, 0usize), (3, 1, 1), (3, 2, 1), (5, 1, 2)] {
+            let geom = ConvGeometry::new(3, 8, 8, k, s, p).unwrap();
+            let params = Conv2dParams::new(geom, 4).unwrap();
+            let input = rand_tensor(Shape::d4(2, 3, 8, 8), &mut rng);
+            let weight = rand_tensor(params.weight_shape(), &mut rng);
+            let bias = rand_tensor(Shape::d1(4), &mut rng);
+            let (fast, _) = conv2d_forward(&input, &weight, &bias, &params).unwrap();
+            let slow = conv2d_forward_direct(&input, &weight, &bias, &params).unwrap();
+            let max_err = fast
+                .as_slice()
+                .iter()
+                .zip(slow.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_err < 1e-4, "k={k} s={s} p={p} err={max_err}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SeedRng::new(7);
+        let geom = ConvGeometry::new(2, 5, 5, 3, 1, 1).unwrap();
+        let params = Conv2dParams::new(geom, 3).unwrap();
+        let input = rand_tensor(Shape::d4(1, 2, 5, 5), &mut rng);
+        let weight = rand_tensor(params.weight_shape(), &mut rng);
+        let bias = rand_tensor(Shape::d1(3), &mut rng);
+
+        // Loss = sum of outputs, so dOut = ones.
+        let loss = |w: &Tensor, b: &Tensor, x: &Tensor| -> f32 {
+            conv2d_forward(x, w, b, &params).unwrap().0.sum()
+        };
+        let (out, cache) = conv2d_forward(&input, &weight, &bias, &params).unwrap();
+        let d_out = Tensor::ones(out.shape().clone());
+        let (d_in, d_w, d_b) = conv2d_backward(&d_out, &weight, &cache, &params).unwrap();
+
+        let eps = 1e-2f32;
+        // Check a sample of weight gradients.
+        for idx in [0usize, 7, 23, d_w.len() - 1] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&wp, &bias, &input) - loss(&wm, &bias, &input)) / (2.0 * eps);
+            let an = d_w.as_slice()[idx];
+            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "w[{idx}]: fd={fd} an={an}");
+        }
+        // Bias gradients.
+        for idx in 0..3 {
+            let mut bp = bias.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&weight, &bp, &input) - loss(&weight, &bm, &input)) / (2.0 * eps);
+            let an = d_b.as_slice()[idx];
+            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "b[{idx}]: fd={fd} an={an}");
+        }
+        // Input gradients.
+        for idx in [0usize, 13, 31, d_in.len() - 1] {
+            let mut xp = input.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = input.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&weight, &bias, &xp) - loss(&weight, &bias, &xm)) / (2.0 * eps);
+            let an = d_in.as_slice()[idx];
+            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "x[{idx}]: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn macs_counts() {
+        let geom = ConvGeometry::new(3, 32, 32, 3, 1, 1).unwrap();
+        let params = Conv2dParams::new(geom, 16).unwrap();
+        // 16 * (3*3*3) * (32*32)
+        assert_eq!(params.macs(), 16 * 27 * 1024);
+    }
+
+    #[test]
+    fn rejects_mismatched_operands() {
+        let geom = ConvGeometry::new(3, 8, 8, 3, 1, 1).unwrap();
+        let params = Conv2dParams::new(geom, 4).unwrap();
+        let input = Tensor::zeros(Shape::d4(1, 2, 8, 8)); // wrong channels
+        let weight = Tensor::zeros(params.weight_shape());
+        let bias = Tensor::zeros(Shape::d1(4));
+        assert!(conv2d_forward(&input, &weight, &bias, &params).is_err());
+
+        let input = Tensor::zeros(Shape::d4(1, 3, 8, 8));
+        let bad_w = Tensor::zeros(Shape::d2(4, 10));
+        assert!(conv2d_forward(&input, &bad_w, &bias, &params).is_err());
+    }
+
+    #[test]
+    fn zero_out_channels_rejected() {
+        let geom = ConvGeometry::new(3, 8, 8, 3, 1, 1).unwrap();
+        assert!(Conv2dParams::new(geom, 0).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! im2col / col2im lowering for convolution.
+//!
+//! The same lowering is used by the NeuroSim-style crossbar mapper (a conv
+//! layer occupies `k*k*c_in` crossbar rows), so this module is the single
+//! source of truth for convolution geometry in the workspace.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: input plane, kernel, stride and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for zero-sized kernels or
+    /// strides, or when the kernel (plus padding) does not fit the input.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidArgument(
+                "kernel and stride must be positive".to_string(),
+            ));
+        }
+        if in_channels == 0 || in_h == 0 || in_w == 0 {
+            return Err(TensorError::InvalidArgument(
+                "input plane must be non-empty".to_string(),
+            ));
+        }
+        if in_h + 2 * padding < kernel || in_w + 2 * padding < kernel {
+            return Err(TensorError::InvalidArgument(format!(
+                "kernel {kernel} larger than padded input {}x{}",
+                in_h + 2 * padding,
+                in_w + 2 * padding
+            )));
+        }
+        Ok(ConvGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the lowered patch matrix: `c_in * k * k`.
+    ///
+    /// This is also the number of crossbar *rows* the layer needs when
+    /// mapped onto a CiM array — the quantity behind the paper's §IV-B
+    /// utilization discussion.
+    pub fn patch_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the lowered patch matrix: `out_h * out_w`.
+    pub fn patch_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Lowers one NCHW sample `(c, h, w)` into a `(c*k*k, out_h*out_w)` matrix.
+///
+/// Column `j` of the result is the flattened receptive field of output
+/// pixel `j` (row-major over the output plane); zero padding is
+/// materialized as zeros.
+///
+/// # Errors
+///
+/// Returns a shape error when `input` does not match the geometry.
+pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
+    let want = Shape::d3(geom.in_channels, geom.in_h, geom.in_w);
+    if input.shape() != &want {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_string(),
+            rhs: want.to_string(),
+            op: "im2col",
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = geom.patch_rows();
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let src = input.as_slice();
+    let k = geom.kernel;
+    for c in 0..geom.in_channels {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kj) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        let src_idx =
+                            (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
+                        out[row * cols + oy * ow + ox] = src[src_idx];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(rows, cols), out)
+}
+
+/// Adjoint of [`im2col`]: scatters a `(c*k*k, out_h*out_w)` gradient matrix
+/// back into an input-shaped `(c, h, w)` gradient, accumulating overlaps.
+///
+/// # Errors
+///
+/// Returns a shape error when `cols` does not match the geometry.
+pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
+    let want = Shape::d2(geom.patch_rows(), geom.patch_cols());
+    if cols.shape() != &want {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.shape().to_string(),
+            rhs: want.to_string(),
+            op: "col2im",
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_cols = oh * ow;
+    let mut out = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
+    let src = cols.as_slice();
+    let k = geom.kernel;
+    for c in 0..geom.in_channels {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kj) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        let dst_idx =
+                            (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
+                        out[dst_idx] += src[row * n_cols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(
+        Shape::d3(geom.in_channels, geom.in_h, geom.in_w),
+        out,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_output_dims() {
+        let g = ConvGeometry::new(3, 32, 32, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = ConvGeometry::new(3, 32, 32, 5, 1, 0).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (28, 28));
+        let g = ConvGeometry::new(3, 32, 32, 3, 2, 1).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+    }
+
+    #[test]
+    fn geometry_rejects_bad_config() {
+        assert!(ConvGeometry::new(3, 32, 32, 0, 1, 0).is_err());
+        assert!(ConvGeometry::new(3, 32, 32, 3, 0, 0).is_err());
+        assert!(ConvGeometry::new(3, 2, 2, 7, 1, 0).is_err());
+        assert!(ConvGeometry::new(0, 32, 32, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // k=1, s=1, p=0: the patch matrix equals the flattened input.
+        let g = ConvGeometry::new(2, 2, 2, 1, 1, 0).unwrap();
+        let input =
+            Tensor::from_vec(Shape::d3(2, 2, 2), (1..=8).map(|x| x as f32).collect()).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.shape().dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // Single channel 3x3 input, 2x2 kernel, stride 1, no padding.
+        let g = ConvGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let input = Tensor::from_vec(
+            Shape::d3(1, 3, 3),
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        )
+        .unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        // Rows are kernel positions (ki,kj); columns are the 4 output pixels.
+        assert_eq!(cols.shape().dims(), &[4, 4]);
+        assert_eq!(cols.row(0).unwrap().as_slice(), &[1., 2., 4., 5.]);
+        assert_eq!(cols.row(3).unwrap().as_slice(), &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let g = ConvGeometry::new(1, 2, 2, 3, 1, 1).unwrap();
+        let input = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        // Top-left output pixel's receptive field starts in the padding.
+        assert_eq!(cols.at(&[0, 0]).unwrap(), 0.0);
+        // Center of kernel over pixel (0,0) sees input value 1.
+        assert_eq!(cols.at(&[4, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y — the defining
+        // property of an adjoint pair, which is what backward passes rely on.
+        let g = ConvGeometry::new(2, 5, 5, 3, 2, 1).unwrap();
+        let mut rng = crate::rng::SeedRng::new(99);
+        let x = Tensor::from_vec(
+            Shape::d3(2, 5, 5),
+            (0..50).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        let y = Tensor::from_vec(
+            Shape::d2(g.patch_rows(), g.patch_cols()),
+            (0..g.patch_rows() * g.patch_cols())
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect(),
+        )
+        .unwrap();
+        let lhs: f32 = im2col(&x, &g)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(col2im(&y, &g).unwrap().as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let g = ConvGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let wrong = Tensor::zeros(Shape::d3(2, 3, 3));
+        assert!(im2col(&wrong, &g).is_err());
+        let wrong_cols = Tensor::zeros(Shape::d2(3, 3));
+        assert!(col2im(&wrong_cols, &g).is_err());
+    }
+}

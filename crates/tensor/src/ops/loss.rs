@@ -1,0 +1,131 @@
+//! Softmax cross-entropy loss.
+
+use super::activation::softmax_rows;
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// One-hot encodes class labels into an `(n, classes)` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] when a label exceeds
+/// `classes`.
+pub fn one_hot(labels: &[usize], classes: usize) -> Result<Tensor> {
+    let mut out = vec![0.0f32; labels.len() * classes];
+    for (r, &l) in labels.iter().enumerate() {
+        if l >= classes {
+            return Err(TensorError::IndexOutOfBounds {
+                index: l,
+                bound: classes,
+            });
+        }
+        out[r * classes + l] = 1.0;
+    }
+    Tensor::from_vec(Shape::d2(labels.len(), classes), out)
+}
+
+/// Mean softmax cross-entropy over a batch of logits.
+///
+/// Returns `(loss, d_logits)` where `d_logits = (softmax - onehot) / n` —
+/// the gradient of the mean loss with respect to the logits, ready to feed
+/// straight into the backward pass.
+///
+/// # Errors
+///
+/// Returns shape errors when `labels.len()` does not match the batch or a
+/// label is out of range.
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.shape().rank(),
+            op: "cross_entropy_loss",
+        });
+    }
+    let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if labels.len() != n {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: n,
+            actual: labels.len(),
+        });
+    }
+    let probs = softmax_rows(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let g = grad.as_mut_slice();
+    for (r, &l) in labels.iter().enumerate() {
+        if l >= c {
+            return Err(TensorError::IndexOutOfBounds { index: l, bound: c });
+        }
+        let p = probs.as_slice()[r * c + l].max(1e-12);
+        loss -= p.ln();
+        g[r * c + l] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    for v in g.iter_mut() {
+        *v *= inv_n;
+    }
+    Ok((loss * inv_n, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_layout() {
+        let t = one_hot(&[2, 0], 3).unwrap();
+        assert_eq!(t.as_slice(), &[0., 0., 1., 1., 0., 0.]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![10.0, -10.0, -10.0]).unwrap();
+        let (loss, _) = cross_entropy_loss(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_prediction_is_log_c() {
+        let logits = Tensor::zeros(Shape::d2(1, 10));
+        let (loss, _) = cross_entropy_loss(&logits, &[4]).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits =
+            Tensor::from_vec(Shape::d2(2, 3), vec![0.5, -0.2, 0.9, 1.5, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = cross_entropy_loss(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = cross_entropy_loss(&lp, &labels).unwrap().0;
+            let fm = cross_entropy_loss(&lm, &labels).unwrap().0;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[idx]).abs() < 1e-3,
+                "idx {idx}: fd={fd} an={}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(Shape::d2(1, 4), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (_, grad) = cross_entropy_loss(&logits, &[1]).unwrap();
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn label_batch_mismatch_rejected() {
+        let logits = Tensor::zeros(Shape::d2(2, 3));
+        assert!(cross_entropy_loss(&logits, &[0]).is_err());
+        assert!(cross_entropy_loss(&logits, &[0, 5]).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Neural-network compute kernels with explicit forward and backward passes.
+//!
+//! The LCDA trained evaluator needs real gradient-based training (the paper
+//! trains every candidate with noise injection), so every kernel here comes
+//! in a `*_forward` / `*_backward` pair. Layout is NCHW throughout.
+
+mod activation;
+mod conv;
+mod im2col;
+mod loss;
+mod pool;
+
+pub use activation::{relu_backward, relu_forward, softmax_rows};
+pub use conv::{conv2d_backward, conv2d_forward, conv2d_forward_direct, Conv2dParams};
+pub use im2col::{col2im, im2col, ConvGeometry};
+pub use loss::{cross_entropy_loss, one_hot};
+pub use pool::{avgpool_global_backward, avgpool_global_forward, maxpool2_backward, maxpool2_forward};

@@ -1,0 +1,204 @@
+//! Deterministic random number utilities.
+//!
+//! Every stochastic component in the workspace (weight init, dataset
+//! synthesis, Monte-Carlo variation sampling, RL exploration, the simulated
+//! LLM's tie-breaking) draws from a [`SeedRng`] so that experiments are
+//! exactly reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable RNG wrapper with the distributions this workspace needs.
+///
+/// # Example
+///
+/// ```
+/// use lcda_tensor::rng::SeedRng;
+/// let mut a = SeedRng::new(42);
+/// let mut b = SeedRng::new(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeedRng {
+    inner: StdRng,
+}
+
+impl SeedRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeedRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG, useful for giving each Monte-Carlo
+    /// trial or parallel worker its own stream.
+    pub fn fork(&mut self, salt: u64) -> SeedRng {
+        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeedRng::new(s)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index bound must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller keeps us independent of rand_distr.
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Samples an index from an (unnormalized, non-negative) weight vector.
+    ///
+    /// Falls back to uniform sampling when all weights are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f32 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return self.index(weights.len());
+        }
+        let mut target = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A raw `u64`, for deriving further seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeedRng::new(7);
+        let mut b = SeedRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeedRng::new(1);
+        let mut b = SeedRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SeedRng::new(3);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SeedRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy() {
+        let mut r = SeedRng::new(5);
+        let w = [0.0, 0.0, 10.0, 0.1];
+        let mut counts = [0usize; 4];
+        for _ in 0..1000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 900);
+    }
+
+    #[test]
+    fn weighted_index_all_zero_is_uniform() {
+        let mut r = SeedRng::new(5);
+        let w = [0.0, 0.0, 0.0];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.weighted_index(&w)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SeedRng::new(9);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SeedRng::new(13);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SeedRng::new(17);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

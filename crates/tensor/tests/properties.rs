@@ -1,0 +1,113 @@
+//! Property-based tests of the tensor algebra and NN kernels.
+
+use lcda_tensor::ops::{
+    conv2d_forward, conv2d_forward_direct, cross_entropy_loss, maxpool2_forward, softmax_rows,
+    Conv2dParams, ConvGeometry,
+};
+use lcda_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(Shape::d2(rows, cols), v).unwrap())
+}
+
+proptest! {
+    /// (A·B)ᵀ == Bᵀ·Aᵀ
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// A·(B + C) == A·B + A·C
+    #[test]
+    fn matmul_distributes(a in arb_matrix(2, 3), b in arb_matrix(3, 3), c in arb_matrix(3, 3)) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// axpy is linear: x + α·y elementwise.
+    #[test]
+    fn axpy_matches_elementwise(
+        x in prop::collection::vec(-5.0f32..5.0, 16),
+        y in prop::collection::vec(-5.0f32..5.0, 16),
+        alpha in -3.0f32..3.0,
+    ) {
+        let mut t = Tensor::from_slice(&x);
+        let u = Tensor::from_slice(&y);
+        t.axpy(alpha, &u).unwrap();
+        for ((got, &xi), &yi) in t.as_slice().iter().zip(&x).zip(&y) {
+            prop_assert!((got - (xi + alpha * yi)).abs() < 1e-4);
+        }
+    }
+
+    /// im2col convolution equals the direct nested-loop reference for
+    /// arbitrary geometries and data.
+    #[test]
+    fn conv_paths_agree(
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        size in 4usize..9,
+        k in prop::sample::select(vec![1usize, 3]),
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lcda_tensor::rng::SeedRng::new(seed);
+        let geom = ConvGeometry::new(c_in, size, size, k, stride, k / 2).unwrap();
+        let params = Conv2dParams::new(geom, c_out).unwrap();
+        let input = Tensor::from_vec(
+            Shape::d4(1, c_in, size, size),
+            (0..c_in * size * size).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        ).unwrap();
+        let weight = Tensor::from_vec(
+            params.weight_shape(),
+            (0..c_out * geom.patch_rows()).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        ).unwrap();
+        let bias = Tensor::from_vec(
+            Shape::d1(c_out),
+            (0..c_out).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        ).unwrap();
+        let (fast, _) = conv2d_forward(&input, &weight, &bias, &params).unwrap();
+        let slow = conv2d_forward_direct(&input, &weight, &bias, &params).unwrap();
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Softmax rows are probability distributions for arbitrary logits.
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(3, 5)) {
+        let p = softmax_rows(&m).unwrap();
+        for r in 0..3 {
+            let row = p.row(r).unwrap();
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+            prop_assert!(row.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// Cross-entropy gradient rows sum to ~0 (softmax shift invariance).
+    #[test]
+    fn ce_gradient_rows_sum_zero(m in arb_matrix(4, 6), labels in prop::collection::vec(0usize..6, 4)) {
+        let (_, grad) = cross_entropy_loss(&m, &labels).unwrap();
+        for r in 0..4 {
+            prop_assert!(grad.row(r).unwrap().sum().abs() < 1e-5);
+        }
+    }
+
+    /// Max pooling never invents values: every output equals some input.
+    #[test]
+    fn maxpool_outputs_are_inputs(v in prop::collection::vec(-9.0f32..9.0, 36)) {
+        let input = Tensor::from_vec(Shape::d4(1, 1, 6, 6), v.clone()).unwrap();
+        let (out, arg) = maxpool2_forward(&input).unwrap();
+        for (o, &i) in out.as_slice().iter().zip(&arg) {
+            prop_assert_eq!(*o, v[i]);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Composite variation configuration with per-technology presets.
+
+use crate::{Result, VariationError};
+use serde::{Deserialize, Serialize};
+
+/// How the temporal programming-variation magnitude depends on the
+/// programmed conductance (Feinberg et al., HPCA'18 observe that temporal
+/// variation "may be influenced by the programmed value").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ValueDependence {
+    /// σ is a constant fraction of the full conductance range.
+    #[default]
+    Constant,
+    /// σ grows linearly with the programmed level: devices programmed near
+    /// `g_max` fluctuate more.
+    Linear,
+    /// σ is largest mid-range (programming into intermediate states is the
+    /// least precise), following a parabolic profile.
+    MidrangePeak,
+}
+
+impl ValueDependence {
+    /// Multiplier on the base sigma for a normalized conductance
+    /// `g ∈ [0, 1]`.
+    pub fn scale(self, g_norm: f32) -> f32 {
+        let g = g_norm.clamp(0.0, 1.0);
+        match self {
+            ValueDependence::Constant => 1.0,
+            ValueDependence::Linear => 0.5 + g,
+            ValueDependence::MidrangePeak => 0.5 + 2.0 * g * (1.0 - g),
+        }
+    }
+}
+
+/// Write-verify programming (SWIM, Yan et al. DAC'22): after each
+/// programming pulse the device is read back, and reprogrammed while the
+/// error exceeds the tolerance, up to an iteration budget. Trades write
+/// energy/time for tighter conductances; spatial variation and stuck-at
+/// faults are *not* correctable (the verify loop observes but cannot fix
+/// them), and chip-level drift happens after programming.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteVerifyConfig {
+    /// Maximum programming attempts per device (≥ 1).
+    pub max_iterations: u32,
+    /// Accepted |readback − target| in normalized conductance units.
+    pub tolerance: f32,
+}
+
+impl WriteVerifyConfig {
+    /// The SWIM-flavoured default: up to 10 pulses, 1% tolerance.
+    pub fn standard() -> Self {
+        WriteVerifyConfig {
+            max_iterations: 10,
+            tolerance: 0.01,
+        }
+    }
+}
+
+/// Conductance retention loss: programmed conductances relax toward the
+/// low state over time following the power law commonly reported for
+/// RRAM/PCM, `g(t) = g · ((t + t₀) / t₀)^(−ν)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionConfig {
+    /// Drift exponent ν (0 = no drift; PCM ≈ 0.05–0.1, RRAM smaller).
+    pub nu: f32,
+    /// Reference time t₀ in seconds (the programming-to-first-read gap).
+    pub t0_seconds: f64,
+}
+
+impl RetentionConfig {
+    /// A PCM-like drift corner.
+    pub fn pcm_like() -> Self {
+        RetentionConfig {
+            nu: 0.05,
+            t0_seconds: 1.0,
+        }
+    }
+
+    /// A milder RRAM-like drift corner.
+    pub fn rram_like() -> Self {
+        RetentionConfig {
+            nu: 0.01,
+            t0_seconds: 1.0,
+        }
+    }
+
+    /// The multiplicative conductance factor after `elapsed_seconds`.
+    pub fn factor(&self, elapsed_seconds: f64) -> f32 {
+        if self.nu == 0.0 || elapsed_seconds <= 0.0 {
+            return 1.0;
+        }
+        (((elapsed_seconds + self.t0_seconds) / self.t0_seconds) as f32)
+            .powf(-self.nu)
+    }
+}
+
+/// Full non-ideality description of an NVM technology, in normalized
+/// conductance units (the usable conductance window is `[0, 1]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationConfig {
+    /// Base σ of temporal (programming) variation as a fraction of the
+    /// conductance window.
+    pub temporal_sigma: f32,
+    /// Shape of the value dependence of temporal variation.
+    pub value_dependence: ValueDependence,
+    /// σ of per-device (local) spatial variation.
+    pub spatial_local_sigma: f32,
+    /// σ of the chip-wide (global) multiplicative spatial variation.
+    pub spatial_global_sigma: f32,
+    /// Probability that a device is stuck at `g_min` (reads as 0).
+    pub stuck_at_off_rate: f64,
+    /// Probability that a device is stuck at `g_max` (reads as 1).
+    pub stuck_at_on_rate: f64,
+    /// Number of programmable conductance levels per cell (`0` = analog,
+    /// no quantization).
+    pub levels: u32,
+    /// Optional write-verify programming loop.
+    pub write_verify: Option<WriteVerifyConfig>,
+    /// Optional retention drift (time-dependent; applied at read time).
+    pub retention: Option<RetentionConfig>,
+}
+
+impl VariationConfig {
+    /// A fully ideal device: no variation at all.
+    pub fn ideal() -> Self {
+        VariationConfig {
+            temporal_sigma: 0.0,
+            value_dependence: ValueDependence::Constant,
+            spatial_local_sigma: 0.0,
+            spatial_global_sigma: 0.0,
+            stuck_at_off_rate: 0.0,
+            stuck_at_on_rate: 0.0,
+            levels: 0,
+            write_verify: None,
+            retention: None,
+        }
+    }
+
+    /// Moderate RRAM corner — the default device of NACIM's evaluation.
+    pub fn rram_moderate() -> Self {
+        VariationConfig {
+            temporal_sigma: 0.05,
+            value_dependence: ValueDependence::Linear,
+            spatial_local_sigma: 0.03,
+            spatial_global_sigma: 0.02,
+            stuck_at_off_rate: 1e-3,
+            stuck_at_on_rate: 5e-4,
+            levels: 16,
+            write_verify: None,
+            retention: None,
+        }
+    }
+
+    /// Aggressive RRAM corner used in robustness stress tests.
+    pub fn rram_severe() -> Self {
+        VariationConfig {
+            temporal_sigma: 0.12,
+            value_dependence: ValueDependence::Linear,
+            spatial_local_sigma: 0.08,
+            spatial_global_sigma: 0.05,
+            stuck_at_off_rate: 5e-3,
+            stuck_at_on_rate: 2e-3,
+            levels: 16,
+            write_verify: None,
+            retention: None,
+        }
+    }
+
+    /// FeFET corner: tighter programming, slightly more stuck-at faults.
+    pub fn fefet_moderate() -> Self {
+        VariationConfig {
+            temporal_sigma: 0.035,
+            value_dependence: ValueDependence::MidrangePeak,
+            spatial_local_sigma: 0.025,
+            spatial_global_sigma: 0.015,
+            stuck_at_off_rate: 2e-3,
+            stuck_at_on_rate: 1e-3,
+            levels: 32,
+            write_verify: None,
+            retention: None,
+        }
+    }
+
+    /// Validates that every field is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidConfig`] for negative sigmas or
+    /// probabilities outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("temporal_sigma", self.temporal_sigma),
+            ("spatial_local_sigma", self.spatial_local_sigma),
+            ("spatial_global_sigma", self.spatial_global_sigma),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(VariationError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        for (name, p) in [
+            ("stuck_at_off_rate", self.stuck_at_off_rate),
+            ("stuck_at_on_rate", self.stuck_at_on_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(VariationError::InvalidConfig(format!(
+                    "{name} must be a probability, got {p}"
+                )));
+            }
+        }
+        if self.stuck_at_off_rate + self.stuck_at_on_rate > 1.0 {
+            return Err(VariationError::InvalidConfig(
+                "combined stuck-at rates exceed 1".to_string(),
+            ));
+        }
+        if self.levels == 1 {
+            return Err(VariationError::InvalidConfig(
+                "levels must be 0 (analog) or >= 2".to_string(),
+            ));
+        }
+        if let Some(r) = &self.retention {
+            if r.nu < 0.0 || r.t0_seconds <= 0.0 {
+                return Err(VariationError::InvalidConfig(
+                    "retention needs nu >= 0 and t0 > 0".to_string(),
+                ));
+            }
+        }
+        if let Some(wv) = &self.write_verify {
+            if wv.max_iterations == 0 {
+                return Err(VariationError::InvalidConfig(
+                    "write-verify needs at least one iteration".to_string(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&wv.tolerance) {
+                return Err(VariationError::InvalidConfig(format!(
+                    "write-verify tolerance must be in [0, 1], got {}",
+                    wv.tolerance
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enables write-verify programming on this corner.
+    pub fn with_write_verify(mut self, wv: WriteVerifyConfig) -> Self {
+        self.write_verify = Some(wv);
+        self
+    }
+
+    /// Enables retention drift on this corner.
+    pub fn with_retention(mut self, retention: RetentionConfig) -> Self {
+        self.retention = Some(retention);
+        self
+    }
+
+    /// The programming-error σ (temporal + local-spatial combined) that
+    /// survives the optional write-verify loop: the verify readback sees
+    /// both components, so converged devices end within ±tolerance — a
+    /// truncated distribution with σ ≈ `tolerance / sqrt(3)`. Stuck-at
+    /// faults and post-programming chip drift are not correctable.
+    pub fn effective_programming_sigma(&self) -> f32 {
+        let raw =
+            (self.temporal_sigma.powi(2) + self.spatial_local_sigma.powi(2)).sqrt();
+        match &self.write_verify {
+            None => raw,
+            Some(wv) => raw.min(wv.tolerance / (3.0f32).sqrt()),
+        }
+    }
+
+    /// A scalar summary of how noisy this corner is — used by the surrogate
+    /// accuracy model to scale its variation penalty. Ideal devices score 0.
+    pub fn severity(&self) -> f32 {
+        let quant = if self.levels == 0 {
+            0.0
+        } else {
+            // Uniform quantization error std ≈ step / sqrt(12).
+            1.0 / (self.levels as f32 * (12.0f32).sqrt())
+        };
+        (self.effective_programming_sigma().powi(2)
+            + self.spatial_global_sigma.powi(2)
+            + quant.powi(2))
+        .sqrt()
+            + (self.stuck_at_off_rate + self.stuck_at_on_rate) as f32
+    }
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig::rram_moderate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [
+            VariationConfig::ideal(),
+            VariationConfig::rram_moderate(),
+            VariationConfig::rram_severe(),
+            VariationConfig::fefet_moderate(),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = VariationConfig::ideal();
+        cfg.temporal_sigma = -0.1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = VariationConfig::ideal();
+        cfg.stuck_at_off_rate = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = VariationConfig::ideal();
+        cfg.levels = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = VariationConfig::ideal();
+        cfg.stuck_at_off_rate = 0.6;
+        cfg.stuck_at_on_rate = 0.6;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn severity_ordering() {
+        let ideal = VariationConfig::ideal().severity();
+        let moderate = VariationConfig::rram_moderate().severity();
+        let severe = VariationConfig::rram_severe().severity();
+        assert_eq!(ideal, 0.0);
+        assert!(moderate > ideal);
+        assert!(severe > moderate);
+    }
+
+    #[test]
+    fn value_dependence_scales() {
+        assert_eq!(ValueDependence::Constant.scale(0.3), 1.0);
+        assert!(ValueDependence::Linear.scale(1.0) > ValueDependence::Linear.scale(0.0));
+        let mid = ValueDependence::MidrangePeak;
+        assert!(mid.scale(0.5) > mid.scale(0.0));
+        assert!(mid.scale(0.5) > mid.scale(1.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = VariationConfig::fefet_moderate();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: VariationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

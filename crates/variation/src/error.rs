@@ -1,0 +1,40 @@
+use std::fmt;
+
+/// Error type for variation-model configuration and Monte-Carlo runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VariationError {
+    /// A configuration value was outside its valid range.
+    InvalidConfig(String),
+    /// A Monte-Carlo run was requested with zero trials.
+    ZeroTrials,
+}
+
+impl fmt::Display for VariationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariationError::InvalidConfig(msg) => write!(f, "invalid variation config: {msg}"),
+            VariationError::ZeroTrials => write!(f, "monte-carlo run needs at least one trial"),
+        }
+    }
+}
+
+impl std::error::Error for VariationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VariationError::ZeroTrials.to_string().contains("trial"));
+        assert!(VariationError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<VariationError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! # lcda-variation
+//!
+//! Non-ideality models for NVM devices in compute-in-memory accelerators,
+//! plus the Monte-Carlo machinery used to evaluate DNN accuracy under those
+//! non-idealities (§II-B and §III-C of the LCDA paper).
+//!
+//! The paper considers the non-idealities to be uncorrelated amongst
+//! devices, and distinguishes:
+//!
+//! - **temporal variation** — random conductance fluctuations when a device
+//!   is programmed; generally device-independent but possibly influenced by
+//!   the programmed value (Feinberg et al., HPCA'18),
+//! - **spatial variation** — manufacturing defects at local (per-device)
+//!   and global (per-chip) scales,
+//! - **stuck-at faults** — devices pinned at their minimum or maximum
+//!   conductance,
+//! - **quantization** — the finite number of programmable conductance
+//!   levels per cell.
+//!
+//! All of these operate in the *conductance* domain; [`weights`] provides
+//! the differential weight-to-conductance mapping so whole DNN weight
+//! tensors can be perturbed the way a real crossbar programming pass would
+//! perturb them.
+//!
+//! # Example
+//!
+//! ```
+//! use lcda_variation::{VariationConfig, weights::WeightPerturber};
+//!
+//! let config = VariationConfig::rram_moderate();
+//! let perturber = WeightPerturber::new(config, 1.0);
+//! let mut w = vec![0.5f32, -0.25, 0.0, 1.0];
+//! perturber.perturb(&mut w, 7);
+//! assert!(w.iter().all(|x| x.is_finite()));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod config;
+mod error;
+mod rng;
+
+pub mod montecarlo;
+pub mod sources;
+pub mod weights;
+
+pub use config::{RetentionConfig, ValueDependence, VariationConfig, WriteVerifyConfig};
+pub use error::VariationError;
+pub use rng::VarRng;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, VariationError>;

@@ -1,0 +1,206 @@
+//! Monte-Carlo evaluation engine.
+//!
+//! The paper evaluates DNN performance under device variation "using the
+//! Monte Carlo simulation-based method" (Yan et al., ASP-DAC'21): sample
+//! many chip instances, measure accuracy on each, report the distribution.
+//! This module provides that engine generically over any per-trial metric,
+//! with optional multi-threading via `crossbeam::scope`.
+
+use crate::{Result, VariationError};
+
+/// Summary statistics of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McStats {
+    /// Number of trials.
+    pub trials: u32,
+    /// Sample mean.
+    pub mean: f32,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std: f32,
+    /// Minimum observed value.
+    pub min: f32,
+    /// Maximum observed value.
+    pub max: f32,
+}
+
+impl McStats {
+    /// Computes statistics from raw per-trial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::ZeroTrials`] for an empty sample.
+    pub fn from_samples(samples: &[f32]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(VariationError::ZeroTrials);
+        }
+        let n = samples.len() as f32;
+        let mean = samples.iter().sum::<f32>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Ok(McStats {
+            trials: samples.len() as u32,
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().copied().fold(f32::INFINITY, f32::min),
+            max: samples.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        })
+    }
+
+    /// Half-width of the 95% confidence interval on the mean (normal
+    /// approximation).
+    pub fn ci95_half_width(&self) -> f32 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        1.96 * self.std / (self.trials as f32).sqrt()
+    }
+
+    /// A robustness-oriented summary: `mean − k·std`, the paper-adjacent
+    /// "expected accuracy minus k sigma" criterion used when selecting
+    /// designs that must not be disastrous under variation.
+    pub fn mean_minus_k_std(&self, k: f32) -> f32 {
+        self.mean - k * self.std
+    }
+}
+
+/// Runs `trials` evaluations of `metric(trial_index, trial_seed)`
+/// sequentially.
+///
+/// # Errors
+///
+/// Returns [`VariationError::ZeroTrials`] when `trials == 0`.
+pub fn run<F>(trials: u32, base_seed: u64, metric: F) -> Result<McStats>
+where
+    F: Fn(u32, u64) -> f32,
+{
+    if trials == 0 {
+        return Err(VariationError::ZeroTrials);
+    }
+    let samples: Vec<f32> = (0..trials)
+        .map(|t| metric(t, trial_seed(base_seed, t)))
+        .collect();
+    McStats::from_samples(&samples)
+}
+
+/// Runs `trials` evaluations across `threads` OS threads using
+/// `crossbeam::scope`. The metric must be `Sync` since it is shared.
+///
+/// Results are identical to [`run`] regardless of thread count because
+/// every trial derives its own seed from `base_seed`.
+///
+/// # Errors
+///
+/// Returns [`VariationError::ZeroTrials`] when `trials == 0`.
+pub fn run_parallel<F>(trials: u32, base_seed: u64, threads: usize, metric: F) -> Result<McStats>
+where
+    F: Fn(u32, u64) -> f32 + Sync,
+{
+    if trials == 0 {
+        return Err(VariationError::ZeroTrials);
+    }
+    let threads = threads.max(1).min(trials as usize);
+    let mut samples = vec![0.0f32; trials as usize];
+    let chunk = trials as usize / threads + usize::from(!(trials as usize).is_multiple_of(threads));
+    crossbeam::scope(|s| {
+        for (w, out_chunk) in samples.chunks_mut(chunk).enumerate() {
+            let metric = &metric;
+            let start = w * chunk;
+            s.spawn(move |_| {
+                for (i, out) in out_chunk.iter_mut().enumerate() {
+                    let t = (start + i) as u32;
+                    *out = metric(t, trial_seed(base_seed, t));
+                }
+            });
+        }
+    })
+    .expect("monte-carlo worker panicked");
+    McStats::from_samples(&samples)
+}
+
+/// Derives the deterministic seed of trial `t` from a base seed.
+pub fn trial_seed(base_seed: u64, t: u32) -> u64 {
+    // SplitMix64-style mixing keeps adjacent trials decorrelated.
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant() {
+        let s = McStats::from_samples(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn stats_known_values() {
+        let s = McStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        // Bessel-corrected variance = 5/3.
+        assert!((s.std - (5.0f32 / 3.0).sqrt()).abs() < 1e-5);
+        assert_eq!((s.min, s.max), (1.0, 4.0));
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert_eq!(McStats::from_samples(&[]), Err(VariationError::ZeroTrials));
+        assert!(run(0, 0, |_, _| 0.0).is_err());
+        assert!(run_parallel(0, 0, 4, |_, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let f = |_t: u32, seed: u64| (seed % 1000) as f32;
+        let a = run(32, 7, f).unwrap();
+        let b = run(32, 7, f).unwrap();
+        assert_eq!(a, b);
+        let c = run(32, 8, f).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = |t: u32, seed: u64| ((seed ^ t as u64) % 997) as f32;
+        let seq = run(100, 123, f).unwrap();
+        for threads in [1, 2, 3, 8, 200] {
+            let par = run_parallel(100, 123, threads, f).unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..10_000u32 {
+            assert!(seen.insert(trial_seed(42, t)));
+        }
+    }
+
+    #[test]
+    fn mean_minus_k_std() {
+        let s = McStats::from_samples(&[0.8, 0.9, 1.0]).unwrap();
+        assert!(s.mean_minus_k_std(1.0) < s.mean);
+        assert_eq!(s.mean_minus_k_std(0.0), s.mean);
+    }
+
+    #[test]
+    fn ci_shrinks_with_trials() {
+        // Same underlying noise, more trials → tighter CI.
+        let noisy = |t: u32, _s: u64| if t.is_multiple_of(2) { 0.0 } else { 1.0 };
+        let small = run(10, 0, noisy).unwrap();
+        let large = run(1000, 0, noisy).unwrap();
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+}

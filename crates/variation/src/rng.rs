@@ -1,0 +1,98 @@
+//! Seedable RNG used by the variation models.
+//!
+//! Kept crate-local (rather than depending on `lcda-tensor`) so the
+//! variation crate stays a leaf dependency that `lcda-neurosim` can use
+//! without pulling in the tensor engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream for variation sampling.
+///
+/// # Example
+///
+/// ```
+/// use lcda_variation::VarRng;
+/// let mut a = VarRng::new(3);
+/// let mut b = VarRng::new(3);
+/// assert_eq!(a.normal(), b.normal());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VarRng {
+    inner: StdRng,
+}
+
+impl VarRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        VarRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream (one per MC trial / chip
+    /// instance).
+    pub fn fork(&mut self, salt: u64) -> VarRng {
+        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        VarRng::new(s)
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo == hi {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Raw `u64` for seed derivation.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = VarRng::new(5);
+        let mut b = VarRng::new(5);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut r = VarRng::new(1);
+        let n = 10_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.06);
+        assert!((var - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn forks_differ() {
+        let mut parent = VarRng::new(2);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,469 @@
+//! Individual non-ideality sources operating on normalized conductances.
+//!
+//! Each source implements [`VariationSource`] and transforms a conductance
+//! in the normalized window `[0, 1]`. Sources compose in the physical
+//! order: quantize at programming time → temporal programming noise →
+//! local spatial offset → stuck-at faults → global multiplicative drift.
+
+use crate::{ValueDependence, VarRng, VariationConfig};
+
+/// A single non-ideality applied to a normalized conductance.
+pub trait VariationSource {
+    /// Applies the non-ideality to a conductance `g ∈ [0, 1]` using the
+    /// per-trial random stream.
+    fn apply(&self, g: f32, rng: &mut VarRng) -> f32;
+
+    /// A short, stable name for logs and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Quantization to `levels` programmable conductance states.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantization {
+    levels: u32,
+}
+
+impl Quantization {
+    /// Creates a quantizer; `levels == 0` means analog (identity).
+    pub fn new(levels: u32) -> Self {
+        Quantization { levels }
+    }
+}
+
+impl VariationSource for Quantization {
+    fn apply(&self, g: f32, _rng: &mut VarRng) -> f32 {
+        if self.levels < 2 {
+            return g.clamp(0.0, 1.0);
+        }
+        let steps = (self.levels - 1) as f32;
+        (g.clamp(0.0, 1.0) * steps).round() / steps
+    }
+
+    fn name(&self) -> &'static str {
+        "quantization"
+    }
+}
+
+/// Temporal programming variation: additive Gaussian whose σ may depend on
+/// the programmed value.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalVariation {
+    sigma: f32,
+    dependence: ValueDependence,
+}
+
+impl TemporalVariation {
+    /// Creates the source from a base σ and a value-dependence profile.
+    pub fn new(sigma: f32, dependence: ValueDependence) -> Self {
+        TemporalVariation { sigma, dependence }
+    }
+}
+
+impl VariationSource for TemporalVariation {
+    fn apply(&self, g: f32, rng: &mut VarRng) -> f32 {
+        if self.sigma == 0.0 {
+            return g;
+        }
+        let s = self.sigma * self.dependence.scale(g);
+        (g + s * rng.normal()).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "temporal"
+    }
+}
+
+/// Local spatial variation: an independent additive offset per device.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSpatialVariation {
+    sigma: f32,
+}
+
+impl LocalSpatialVariation {
+    /// Creates the source from its σ.
+    pub fn new(sigma: f32) -> Self {
+        LocalSpatialVariation { sigma }
+    }
+}
+
+impl VariationSource for LocalSpatialVariation {
+    fn apply(&self, g: f32, rng: &mut VarRng) -> f32 {
+        if self.sigma == 0.0 {
+            return g;
+        }
+        (g + self.sigma * rng.normal()).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "spatial-local"
+    }
+}
+
+/// Stuck-at faults: with small probability the device reads as fully off
+/// or fully on regardless of the programmed value.
+#[derive(Debug, Clone, Copy)]
+pub struct StuckAtFault {
+    off_rate: f64,
+    on_rate: f64,
+}
+
+impl StuckAtFault {
+    /// Creates the source from stuck-at-off / stuck-at-on probabilities.
+    pub fn new(off_rate: f64, on_rate: f64) -> Self {
+        StuckAtFault { off_rate, on_rate }
+    }
+}
+
+impl VariationSource for StuckAtFault {
+    fn apply(&self, g: f32, rng: &mut VarRng) -> f32 {
+        // A single uniform draw decides off / on / healthy so the two fault
+        // modes are mutually exclusive.
+        let u = rng.uniform(0.0, 1.0) as f64;
+        if u < self.off_rate {
+            0.0
+        } else if u < self.off_rate + self.on_rate {
+            1.0
+        } else {
+            g
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stuck-at"
+    }
+}
+
+/// Chip-wide multiplicative drift: one factor per chip instance, applied to
+/// every device. Sampled once via [`GlobalDrift::sample`] and then applied
+/// deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalDrift {
+    factor: f32,
+}
+
+impl GlobalDrift {
+    /// Samples a chip-instance drift factor `~ N(1, sigma)` (clamped to be
+    /// positive).
+    pub fn sample(sigma: f32, rng: &mut VarRng) -> Self {
+        let factor = if sigma == 0.0 {
+            1.0
+        } else {
+            (1.0 + sigma * rng.normal()).max(0.05)
+        };
+        GlobalDrift { factor }
+    }
+
+    /// The sampled multiplicative factor.
+    pub fn factor(&self) -> f32 {
+        self.factor
+    }
+}
+
+impl VariationSource for GlobalDrift {
+    fn apply(&self, g: f32, _rng: &mut VarRng) -> f32 {
+        (g * self.factor).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "spatial-global"
+    }
+}
+
+/// The full per-chip-instance non-ideality pipeline assembled from a
+/// [`VariationConfig`].
+#[derive(Debug, Clone)]
+pub struct VariationPipeline {
+    quant: Quantization,
+    temporal: TemporalVariation,
+    local_sigma: f32,
+    stuck: StuckAtFault,
+    drift: GlobalDrift,
+    write_verify: Option<crate::WriteVerifyConfig>,
+    retention: Option<crate::RetentionConfig>,
+}
+
+impl VariationPipeline {
+    /// Instantiates the pipeline for one chip instance (one Monte-Carlo
+    /// trial): the global drift is sampled here, per-device noise is
+    /// sampled in [`VariationPipeline::program`].
+    pub fn for_chip(config: &VariationConfig, rng: &mut VarRng) -> Self {
+        VariationPipeline {
+            quant: Quantization::new(config.levels),
+            temporal: TemporalVariation::new(config.temporal_sigma, config.value_dependence),
+            local_sigma: config.spatial_local_sigma,
+            stuck: StuckAtFault::new(config.stuck_at_off_rate, config.stuck_at_on_rate),
+            drift: GlobalDrift::sample(config.spatial_global_sigma, rng),
+            write_verify: config.write_verify,
+            retention: config.retention,
+        }
+    }
+
+    /// Simulates programming a target conductance into one device of this
+    /// chip instance and reading it back.
+    pub fn program(&self, g_target: f32, rng: &mut VarRng) -> f32 {
+        self.program_with_writes(g_target, rng).0
+    }
+
+    /// Like [`VariationPipeline::program`] but also reports the number of
+    /// programming pulses used (1 without write-verify) so callers can
+    /// account for write energy.
+    pub fn program_with_writes(&self, g_target: f32, rng: &mut VarRng) -> (f32, u32) {
+        let q_target = self.quant.apply(g_target, rng);
+        // The device's local spatial offset is a fixed manufacturing
+        // property: sampled once, constant across verify iterations.
+        let offset = self.local_sigma * rng.normal();
+        let one_pulse = |rng: &mut VarRng| -> f32 {
+            (self.temporal.apply(q_target, rng) + offset).clamp(0.0, 1.0)
+        };
+        let (g_programmed, writes) = match &self.write_verify {
+            None => (one_pulse(rng), 1),
+            Some(wv) => {
+                let mut g = one_pulse(rng);
+                let mut writes = 1;
+                // Verify readback sees the full programming error
+                // (temporal + local offset); reprogram while out of
+                // tolerance and budget remains.
+                while (g - q_target).abs() > wv.tolerance && writes < wv.max_iterations {
+                    g = one_pulse(rng);
+                    writes += 1;
+                }
+                (g, writes)
+            }
+        };
+        let g = self.stuck.apply(g_programmed, rng);
+        (self.drift.apply(g, rng), writes)
+    }
+
+    /// Reads back a conductance `elapsed_seconds` after programming:
+    /// applies the retention power law on top of the programming result.
+    /// Stuck-at-on devices keep reading high (their conduction path is
+    /// not a programmed filament), so drift applies to the programmed
+    /// value before the fault model.
+    pub fn read_after(&self, g_target: f32, elapsed_seconds: f64, rng: &mut VarRng) -> f32 {
+        let g = self.program(g_target, rng);
+        match &self.retention {
+            None => g,
+            Some(r) => (g * r.factor(elapsed_seconds)).clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VariationConfig;
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let q = Quantization::new(5); // levels at 0, .25, .5, .75, 1
+        let mut rng = VarRng::new(0);
+        assert_eq!(q.apply(0.30, &mut rng), 0.25);
+        assert_eq!(q.apply(0.40, &mut rng), 0.5);
+        assert_eq!(q.apply(1.7, &mut rng), 1.0);
+        assert_eq!(q.apply(-0.3, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn analog_quantization_is_identity() {
+        let q = Quantization::new(0);
+        let mut rng = VarRng::new(0);
+        assert_eq!(q.apply(0.333, &mut rng), 0.333);
+    }
+
+    #[test]
+    fn temporal_zero_sigma_is_identity() {
+        let t = TemporalVariation::new(0.0, ValueDependence::Linear);
+        let mut rng = VarRng::new(0);
+        assert_eq!(t.apply(0.5, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn temporal_noise_has_expected_spread() {
+        let t = TemporalVariation::new(0.1, ValueDependence::Constant);
+        let mut rng = VarRng::new(1);
+        let n = 5000;
+        let xs: Vec<f32> = (0..n).map(|_| t.apply(0.5, &mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let std = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32).sqrt();
+        assert!((mean - 0.5).abs() < 0.01);
+        assert!((std - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn value_dependent_noise_larger_at_high_g() {
+        let t = TemporalVariation::new(0.05, ValueDependence::Linear);
+        let mut rng = VarRng::new(2);
+        let spread = |g: f32, rng: &mut VarRng| {
+            let xs: Vec<f32> = (0..4000).map(|_| t.apply(g, rng)).collect();
+            let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / xs.len() as f32).sqrt()
+        };
+        // g=0.9 keeps samples inside [0,1] so clamping doesn't bias the std.
+        assert!(spread(0.8, &mut rng) > spread(0.1, &mut rng) * 1.3);
+    }
+
+    #[test]
+    fn stuck_at_rates_observed() {
+        let s = StuckAtFault::new(0.1, 0.05);
+        let mut rng = VarRng::new(3);
+        let n = 20_000;
+        let mut off = 0;
+        let mut on = 0;
+        for _ in 0..n {
+            let g = s.apply(0.5, &mut rng);
+            if g == 0.0 {
+                off += 1;
+            } else if g == 1.0 {
+                on += 1;
+            }
+        }
+        let off_rate = off as f64 / n as f64;
+        let on_rate = on as f64 / n as f64;
+        assert!((off_rate - 0.1).abs() < 0.01, "off {off_rate}");
+        assert!((on_rate - 0.05).abs() < 0.01, "on {on_rate}");
+    }
+
+    #[test]
+    fn global_drift_is_constant_per_chip() {
+        let mut rng = VarRng::new(4);
+        let d = GlobalDrift::sample(0.1, &mut rng);
+        let mut r2 = VarRng::new(9);
+        let a = d.apply(0.5, &mut r2);
+        let b = d.apply(0.5, &mut r2);
+        assert_eq!(a, b);
+        assert!((a / 0.5 - d.factor()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_pipeline_is_identity_up_to_quantization() {
+        let cfg = VariationConfig::ideal();
+        let mut rng = VarRng::new(5);
+        let p = VariationPipeline::for_chip(&cfg, &mut rng);
+        for g in [0.0, 0.25, 0.333, 1.0] {
+            assert_eq!(p.program(g, &mut rng), g.clamp(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn pipeline_outputs_stay_in_window() {
+        let cfg = VariationConfig::rram_severe();
+        let mut rng = VarRng::new(6);
+        let p = VariationPipeline::for_chip(&cfg, &mut rng);
+        for i in 0..2000 {
+            let g = (i % 11) as f32 / 10.0;
+            let out = p.program(g, &mut rng);
+            assert!((0.0..=1.0).contains(&out), "g={g} out={out}");
+        }
+    }
+
+    #[test]
+    fn source_names_nonempty() {
+        let mut rng = VarRng::new(0);
+        let sources: Vec<Box<dyn VariationSource>> = vec![
+            Box::new(Quantization::new(4)),
+            Box::new(TemporalVariation::new(0.1, ValueDependence::Constant)),
+            Box::new(LocalSpatialVariation::new(0.1)),
+            Box::new(StuckAtFault::new(0.0, 0.0)),
+            Box::new(GlobalDrift::sample(0.0, &mut rng)),
+        ];
+        for s in &sources {
+            assert!(!s.name().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod write_verify_tests {
+    use super::*;
+    use crate::{VariationConfig, WriteVerifyConfig};
+
+    fn spread(cfg: &VariationConfig, n: u32, seed: u64) -> (f32, f64) {
+        // (error std around target, mean writes per device)
+        let mut rng = VarRng::new(seed);
+        let p = VariationPipeline::for_chip(cfg, &mut rng);
+        let mut sq = 0.0f64;
+        let mut writes = 0u64;
+        for _ in 0..n {
+            let (g, w) = p.program_with_writes(0.5, &mut rng);
+            sq += f64::from((g - 0.5) * (g - 0.5));
+            writes += u64::from(w);
+        }
+        (
+            ((sq / f64::from(n)) as f32).sqrt(),
+            writes as f64 / f64::from(n),
+        )
+    }
+
+    fn rram_no_drift() -> VariationConfig {
+        // Isolate the programming error: no global drift, no faults, no
+        // quantization (0.5 is on-grid anyway for even level counts).
+        let mut cfg = VariationConfig::rram_moderate();
+        cfg.spatial_global_sigma = 0.0;
+        cfg.stuck_at_off_rate = 0.0;
+        cfg.stuck_at_on_rate = 0.0;
+        cfg.levels = 0;
+        cfg
+    }
+
+    #[test]
+    fn write_verify_tightens_programming() {
+        let base = rram_no_drift();
+        let wv = base.clone().with_write_verify(WriteVerifyConfig {
+            max_iterations: 20,
+            tolerance: 0.01,
+        });
+        let (std_base, w_base) = spread(&base, 4000, 1);
+        let (std_wv, w_wv) = spread(&wv, 4000, 1);
+        assert!(std_wv < std_base / 3.0, "std {std_wv} vs {std_base}");
+        assert!((w_base - 1.0).abs() < 1e-9);
+        assert!(w_wv > 2.0, "verify should need extra pulses, got {w_wv}");
+    }
+
+    #[test]
+    fn write_verify_respects_iteration_budget() {
+        let wv = rram_no_drift().with_write_verify(WriteVerifyConfig {
+            max_iterations: 3,
+            tolerance: 1e-6, // practically unreachable
+        });
+        let (_, w) = spread(&wv, 500, 2);
+        assert!(w <= 3.0 + 1e-9);
+        assert!(w > 2.5, "budget should be exhausted, got {w}");
+    }
+
+    #[test]
+    fn write_verify_cannot_fix_stuck_at() {
+        let mut cfg = rram_no_drift().with_write_verify(WriteVerifyConfig::standard());
+        cfg.stuck_at_off_rate = 0.2;
+        let mut rng = VarRng::new(3);
+        let p = VariationPipeline::for_chip(&cfg, &mut rng);
+        let zeros = (0..2000)
+            .filter(|_| p.program(0.9, &mut rng) == 0.0)
+            .count();
+        let rate = zeros as f64 / 2000.0;
+        assert!((rate - 0.2).abs() < 0.03, "stuck-at rate {rate}");
+    }
+
+    #[test]
+    fn effective_sigma_and_severity_reflect_verify() {
+        let base = VariationConfig::rram_severe();
+        let wv = base.clone().with_write_verify(WriteVerifyConfig::standard());
+        assert!(wv.effective_programming_sigma() < base.effective_programming_sigma());
+        assert!(wv.severity() < base.severity());
+    }
+
+    #[test]
+    fn write_verify_validation() {
+        let bad = VariationConfig::ideal().with_write_verify(WriteVerifyConfig {
+            max_iterations: 0,
+            tolerance: 0.01,
+        });
+        assert!(bad.validate().is_err());
+        let bad = VariationConfig::ideal().with_write_verify(WriteVerifyConfig {
+            max_iterations: 5,
+            tolerance: 2.0,
+        });
+        assert!(bad.validate().is_err());
+        let good = VariationConfig::ideal().with_write_verify(WriteVerifyConfig::standard());
+        assert!(good.validate().is_ok());
+    }
+}

@@ -1,0 +1,78 @@
+//! Search the accuracy-energy Pareto front *directly* with NSGA-II
+//! (NSGA-Net style, the paper's reference [14]) instead of scalarizing
+//! the trade-off, and compare the evolved front against the fronts the
+//! scalarized LCDA and NACIM searches leave behind.
+//!
+//! ```sh
+//! cargo run --release --example pareto_explorer
+//! ```
+
+use lcda::core::mo::MultiObjectiveCoDesign;
+use lcda::core::pareto::{hypervolume, pareto_front, TradeoffPoint};
+use lcda::core::space::DesignSpace;
+use lcda::core::{CoDesign, CoDesignConfig, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = DesignSpace::nacim_cifar10();
+    let seed = 4;
+
+    println!("running NSGA-II (240 evaluations, objective vector = accuracy, −energy)…");
+    let mut nsga = MultiObjectiveCoDesign::new(
+        space.clone(),
+        Objective::AccuracyEnergy,
+        240,
+        seed,
+    )?;
+    let mo = nsga.run()?;
+
+    println!("running scalarized LCDA (20 episodes) and NACIM (500 episodes) for comparison…");
+    let lcda = CoDesign::with_expert_llm(
+        space.clone(),
+        CoDesignConfig::builder(Objective::AccuracyEnergy)
+            .episodes(20)
+            .seed(seed)
+            .build(),
+    )?
+    .run()?;
+    let nacim = CoDesign::with_rl(
+        space,
+        CoDesignConfig::builder(Objective::AccuracyEnergy)
+            .episodes(500)
+            .seed(seed)
+            .build(),
+    )?
+    .run()?;
+
+    println!("\nNSGA-II front ({} designs):", mo.front.len());
+    let mut front = mo.front.clone();
+    front.sort_by(|a, b| a.2.total_cmp(&b.2));
+    for (d, acc, cost) in &front {
+        println!("  acc {acc:.3} @ {cost:.3e} pJ   {d}");
+    }
+
+    let as_points = |pts: Vec<(f64, f64)>| -> Vec<TradeoffPoint> {
+        pts.into_iter()
+            .map(|(a, c)| TradeoffPoint::new(a, c))
+            .collect()
+    };
+    let hv = |pts: &[TradeoffPoint]| hypervolume(&pareto_front(pts), 0.0, 8.0e7);
+    let nsga_pts: Vec<TradeoffPoint> = front
+        .iter()
+        .map(|(_, a, c)| TradeoffPoint::new(*a, *c))
+        .collect();
+    let hv_nsga = hv(&nsga_pts);
+    let hv_lcda = hv(&as_points(lcda.accuracy_energy_points()));
+    let hv_nacim = hv(&as_points(nacim.accuracy_energy_points()));
+
+    println!("\nhypervolume (bigger = better front, ref acc 0 / cost 8e7 pJ):");
+    println!("  NSGA-II @240   {hv_nsga:.3e}");
+    println!("  LCDA    @20    {hv_lcda:.3e}");
+    println!("  NACIM   @500   {hv_nacim:.3e}");
+    println!(
+        "\nThe evolutionary front search needs {}x LCDA's evaluation budget to build \
+         its front — the cold-start cost the paper's LLM knowledge avoids — while the \
+         scalarized searches only keep what their single reward asked for.",
+        240 / 20
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run one LCDA co-design search and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lcda::core::space::DesignSpace;
+use lcda::core::{CoDesign, CoDesignConfig, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The NACIM CIFAR-10 search problem from the paper: six convolution
+    // layers × (channels, kernel), plus crossbar size / ADC resolution /
+    // cell precision / device technology.
+    let space = DesignSpace::nacim_cifar10();
+    println!(
+        "design space: {} candidate designs",
+        space.choices.space_size()
+    );
+
+    // LCDA explores just 20 episodes (the paper's headline budget).
+    let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(20)
+        .seed(42)
+        .build();
+    let mut run = CoDesign::with_expert_llm(space, config)?;
+    let outcome = run.run()?;
+
+    println!("\nepisode  reward    accuracy  energy(pJ)     design");
+    for r in &outcome.history {
+        match &r.hw {
+            Some(hw) => println!(
+                "{:>7}  {:>+7.3}   {:>6.3}    {:>10.3e}  {}",
+                r.episode, r.reward, r.accuracy, hw.energy_pj, r.design
+            ),
+            None => println!(
+                "{:>7}  {:>+7.3}   (invalid hardware: over area budget)",
+                r.episode, r.reward
+            ),
+        }
+    }
+
+    println!("\nbest design after 20 episodes:");
+    println!("  {}", outcome.best.design);
+    println!("  reward   {:+.3}", outcome.best.reward);
+    println!("  accuracy {:.3}", outcome.best.accuracy);
+    if let Some(hw) = &outcome.best.hw {
+        println!("  energy   {:.3e} pJ (ISAAC reference: 8e7 pJ)", hw.energy_pj);
+        println!("  latency  {:.0} ns ({:.0} FPS)", hw.latency_ns, hw.fps());
+        println!("  area     {:.2} mm²", hw.area_mm2);
+    }
+    Ok(())
+}

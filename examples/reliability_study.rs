@@ -1,0 +1,116 @@
+//! Reliability engineering on the real training/evaluation path: measure
+//! what noise-injection training (§III-C), data augmentation and
+//! write-verify programming (SWIM, the paper's reference \[5\]) each do to
+//! Monte-Carlo accuracy under a severe RRAM corner — and how fast
+//! retention drift erodes a BatchNorm network. The point is measurement,
+//! not advocacy: at this tiny scale (96 samples, 8×8 images, accuracy
+//! measured on the training set) the training-time regularizers trade
+//! raw fit for robustness, while the programming-time fix is a clean win.
+//!
+//! ```sh
+//! cargo run --release --example reliability_study
+//! ```
+
+use lcda::dnn::arch::Architecture;
+use lcda::dnn::dataset::{Augmentation, SynthCifar};
+use lcda::dnn::mc_eval::{mc_accuracy, McEvalConfig};
+use lcda::dnn::trainer::{TrainConfig, Trainer};
+use lcda::variation::{RetentionConfig, VariationConfig, WriteVerifyConfig};
+
+fn train(
+    data: &SynthCifar,
+    noise_injection: Option<VariationConfig>,
+    augment: bool,
+) -> Result<lcda::dnn::network::Network, Box<dyn std::error::Error>> {
+    let net = Architecture::tiny_test().with_batch_norm().build(99)?;
+    let mut cfg = TrainConfig::fast_test();
+    cfg.epochs = 12;
+    if let Some(corner) = noise_injection {
+        cfg = cfg.with_noise_injection(corner);
+    }
+    if augment {
+        cfg = cfg.with_augmentation(Augmentation::standard());
+    }
+    let mut trainer = Trainer::new(net, cfg);
+    trainer.fit(data)?;
+    Ok(trainer.into_network())
+}
+
+fn mc(
+    net: &mut lcda::dnn::network::Network,
+    data: &SynthCifar,
+    variation: VariationConfig,
+    elapsed_seconds: f64,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    Ok(f64::from(
+        mc_accuracy(
+            net,
+            data,
+            &McEvalConfig {
+                trials: 8,
+                variation,
+                seed: 13,
+                elapsed_seconds,
+            },
+        )?
+        .mean,
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthCifar::generate_classes(96, 8, 4, 61)?;
+    let corner = VariationConfig::rram_severe();
+
+    println!("training four variants of the same tiny network (severe RRAM corner)…\n");
+    let mut plain = train(&data, None, false)?;
+    let mut ni = train(&data, Some(corner.clone()), false)?;
+    let mut ni_aug = train(&data, Some(corner.clone()), true)?;
+    let mut ni_all = train(&data, Some(corner.clone()), true)?;
+
+    let wv = corner.clone().with_write_verify(WriteVerifyConfig::standard());
+    println!("{:<42} {:>9}", "configuration", "mc-acc");
+    println!(
+        "{:<42} {:>9.3}",
+        "plain training",
+        mc(&mut plain, &data, corner.clone(), 0.0)?
+    );
+    println!(
+        "{:<42} {:>9.3}",
+        "+ noise-injection training (§III-C)",
+        mc(&mut ni, &data, corner.clone(), 0.0)?
+    );
+    println!(
+        "{:<42} {:>9.3}",
+        "+ augmentation (flips/shifts)",
+        mc(&mut ni_aug, &data, corner.clone(), 0.0)?
+    );
+    println!(
+        "{:<42} {:>9.3}",
+        "+ write-verify programming (SWIM)",
+        mc(&mut ni_all, &data, wv.clone(), 0.0)?
+    );
+
+    println!("\nretention on the best variant (write-verify, PCM-like drift):");
+    let drifting = wv.with_retention(RetentionConfig::pcm_like());
+    for (label, secs) in [
+        ("fresh", 0.0),
+        ("1 day", 86_400.0),
+        ("1 month", 86_400.0 * 30.0),
+        ("1 year", 86_400.0 * 365.0),
+    ] {
+        println!(
+            "  {label:<9} {:>9.3}",
+            mc(&mut ni_all, &data, drifting.clone(), secs)?
+        );
+    }
+    println!(
+        "\nReadings: write-verify is a clean win (tighter conductances, no \
+         training cost). Noise-injection and augmentation are regularizers — on a \
+         96-sample task they give up training-set fit, which is what this table \
+         measures; their payoff is robustness at realistic data scales. The \
+         retention collapse is sharp because BatchNorm's running statistics go \
+         stale as every conductance drifts — a real deployment would re-calibrate \
+         BN or refresh the arrays."
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Swap the fast surrogate accuracy model for the *trained* evaluator:
+//! real CNNs, noise-injection training (§III-C), and Monte-Carlo accuracy
+//! under device variation — on the synthetic dataset, over a scaled-down
+//! design space so the run finishes in seconds.
+//!
+//! ```sh
+//! cargo run --release --example trained_evaluator
+//! ```
+
+use lcda::core::space::DesignSpace;
+use lcda::core::trained::{TrainedEvalConfig, TrainedEvaluator};
+use lcda::core::{CoDesign, CoDesignConfig, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The tiny space: 2 conv layers on 8×8 synthetic images, 4 classes.
+    let space = DesignSpace::tiny_test();
+    let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(6)
+        .seed(5)
+        .build();
+
+    let trained = TrainedEvaluator::new(
+        space.clone(),
+        TrainedEvalConfig {
+            train_samples: 128,
+            test_samples: 48,
+            epochs: 8,
+            mc_trials: 6,
+            seed: 5,
+        },
+    )?;
+
+    println!("co-designing with REAL training per candidate (noise-injection + MC eval)…\n");
+    let mut run = CoDesign::with_expert_llm(space, config)?
+        .with_accuracy_evaluator(Box::new(trained));
+    let outcome = run.run()?;
+
+    println!("episode  reward    mc-accuracy  design");
+    for r in &outcome.history {
+        println!(
+            "{:>7}  {:>+7.3}   {:>6.3}       {}",
+            r.episode, r.reward, r.accuracy, r.design
+        );
+    }
+    println!("\nbest: {} (reward {:+.3})", outcome.best.design, outcome.best.reward);
+    println!(
+        "\nEvery candidate above was actually trained with weights perturbed the \
+         way crossbar programming perturbs them, then evaluated across Monte-Carlo \
+         chip instances — the paper's §III-C evaluator, end to end."
+    );
+    Ok(())
+}

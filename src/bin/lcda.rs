@@ -1,0 +1,234 @@
+//! `lcda` — command-line front end to the co-design framework.
+//!
+//! ```sh
+//! lcda search --optimizer expert --objective energy --episodes 20 --seed 42
+//! lcda evaluate --design "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]"
+//! lcda front --episodes 240 --seed 1
+//! lcda reference
+//! ```
+
+use lcda::core::mo::MultiObjectiveCoDesign;
+use lcda::core::space::DesignSpace;
+use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::llm::parse::parse_design;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lcda — LLM-guided SW/HW co-design of CiM DNN accelerators
+
+USAGE:
+    lcda <command> [options]
+
+COMMANDS:
+    search      run a co-design search
+    evaluate    score one design (accuracy, energy, latency, reward)
+    front       evolve the accuracy-cost Pareto front with NSGA-II
+    reference   print the ISAAC reference design's metrics
+    help        show this message
+
+SEARCH OPTIONS:
+    --optimizer <expert|finetuned|adaptive|naive|rl|genetic|random>   (default expert)
+    --objective <energy|latency>                             (default energy)
+    --episodes <n>                                           (default 20)
+    --seed <n>                                               (default 0)
+    --json                                                   emit JSON
+
+EVALUATE OPTIONS:
+    --design <rollout text>     e.g. \"[[32,3],...,[128,3]] | hw: [128,8,2,rram]\"
+    --objective <energy|latency>
+    --json
+
+FRONT OPTIONS:
+    --episodes <n>   (default 240)    --seed <n>    --objective <energy|latency>
+";
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--json`.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.items.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.items.iter().any(|a| a == key)
+    }
+
+    fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn objective(&self) -> Result<Objective, String> {
+        match self.get("--objective").unwrap_or("energy") {
+            "energy" => Ok(Objective::AccuracyEnergy),
+            "latency" => Ok(Objective::AccuracyLatency),
+            other => Err(format!("unknown objective `{other}` (energy|latency)")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args {
+        items: argv[1..].to_vec(),
+    };
+    let result = match command.as_str() {
+        "search" => cmd_search(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "front" => cmd_front(&args),
+        "reference" => cmd_reference(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let objective = args.objective()?;
+    let episodes = args.num("--episodes", 20)? as u32;
+    let seed = args.num("--seed", 0)?;
+    let optimizer = args.get("--optimizer").unwrap_or("expert");
+    let space = DesignSpace::nacim_cifar10();
+    let config = CoDesignConfig::builder(objective)
+        .episodes(episodes)
+        .seed(seed)
+        .build();
+    let run = match optimizer {
+        "expert" => CoDesign::with_expert_llm(space, config),
+        "finetuned" => CoDesign::with_finetuned_llm(space, config),
+        "adaptive" => CoDesign::with_adaptive_llm(space, config),
+        "naive" => CoDesign::with_naive_llm(space, config),
+        "rl" => CoDesign::with_rl(space, config),
+        "genetic" => CoDesign::with_genetic(space, config),
+        "random" => CoDesign::with_random(space, config),
+        other => return Err(format!("unknown optimizer `{other}`")),
+    };
+    let outcome = run
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+    if args.flag("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "{} · {} · {episodes} episodes · seed {seed}\n",
+        outcome.optimizer,
+        objective.name()
+    );
+    println!("episode  reward    accuracy  design");
+    for r in &outcome.history {
+        println!(
+            "{:>7}  {:>+7.3}   {:>6.3}    {}",
+            r.episode, r.reward, r.accuracy, r.design
+        );
+    }
+    println!(
+        "\nbest: {} (reward {:+.3})",
+        outcome.best.design, outcome.best.reward
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let text = args
+        .get("--design")
+        .ok_or("evaluate requires --design <rollout text>")?;
+    let objective = args.objective()?;
+    let space = DesignSpace::nacim_cifar10();
+    let design = parse_design(text, &space.choices).map_err(|e| e.to_string())?;
+    let config = CoDesignConfig::builder(objective).episodes(1).seed(0).build();
+    let mut scorer =
+        CoDesign::with_random(space, config).map_err(|e| e.to_string())?;
+    let record = scorer
+        .evaluate_design(0, design)
+        .map_err(|e| e.to_string())?;
+    if args.flag("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("design   {}", record.design);
+    println!("reward   {:+.4} ({})", record.reward, objective.name());
+    println!("accuracy {:.4}", record.accuracy);
+    match &record.hw {
+        Some(hw) => {
+            println!("energy   {:.4e} pJ   ({:.3}x ISAAC)", hw.energy_pj, hw.energy_pj / 8.0e7);
+            println!("latency  {:.0} ns   ({:.0} FPS)", hw.latency_ns, hw.fps());
+            println!("area     {:.3} mm²", hw.area_mm2);
+            println!("leakage  {:.1} µW", hw.leakage_uw);
+        }
+        None => println!("hardware INVALID (over area budget) → reward -1"),
+    }
+    Ok(())
+}
+
+fn cmd_front(args: &Args) -> Result<(), String> {
+    let objective = args.objective()?;
+    let episodes = args.num("--episodes", 240)? as u32;
+    let seed = args.num("--seed", 0)?;
+    let mut run = MultiObjectiveCoDesign::new(
+        DesignSpace::nacim_cifar10(),
+        objective,
+        episodes,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let outcome = run.run().map_err(|e| e.to_string())?;
+    let mut front = outcome.front;
+    front.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let unit = match objective {
+        Objective::AccuracyEnergy => "pJ",
+        Objective::AccuracyLatency => "ns",
+    };
+    println!(
+        "NSGA-II front after {episodes} evaluations ({}):\n",
+        objective.name()
+    );
+    for (d, acc, cost) in &front {
+        println!("  acc {acc:.3} @ {cost:.4e} {unit}   {d}");
+    }
+    Ok(())
+}
+
+fn cmd_reference(args: &Args) -> Result<(), String> {
+    let space = DesignSpace::nacim_cifar10();
+    let design = space.reference_design();
+    let text = design.to_response_text();
+    cmd_evaluate(&Args {
+        items: vec![
+            "--design".to_string(),
+            text,
+            if args.flag("--json") { "--json" } else { "--no-json" }.to_string(),
+        ],
+    })
+}

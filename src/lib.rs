@@ -1,0 +1,44 @@
+//! # lcda
+//!
+//! Facade crate for the LCDA reproduction — *On the Viability of Using LLMs
+//! for SW/HW Co-Design: An Example in Designing CiM DNN Accelerators*
+//! (SOCC 2023).
+//!
+//! This crate re-exports the public API of every subsystem so downstream
+//! users can depend on a single crate:
+//!
+//! - [`tensor`] — dense tensor engine with explicit backward passes,
+//! - [`dnn`] — CNN layers, noise-injection training, Monte-Carlo accuracy,
+//! - [`variation`] — NVM device variation models and Monte-Carlo engine,
+//! - [`neurosim`] — NeuroSim-style CiM accelerator cost macro model,
+//! - [`llm`] — prompt rendering, response parsing and the simulated LLM,
+//! - [`optim`] — RL (NACIM), genetic, random and LLM design optimizers,
+//! - [`core`] — the LCDA co-design loop, reward functions and analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcda::core::{CoDesign, CoDesignConfig, Objective};
+//! use lcda::core::space::DesignSpace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = DesignSpace::nacim_cifar10();
+//! let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+//!     .episodes(5)
+//!     .seed(42)
+//!     .build();
+//! let mut run = CoDesign::with_expert_llm(space, config)?;
+//! let outcome = run.run()?;
+//! assert_eq!(outcome.history.len(), 5);
+//! println!("best reward {:.3}", outcome.best.reward);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lcda_core as core;
+pub use lcda_dnn as dnn;
+pub use lcda_llm as llm;
+pub use lcda_neurosim as neurosim;
+pub use lcda_optim as optim;
+pub use lcda_tensor as tensor;
+pub use lcda_variation as variation;

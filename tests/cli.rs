@@ -1,0 +1,112 @@
+//! Integration tests for the `lcda` command-line binary.
+
+use std::process::Command;
+
+fn lcda(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lcda"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = lcda(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("search"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let (ok, _, stderr) = lcda(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = lcda(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn reference_reports_isaac_anchors() {
+    let (ok, stdout, _) = lcda(&["reference"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("1.000x ISAAC"));
+    assert!(stdout.contains("1600 FPS"));
+}
+
+#[test]
+fn search_runs_and_reports_best() {
+    let (ok, stdout, _) = lcda(&[
+        "search",
+        "--episodes",
+        "4",
+        "--seed",
+        "5",
+        "--optimizer",
+        "random",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("best:"));
+    assert!(stdout.matches("\n      ").count() >= 1);
+}
+
+#[test]
+fn search_json_is_parseable() {
+    let (ok, stdout, _) = lcda(&[
+        "search", "--episodes", "3", "--seed", "1", "--json",
+    ]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["history"].as_array().unwrap().len(), 3);
+    assert!(v["best"]["reward"].is_number());
+}
+
+#[test]
+fn evaluate_accepts_design_text() {
+    let (ok, stdout, _) = lcda(&[
+        "evaluate",
+        "--design",
+        "[[16,3],[16,3],[24,3],[32,3],[64,3],[96,3]] | hw: [128,8,2,rram]",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("reward"));
+    assert!(stdout.contains("pJ"));
+}
+
+#[test]
+fn evaluate_rejects_malformed_design() {
+    let (ok, _, stderr) = lcda(&["evaluate", "--design", "not a design"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+}
+
+#[test]
+fn evaluate_rejects_bad_objective() {
+    let (ok, _, stderr) = lcda(&[
+        "evaluate",
+        "--design",
+        "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]",
+        "--objective",
+        "vibes",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown objective"));
+}
+
+#[test]
+fn front_prints_pareto_designs() {
+    let (ok, stdout, _) = lcda(&["front", "--episodes", "48", "--seed", "2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("NSGA-II front"));
+    assert!(stdout.contains("acc "));
+}

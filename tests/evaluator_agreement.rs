@@ -1,0 +1,110 @@
+//! Cross-checks the surrogate accuracy model against the *trained*
+//! evaluator (real noise-injection training + Monte-Carlo evaluation) on
+//! the scaled-down design space — the evidence that the substitution
+//! documented in DESIGN.md §1 preserves the orderings the search needs.
+
+use lcda::core::evaluate::AccuracyEvaluator;
+use lcda::core::space::DesignSpace;
+use lcda::core::surrogate::SurrogateEvaluator;
+use lcda::core::trained::{TrainedEvalConfig, TrainedEvaluator};
+use lcda::llm::design::CandidateDesign;
+
+fn tiny_designs(space: &DesignSpace) -> Vec<CandidateDesign> {
+    // The tiny space has 2 conv layers with channels {4, 8}, kernels
+    // {1, 3}: enumerate the SW corner points on fixed hardware.
+    let mut out = Vec::new();
+    for idx in [
+        vec![0usize, 0, 0, 0, 0, 0, 0, 0], // 4/k1, 4/k1 — smallest
+        vec![0, 1, 0, 1, 0, 0, 0, 0],      // 4/k3, 4/k3
+        vec![1, 1, 1, 1, 0, 0, 0, 0],      // 8/k3, 8/k3 — largest sensible
+    ] {
+        out.push(space.choices.decode(&idx).unwrap());
+    }
+    out
+}
+
+#[test]
+fn surrogate_and_trained_agree_on_capacity_ordering() {
+    let space = DesignSpace::tiny_test();
+    let designs = tiny_designs(&space);
+
+    let mut surrogate = SurrogateEvaluator::new(space.clone(), 0);
+    let mut trained = TrainedEvaluator::new(
+        space.clone(),
+        TrainedEvalConfig {
+            train_samples: 120,
+            test_samples: 48,
+            epochs: 8,
+            mc_trials: 4,
+            seed: 3,
+        },
+    )
+    .unwrap();
+
+    let s: Vec<f64> = designs
+        .iter()
+        .map(|d| surrogate.accuracy(d).unwrap())
+        .collect();
+    let t: Vec<f64> = designs
+        .iter()
+        .map(|d| trained.accuracy(d).unwrap())
+        .collect();
+
+    // Both evaluators must rank the largest k3 network above the smallest
+    // k1 network — the core capacity monotonicity the search exploits.
+    assert!(
+        s[2] > s[0],
+        "surrogate ordering broken: {s:?}"
+    );
+    assert!(
+        t[2] > t[0],
+        "trained ordering broken: {t:?}"
+    );
+    // And both place the k3 variant above the k1 variant at equal width.
+    assert!(s[1] > s[0]);
+    assert!(t[1] >= t[0] - 0.05, "trained: k3 {} vs k1 {}", t[1], t[0]);
+}
+
+#[test]
+fn trained_accuracy_degrades_under_severe_variation() {
+    // The trained evaluator must show the §II-B effect for real: the same
+    // design on a noisier technology loses Monte-Carlo accuracy.
+    let space = DesignSpace::tiny_test();
+    let design = space
+        .choices
+        .decode(&[1, 1, 1, 1, 0, 0, 0, 0])
+        .unwrap();
+
+    let mc_with = |variation: lcda::variation::VariationConfig| {
+        let arch = space.architecture(&design).unwrap();
+        let mut net = arch.build(1).unwrap();
+        let data =
+            lcda::dnn::dataset::SynthCifar::generate_classes(96, 8, 4, 2).unwrap();
+        let mut trainer = lcda::dnn::trainer::Trainer::new(net.clone(), {
+            let mut c = lcda::dnn::trainer::TrainConfig::fast_test();
+            c.epochs = 8;
+            c
+        });
+        trainer.fit(&data).unwrap();
+        net = trainer.into_network();
+        lcda::dnn::mc_eval::mc_accuracy(
+            &mut net,
+            &data,
+            &lcda::dnn::mc_eval::McEvalConfig {
+                trials: 6,
+                variation,
+                seed: 4,
+                elapsed_seconds: 0.0,
+            },
+        )
+        .unwrap()
+        .mean
+    };
+
+    let ideal = mc_with(lcda::variation::VariationConfig::ideal());
+    let severe = mc_with(lcda::variation::VariationConfig::rram_severe());
+    assert!(
+        severe <= ideal + 1e-6,
+        "severe corner should not beat ideal: {severe} vs {ideal}"
+    );
+}

@@ -1,0 +1,166 @@
+//! Failure-injection tests: malformed LLM output, out-of-space designs,
+//! degenerate configurations and hostile corners must fail loudly and
+//! recoverably — never panic, never silently corrupt a run.
+
+use lcda::core::space::DesignSpace;
+use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::llm::design::DesignChoices;
+use lcda::llm::parse::parse_design;
+use lcda::llm::prompt::PromptObjective;
+use lcda::llm::{LanguageModel, LlmError};
+use lcda::optim::llm_opt::LlmOptimizer;
+use lcda::optim::{Optimizer, OptimError};
+
+/// A model that emits a *valid-looking but out-of-space* design first,
+/// then garbage, then a correct design — stress-testing the retry path.
+struct FlakyModel {
+    calls: u32,
+}
+
+impl LanguageModel for FlakyModel {
+    fn complete(&mut self, _prompt: &str) -> lcda::llm::Result<String> {
+        self.calls += 1;
+        Ok(match self.calls {
+            1 => "[[999,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]".into(),
+            2 => "as an AI language model, I cannot suggest hardware designs".into(),
+            _ => "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]".into(),
+        })
+    }
+    fn model_name(&self) -> &str {
+        "flaky"
+    }
+}
+
+#[test]
+fn flaky_model_recovers_within_retry_budget() {
+    let mut opt = LlmOptimizer::new(
+        FlakyModel { calls: 0 },
+        DesignChoices::nacim_default(),
+        PromptObjective::AccuracyEnergy,
+    );
+    let d = opt.propose().expect("third attempt parses");
+    assert_eq!(d.conv[0].channels, 32);
+}
+
+/// A model that always claims kernel sizes outside the space.
+struct OutOfSpaceModel;
+
+impl LanguageModel for OutOfSpaceModel {
+    fn complete(&mut self, _prompt: &str) -> lcda::llm::Result<String> {
+        Ok("[[32,9],[32,9],[64,9],[64,9],[128,9],[128,9]]".into())
+    }
+    fn model_name(&self) -> &str {
+        "out-of-space"
+    }
+}
+
+#[test]
+fn persistent_out_of_space_exhausts_retries() {
+    let mut opt = LlmOptimizer::new(
+        OutOfSpaceModel,
+        DesignChoices::nacim_default(),
+        PromptObjective::AccuracyEnergy,
+    )
+    .max_retries(2);
+    match opt.propose() {
+        Err(OptimError::LlmRetriesExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn parser_rejects_every_malformed_shape() {
+    let choices = DesignChoices::nacim_default();
+    let cases = [
+        "",
+        "[",
+        "]]",
+        "[[]]",
+        "[[1],[2]]",
+        "[[32,3],[32,3],[64,3],[64,3],[128,3]]",                  // 5 pairs
+        "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3],[128,3]]",  // 7 pairs
+        "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,-3]]",         // negative
+        "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] hw: [128]", // short hw
+        "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] hw: [128,8,2,vacuum-tube]",
+    ];
+    for text in cases {
+        assert!(
+            parse_design(text, &choices).is_err(),
+            "should reject: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn parser_errors_are_informative() {
+    let choices = DesignChoices::nacim_default();
+    let err = parse_design("nothing to see here", &choices).unwrap_err();
+    match err {
+        LlmError::ParseResponse { reason, snippet } => {
+            assert!(!reason.is_empty());
+            assert!(!snippet.is_empty());
+        }
+        other => panic!("unexpected error kind: {other:?}"),
+    }
+}
+
+#[test]
+fn degenerate_spaces_rejected_not_panicking() {
+    let mut choices = DesignChoices::nacim_default();
+    choices.channel_options.clear();
+    assert!(choices.validate().is_err());
+    assert!(parse_design("[[32,3]]", &choices).is_err());
+}
+
+#[test]
+fn unintelligible_prompt_to_sim_llm_is_an_error() {
+    use lcda::llm::persona::Persona;
+    use lcda::llm::sim::SimLlm;
+    let mut llm = SimLlm::new(Persona::Pretrained, 0);
+    for prompt in ["", "objective: accuracy-energy", "channels: [16]"] {
+        assert!(llm.complete(prompt).is_err(), "prompt {prompt:?}");
+    }
+}
+
+#[test]
+fn zero_episode_configs_rejected_everywhere() {
+    let space = DesignSpace::nacim_cifar10();
+    let cfg = CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(0)
+        .seed(0)
+        .build();
+    assert!(CoDesign::with_expert_llm(space.clone(), cfg).is_err());
+    assert!(CoDesign::with_rl(space.clone(), cfg).is_err());
+    assert!(CoDesign::with_genetic(space.clone(), cfg).is_err());
+    assert!(CoDesign::with_random(space, cfg).is_err());
+}
+
+#[test]
+fn severe_stuck_at_corner_still_evaluates() {
+    // A hostile variation corner (high stuck-at rates) must produce a
+    // finite accuracy, not a crash.
+    use lcda::variation::weights::WeightPerturber;
+    use lcda::variation::VariationConfig;
+    let mut corner = VariationConfig::rram_severe();
+    corner.stuck_at_off_rate = 0.3;
+    corner.stuck_at_on_rate = 0.3;
+    corner.validate().unwrap();
+    let p = WeightPerturber::new(corner, 1.0);
+    let mut w = vec![0.5f32; 4096];
+    p.perturb(&mut w, 0);
+    assert!(w.iter().all(|x| x.is_finite()));
+    // Stuck-on devices in the differential pair can reach ±1 · w_max.
+    assert!(w.iter().all(|x| x.abs() <= 1.0 + 1e-6));
+}
+
+#[test]
+fn chip_rejects_impossible_configs_cleanly() {
+    use lcda::neurosim::chip::{Chip, ChipConfig};
+    let mut cfg = ChipConfig::isaac_default();
+    cfg.xbar.adc_share = 999; // does not divide cols
+    assert!(Chip::new(cfg).is_err());
+
+    let mut cfg = ChipConfig::isaac_default();
+    cfg.xbar.rows = 0;
+    assert!(Chip::new(cfg).is_err());
+}
