@@ -54,7 +54,10 @@ impl RewardCurve {
 
     /// The final best reward.
     pub fn final_best(&self) -> f64 {
-        self.best_so_far.last().copied().unwrap_or(f64::NEG_INFINITY)
+        self.best_so_far
+            .last()
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
     }
 }
 

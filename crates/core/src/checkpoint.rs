@@ -1,0 +1,185 @@
+//! Checkpoint/resume for the Algorithm-2 episode loop.
+//!
+//! A [`Checkpoint`] snapshots everything a killed `lcda search` run needs
+//! to continue: the run configuration, the optimizer's name, every
+//! episode record so far, and (for LLM optimizers) the conversation
+//! transcript. The snapshot is written as JSON after every episode via an
+//! atomic temp-file + rename, so a kill at any instant leaves either the
+//! previous or the new checkpoint on disk — never a torn file.
+//!
+//! Resume does **not** serialize RNG internals. Instead
+//! [`crate::CoDesign`] *replays* the recorded episodes through the
+//! freshly seeded optimizer — re-running `propose`/`observe` without
+//! touching the (expensive) evaluators — which restores optimizer state,
+//! RNG streams, and transcript bit-exactly. Replay cross-checks each
+//! re-proposed design against the recorded one and fails with
+//! [`crate::CoreError::Checkpoint`] when the checkpoint belongs to a
+//! different config or seed.
+
+use crate::codesign::{CoDesignConfig, EpisodeRecord};
+use crate::{CoreError, Result};
+use lcda_llm::transcript::ChatTranscript;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Format version stamped into every checkpoint file.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A point-in-time snapshot of a co-design run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The run configuration (objective, episode budget, master seed).
+    pub config: CoDesignConfig,
+    /// Name of the optimizer that produced the history.
+    pub optimizer: String,
+    /// Every completed episode, in order.
+    pub history: Vec<EpisodeRecord>,
+    /// The conversation transcript, for LLM-driven runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub transcript: Option<ChatTranscript>,
+}
+
+impl Checkpoint {
+    /// Snapshots a run in progress.
+    pub fn new(
+        config: CoDesignConfig,
+        optimizer: impl Into<String>,
+        history: Vec<EpisodeRecord>,
+        transcript: Option<ChatTranscript>,
+    ) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config,
+            optimizer: optimizer.into(),
+            history,
+            transcript,
+        }
+    }
+
+    /// Number of completed episodes in the snapshot.
+    pub fn episodes_done(&self) -> u32 {
+        self.history.len() as u32
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))
+    }
+
+    /// Deserializes from JSON, validating the format version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] for malformed JSON or an
+    /// unsupported version.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let cp: Checkpoint =
+            serde_json::from_str(json).map_err(|e| CoreError::Checkpoint(format!("parse: {e}")))?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(CoreError::Checkpoint(format!(
+                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                cp.version
+            )));
+        }
+        Ok(cp)
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`, so a kill mid-write never leaves a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)
+            .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))
+    }
+
+    /// Reads a checkpoint from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when the file cannot be read or
+    /// parsed.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        Checkpoint::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::Objective;
+
+    fn cfg() -> CoDesignConfig {
+        CoDesignConfig::builder(Objective::AccuracyEnergy)
+            .episodes(4)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cp = Checkpoint::new(cfg(), "lcda/sim-llm/pretrained", Vec::new(), None);
+        let json = cp.to_json().unwrap();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(back.episodes_done(), 0);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let cp = Checkpoint::new(cfg(), "x", Vec::new(), None);
+        let json = cp
+            .to_json()
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 99");
+        match Checkpoint::from_json(&json) {
+            Err(CoreError::Checkpoint(msg)) => assert!(msg.contains("version")),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(CoreError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lcda-ckpt-test-{}.json", std::process::id()));
+        let cp = Checkpoint::new(cfg(), "random", Vec::new(), None);
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp, back);
+        // No stray temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let path = std::env::temp_dir().join("lcda-ckpt-definitely-missing.json");
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+    }
+}

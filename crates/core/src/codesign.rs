@@ -13,12 +13,14 @@
 //! The same loop drives every optimizer (LLM, RL, GA, random), which is
 //! what makes the episode-count comparison of Fig. 3 fair.
 
+use crate::checkpoint::Checkpoint;
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics, NeurosimCostEvaluator};
 use crate::reward::{Objective, INVALID_REWARD};
 use crate::space::DesignSpace;
 use crate::surrogate::SurrogateEvaluator;
 use crate::{CoreError, Result};
 use lcda_llm::design::CandidateDesign;
+use lcda_llm::middleware::{resilient, FaultPlan, SimClock};
 use lcda_llm::persona::Persona;
 use lcda_llm::sim::SimLlm;
 use lcda_optim::genetic::{GaConfig, GeneticOptimizer};
@@ -59,9 +61,7 @@ impl CoDesignConfig {
     /// Returns [`CoreError::InvalidConfig`] for zero episodes.
     pub fn validate(&self) -> Result<()> {
         if self.episodes == 0 {
-            return Err(CoreError::InvalidConfig(
-                "episodes must be positive".into(),
-            ));
+            return Err(CoreError::InvalidConfig("episodes must be positive".into()));
         }
         Ok(())
     }
@@ -106,6 +106,12 @@ pub struct EpisodeRecord {
     pub hw: Option<HwMetrics>,
     /// The scalar reward fed back to the optimizer (−1 when invalid).
     pub reward: f64,
+    /// True when the evaluators returned non-finite accuracy/energy/
+    /// latency and the episode was quarantined: its metrics are replaced
+    /// by the invalid sentinel so NaN can never poison `best_so_far` or
+    /// the prompt history.
+    #[serde(default)]
+    pub quarantined: bool,
 }
 
 impl EpisodeRecord {
@@ -288,8 +294,7 @@ impl CoDesign {
     ///
     /// Returns configuration errors.
     pub fn with_genetic(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let opt =
-            GeneticOptimizer::new(space.choices.clone(), GaConfig::standard(), config.seed)?;
+        let opt = GeneticOptimizer::new(space.choices.clone(), GaConfig::standard(), config.seed)?;
         Self::with_defaults(space, config, Box::new(opt))
     }
 
@@ -300,6 +305,37 @@ impl CoDesign {
     /// Returns configuration errors.
     pub fn with_random(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
         let opt = RandomOptimizer::new(space.choices.clone(), config.seed);
+        Self::with_defaults(space, config, Box::new(opt))
+    }
+
+    /// LCDA with the pretrained persona behind the full resilience
+    /// middleware stack (fault injection → timeout → retry → circuit
+    /// breaker) and a random-search fallback for degraded mode.
+    ///
+    /// With [`FaultPlan::none`] the stack is transparent and the run is
+    /// bit-identical to [`CoDesign::with_expert_llm`]; under any fault
+    /// schedule within the retry/circuit budget it *stays* bit-identical,
+    /// because injected faults intercept calls without consuming the
+    /// simulated model's randomness.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors.
+    pub fn with_resilient_llm(
+        space: DesignSpace,
+        config: CoDesignConfig,
+        plan: FaultPlan,
+    ) -> Result<Self> {
+        let clock = SimClock::new();
+        let llm = SimLlm::new(Persona::Pretrained, config.seed);
+        let model = resilient(llm, plan, clock, config.seed);
+        let fallback = RandomOptimizer::new(space.choices.clone(), config.seed ^ 0x5EED);
+        let opt = LlmOptimizer::new(
+            model,
+            space.choices.clone(),
+            config.objective.prompt_objective(),
+        )
+        .with_fallback(Box::new(fallback));
         Self::with_defaults(space, config, Box::new(opt))
     }
 
@@ -317,12 +353,41 @@ impl CoDesign {
     /// are *not* failures: they score −1 and the loop continues, as the
     /// paper's prompt specifies.
     pub fn run(&mut self) -> Result<Outcome> {
+        self.run_resumable(None, |_| Ok(()))
+    }
+
+    /// Runs Algorithm 2 with checkpoint/resume support.
+    ///
+    /// `resume` restores a prior run: the recorded episodes are *replayed*
+    /// through the freshly seeded optimizer (re-running `propose` and
+    /// `observe` but skipping the evaluators), which restores optimizer
+    /// state, RNG streams and transcript bit-exactly without serializing
+    /// RNG internals. `on_checkpoint` is invoked with a fresh snapshot
+    /// after every completed episode — pass a closure that calls
+    /// [`Checkpoint::save`] to persist, or a no-op to run unpersisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when the checkpoint does not
+    /// belong to this run (different config, optimizer, or a replay that
+    /// diverges), and propagates component and `on_checkpoint` failures.
+    pub fn run_resumable(
+        &mut self,
+        resume: Option<Checkpoint>,
+        mut on_checkpoint: impl FnMut(&Checkpoint) -> Result<()>,
+    ) -> Result<Outcome> {
         let mut history: Vec<EpisodeRecord> = Vec::with_capacity(self.config.episodes as usize);
-        for episode in 0..self.config.episodes {
+        if let Some(cp) = resume {
+            self.replay(&cp)?;
+            history = cp.history;
+        }
+        for episode in history.len() as u32..self.config.episodes {
             let design = self.optimizer.propose()?;
             let record = self.evaluate_design(episode, design)?;
             self.optimizer.observe(&record.design, record.reward)?;
             history.push(record);
+            let snapshot = self.snapshot(&history);
+            on_checkpoint(&snapshot)?;
         }
         let best = history
             .iter()
@@ -336,13 +401,68 @@ impl CoDesign {
         })
     }
 
+    /// Snapshots the run after the episodes in `history`.
+    fn snapshot(&self, history: &[EpisodeRecord]) -> Checkpoint {
+        Checkpoint::new(
+            self.config,
+            self.optimizer.name(),
+            history.to_vec(),
+            self.optimizer.transcript().cloned(),
+        )
+    }
+
+    /// Replays a checkpoint's episodes through the optimizer, verifying
+    /// that each re-proposed design matches the recorded one.
+    fn replay(&mut self, cp: &Checkpoint) -> Result<()> {
+        // Objective and seed pin the run's identity; the episode budget
+        // may legitimately differ (resuming a killed run, or extending a
+        // finished one).
+        if cp.config.objective != self.config.objective || cp.config.seed != self.config.seed {
+            return Err(CoreError::Checkpoint(
+                "checkpoint was produced by a different run configuration \
+                 (objective/seed mismatch)"
+                    .into(),
+            ));
+        }
+        if cp.optimizer != self.optimizer.name() {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint optimizer `{}` does not match `{}`",
+                cp.optimizer,
+                self.optimizer.name()
+            )));
+        }
+        if cp.history.len() as u32 > self.config.episodes {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint has {} episodes but the budget is {}",
+                cp.history.len(),
+                self.config.episodes
+            )));
+        }
+        for rec in &cp.history {
+            let proposed = self.optimizer.propose()?;
+            if proposed != rec.design {
+                return Err(CoreError::Checkpoint(format!(
+                    "replay diverged at episode {}: the optimizer re-proposed a \
+                     different design (checkpoint from another seed?)",
+                    rec.episode
+                )));
+            }
+            self.optimizer.observe(&proposed, rec.reward)?;
+        }
+        Ok(())
+    }
+
     /// Evaluates one design exactly as an episode would (exposed so
     /// benches can score hand-picked designs).
     ///
     /// # Errors
     ///
     /// Propagates evaluator failures on *malformed* designs only.
-    pub fn evaluate_design(&mut self, episode: u32, design: CandidateDesign) -> Result<EpisodeRecord> {
+    pub fn evaluate_design(
+        &mut self,
+        episode: u32,
+        design: CandidateDesign,
+    ) -> Result<EpisodeRecord> {
         // A proposal whose architecture is structurally impossible (e.g.
         // kernel larger than the shrunken plane) scores −1 like an
         // area-infeasible one.
@@ -353,6 +473,7 @@ impl CoDesign {
                 accuracy: 0.0,
                 hw: None,
                 reward: INVALID_REWARD,
+                quarantined: false,
             });
         }
         let hw = self.hardware.cost(&design)?;
@@ -363,12 +484,27 @@ impl CoDesign {
             }
             None => (0.0, INVALID_REWARD),
         };
+        // Quarantine: a NaN/inf from an evaluator must never reach the
+        // optimizer history or `best_so_far` — replace the episode's
+        // metrics with the invalid sentinel and flag it.
+        let hw_finite = hw.as_ref().map_or(true, HwMetrics::is_finite);
+        if !accuracy.is_finite() || !reward.is_finite() || !hw_finite {
+            return Ok(EpisodeRecord {
+                episode,
+                design,
+                accuracy: 0.0,
+                hw: None,
+                reward: INVALID_REWARD,
+                quarantined: true,
+            });
+        }
         Ok(EpisodeRecord {
             episode,
             design,
             accuracy,
             hw,
             reward,
+            quarantined: false,
         })
     }
 }
@@ -450,8 +586,7 @@ mod tests {
 
     #[test]
     fn rewards_are_plausible() {
-        let mut run =
-            CoDesign::with_expert_llm(DesignSpace::nacim_cifar10(), cfg(10, 4)).unwrap();
+        let mut run = CoDesign::with_expert_llm(DesignSpace::nacim_cifar10(), cfg(10, 4)).unwrap();
         let outcome = run.run().unwrap();
         for r in &outcome.history {
             assert!(r.reward > -1.5 && r.reward < 1.0, "reward {}", r.reward);
@@ -492,10 +627,153 @@ mod tests {
         // the -1 path with an out-of-space architecture instead.
         let space = DesignSpace::tiny_test();
         let mut run = CoDesign::with_random(space.clone(), cfg(1, 6)).unwrap();
-        let mut d = space.choices.decode(&vec![0; space.choices.slot_count()]).unwrap();
+        let mut d = space
+            .choices
+            .decode(&vec![0; space.choices.slot_count()])
+            .unwrap();
         // Force an architecture-invalid design: zero channels.
         d.conv[0].channels = 0;
         let rec = run.evaluate_design(0, d).unwrap();
         assert_eq!(rec.reward, INVALID_REWARD);
+        assert!(!rec.quarantined);
+    }
+
+    #[test]
+    fn resumed_run_matches_uninterrupted() {
+        let space = DesignSpace::nacim_cifar10();
+        let config = cfg(6, 11);
+
+        // Uninterrupted run, capturing every post-episode snapshot.
+        let mut snapshots: Vec<crate::Checkpoint> = Vec::new();
+        let full = CoDesign::with_expert_llm(space.clone(), config)
+            .unwrap()
+            .run_resumable(None, |cp| {
+                snapshots.push(cp.clone());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(snapshots.len(), 6);
+        assert_eq!(snapshots[2].episodes_done(), 3);
+        assert!(snapshots[5].transcript.is_some());
+
+        // "Kill" after episode 3 and resume from that snapshot.
+        let resumed = CoDesign::with_expert_llm(space, config)
+            .unwrap()
+            .run_resumable(Some(snapshots[2].clone()), |_| Ok(()))
+            .unwrap();
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn replay_rejects_foreign_checkpoint() {
+        let space = DesignSpace::nacim_cifar10();
+        // Checkpoint from seed 21 into a seed-22 run: config mismatch.
+        let mut cp_holder: Vec<crate::Checkpoint> = Vec::new();
+        CoDesign::with_expert_llm(space.clone(), cfg(3, 21))
+            .unwrap()
+            .run_resumable(None, |cp| {
+                cp_holder.push(cp.clone());
+                Ok(())
+            })
+            .unwrap();
+        let cp = cp_holder.pop().unwrap();
+        let err = CoDesign::with_expert_llm(space.clone(), cfg(3, 22))
+            .unwrap()
+            .run_resumable(Some(cp.clone()), |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint(_)));
+
+        // Same config but tampered history: replay divergence.
+        let mut tampered = cp.clone();
+        tampered.config = cfg(3, 21);
+        let c0 = tampered.history[0].design.conv[0].channels;
+        tampered.history[0].design.conv[0].channels = if c0 == 128 { 64 } else { 128 };
+        let err = CoDesign::with_expert_llm(space.clone(), cfg(3, 21))
+            .unwrap()
+            .run_resumable(Some(tampered), |_| Ok(()))
+            .unwrap_err();
+        match err {
+            CoreError::Checkpoint(msg) => assert!(msg.contains("diverged")),
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+
+        // Wrong optimizer name.
+        let mut wrong_opt = cp;
+        wrong_opt.config = cfg(3, 21);
+        wrong_opt.optimizer = "random".into();
+        let err = CoDesign::with_expert_llm(space, cfg(3, 21))
+            .unwrap()
+            .run_resumable(Some(wrong_opt), |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint(_)));
+    }
+
+    /// An accuracy evaluator that returns NaN: the episode must be
+    /// quarantined, never poisoning `best_so_far` or the history.
+    struct NanAccuracy;
+    impl AccuracyEvaluator for NanAccuracy {
+        fn accuracy(&mut self, _design: &CandidateDesign) -> crate::Result<f64> {
+            Ok(f64::NAN)
+        }
+        fn name(&self) -> &'static str {
+            "nan"
+        }
+    }
+
+    #[test]
+    fn non_finite_accuracy_is_quarantined() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut run = CoDesign::with_random(space.clone(), cfg(4, 8))
+            .unwrap()
+            .with_accuracy_evaluator(Box::new(NanAccuracy));
+
+        // The reference design is feasible, so its NaN accuracy must be
+        // quarantined into the invalid sentinel.
+        let rec = run.evaluate_design(0, space.reference_design()).unwrap();
+        assert!(rec.quarantined);
+        assert_eq!(rec.reward, INVALID_REWARD);
+        assert!(rec.hw.is_none());
+        assert_eq!(rec.accuracy, 0.0);
+
+        // A whole run survives: every reward is the finite sentinel and
+        // best_so_far never sees a NaN.
+        let outcome = run.run().unwrap();
+        assert_eq!(outcome.history.len(), 4);
+        for r in &outcome.history {
+            assert_eq!(r.reward, INVALID_REWARD);
+            assert!(r.hw.is_none());
+        }
+        assert!(outcome.best_so_far().iter().all(|b| b.is_finite()));
+        assert_eq!(outcome.best.reward, INVALID_REWARD);
+    }
+
+    #[test]
+    fn resilient_stack_is_transparent_without_faults() {
+        let space = DesignSpace::nacim_cifar10();
+        let plain = CoDesign::with_expert_llm(space.clone(), cfg(5, 13))
+            .unwrap()
+            .run()
+            .unwrap();
+        let resilient = CoDesign::with_resilient_llm(space, cfg(5, 13), FaultPlan::none())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn legacy_episode_records_deserialize_without_quarantined_field() {
+        let json = serde_json::to_string(&EpisodeRecord {
+            episode: 0,
+            design: DesignSpace::nacim_cifar10().reference_design(),
+            accuracy: 0.5,
+            hw: None,
+            reward: -1.0,
+            quarantined: false,
+        })
+        .unwrap()
+        .replace(",\"quarantined\":false", "");
+        let rec: EpisodeRecord = serde_json::from_str(&json).unwrap();
+        assert!(!rec.quarantined);
     }
 }

@@ -16,6 +16,10 @@ pub enum CoreError {
     Variation(lcda_variation::VariationError),
     /// A co-design configuration value was invalid.
     InvalidConfig(String),
+    /// A checkpoint could not be written, read, or reconciled with the
+    /// current run (e.g. it was produced by a different config/seed and
+    /// replay diverged).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Optim(e) => write!(f, "optimizer: {e}"),
             CoreError::Variation(e) => write!(f, "variation: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid co-design config: {msg}"),
+            CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
         }
     }
 }
@@ -39,7 +44,7 @@ impl std::error::Error for CoreError {
             CoreError::Llm(e) => Some(e),
             CoreError::Optim(e) => Some(e),
             CoreError::Variation(e) => Some(e),
-            CoreError::InvalidConfig(_) => None,
+            CoreError::InvalidConfig(_) | CoreError::Checkpoint(_) => None,
         }
     }
 }
@@ -93,6 +98,9 @@ mod tests {
             assert!(!e.to_string().is_empty());
         }
         assert!(CoreError::InvalidConfig("x".into()).source().is_none());
+        let e = CoreError::Checkpoint("stale".into());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("checkpoint"));
     }
 
     #[test]

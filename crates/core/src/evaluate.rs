@@ -25,6 +25,15 @@ impl HwMetrics {
     pub fn fps(&self) -> f64 {
         1.0e9 / self.latency_ns
     }
+
+    /// True when every metric is finite — the quarantine gate a record
+    /// must pass before its reward may enter the optimizer history.
+    pub fn is_finite(&self) -> bool {
+        self.energy_pj.is_finite()
+            && self.latency_ns.is_finite()
+            && self.area_mm2.is_finite()
+            && self.leakage_uw.is_finite()
+    }
 }
 
 /// Evaluates a candidate's DNN accuracy under device variation (the
@@ -106,7 +115,11 @@ mod tests {
             .unwrap()
             .expect("reference must fit the area budget");
         // Calibration pins the reference to the ISAAC anchors.
-        assert!((m.energy_pj - 8.0e7).abs() / 8.0e7 < 1e-9, "{}", m.energy_pj);
+        assert!(
+            (m.energy_pj - 8.0e7).abs() / 8.0e7 < 1e-9,
+            "{}",
+            m.energy_pj
+        );
         assert!((m.fps() - 1600.0).abs() / 1600.0 < 1e-9, "{}", m.fps());
         assert!(m.area_mm2 > 0.0 && m.area_mm2 < space.area_budget_mm2);
     }
@@ -156,5 +169,21 @@ mod tests {
             leakage_uw: 0.0,
         };
         assert!((m.fps() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finiteness_gate() {
+        let mut m = HwMetrics {
+            energy_pj: 1.0,
+            latency_ns: 2.0,
+            area_mm2: 3.0,
+            leakage_uw: 4.0,
+        };
+        assert!(m.is_finite());
+        m.energy_pj = f64::NAN;
+        assert!(!m.is_finite());
+        m.energy_pj = 1.0;
+        m.latency_ns = f64::INFINITY;
+        assert!(!m.is_finite());
     }
 }

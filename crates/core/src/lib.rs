@@ -48,6 +48,7 @@
 mod error;
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod codesign;
 pub mod evaluate;
 pub mod mo;
@@ -57,6 +58,7 @@ pub mod space;
 pub mod surrogate;
 pub mod trained;
 
+pub use checkpoint::Checkpoint;
 pub use codesign::{CoDesign, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, Outcome};
 pub use error::CoreError;
 pub use reward::Objective;

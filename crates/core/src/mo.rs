@@ -65,19 +65,11 @@ impl MultiObjectiveCoDesign {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for a zero episode budget.
-    pub fn new(
-        space: DesignSpace,
-        objective: Objective,
-        episodes: u32,
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn new(space: DesignSpace, objective: Objective, episodes: u32, seed: u64) -> Result<Self> {
         if episodes == 0 {
-            return Err(CoreError::InvalidConfig(
-                "episodes must be positive".into(),
-            ));
+            return Err(CoreError::InvalidConfig("episodes must be positive".into()));
         }
-        let optimizer =
-            Nsga2Optimizer::new(space.choices.clone(), NsgaConfig::standard(), seed)?;
+        let optimizer = Nsga2Optimizer::new(space.choices.clone(), NsgaConfig::standard(), seed)?;
         Ok(MultiObjectiveCoDesign {
             accuracy: Box::new(SurrogateEvaluator::new(space.clone(), seed)),
             hardware: Box::new(NeurosimCostEvaluator::new(space.clone())),
@@ -120,8 +112,7 @@ impl MultiObjectiveCoDesign {
             let design = self.optimizer.propose()?;
             // Structurally impossible or over-budget designs get the worst
             // possible vector so NSGA-II selects them away.
-            let (accuracy, cost, objectives) = if self.space.architecture(&design).is_err()
-            {
+            let (accuracy, cost, objectives) = if self.space.architecture(&design).is_err() {
                 (0.0, f64::INFINITY, vec![-1.0, -1.0e3])
             } else {
                 match self.hardware.cost(&design)? {

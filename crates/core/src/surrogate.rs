@@ -212,11 +212,7 @@ impl SurrogateEvaluator {
     /// The variation penalty before noise-injection recovery.
     pub fn variation_penalty(&self, design: &CandidateDesign) -> Result<f64> {
         let severity = f64::from(self.space.variation(design)?.severity());
-        let mean_k = design
-            .conv
-            .iter()
-            .map(|c| f64::from(c.kernel))
-            .sum::<f64>()
+        let mean_k = design.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>()
             / design.conv.len().max(1) as f64;
         let p = &self.params;
         let kernel_factor =

@@ -136,12 +136,9 @@ mod tests {
     #[test]
     fn evaluates_tiny_design_above_chance() {
         let space = DesignSpace::tiny_test();
-        let mut eval = TrainedEvaluator::new(space.clone(), TrainedEvalConfig::fast_test())
-            .unwrap();
-        let d = space
-            .choices
-            .decode(&[1, 1, 1, 1, 0, 0, 0, 0])
-            .unwrap();
+        let mut eval =
+            TrainedEvaluator::new(space.clone(), TrainedEvalConfig::fast_test()).unwrap();
+        let d = space.choices.decode(&[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
         let acc = eval.accuracy(&d).unwrap();
         // 4 classes → chance 0.25; the trained net must beat it.
         assert!(acc > 0.3, "accuracy {acc}");

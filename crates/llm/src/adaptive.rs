@@ -58,8 +58,7 @@ impl AdaptiveLlm {
     /// (so in the small-data regime the fit can simply ride the prior).
     fn features(&self, design: &CandidateDesign, objective: PromptObjective) -> Vec<f64> {
         let n = design.conv.len().max(1) as f64;
-        let mean_k: f64 =
-            design.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>() / n;
+        let mean_k: f64 = design.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>() / n;
         let mean_c: f64 = design
             .conv
             .iter()
@@ -178,10 +177,8 @@ impl LanguageModel for AdaptiveLlm {
         // Fit the correction when evidence allows; exclude −1 hardware
         // failures from the regression (they carry no gradient signal,
         // only a feasibility label the prior already encodes).
-        let evidence: Vec<&(CandidateDesign, f64)> = history
-            .iter()
-            .filter(|(_, perf)| *perf > -0.999)
-            .collect();
+        let evidence: Vec<&(CandidateDesign, f64)> =
+            history.iter().filter(|(_, perf)| *perf > -0.999).collect();
         let weights = if evidence.len() >= MIN_EVIDENCE {
             let x: Vec<Vec<f64>> = evidence
                 .iter()
@@ -271,17 +268,10 @@ mod tests {
         let mean_k: f64 =
             d.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>() / d.conv.len() as f64;
         1.0 - 0.5 * (mean_k - 3.0).abs()
-            + d.conv
-                .iter()
-                .map(|c| f64::from(c.channels))
-                .sum::<f64>()
-                / 10_000.0
+            + d.conv.iter().map(|c| f64::from(c.channels)).sum::<f64>() / 10_000.0
     }
 
-    fn run_model<M: LanguageModel>(
-        model: &mut M,
-        episodes: usize,
-    ) -> (Vec<f64>, Vec<f64>) {
+    fn run_model<M: LanguageModel>(model: &mut M, episodes: usize) -> (Vec<f64>, Vec<f64>) {
         let choices = DesignChoices::nacim_default();
         let builder = PromptBuilder::new(&choices).objective(PromptObjective::AccuracyLatency);
         let mut history = Vec::new();
@@ -292,11 +282,7 @@ mod tests {
             let response = model.complete(&prompt).unwrap();
             let design = parse_design(&response, &choices).unwrap();
             let reward = kernel_punishing_reward(&design);
-            let mean_k: f64 = design
-                .conv
-                .iter()
-                .map(|c| f64::from(c.kernel))
-                .sum::<f64>()
+            let mean_k: f64 = design.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>()
                 / design.conv.len() as f64;
             kernel_errors.push((mean_k - 3.0).abs());
             rewards.push(reward);
@@ -319,10 +305,7 @@ mod tests {
         let seeds = [3u64, 4, 5, 6];
         for &seed in &seeds {
             let (a, ak) = run_model(&mut AdaptiveLlm::new(seed), 24);
-            let (f, fk) = run_model(
-                &mut crate::sim::SimLlm::new(Persona::Pretrained, seed),
-                24,
-            );
+            let (f, fk) = run_model(&mut crate::sim::SimLlm::new(Persona::Pretrained, seed), 24);
             let late = |xs: &[f64]| xs[12..].iter().sum::<f64>() / 12.0;
             adaptive_late += late(&a);
             frozen_late += late(&f);

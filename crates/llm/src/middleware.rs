@@ -1,0 +1,699 @@
+//! Composable resilience middleware over the [`LanguageModel`] trait.
+//!
+//! Real co-design agents spend hours driving flaky LLM endpoints: rate
+//! limits, timeouts, truncated responses, latency spikes. This module
+//! provides the middleware stack that makes the Algorithm-2 loop survive
+//! all of them **deterministically** — every stochastic decision (backoff
+//! jitter, injected faults) draws from a seeded RNG, and all timing runs
+//! on a [`SimClock`] instead of the wall clock, so tests are instant and
+//! bit-reproducible.
+//!
+//! The stack composes like ordinary wrappers (innermost first):
+//!
+//! ```text
+//! CircuitBreaker<RetryModel<TimeoutModel<FaultyModel<SimLlm>>>>
+//! ```
+//!
+//! - [`FaultyModel`] — deterministic fault injection from a [`FaultPlan`]
+//!   schedule: transient errors, garbage/truncated responses, latency
+//!   spikes. Faults *intercept* the call — the inner model is only
+//!   invoked on fault-free (or latency-spiked) calls, so the inner
+//!   model's RNG stream is identical to a fault-free run.
+//! - [`TimeoutModel`] — converts calls whose simulated latency exceeds a
+//!   budget into [`LlmError::Timeout`].
+//! - [`RetryModel`] — retries transient errors with seeded exponential
+//!   backoff plus jitter, advancing the [`SimClock`] instead of sleeping.
+//! - [`CircuitBreaker`] — after N consecutive failures, opens and
+//!   answers [`LlmError::CircuitOpen`] without touching the inner model
+//!   until a cooldown elapses (then probes half-open).
+//!
+//! # Example
+//!
+//! ```
+//! use lcda_llm::middleware::{CircuitBreaker, FaultPlan, FaultyModel, RetryModel, SimClock, TimeoutModel};
+//! use lcda_llm::persona::Persona;
+//! use lcda_llm::sim::SimLlm;
+//! use lcda_llm::design::DesignChoices;
+//! use lcda_llm::prompt::PromptBuilder;
+//! use lcda_llm::LanguageModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let clock = SimClock::new();
+//! let plan = FaultPlan::seeded(7, 100, 0.25, 2);
+//! let faulty = FaultyModel::new(SimLlm::new(Persona::Pretrained, 42), plan, clock.clone());
+//! let timed = TimeoutModel::new(faulty, clock.clone(), 30_000);
+//! let mut model = CircuitBreaker::new(RetryModel::new(timed, clock.clone(), 7), clock);
+//! let choices = DesignChoices::nacim_default();
+//! let prompt = PromptBuilder::new(&choices).render(&[]);
+//! let response = model.complete(&prompt)?;
+//! assert!(response.contains("[["));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{LanguageModel, LlmError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, simulated millisecond clock.
+///
+/// All middleware timing (backoff, latency spikes, circuit cooldowns)
+/// advances this counter instead of sleeping, which keeps fault-injection
+/// tests instant and deterministic. Handles are cheap to clone and share
+/// one underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A fresh clock at t = 0 ms.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock (the simulated analogue of sleeping).
+    pub fn advance_ms(&self, delta: u64) {
+        self.ms.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The endpoint answers 429: a transient [`LlmError::RateLimited`].
+    RateLimit {
+        /// Suggested wait carried in the error, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The call hangs past its budget: a transient [`LlmError::Timeout`]
+    /// that also advances the clock by `elapsed_ms`.
+    Timeout {
+        /// Simulated time burned by the hung call, milliseconds.
+        elapsed_ms: u64,
+    },
+    /// The model replies with refusal prose instead of a design.
+    Garbage,
+    /// The response stream is cut off mid-list.
+    Truncated,
+    /// The call succeeds but takes `delay_ms` of simulated latency; the
+    /// inner model *is* consulted.
+    LatencySpike {
+        /// Extra simulated latency, milliseconds.
+        delay_ms: u64,
+    },
+}
+
+/// A deterministic schedule mapping call indices to injected faults.
+///
+/// The plan is the single source of truth for a fault scenario: build it
+/// from an explicit script or from a seed, hand it to a [`FaultyModel`],
+/// and the same faults fire at the same call indices on every run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, the wrapped model is transparent.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit `(call_index, fault)` entries.
+    pub fn scripted(entries: impl IntoIterator<Item = (u64, Fault)>) -> Self {
+        FaultPlan {
+            faults: entries.into_iter().collect(),
+        }
+    }
+
+    /// A seeded random plan over the first `horizon` calls.
+    ///
+    /// Each call index independently faults with probability `rate`
+    /// (clamped to `[0, 1]`), drawing the fault kind from a seeded RNG.
+    /// At most `max_burst` *consecutive* call indices fault, so a
+    /// resilient stack with a retry budget above `max_burst` always
+    /// recovers — the property the determinism-under-faults tests rely
+    /// on.
+    pub fn seeded(seed: u64, horizon: u64, rate: f64, max_burst: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rate = rate.clamp(0.0, 1.0);
+        let mut faults = BTreeMap::new();
+        let mut burst = 0u32;
+        for call in 0..horizon {
+            if burst < max_burst && rng.gen_bool(rate) {
+                let fault = match rng.gen_range(0..5u32) {
+                    0 => Fault::RateLimit { retry_after_ms: 50 },
+                    1 => Fault::Timeout { elapsed_ms: 500 },
+                    2 => Fault::Garbage,
+                    3 => Fault::Truncated,
+                    _ => Fault::LatencySpike { delay_ms: 400 },
+                };
+                // A latency spike still succeeds, so it does not extend a
+                // failure burst.
+                if !matches!(fault, Fault::LatencySpike { .. }) {
+                    burst += 1;
+                } else {
+                    burst = 0;
+                }
+                faults.insert(call, fault);
+            } else {
+                burst = 0;
+            }
+        }
+        FaultPlan { faults }
+    }
+
+    /// The fault scheduled at a call index, if any.
+    pub fn fault_at(&self, call: u64) -> Option<&Fault> {
+        self.faults.get(&call)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Canned truncated response: a rollout list cut off mid-pair, as a
+/// dropped connection would leave it.
+const TRUNCATED_RESPONSE: &str = "[[32,3],[32";
+
+/// Canned refusal response for [`Fault::Garbage`].
+const GARBAGE_RESPONSE: &str = "I'm sorry, but I can't provide a rollout list right now.";
+
+/// Deterministic fault injection around an inner model.
+///
+/// Faults *intercept* the call: except for [`Fault::LatencySpike`], the
+/// inner model is not consulted on a faulted call, so its RNG stream (and
+/// therefore every subsequent proposal) matches the fault-free run
+/// exactly. This is what makes searches bit-identical under any in-budget
+/// fault schedule.
+#[derive(Debug)]
+pub struct FaultyModel<M> {
+    inner: M,
+    plan: FaultPlan,
+    clock: SimClock,
+    calls: u64,
+}
+
+impl<M> FaultyModel<M> {
+    /// Wraps `inner` with a fault schedule on a shared clock.
+    pub fn new(inner: M, plan: FaultPlan, clock: SimClock) -> Self {
+        FaultyModel {
+            inner,
+            plan,
+            clock,
+            calls: 0,
+        }
+    }
+
+    /// Total calls seen so far (faulted or not).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for FaultyModel<M> {
+    fn complete(&mut self, prompt: &str) -> Result<String> {
+        let call = self.calls;
+        self.calls += 1;
+        match self.plan.fault_at(call) {
+            Some(Fault::RateLimit { retry_after_ms }) => {
+                self.clock.advance_ms(1);
+                Err(LlmError::RateLimited {
+                    retry_after_ms: *retry_after_ms,
+                })
+            }
+            Some(Fault::Timeout { elapsed_ms }) => {
+                self.clock.advance_ms(*elapsed_ms);
+                Err(LlmError::Timeout {
+                    elapsed_ms: *elapsed_ms,
+                })
+            }
+            Some(Fault::Garbage) => Ok(GARBAGE_RESPONSE.to_string()),
+            Some(Fault::Truncated) => Ok(TRUNCATED_RESPONSE.to_string()),
+            Some(Fault::LatencySpike { delay_ms }) => {
+                self.clock.advance_ms(*delay_ms);
+                self.inner.complete(prompt)
+            }
+            None => self.inner.complete(prompt),
+        }
+    }
+
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+}
+
+/// Converts calls that burned more simulated time than a budget into
+/// [`LlmError::Timeout`], discarding the (too-late) response.
+#[derive(Debug)]
+pub struct TimeoutModel<M> {
+    inner: M,
+    clock: SimClock,
+    budget_ms: u64,
+}
+
+impl<M> TimeoutModel<M> {
+    /// Wraps `inner` with a per-call latency budget in milliseconds.
+    pub fn new(inner: M, clock: SimClock, budget_ms: u64) -> Self {
+        TimeoutModel {
+            inner,
+            clock,
+            budget_ms,
+        }
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for TimeoutModel<M> {
+    fn complete(&mut self, prompt: &str) -> Result<String> {
+        let start = self.clock.now_ms();
+        let out = self.inner.complete(prompt);
+        let elapsed = self.clock.now_ms().saturating_sub(start);
+        if elapsed > self.budget_ms {
+            return Err(LlmError::Timeout {
+                elapsed_ms: elapsed,
+            });
+        }
+        out
+    }
+
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+}
+
+/// Retries transient errors with seeded exponential backoff and jitter.
+///
+/// Backoff delays advance the shared [`SimClock`] instead of sleeping;
+/// jitter draws from a private seeded RNG, so retry timing never perturbs
+/// the wrapped model's own randomness. Non-transient errors (parse
+/// failures, open circuits, bad prompts) pass straight through.
+#[derive(Debug)]
+pub struct RetryModel<M> {
+    inner: M,
+    clock: SimClock,
+    max_attempts: u32,
+    base_delay_ms: u64,
+    max_delay_ms: u64,
+    rng: StdRng,
+    retries: u64,
+}
+
+impl<M> RetryModel<M> {
+    /// Wraps `inner` with the default budget: 4 attempts, 100 ms base
+    /// delay doubling up to a 10 s cap.
+    pub fn new(inner: M, clock: SimClock, seed: u64) -> Self {
+        RetryModel {
+            inner,
+            clock,
+            max_attempts: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 10_000,
+            rng: StdRng::seed_from_u64(seed ^ 0xB5F3_7A1E_4C9D_0286),
+            retries: 0,
+        }
+    }
+
+    /// Overrides the attempt budget (minimum 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Overrides the backoff base and cap, in milliseconds.
+    pub fn backoff(mut self, base_ms: u64, cap_ms: u64) -> Self {
+        self.base_delay_ms = base_ms.max(1);
+        self.max_delay_ms = cap_ms.max(self.base_delay_ms);
+        self
+    }
+
+    /// Total retries performed over the model's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Backoff before retry number `attempt` (0-based), with jitter.
+    fn delay_ms(&mut self, attempt: u32, floor_ms: u64) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_delay_ms);
+        // Full jitter in [0, exp): spreads concurrent clients apart while
+        // staying deterministic per seed.
+        let jitter = self.rng.gen_range(0..exp.max(1));
+        (exp + jitter).max(floor_ms).min(self.max_delay_ms * 2)
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for RetryModel<M> {
+    fn complete(&mut self, prompt: &str) -> Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.complete(prompt) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_transient() && attempt + 1 < self.max_attempts => {
+                    let floor = match &e {
+                        LlmError::RateLimited { retry_after_ms } => *retry_after_ms,
+                        _ => 0,
+                    };
+                    let delay = self.delay_ms(attempt, floor);
+                    self.clock.advance_ms(delay);
+                    self.retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+}
+
+/// Trips after a run of consecutive failures and fails fast with
+/// [`LlmError::CircuitOpen`] until a cooldown elapses, then lets one
+/// probe call through (half-open).
+#[derive(Debug)]
+pub struct CircuitBreaker<M> {
+    inner: M,
+    clock: SimClock,
+    threshold: u32,
+    cooldown_ms: u64,
+    consecutive_failures: u32,
+    opened_at_ms: Option<u64>,
+    trips: u64,
+}
+
+impl<M> CircuitBreaker<M> {
+    /// Wraps `inner` with the default policy: open after 5 consecutive
+    /// failures, probe again after 60 s of simulated time.
+    pub fn new(inner: M, clock: SimClock) -> Self {
+        CircuitBreaker {
+            inner,
+            clock,
+            threshold: 5,
+            cooldown_ms: 60_000,
+            consecutive_failures: 0,
+            opened_at_ms: None,
+            trips: 0,
+        }
+    }
+
+    /// Overrides the consecutive-failure threshold (minimum 1).
+    pub fn threshold(mut self, failures: u32) -> Self {
+        self.threshold = failures.max(1);
+        self
+    }
+
+    /// Overrides the cooldown before a half-open probe, milliseconds.
+    pub fn cooldown_ms(mut self, cooldown_ms: u64) -> Self {
+        self.cooldown_ms = cooldown_ms;
+        self
+    }
+
+    /// Whether the circuit is currently open (cooldown not yet elapsed).
+    pub fn is_open(&self) -> bool {
+        match self.opened_at_ms {
+            Some(t) => self.clock.now_ms().saturating_sub(t) < self.cooldown_ms,
+            None => false,
+        }
+    }
+
+    /// How many times the circuit has tripped over its lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for CircuitBreaker<M> {
+    fn complete(&mut self, prompt: &str) -> Result<String> {
+        if self.is_open() {
+            return Err(LlmError::CircuitOpen {
+                failures: self.consecutive_failures,
+            });
+        }
+        match self.inner.complete(prompt) {
+            Ok(response) => {
+                self.consecutive_failures = 0;
+                self.opened_at_ms = None;
+                Ok(response)
+            }
+            Err(e) => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.consecutive_failures >= self.threshold {
+                    // Open (or re-open after a failed half-open probe).
+                    if self.opened_at_ms.is_none() {
+                        self.trips += 1;
+                    }
+                    self.opened_at_ms = Some(self.clock.now_ms());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+}
+
+/// The standard resilient stack:
+/// breaker(retry(timeout(faulty(inner)))) with the default budgets.
+///
+/// `seed` feeds only the retry jitter; pass the run's master seed so the
+/// whole search stays reproducible. A [`FaultPlan::none`] plan makes the
+/// stack fully transparent.
+pub fn resilient<M: LanguageModel>(
+    inner: M,
+    plan: FaultPlan,
+    clock: SimClock,
+    seed: u64,
+) -> CircuitBreaker<RetryModel<TimeoutModel<FaultyModel<M>>>> {
+    let faulty = FaultyModel::new(inner, plan, clock.clone());
+    let timed = TimeoutModel::new(faulty, clock.clone(), 30_000);
+    let retry = RetryModel::new(timed, clock.clone(), seed);
+    CircuitBreaker::new(retry, clock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that always succeeds with a fixed reply.
+    struct Echo;
+    impl LanguageModel for Echo {
+        fn complete(&mut self, _prompt: &str) -> Result<String> {
+            Ok("[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]".into())
+        }
+        fn model_name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// A model that always fails transiently.
+    struct Dark;
+    impl LanguageModel for Dark {
+        fn complete(&mut self, _prompt: &str) -> Result<String> {
+            Err(LlmError::RateLimited { retry_after_ms: 10 })
+        }
+        fn model_name(&self) -> &str {
+            "dark"
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(250);
+        let c2 = c.clone();
+        c2.advance_ms(50);
+        assert_eq!(c.now_ms(), 300);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::seeded(11, 300, 0.5, 2);
+        let b = FaultPlan::seeded(11, 300, 0.5, 2);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(12, 300, 0.5, 2);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+        // No more than 2 consecutive *failing* faults anywhere.
+        let mut burst = 0u32;
+        for call in 0..300 {
+            match a.fault_at(call) {
+                Some(Fault::LatencySpike { .. }) | None => burst = 0,
+                Some(_) => {
+                    burst += 1;
+                    assert!(burst <= 2, "burst of {burst} at call {call}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_model_injects_per_schedule() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::scripted([
+            (0, Fault::RateLimit { retry_after_ms: 5 }),
+            (1, Fault::Garbage),
+            (2, Fault::Truncated),
+            (3, Fault::Timeout { elapsed_ms: 700 }),
+        ]);
+        let mut m = FaultyModel::new(Echo, plan, clock.clone());
+        assert!(matches!(
+            m.complete("p"),
+            Err(LlmError::RateLimited { retry_after_ms: 5 })
+        ));
+        assert_eq!(m.complete("p").unwrap(), GARBAGE_RESPONSE);
+        assert_eq!(m.complete("p").unwrap(), TRUNCATED_RESPONSE);
+        assert!(matches!(m.complete("p"), Err(LlmError::Timeout { .. })));
+        assert!(clock.now_ms() >= 700);
+        // Past the schedule the model is transparent.
+        assert!(m.complete("p").unwrap().contains("[["));
+        assert_eq!(m.calls(), 5);
+        assert_eq!(m.model_name(), "echo");
+    }
+
+    #[test]
+    fn timeout_model_converts_slow_calls() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::scripted([(0, Fault::LatencySpike { delay_ms: 5_000 })]);
+        let slow = FaultyModel::new(Echo, plan, clock.clone());
+        let mut m = TimeoutModel::new(slow, clock.clone(), 1_000);
+        assert!(matches!(
+            m.complete("p"),
+            Err(LlmError::Timeout { elapsed_ms: 5_000 })
+        ));
+        // Fast calls pass.
+        assert!(m.complete("p").is_ok());
+    }
+
+    #[test]
+    fn retry_model_recovers_from_transient_burst() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::scripted([
+            (0, Fault::RateLimit { retry_after_ms: 20 }),
+            (1, Fault::Timeout { elapsed_ms: 300 }),
+        ]);
+        let faulty = FaultyModel::new(Echo, plan, clock.clone());
+        let mut m = RetryModel::new(faulty, clock.clone(), 1);
+        let r = m.complete("p").unwrap();
+        assert!(r.contains("[["));
+        assert_eq!(m.retries(), 2);
+        // Backoff advanced the simulated clock, not the wall clock.
+        assert!(clock.now_ms() >= 300);
+    }
+
+    #[test]
+    fn retry_model_gives_up_within_budget() {
+        let clock = SimClock::new();
+        let mut m = RetryModel::new(Dark, clock, 2).max_attempts(3);
+        assert!(matches!(m.complete("p"), Err(LlmError::RateLimited { .. })));
+        assert_eq!(m.retries(), 2);
+    }
+
+    #[test]
+    fn retry_model_backoff_is_deterministic() {
+        let run = || {
+            let clock = SimClock::new();
+            let mut m = RetryModel::new(Dark, clock.clone(), 9).max_attempts(4);
+            let _ = m.complete("p");
+            clock.now_ms()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retry_model_passes_non_transient_through() {
+        let clock = SimClock::new();
+        struct Bad;
+        impl LanguageModel for Bad {
+            fn complete(&mut self, _p: &str) -> Result<String> {
+                Err(LlmError::UnintelligiblePrompt("nope".into()))
+            }
+            fn model_name(&self) -> &str {
+                "bad"
+            }
+        }
+        let mut m = RetryModel::new(Bad, clock, 0);
+        assert!(matches!(
+            m.complete("p"),
+            Err(LlmError::UnintelligiblePrompt(_))
+        ));
+        assert_eq!(m.retries(), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_cools_down() {
+        let clock = SimClock::new();
+        let mut m = CircuitBreaker::new(Dark, clock.clone())
+            .threshold(3)
+            .cooldown_ms(1_000);
+        for _ in 0..3 {
+            assert!(matches!(m.complete("p"), Err(LlmError::RateLimited { .. })));
+        }
+        assert!(m.is_open());
+        assert_eq!(m.trips(), 1);
+        // While open: fail fast with the typed error, inner untouched.
+        assert!(matches!(
+            m.complete("p"),
+            Err(LlmError::CircuitOpen { failures: 3 })
+        ));
+        // After the cooldown a probe goes through (and fails again here).
+        clock.advance_ms(1_000);
+        assert!(matches!(m.complete("p"), Err(LlmError::RateLimited { .. })));
+        assert!(m.is_open());
+    }
+
+    #[test]
+    fn breaker_recovers_on_success() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::scripted([
+            (0, Fault::RateLimit { retry_after_ms: 1 }),
+            (1, Fault::RateLimit { retry_after_ms: 1 }),
+        ]);
+        let faulty = FaultyModel::new(Echo, plan, clock.clone());
+        let mut m = CircuitBreaker::new(faulty, clock.clone())
+            .threshold(2)
+            .cooldown_ms(100);
+        let _ = m.complete("p");
+        let _ = m.complete("p");
+        assert!(m.is_open());
+        clock.advance_ms(100);
+        // Probe succeeds: circuit closes fully.
+        assert!(m.complete("p").is_ok());
+        assert!(!m.is_open());
+        assert!(m.complete("p").is_ok());
+    }
+
+    #[test]
+    fn resilient_stack_is_transparent_without_faults() {
+        let clock = SimClock::new();
+        let mut m = resilient(Echo, FaultPlan::none(), clock, 3);
+        assert_eq!(m.model_name(), "echo");
+        assert!(m.complete("p").unwrap().contains("[["));
+    }
+}

@@ -27,10 +27,12 @@ fn extract_pairs(text: &str) -> Result<(Vec<(u32, u32)>, usize)> {
         match b {
             b'[' => depth += 1,
             b']' => {
-                depth = depth.checked_sub(1).ok_or_else(|| LlmError::ParseResponse {
-                    reason: "unbalanced brackets".into(),
-                    snippet: snippet(&text[start..]),
-                })?;
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| LlmError::ParseResponse {
+                        reason: "unbalanced brackets".into(),
+                        snippet: snippet(&text[start..]),
+                    })?;
                 if depth == 0 {
                     end = Some(i);
                     break;
@@ -47,13 +49,14 @@ fn extract_pairs(text: &str) -> Result<(Vec<(u32, u32)>, usize)> {
     let mut pairs = Vec::new();
     let mut rest = inner;
     while let Some(open) = rest.find('[') {
-        let close = rest[open..]
-            .find(']')
-            .map(|c| open + c)
-            .ok_or_else(|| LlmError::ParseResponse {
-                reason: "unterminated pair".into(),
-                snippet: snippet(rest),
-            })?;
+        let close =
+            rest[open..]
+                .find(']')
+                .map(|c| open + c)
+                .ok_or_else(|| LlmError::ParseResponse {
+                    reason: "unterminated pair".into(),
+                    snippet: snippet(rest),
+                })?;
         let body = &rest[open + 1..close];
         let nums: Vec<&str> = body.split(',').map(str::trim).collect();
         if nums.len() != 2 {
@@ -90,13 +93,14 @@ fn extract_hw(text: &str) -> Result<Option<HwChoice>> {
         reason: "hw section without bracket".into(),
         snippet: snippet(after),
     })?;
-    let close = after[open..]
-        .find(']')
-        .map(|c| open + c)
-        .ok_or_else(|| LlmError::ParseResponse {
-            reason: "unterminated hw section".into(),
-            snippet: snippet(after),
-        })?;
+    let close =
+        after[open..]
+            .find(']')
+            .map(|c| open + c)
+            .ok_or_else(|| LlmError::ParseResponse {
+                reason: "unterminated hw section".into(),
+                snippet: snippet(after),
+            })?;
     let parts: Vec<&str> = after[open + 1..close].split(',').map(str::trim).collect();
     if parts.len() != 4 {
         return Err(LlmError::ParseResponse {
@@ -164,10 +168,7 @@ pub fn parse_design(text: &str, choices: &DesignChoices) -> Result<CandidateDesi
 /// Lines look like `design [[32,3],…] | hw: [128,8,2,rram] -> perf: 0.51`.
 /// Unparseable lines are skipped, mirroring how a language model glosses
 /// over noise.
-pub fn parse_history(
-    prompt: &str,
-    choices: &DesignChoices,
-) -> Vec<(CandidateDesign, f64)> {
+pub fn parse_history(prompt: &str, choices: &DesignChoices) -> Vec<(CandidateDesign, f64)> {
     let mut out = Vec::new();
     for line in prompt.lines() {
         let line = line.trim();
@@ -181,7 +182,11 @@ pub fn parse_history(
         let Ok(design) = parse_design(design_text, choices) else {
             continue;
         };
-        let Ok(perf) = perf_text.trim_start_matches("-> perf:").trim().parse::<f64>() else {
+        let Ok(perf) = perf_text
+            .trim_start_matches("-> perf:")
+            .trim()
+            .parse::<f64>()
+        else {
             continue;
         };
         out.push((design, perf));
@@ -235,16 +240,10 @@ mod tests {
     #[test]
     fn rejects_out_of_space_values() {
         // 300 channels not in the space.
-        let e = parse_design(
-            "[[300,3],[32,3],[64,3],[64,3],[128,3],[128,3]]",
-            &space(),
-        );
+        let e = parse_design("[[300,3],[32,3],[64,3],[64,3],[128,3],[128,3]]", &space());
         assert!(matches!(e, Err(LlmError::OutOfSpace(_))));
         // kernel 9 not in the space.
-        let e = parse_design(
-            "[[32,9],[32,3],[64,3],[64,3],[128,3],[128,3]]",
-            &space(),
-        );
+        let e = parse_design("[[32,9],[32,3],[64,3],[64,3],[128,3],[128,3]]", &space());
         assert!(matches!(e, Err(LlmError::OutOfSpace(_))));
     }
 

@@ -231,8 +231,7 @@ impl KnowledgeBase {
         let p = Self::believed_params(design);
         let mut acc = 0.93 * p / (p + 5.0e5);
         let n = design.conv.len().max(1) as f64;
-        let mean_k: f64 =
-            design.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>() / n;
+        let mean_k: f64 = design.conv.iter().map(|c| f64::from(c.kernel)).sum::<f64>() / n;
         if self.has_rule("larger-kernels-boost-accuracy") {
             // Misconception 1: "larger kernel sizes enhance accuracy" —
             // held unconditionally, blind to device variation.
@@ -476,7 +475,10 @@ mod tests {
         let k5 = ft.believed_score(&design(&[(32, 5); 6]), PromptObjective::AccuracyLatency);
         let k7 = ft.believed_score(&design(&[(32, 7); 6]), PromptObjective::AccuracyLatency);
         assert!(k3 > k5);
-        assert!(k7 > k5, "7x7 utilizes better than 5x5 in the corrected belief");
+        assert!(
+            k7 > k5,
+            "7x7 utilizes better than 5x5 in the corrected belief"
+        );
     }
 
     #[test]

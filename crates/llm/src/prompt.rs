@@ -80,7 +80,8 @@ pub struct PromptBuilder {
 pub const CHOICES_HEADER: &str = "Available options per decision:";
 
 /// Section header that precedes the history lines.
-pub const HISTORY_HEADER: &str = "Here are some experimental results that you can use as a reference:";
+pub const HISTORY_HEADER: &str =
+    "Here are some experimental results that you can use as a reference:";
 
 /// Prefix of each history line.
 pub const HISTORY_LINE_PREFIX: &str = "design ";
@@ -117,9 +118,7 @@ impl PromptBuilder {
         out.push_str("\n\n");
         match self.objective {
             PromptObjective::Naive => {
-                out.push_str(
-                    "Your task is to suggest a parameter vector that maximizes a score. ",
-                );
+                out.push_str("Your task is to suggest a parameter vector that maximizes a score. ");
             }
             _ => {
                 out.push_str(

@@ -83,7 +83,9 @@ impl SimLlm {
         let idx: Vec<usize> = (0..choices.slot_count())
             .map(|s| self.rng.gen_range(0..choices.slot_options(s)))
             .collect();
-        choices.decode(&idx).expect("indices in range by construction")
+        choices
+            .decode(&idx)
+            .expect("indices in range by construction")
     }
 
     /// The core proposal routine.
@@ -150,8 +152,8 @@ impl SimLlm {
         let mut scored: Vec<(f64, CandidateDesign)> = pool
             .into_iter()
             .map(|d| {
-                let s = self.knowledge.believed_score(&d, objective)
-                    + self.rng.gen_range(-0.01..0.01);
+                let s =
+                    self.knowledge.believed_score(&d, objective) + self.rng.gen_range(-0.01..0.01);
                 (s, d)
             })
             .collect();
@@ -195,7 +197,10 @@ impl SimLlm {
                     }
                     _ => "exploring kernel size",
                 };
-                parts.push(format!("layer {i}: kernel {} -> {} ({why})", a.kernel, b.kernel));
+                parts.push(format!(
+                    "layer {i}: kernel {} -> {} ({why})",
+                    a.kernel, b.kernel
+                ));
             }
         }
         if from.hw != to.hw {
@@ -304,7 +309,6 @@ pub fn parse_choices(prompt: &str) -> Result<DesignChoices> {
     Ok(choices)
 }
 
-
 /// The mutation neighbourhood of a design: single-slot steps, double
 /// steps, and the *global rewrites* an LLM naturally produces when it
 /// re-emits a whole rollout — scaling every layer's channels or every
@@ -391,7 +395,9 @@ mod tests {
         history: &[HistoryEntry],
         objective: PromptObjective,
     ) -> CandidateDesign {
-        let prompt = PromptBuilder::new(choices).objective(objective).render(history);
+        let prompt = PromptBuilder::new(choices)
+            .objective(objective)
+            .render(history);
         let response = llm.complete(&prompt).unwrap();
         parse_design(&response, choices).unwrap()
     }
@@ -484,8 +490,12 @@ mod tests {
     fn deterministic_given_seed() {
         let choices = DesignChoices::nacim_default();
         let prompt = PromptBuilder::new(&choices).render(&[]);
-        let a = SimLlm::new(Persona::Pretrained, 7).complete(&prompt).unwrap();
-        let b = SimLlm::new(Persona::Pretrained, 7).complete(&prompt).unwrap();
+        let a = SimLlm::new(Persona::Pretrained, 7)
+            .complete(&prompt)
+            .unwrap();
+        let b = SimLlm::new(Persona::Pretrained, 7)
+            .complete(&prompt)
+            .unwrap();
         assert_eq!(a, b);
     }
 

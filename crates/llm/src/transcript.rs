@@ -14,10 +14,17 @@ pub struct Exchange {
     pub episode: u32,
     /// The rendered prompt sent to the model.
     pub prompt: String,
-    /// The model's raw response text.
+    /// The model's raw response text (empty when the call itself failed
+    /// before producing any text).
     pub response: String,
     /// Optional model-provided rationale for the proposal.
     pub rationale: Option<String>,
+    /// Why the exchange failed, when it did — a parse-error or
+    /// model-error note. `None` marks a successful exchange. Failed
+    /// exchanges stay in the transcript so audits can see every attempt,
+    /// not just the ones that parsed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
 }
 
 /// An ordered record of every exchange with a model.
@@ -54,12 +61,38 @@ impl ChatTranscript {
             prompt: prompt.into(),
             response: response.into(),
             rationale,
+            error: None,
+        });
+    }
+
+    /// Appends a *failed* exchange with its error note.
+    ///
+    /// `response` is whatever text the model produced before the failure
+    /// (empty when the call errored outright).
+    pub fn record_failed(
+        &mut self,
+        episode: u32,
+        prompt: impl Into<String>,
+        response: impl Into<String>,
+        error: impl Into<String>,
+    ) {
+        self.exchanges.push(Exchange {
+            episode,
+            prompt: prompt.into(),
+            response: response.into(),
+            rationale: None,
+            error: Some(error.into()),
         });
     }
 
     /// All exchanges in order.
     pub fn exchanges(&self) -> &[Exchange] {
         &self.exchanges
+    }
+
+    /// Only the failed exchanges, in order.
+    pub fn failures(&self) -> impl Iterator<Item = &Exchange> {
+        self.exchanges.iter().filter(|e| e.error.is_some())
     }
 
     /// Number of exchanges (== episodes spoken to the model).
@@ -109,8 +142,29 @@ mod tests {
     fn serde_roundtrip() {
         let mut t = ChatTranscript::new("m");
         t.record(0, "p", "r", Some("why".into()));
+        t.record_failed(1, "p1", "garbage", "cannot parse llm response");
         let json = serde_json::to_string(&t).unwrap();
         let back: ChatTranscript = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn failed_exchanges_are_kept_and_filterable() {
+        let mut t = ChatTranscript::new("m");
+        t.record_failed(0, "p", "???", "no brackets");
+        t.record(0, "p", "[[32,3]]", None);
+        assert_eq!(t.len(), 2);
+        let fails: Vec<_> = t.failures().collect();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].error.as_deref(), Some("no brackets"));
+        assert!(t.exchanges()[1].error.is_none());
+    }
+
+    #[test]
+    fn legacy_transcripts_deserialize_without_error_field() {
+        let json = r#"{"model":"m","exchanges":[{"episode":0,"prompt":"p","response":"r","rationale":null}]}"#;
+        let t: ChatTranscript = serde_json::from_str(json).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.exchanges()[0].error.is_none());
     }
 }

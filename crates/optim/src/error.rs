@@ -15,6 +15,16 @@ pub enum OptimError {
     },
     /// A configuration value was invalid (zero population, bad rates, …).
     InvalidConfig(String),
+    /// An observed reward was NaN or infinite.
+    ///
+    /// Non-finite rewards would corrupt best-half history selection and
+    /// render `perf: NaN` into prompts, so they are rejected at the
+    /// boundary. The offending value is carried as text to keep this type
+    /// `Eq`.
+    NonFiniteReward {
+        /// The rejected value, formatted (`"NaN"`, `"inf"`, `"-inf"`).
+        value: String,
+    },
 }
 
 impl fmt::Display for OptimError {
@@ -29,6 +39,9 @@ impl fmt::Display for OptimError {
                 "llm response unparseable after {attempts} attempts: {last_error}"
             ),
             OptimError::InvalidConfig(msg) => write!(f, "invalid optimizer config: {msg}"),
+            OptimError::NonFiniteReward { value } => {
+                write!(f, "non-finite reward rejected: {value}")
+            }
         }
     }
 }
@@ -63,6 +76,10 @@ mod tests {
             last_error: "bad".into(),
         };
         assert!(e.to_string().contains("3 attempts"));
+        let e = OptimError::NonFiniteReward {
+            value: format!("{}", f64::NAN),
+        };
+        assert!(e.to_string().contains("NaN"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! generation-in/generation-out, and evolves via tournament selection,
 //! uniform crossover and per-slot mutation.
 
-use crate::{Optimizer, OptimError, Result};
+use crate::{OptimError, Optimizer, Result};
 use lcda_llm::design::{CandidateDesign, DesignChoices};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,12 +110,7 @@ impl GeneticOptimizer {
         self.evaluated
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(g, f)| {
-                (
-                    self.choices.decode(g).expect("genomes are in-space"),
-                    *f,
-                )
-            })
+            .map(|(g, f)| (self.choices.decode(g).expect("genomes are in-space"), *f))
     }
 
     fn tournament_pick(&mut self) -> Genome {
@@ -151,8 +146,7 @@ impl GeneticOptimizer {
     fn next_generation(&mut self) {
         // Keep only the freshest `population` evaluated individuals as the
         // breeding pool (truncation survival).
-        self.evaluated
-            .sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.evaluated.sort_by(|a, b| b.1.total_cmp(&a.1));
         self.evaluated.truncate(self.config.population);
         // Offspring generation: tournament parents, uniform crossover,
         // per-slot mutation. (Elitism is implicit: survivors stay in the

@@ -48,6 +48,7 @@ pub mod rl;
 pub use error::OptimError;
 
 use lcda_llm::design::CandidateDesign;
+use lcda_llm::transcript::ChatTranscript;
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, OptimError>;
@@ -73,4 +74,13 @@ pub trait Optimizer {
 
     /// A short, stable name for reports.
     fn name(&self) -> &str;
+
+    /// The conversation transcript, for optimizers that talk to a model.
+    ///
+    /// Defaults to `None`; [`llm_opt::LlmOptimizer`] overrides it. Lets
+    /// checkpointing code snapshot the transcript through a
+    /// `Box<dyn Optimizer>` without downcasting.
+    fn transcript(&self) -> Option<&ChatTranscript> {
+        None
+    }
 }

@@ -3,19 +3,23 @@
 //! Wraps any [`LanguageModel`] in the [`Optimizer`] interface by running
 //! the Algorithm-1/Algorithm-2 loop: render the prompt from the
 //! exploration history, send it to the model, parse the response into a
-//! design, retrying on unparseable responses. Every exchange is recorded
-//! in a [`ChatTranscript`] so runs are auditable (the paper's
-//! "explainable NAS" direction).
+//! design, retrying on unparseable responses. Every attempt — including
+//! failed ones, with their error note — is recorded in a
+//! [`ChatTranscript`] so runs are auditable (the paper's "explainable
+//! NAS" direction). On a retry the parse error is fed back to the model
+//! as a corrective note instead of resending the prompt verbatim, and a
+//! configured fallback optimizer keeps the search alive when the model
+//! goes dark (open circuit / exhausted retries).
 
-use crate::{Optimizer, OptimError, Result};
+use crate::{OptimError, Optimizer, Result};
 use lcda_llm::design::{CandidateDesign, DesignChoices};
 use lcda_llm::parse::parse_design;
 use lcda_llm::prompt::{HistoryEntry, PromptBuilder, PromptObjective};
 use lcda_llm::transcript::ChatTranscript;
-use lcda_llm::LanguageModel;
+use lcda_llm::{LanguageModel, LlmError};
+use std::fmt;
 
 /// Drives a language model through the co-design loop.
-#[derive(Debug)]
 pub struct LlmOptimizer<M> {
     model: M,
     builder: PromptBuilder,
@@ -28,6 +32,41 @@ pub struct LlmOptimizer<M> {
     max_history: Option<usize>,
     episode: u32,
     name: String,
+    fallback: Option<Box<dyn Optimizer>>,
+    degraded: u64,
+}
+
+impl<M: fmt::Debug> fmt::Debug for LlmOptimizer<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LlmOptimizer")
+            .field("model", &self.model)
+            .field("episode", &self.episode)
+            .field("history_len", &self.history.len())
+            .field("max_retries", &self.max_retries)
+            .field(
+                "fallback",
+                &self.fallback.as_ref().map(|fb| fb.name().to_string()),
+            )
+            .field("degraded", &self.degraded)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Turns a parse/model error into a single-line corrective note appended
+/// to the retried prompt.
+///
+/// The note must stay a single line and avoid the wire-format prefixes
+/// the simulated LLM parses (`design `, `channels:`, …) so feedback
+/// never perturbs how a model re-reads the prompt.
+fn corrective_note(error: &str) -> String {
+    let clean: String = error
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!(
+        "NOTE: your previous response could not be used ({clean}). Respond with \
+         ONLY the rollout list in the exact format requested above."
+    )
 }
 
 impl<M: LanguageModel> LlmOptimizer<M> {
@@ -47,7 +86,31 @@ impl<M: LanguageModel> LlmOptimizer<M> {
             max_history: None,
             episode: 0,
             name,
+            fallback: None,
+            degraded: 0,
         }
+    }
+
+    /// Configures a degraded-mode fallback optimizer.
+    ///
+    /// When the model goes dark — an open circuit breaker, or a whole
+    /// episode's retry budget exhausted — `propose` delegates to the
+    /// fallback (e.g. a random or genetic baseline) instead of aborting
+    /// the run. Every observed reward is forwarded to the fallback so its
+    /// state stays warm whether or not it is ever consulted.
+    pub fn with_fallback(mut self, fallback: Box<dyn Optimizer>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// How many proposals were served by the fallback optimizer.
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded
+    }
+
+    /// The fallback optimizer's name, when one is configured.
+    pub fn fallback_name(&self) -> Option<&str> {
+        self.fallback.as_deref().map(|fb| fb.name())
     }
 
     /// Overrides the per-episode parse retry budget.
@@ -104,23 +167,73 @@ impl<M: LanguageModel> LlmOptimizer<M> {
     pub fn model(&self) -> &M {
         &self.model
     }
+
+    /// Serves one proposal from the fallback optimizer (degraded mode).
+    fn degrade(&mut self) -> Result<CandidateDesign> {
+        let fb = self
+            .fallback
+            .as_mut()
+            .expect("degrade requires a configured fallback");
+        let design = fb.propose()?;
+        self.degraded += 1;
+        self.episode += 1;
+        Ok(design)
+    }
 }
 
 impl<M: LanguageModel> Optimizer for LlmOptimizer<M> {
     fn propose(&mut self) -> Result<CandidateDesign> {
-        let prompt = self.builder.render(&self.prompt_history());
+        let base_prompt = self.builder.render(&self.prompt_history());
+        let mut feedback: Option<String> = None;
         let mut last_error = String::new();
         for _ in 0..self.max_retries {
-            let response = self.model.complete(&prompt)?;
-            match parse_design(&response, &self.choices) {
-                Ok(design) => {
+            // Retries carry the previous failure back to the model as a
+            // corrective note instead of resending the prompt verbatim.
+            let prompt = match &feedback {
+                Some(note) => format!("{base_prompt}\n\n{note}"),
+                None => base_prompt.clone(),
+            };
+            match self.model.complete(&prompt) {
+                Ok(response) => match parse_design(&response, &self.choices) {
+                    Ok(design) => {
+                        self.transcript.record(self.episode, prompt, response, None);
+                        self.episode += 1;
+                        return Ok(design);
+                    }
+                    Err(e) => {
+                        last_error = e.to_string();
+                        self.transcript
+                            .record_failed(self.episode, prompt, response, &last_error);
+                        feedback = Some(corrective_note(&last_error));
+                    }
+                },
+                // Transient model failures (rate limits, timeouts that
+                // leaked through inner retry layers) consume an attempt.
+                Err(e) if e.is_transient() => {
+                    last_error = e.to_string();
                     self.transcript
-                        .record(self.episode, prompt, response, None);
-                    self.episode += 1;
-                    return Ok(design);
+                        .record_failed(self.episode, prompt, "", &last_error);
                 }
-                Err(e) => last_error = e.to_string(),
+                // The model is dark: degrade to the fallback if we have
+                // one, otherwise surface the circuit error.
+                Err(e @ LlmError::CircuitOpen { .. }) => {
+                    self.transcript
+                        .record_failed(self.episode, prompt, "", e.to_string());
+                    if self.fallback.is_some() {
+                        return self.degrade();
+                    }
+                    return Err(OptimError::Llm(e));
+                }
+                // Anything else is a hard error: propagate immediately.
+                Err(e) => {
+                    self.transcript
+                        .record_failed(self.episode, prompt, "", e.to_string());
+                    return Err(OptimError::Llm(e));
+                }
             }
+        }
+        if self.fallback.is_some() {
+            return self.degrade();
         }
         Err(OptimError::LlmRetriesExhausted {
             attempts: self.max_retries,
@@ -129,7 +242,17 @@ impl<M: LanguageModel> Optimizer for LlmOptimizer<M> {
     }
 
     fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {
+        if !reward.is_finite() {
+            return Err(OptimError::NonFiniteReward {
+                value: format!("{reward}"),
+            });
+        }
         self.choices.contains(design)?;
+        // Keep the fallback's state warm so a mid-run degrade continues
+        // from a live search, not a cold start.
+        if let Some(fb) = self.fallback.as_mut() {
+            fb.observe(design, reward)?;
+        }
         self.history.push(HistoryEntry {
             design: design.clone(),
             performance: reward,
@@ -139,6 +262,10 @@ impl<M: LanguageModel> Optimizer for LlmOptimizer<M> {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn transcript(&self) -> Option<&ChatTranscript> {
+        Some(&self.transcript)
     }
 }
 
@@ -255,9 +382,7 @@ mod tests {
         // The standout entry survives truncation…
         assert!(rendered.iter().any(|h| (h.performance - 5.0).abs() < 1e-9));
         // …and so does the most recent one.
-        assert!(rendered
-            .iter()
-            .any(|h| (h.performance - 0.15).abs() < 1e-9));
+        assert!(rendered.iter().any(|h| (h.performance - 0.15).abs() < 1e-9));
         // Full history is still tracked internally.
         assert_eq!(opt.history().len(), 16);
     }
@@ -270,5 +395,194 @@ mod tests {
             opt.observe(&d, 0.1).unwrap();
         }
         assert_eq!(opt.prompt_history().len(), 4);
+    }
+
+    /// Garbage on the first call of each episode, then delegates.
+    struct GarbageOnce {
+        inner: SimLlm,
+        failed: bool,
+    }
+    impl LanguageModel for GarbageOnce {
+        fn complete(&mut self, prompt: &str) -> lcda_llm::Result<String> {
+            if !self.failed {
+                self.failed = true;
+                return Ok("I am sorry, I cannot help with that.".to_string());
+            }
+            self.inner.complete(prompt)
+        }
+        fn model_name(&self) -> &str {
+            "garbage-once"
+        }
+    }
+
+    #[test]
+    fn failed_attempts_are_recorded_with_error_notes() {
+        let mut opt = LlmOptimizer::new(
+            GarbageOnce {
+                inner: SimLlm::new(Persona::Pretrained, 1),
+                failed: false,
+            },
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        );
+        let d = opt.propose().unwrap();
+        assert_eq!(d.conv.len(), 6);
+        // Both the failed and the successful attempt are in the transcript.
+        assert_eq!(opt.transcript().len(), 2);
+        let fails: Vec<_> = opt.transcript().failures().collect();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].error.as_deref().unwrap().contains("cannot parse"));
+        assert!(fails[0].response.contains("sorry"));
+        // Both attempts carry the same episode tag.
+        assert_eq!(opt.transcript().exchanges()[0].episode, 0);
+        assert_eq!(opt.transcript().exchanges()[1].episode, 0);
+    }
+
+    #[test]
+    fn retry_prompt_carries_corrective_feedback() {
+        let mut opt = LlmOptimizer::new(
+            GarbageOnce {
+                inner: SimLlm::new(Persona::Pretrained, 1),
+                failed: false,
+            },
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        );
+        opt.propose().unwrap();
+        let exchanges = opt.transcript().exchanges();
+        assert!(!exchanges[0].prompt.contains("NOTE:"));
+        assert!(exchanges[1].prompt.contains("NOTE:"));
+        assert!(exchanges[1].prompt.contains("could not be used"));
+        // The note stays on one line so it cannot collide with the
+        // prompt wire format.
+        let note_lines = exchanges[1]
+            .prompt
+            .lines()
+            .filter(|l| l.starts_with("NOTE:"))
+            .count();
+        assert_eq!(note_lines, 1);
+    }
+
+    #[test]
+    fn corrective_note_is_single_line() {
+        let note = corrective_note("bad\r\nmultiline\nerror");
+        assert!(!note.contains('\n'));
+        assert!(!note.contains('\r'));
+        assert!(note.starts_with("NOTE:"));
+    }
+
+    #[test]
+    fn observe_rejects_non_finite_rewards() {
+        let mut opt = make();
+        let d = opt.propose().unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match opt.observe(&d, bad) {
+                Err(OptimError::NonFiniteReward { .. }) => {}
+                other => panic!("expected NonFiniteReward, got {other:?}"),
+            }
+        }
+        assert!(opt.history().is_empty());
+        opt.observe(&d, 0.25).unwrap();
+        assert_eq!(opt.history().len(), 1);
+    }
+
+    /// A model whose circuit is permanently open.
+    struct DarkModel;
+    impl LanguageModel for DarkModel {
+        fn complete(&mut self, _prompt: &str) -> lcda_llm::Result<String> {
+            Err(LlmError::CircuitOpen { failures: 5 })
+        }
+        fn model_name(&self) -> &str {
+            "dark"
+        }
+    }
+
+    #[test]
+    fn open_circuit_degrades_to_fallback() {
+        use crate::random::RandomOptimizer;
+        let choices = DesignChoices::nacim_default();
+        let mut opt =
+            LlmOptimizer::new(DarkModel, choices.clone(), PromptObjective::AccuracyEnergy)
+                .with_fallback(Box::new(RandomOptimizer::new(choices, 7)));
+        let d = opt.propose().unwrap();
+        assert_eq!(d.conv.len(), 6);
+        assert_eq!(opt.degraded_count(), 1);
+        assert_eq!(opt.fallback_name(), Some("random"));
+        // The dark call is still auditable.
+        let fails: Vec<_> = opt.transcript().failures().collect();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].error.as_deref().unwrap().contains("circuit open"));
+        // Rewards flow so the search continues.
+        opt.observe(&d, 0.1).unwrap();
+        assert_eq!(opt.history().len(), 1);
+    }
+
+    #[test]
+    fn open_circuit_without_fallback_surfaces_typed_error() {
+        let mut opt = LlmOptimizer::new(
+            DarkModel,
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        );
+        assert!(matches!(
+            opt.propose(),
+            Err(OptimError::Llm(LlmError::CircuitOpen { .. }))
+        ));
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_fallback() {
+        use crate::random::RandomOptimizer;
+        let choices = DesignChoices::nacim_default();
+        let mut opt = LlmOptimizer::new(
+            BrokenModel,
+            choices.clone(),
+            PromptObjective::AccuracyEnergy,
+        )
+        .with_fallback(Box::new(RandomOptimizer::new(choices, 3)));
+        let d = opt.propose().unwrap();
+        assert_eq!(d.conv.len(), 6);
+        assert_eq!(opt.degraded_count(), 1);
+        // All three garbage attempts are on the record.
+        assert_eq!(opt.transcript().failures().count(), 3);
+    }
+
+    #[test]
+    fn transient_model_errors_consume_attempts_and_are_recorded() {
+        struct RateLimiting;
+        impl LanguageModel for RateLimiting {
+            fn complete(&mut self, _prompt: &str) -> lcda_llm::Result<String> {
+                Err(LlmError::RateLimited { retry_after_ms: 10 })
+            }
+            fn model_name(&self) -> &str {
+                "ratelimiting"
+            }
+        }
+        let mut opt = LlmOptimizer::new(
+            RateLimiting,
+            DesignChoices::nacim_default(),
+            PromptObjective::AccuracyEnergy,
+        );
+        match opt.propose() {
+            Err(OptimError::LlmRetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected retries exhausted, got {other:?}"),
+        }
+        assert_eq!(opt.transcript().failures().count(), 3);
+        assert!(opt.transcript().failures().all(|e| e
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("rate limited")));
+    }
+
+    #[test]
+    fn trait_transcript_accessor_works_through_dyn() {
+        let opt = make();
+        let boxed: Box<dyn Optimizer> = Box::new(opt);
+        assert!(boxed.transcript().is_some());
+        use crate::random::RandomOptimizer;
+        let rand: Box<dyn Optimizer> =
+            Box::new(RandomOptimizer::new(DesignChoices::nacim_default(), 1));
+        assert!(rand.transcript().is_none());
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! All objectives are **maximized**; negate costs before feeding them in.
 
-use crate::{Optimizer, OptimError, Result};
+use crate::{OptimError, Optimizer, Result};
 use lcda_llm::design::{CandidateDesign, DesignChoices};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -215,8 +215,7 @@ impl Nsga2Optimizer {
         let fronts = fast_non_dominated_sort(&fits);
         let mut out = vec![(usize::MAX, 0.0f64); fits.len()];
         for (rank, front) in fronts.iter().enumerate() {
-            let front_fits: Vec<Vec<f64>> =
-                front.iter().map(|&i| fits[i].clone()).collect();
+            let front_fits: Vec<Vec<f64>> = front.iter().map(|&i| fits[i].clone()).collect();
             let crowd = crowding_distance(&front_fits);
             for (pos, &i) in front.iter().enumerate() {
                 out[i] = (rank, crowd[pos]);
@@ -405,7 +404,9 @@ mod tests {
 
     #[test]
     fn crowding_small_fronts_all_infinite() {
-        assert!(crowding_distance(&[vec![1.0]]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[vec![1.0]])
+            .iter()
+            .all(|d| d.is_infinite()));
         assert!(crowding_distance(&[vec![1.0], vec![2.0]])
             .iter()
             .all(|d| d.is_infinite()));
@@ -443,7 +444,10 @@ mod tests {
             .map(|s| (choices.slot_options(s) - 1) as f64)
             .sum();
         for (_, f) in &archive {
-            assert!((f[0] + f[1] - total).abs() < 1e-9, "on-diagonal by construction");
+            assert!(
+                (f[0] + f[1] - total).abs() < 1e-9,
+                "on-diagonal by construction"
+            );
         }
         // Spread: the archive should cover distinct trade-offs.
         let distinct: std::collections::HashSet<i64> =

@@ -13,7 +13,7 @@
 //! have been evaluated. This is the behaviour LCDA's 25× speedup claim is
 //! measured against (Figs. 2–3).
 
-use crate::{Optimizer, OptimError, Result};
+use crate::{OptimError, Optimizer, Result};
 use lcda_llm::design::{CandidateDesign, DesignChoices};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -204,8 +204,8 @@ mod tests {
 
     #[test]
     fn cold_start_proposals_are_spread_out() {
-        let mut opt = RlOptimizer::new(DesignChoices::nacim_default(), RlConfig::standard(), 1)
-            .unwrap();
+        let mut opt =
+            RlOptimizer::new(DesignChoices::nacim_default(), RlConfig::standard(), 1).unwrap();
         let mut kernels_seen = std::collections::HashSet::new();
         for _ in 0..60 {
             let d = opt.propose().unwrap();
@@ -255,7 +255,8 @@ mod tests {
         for _ in 0..500 {
             let d = opt.propose().unwrap();
             let idx = opt.choices.encode(&d).unwrap();
-            opt.observe(&d, if idx[0] == 0 { 1.0 } else { -1.0 }).unwrap();
+            opt.observe(&d, if idx[0] == 0 { 1.0 } else { -1.0 })
+                .unwrap();
         }
         let p = opt.slot_probs(0);
         assert!(p.iter().all(|&x| x >= 0.049), "floor violated: {p:?}");

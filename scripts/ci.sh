@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass before merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q

@@ -2,15 +2,19 @@
 //!
 //! ```sh
 //! lcda search --optimizer expert --objective energy --episodes 20 --seed 42
+//! lcda search --optimizer resilient --fault-rate 0.2 --checkpoint run.json --resume
 //! lcda evaluate --design "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]"
 //! lcda front --episodes 240 --seed 1
 //! lcda reference
 //! ```
 
+use lcda::core::checkpoint::Checkpoint;
 use lcda::core::mo::MultiObjectiveCoDesign;
 use lcda::core::space::DesignSpace;
 use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::llm::middleware::FaultPlan;
 use lcda::llm::parse::parse_design;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -27,10 +31,15 @@ COMMANDS:
     help        show this message
 
 SEARCH OPTIONS:
-    --optimizer <expert|finetuned|adaptive|naive|rl|genetic|random>   (default expert)
+    --optimizer <expert|finetuned|adaptive|naive|rl|genetic|random|resilient>
+                                                             (default expert)
     --objective <energy|latency>                             (default energy)
     --episodes <n>                                           (default 20)
     --seed <n>                                               (default 0)
+    --checkpoint <path>     write a JSON checkpoint after every episode
+    --resume                resume from --checkpoint if it exists
+    --fault-rate <p>        (resilient only) inject faults with probability p
+    --fault-seed <n>        (resilient only) fault schedule seed (default --seed)
     --json                                                   emit JSON
 
 EVALUATE OPTIONS:
@@ -42,12 +51,36 @@ FRONT OPTIONS:
     --episodes <n>   (default 240)    --seed <n>    --objective <energy|latency>
 ";
 
-/// Minimal flag parser: `--key value` pairs plus boolean `--json`.
+/// Minimal flag parser: `--key value` pairs plus boolean flags, with
+/// strict validation — unknown flags are a usage error, not a silent
+/// no-op (a `--episode` typo must not run 20 episodes with defaults).
 struct Args {
     items: Vec<String>,
 }
 
 impl Args {
+    /// Rejects anything that is not a listed value flag (with its value)
+    /// or a listed boolean flag.
+    fn validate(&self, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.items.len() {
+            let item = self.items[i].as_str();
+            if value_flags.contains(&item) {
+                if i + 1 >= self.items.len() {
+                    return Err(format!("{item} expects a value"));
+                }
+                i += 2;
+            } else if bool_flags.contains(&item) {
+                i += 1;
+            } else if item.starts_with('-') {
+                return Err(format!("unknown flag `{item}` (see `lcda help`)"));
+            } else {
+                return Err(format!("unexpected argument `{item}` (see `lcda help`)"));
+            }
+        }
+        Ok(())
+    }
+
     fn get(&self, key: &str) -> Option<&str> {
         self.items
             .iter()
@@ -61,6 +94,15 @@ impl Args {
     }
 
     fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn fnum(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -108,10 +150,39 @@ fn main() -> ExitCode {
 }
 
 fn cmd_search(args: &Args) -> Result<(), String> {
+    args.validate(
+        &[
+            "--optimizer",
+            "--objective",
+            "--episodes",
+            "--seed",
+            "--checkpoint",
+            "--fault-rate",
+            "--fault-seed",
+        ],
+        &["--json", "--resume"],
+    )?;
     let objective = args.objective()?;
     let episodes = args.num("--episodes", 20)? as u32;
     let seed = args.num("--seed", 0)?;
     let optimizer = args.get("--optimizer").unwrap_or("expert");
+    let fault_rate = args.fnum("--fault-rate", 0.0)?;
+    let fault_seed = args.num("--fault-seed", seed)?;
+    if optimizer != "resilient"
+        && (args.get("--fault-rate").is_some() || args.get("--fault-seed").is_some())
+    {
+        return Err("--fault-rate/--fault-seed require --optimizer resilient".into());
+    }
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}"));
+    }
+
+    let checkpoint_path = args.get("--checkpoint").map(PathBuf::from);
+    let resume = args.flag("--resume");
+    if resume && checkpoint_path.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
+
     let space = DesignSpace::nacim_cifar10();
     let config = CoDesignConfig::builder(objective)
         .episodes(episodes)
@@ -125,12 +196,43 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         "rl" => CoDesign::with_rl(space, config),
         "genetic" => CoDesign::with_genetic(space, config),
         "random" => CoDesign::with_random(space, config),
+        "resilient" => {
+            // Budget ~8 model calls per episode: enough horizon to cover
+            // every retry the middleware may issue.
+            let plan = if fault_rate > 0.0 {
+                FaultPlan::seeded(fault_seed, u64::from(episodes) * 8, fault_rate, 2)
+            } else {
+                FaultPlan::none()
+            };
+            CoDesign::with_resilient_llm(space, config, plan)
+        }
         other => return Err(format!("unknown optimizer `{other}`")),
     };
+
+    let resume_from = match (&checkpoint_path, resume) {
+        (Some(path), true) if path.exists() => {
+            Some(Checkpoint::load(path).map_err(|e| e.to_string())?)
+        }
+        (Some(path), true) => {
+            eprintln!(
+                "checkpoint {} not found; starting a fresh run",
+                path.display()
+            );
+            None
+        }
+        _ => None,
+    };
+
     let outcome = run
         .map_err(|e| e.to_string())?
-        .run()
+        .run_resumable(resume_from, |cp| {
+            if let Some(path) = &checkpoint_path {
+                cp.save(path)?;
+            }
+            Ok(())
+        })
         .map_err(|e| e.to_string())?;
+
     if args.flag("--json") {
         println!(
             "{}",
@@ -157,20 +259,20 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let text = args
-        .get("--design")
-        .ok_or("evaluate requires --design <rollout text>")?;
-    let objective = args.objective()?;
+/// Scores one design text and prints it — shared by `evaluate` and
+/// `reference`.
+fn evaluate_design_text(text: &str, objective: Objective, json: bool) -> Result<(), String> {
     let space = DesignSpace::nacim_cifar10();
     let design = parse_design(text, &space.choices).map_err(|e| e.to_string())?;
-    let config = CoDesignConfig::builder(objective).episodes(1).seed(0).build();
-    let mut scorer =
-        CoDesign::with_random(space, config).map_err(|e| e.to_string())?;
+    let config = CoDesignConfig::builder(objective)
+        .episodes(1)
+        .seed(0)
+        .build();
+    let mut scorer = CoDesign::with_random(space, config).map_err(|e| e.to_string())?;
     let record = scorer
         .evaluate_design(0, design)
         .map_err(|e| e.to_string())?;
-    if args.flag("--json") {
+    if json {
         println!(
             "{}",
             serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?
@@ -182,7 +284,11 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     println!("accuracy {:.4}", record.accuracy);
     match &record.hw {
         Some(hw) => {
-            println!("energy   {:.4e} pJ   ({:.3}x ISAAC)", hw.energy_pj, hw.energy_pj / 8.0e7);
+            println!(
+                "energy   {:.4e} pJ   ({:.3}x ISAAC)",
+                hw.energy_pj,
+                hw.energy_pj / 8.0e7
+            );
             println!("latency  {:.0} ns   ({:.0} FPS)", hw.latency_ns, hw.fps());
             println!("area     {:.3} mm²", hw.area_mm2);
             println!("leakage  {:.1} µW", hw.leakage_uw);
@@ -192,17 +298,23 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    args.validate(&["--design", "--objective"], &["--json"])?;
+    let text = args
+        .get("--design")
+        .ok_or("evaluate requires --design <rollout text>")?;
+    let objective = args.objective()?;
+    evaluate_design_text(text, objective, args.flag("--json"))
+}
+
 fn cmd_front(args: &Args) -> Result<(), String> {
+    args.validate(&["--episodes", "--seed", "--objective"], &[])?;
     let objective = args.objective()?;
     let episodes = args.num("--episodes", 240)? as u32;
     let seed = args.num("--seed", 0)?;
-    let mut run = MultiObjectiveCoDesign::new(
-        DesignSpace::nacim_cifar10(),
-        objective,
-        episodes,
-        seed,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut run =
+        MultiObjectiveCoDesign::new(DesignSpace::nacim_cifar10(), objective, episodes, seed)
+            .map_err(|e| e.to_string())?;
     let outcome = run.run().map_err(|e| e.to_string())?;
     let mut front = outcome.front;
     front.sort_by(|a, b| a.2.total_cmp(&b.2));
@@ -221,14 +333,8 @@ fn cmd_front(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_reference(args: &Args) -> Result<(), String> {
+    args.validate(&[], &["--json"])?;
     let space = DesignSpace::nacim_cifar10();
-    let design = space.reference_design();
-    let text = design.to_response_text();
-    cmd_evaluate(&Args {
-        items: vec![
-            "--design".to_string(),
-            text,
-            if args.flag("--json") { "--json" } else { "--no-json" }.to_string(),
-        ],
-    })
+    let text = space.reference_design().to_response_text();
+    evaluate_design_text(&text, Objective::AccuracyEnergy, args.flag("--json"))
 }

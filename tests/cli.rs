@@ -62,9 +62,7 @@ fn search_runs_and_reports_best() {
 
 #[test]
 fn search_json_is_parseable() {
-    let (ok, stdout, _) = lcda(&[
-        "search", "--episodes", "3", "--seed", "1", "--json",
-    ]);
+    let (ok, stdout, _) = lcda(&["search", "--episodes", "3", "--seed", "1", "--json"]);
     assert!(ok);
     let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
     assert_eq!(v["history"].as_array().unwrap().len(), 3);
@@ -109,4 +107,174 @@ fn front_prints_pareto_designs() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("NSGA-II front"));
     assert!(stdout.contains("acc "));
+}
+
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    // A `--episode` typo must fail loudly, not run 20 episodes with the
+    // default budget.
+    let (ok, _, stderr) = lcda(&["search", "--episode", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    assert!(stderr.contains("--episode"), "{stderr}");
+
+    let (ok, _, stderr) = lcda(&["evaluate", "--design", "x", "--verbose"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+
+    let (ok, _, stderr) = lcda(&["front", "--json"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+
+    // Stray positional arguments are rejected too.
+    let (ok, _, stderr) = lcda(&["search", "extra"]);
+    assert!(!ok);
+    assert!(stderr.contains("unexpected argument"), "{stderr}");
+
+    // A value flag at the end of the line is missing its value.
+    let (ok, _, stderr) = lcda(&["search", "--episodes"]);
+    assert!(!ok);
+    assert!(stderr.contains("expects a value"), "{stderr}");
+}
+
+#[test]
+fn resume_requires_checkpoint_flag() {
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--resume"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--resume requires --checkpoint"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn fault_flags_require_resilient_optimizer() {
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--fault-rate", "0.2"]);
+    assert!(!ok);
+    assert!(stderr.contains("resilient"), "{stderr}");
+}
+
+#[test]
+fn checkpointed_search_resumes_to_identical_outcome() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lcda-cli-ckpt-{}.json", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // The uninterrupted reference run.
+    let (ok, full, _) = lcda(&["search", "--episodes", "4", "--seed", "6", "--json"]);
+    assert!(ok);
+
+    // A shorter run writes a partial checkpoint (2 of 4 episodes)…
+    let (ok, _, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--seed",
+        "6",
+        "--checkpoint",
+        path_s,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(path.exists());
+
+    // …and resuming with the full budget completes the remaining episodes.
+    let (ok, resumed, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "4",
+        "--seed",
+        "6",
+        "--checkpoint",
+        path_s,
+        "--resume",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(resumed, full, "resumed run diverged from uninterrupted run");
+
+    // Resuming a finished run replays it and returns the same outcome.
+    let (ok, replayed, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "4",
+        "--seed",
+        "6",
+        "--checkpoint",
+        path_s,
+        "--resume",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(replayed, full);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("tmp"));
+}
+
+#[test]
+fn resume_with_missing_checkpoint_starts_fresh() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lcda-cli-missing-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let path_s = path.to_str().unwrap();
+    let (ok, stdout, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--seed",
+        "1",
+        "--checkpoint",
+        path_s,
+        "--resume",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("starting a fresh run"), "{stderr}");
+    assert!(stdout.contains("best:"));
+    assert!(path.exists(), "fresh run still writes the checkpoint");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resilient_search_with_faults_matches_fault_free_search() {
+    let (ok, faulted, stderr) = lcda(&[
+        "search",
+        "--optimizer",
+        "resilient",
+        "--episodes",
+        "3",
+        "--seed",
+        "2",
+        "--fault-rate",
+        "0.3",
+        "--fault-seed",
+        "41",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, clean, _) = lcda(&[
+        "search",
+        "--optimizer",
+        "resilient",
+        "--episodes",
+        "3",
+        "--seed",
+        "2",
+        "--json",
+    ]);
+    assert!(ok);
+    assert_eq!(faulted, clean, "fault injection changed the outcome");
+    // And the resilient stack is transparent vs. the plain expert LLM.
+    let (ok, expert, _) = lcda(&[
+        "search",
+        "--optimizer",
+        "expert",
+        "--episodes",
+        "3",
+        "--seed",
+        "2",
+        "--json",
+    ]);
+    assert!(ok);
+    assert_eq!(clean, expert);
 }
