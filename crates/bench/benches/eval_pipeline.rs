@@ -1,0 +1,144 @@
+//! Criterion bench for the evaluation pipeline: parallel Monte-Carlo
+//! accuracy (sequential vs 4 worker threads, 32 trials) and memoized
+//! re-evaluation (cold vs cache-hit). Besides the Criterion groups, the
+//! bench writes `artifacts/BENCH_eval.json` — the machine-readable perf
+//! baseline future PRs diff against.
+
+use criterion::{criterion_group, Criterion};
+use lcda_core::evaluate::NeurosimCostEvaluator;
+use lcda_core::pipeline::EvalPipeline;
+use lcda_core::space::DesignSpace;
+use lcda_core::surrogate::SurrogateEvaluator;
+use lcda_dnn::arch::Architecture;
+use lcda_dnn::dataset::SynthCifar;
+use lcda_dnn::mc_eval::{mc_accuracy, McEvalConfig};
+use lcda_dnn::network::Network;
+use lcda_variation::VariationConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MC_TRIALS: u32 = 32;
+const MC_THREADS: usize = 4;
+
+fn mc_fixture() -> (Network, SynthCifar) {
+    let net = Architecture::tiny_test().build(3).expect("valid arch");
+    let data = SynthCifar::generate_classes(48, 8, 4, 17).expect("valid dataset");
+    (net, data)
+}
+
+fn mc_cfg(threads: usize) -> McEvalConfig {
+    McEvalConfig {
+        trials: MC_TRIALS,
+        variation: VariationConfig::rram_moderate(),
+        seed: 9,
+        elapsed_seconds: 0.0,
+        threads,
+    }
+}
+
+fn surrogate_pipeline() -> (EvalPipeline, lcda_llm::design::CandidateDesign) {
+    let space = DesignSpace::nacim_cifar10();
+    let design = space.reference_design();
+    let pipeline = EvalPipeline::new(
+        Box::new(SurrogateEvaluator::new(space.clone(), 0)),
+        Box::new(NeurosimCostEvaluator::new(space)),
+    );
+    (pipeline, design)
+}
+
+fn bench(c: &mut Criterion) {
+    let (mut net, data) = mc_fixture();
+    let mut g = c.benchmark_group("eval_pipeline");
+    g.sample_size(10);
+    g.bench_function("mc_accuracy_32trials_seq", |b| {
+        b.iter(|| black_box(mc_accuracy(&mut net, &data, &mc_cfg(1)).unwrap().mean))
+    });
+    g.bench_function("mc_accuracy_32trials_4threads", |b| {
+        b.iter(|| {
+            black_box(
+                mc_accuracy(&mut net, &data, &mc_cfg(MC_THREADS))
+                    .unwrap()
+                    .mean,
+            )
+        })
+    });
+    g.bench_function("pipeline_cold_eval", |b| {
+        b.iter(|| {
+            let (mut p, d) = surrogate_pipeline();
+            black_box(p.evaluate(&d).unwrap().0)
+        })
+    });
+    let (mut warm, design) = surrogate_pipeline();
+    warm.evaluate(&design).unwrap();
+    g.bench_function("pipeline_cache_hit", |b| {
+        b.iter(|| black_box(warm.evaluate(&design).unwrap().0))
+    });
+    g.finish();
+}
+
+/// Mean wall-clock nanoseconds of `reps` calls to `f`.
+fn time_ns(reps: u32, mut f: impl FnMut() -> f64) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..reps {
+        sink += f();
+    }
+    black_box(sink);
+    start.elapsed().as_nanos() as f64 / f64::from(reps)
+}
+
+/// Writes `artifacts/BENCH_eval.json`: the pipeline's perf baseline.
+fn write_artifact() -> std::io::Result<()> {
+    let (mut net, data) = mc_fixture();
+    let mc_seq = time_ns(3, || {
+        f64::from(mc_accuracy(&mut net, &data, &mc_cfg(1)).unwrap().mean)
+    });
+    let mc_par = time_ns(3, || {
+        f64::from(
+            mc_accuracy(&mut net, &data, &mc_cfg(MC_THREADS))
+                .unwrap()
+                .mean,
+        )
+    });
+    let cold = time_ns(10, || {
+        let (mut p, d) = surrogate_pipeline();
+        p.evaluate(&d).unwrap().0
+    });
+    let (mut warm, design) = surrogate_pipeline();
+    warm.evaluate(&design).unwrap();
+    let hit = time_ns(200, || warm.evaluate(&design).unwrap().0);
+
+    let report = serde_json::json!({
+        "bench": "eval_pipeline",
+        "cores": std::thread::available_parallelism().map_or(1, usize::from),
+        "mc": {
+            "trials": MC_TRIALS,
+            "threads": MC_THREADS,
+            "sequential_ns": mc_seq,
+            "parallel_ns": mc_par,
+            "speedup": mc_seq / mc_par,
+        },
+        "cache": {
+            "cold_eval_ns": cold,
+            "hit_eval_ns": hit,
+            "speedup": cold / hit,
+        },
+    });
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../artifacts/BENCH_eval.json"
+    );
+    std::fs::write(path, format!("{:#}\n", report))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    if let Err(e) = write_artifact() {
+        eprintln!("BENCH_eval.json not written: {e}");
+    }
+}

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lcda_bench::experiments::{LCDA_EPISODES, NACIM_EPISODES};
 use lcda_core::space::DesignSpace;
-use lcda_core::{CoDesign, CoDesignConfig, Objective};
+use lcda_core::{CoDesign, CoDesignConfig, Objective, OptimizerSpec};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
                 .episodes(LCDA_EPISODES)
                 .seed(1)
                 .build();
-            let out = CoDesign::with_expert_llm(space.clone(), cfg)
+            let out = CoDesign::builder(space.clone(), cfg)
+                .optimizer(OptimizerSpec::ExpertLlm)
+                .build()
                 .unwrap()
                 .run()
                 .unwrap();
@@ -30,7 +32,12 @@ fn bench(c: &mut Criterion) {
                 .episodes(NACIM_EPISODES)
                 .seed(1)
                 .build();
-            let out = CoDesign::with_rl(space.clone(), cfg).unwrap().run().unwrap();
+            let out = CoDesign::builder(space.clone(), cfg)
+                .optimizer(OptimizerSpec::Rl)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
             black_box(out.best.reward)
         })
     });

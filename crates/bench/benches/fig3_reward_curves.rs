@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lcda_core::space::DesignSpace;
-use lcda_core::{CoDesign, CoDesignConfig, Objective};
+use lcda_core::{CoDesign, CoDesignConfig, Objective, OptimizerSpec};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
                 .seed(2)
                 .build();
             black_box(
-                CoDesign::with_expert_llm(space.clone(), cfg)
+                CoDesign::builder(space.clone(), cfg)
+                    .optimizer(OptimizerSpec::ExpertLlm)
+                    .build()
                     .unwrap()
                     .run()
                     .unwrap()
@@ -36,7 +38,9 @@ fn bench(c: &mut Criterion) {
                 .seed(2)
                 .build();
             black_box(
-                CoDesign::with_rl(space.clone(), cfg)
+                CoDesign::builder(space.clone(), cfg)
+                    .optimizer(OptimizerSpec::Rl)
+                    .build()
                     .unwrap()
                     .run()
                     .unwrap()

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lcda_bench::experiments::LCDA_EPISODES;
 use lcda_core::space::DesignSpace;
-use lcda_core::{CoDesign, CoDesignConfig, Objective};
+use lcda_core::{CoDesign, CoDesignConfig, Objective, OptimizerSpec};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -17,11 +17,14 @@ fn bench(c: &mut Criterion) {
                     .episodes(LCDA_EPISODES)
                     .seed(1)
                     .build();
-                let run = if finetuned {
-                    CoDesign::with_finetuned_llm(space.clone(), cfg)
+                let spec = if finetuned {
+                    OptimizerSpec::FinetunedLlm
                 } else {
-                    CoDesign::with_expert_llm(space.clone(), cfg)
+                    OptimizerSpec::ExpertLlm
                 };
+                let run = CoDesign::builder(space.clone(), cfg)
+                    .optimizer(spec)
+                    .build();
                 black_box(run.unwrap().run().unwrap().best.reward)
             })
         });

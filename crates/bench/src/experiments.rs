@@ -4,7 +4,7 @@ use lcda_core::analysis::{speedup, RewardCurve, SpeedupReport};
 use lcda_core::evaluate::AccuracyEvaluator;
 use lcda_core::space::DesignSpace;
 use lcda_core::surrogate::SurrogateEvaluator;
-use lcda_core::{CoDesign, CoDesignConfig, Objective, Outcome};
+use lcda_core::{CoDesign, CoDesignConfig, Objective, OptimizerSpec, Outcome};
 use lcda_neurosim::chip::Chip;
 use lcda_neurosim::mapper::{LayerMapping, LayerWorkload, Precision};
 use serde::{Deserialize, Serialize};
@@ -20,6 +20,13 @@ fn cfg(objective: Objective, episodes: u32, seed: u64) -> CoDesignConfig {
         .episodes(episodes)
         .seed(seed)
         .build()
+}
+
+fn run(spec: OptimizerSpec, space: DesignSpace, config: CoDesignConfig) -> CoDesign {
+    CoDesign::builder(space, config)
+        .optimizer(spec)
+        .build()
+        .expect("valid config")
 }
 
 /// Two scatter series plus their best rewards — the payload of Figs. 2,
@@ -52,12 +59,14 @@ fn outcome_points(outcome: &Outcome, objective: Objective) -> Vec<(f64, f64)> {
 pub fn fig2(seed: u64) -> ScatterData {
     let space = DesignSpace::nacim_cifar10();
     let obj = Objective::AccuracyEnergy;
-    let lcda = CoDesign::with_expert_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed))
-        .expect("valid config")
-        .run()
-        .expect("run completes");
-    let nacim = CoDesign::with_rl(space, cfg(obj, NACIM_EPISODES, seed))
-        .expect("valid config")
+    let lcda = run(
+        OptimizerSpec::ExpertLlm,
+        space.clone(),
+        cfg(obj, LCDA_EPISODES, seed),
+    )
+    .run()
+    .expect("run completes");
+    let nacim = run(OptimizerSpec::Rl, space, cfg(obj, NACIM_EPISODES, seed))
         .run()
         .expect("run completes");
     ScatterData {
@@ -103,12 +112,14 @@ impl Fig3Data {
 pub fn fig3(seed: u64) -> Fig3Data {
     let space = DesignSpace::nacim_cifar10();
     let obj = Objective::AccuracyEnergy;
-    let lcda = CoDesign::with_expert_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed))
-        .expect("valid config")
-        .run()
-        .expect("run completes");
-    let nacim = CoDesign::with_rl(space, cfg(obj, NACIM_EPISODES, seed))
-        .expect("valid config")
+    let lcda = run(
+        OptimizerSpec::ExpertLlm,
+        space.clone(),
+        cfg(obj, LCDA_EPISODES, seed),
+    )
+    .run()
+    .expect("run completes");
+    let nacim = run(OptimizerSpec::Rl, space, cfg(obj, NACIM_EPISODES, seed))
         .run()
         .expect("run completes");
     Fig3Data {
@@ -123,12 +134,14 @@ pub fn fig3(seed: u64) -> Fig3Data {
 pub fn fig4(seed: u64) -> ScatterData {
     let space = DesignSpace::nacim_cifar10();
     let obj = Objective::AccuracyLatency;
-    let lcda = CoDesign::with_expert_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed))
-        .expect("valid config")
-        .run()
-        .expect("run completes");
-    let nacim = CoDesign::with_rl(space, cfg(obj, NACIM_EPISODES, seed))
-        .expect("valid config")
+    let lcda = run(
+        OptimizerSpec::ExpertLlm,
+        space.clone(),
+        cfg(obj, LCDA_EPISODES, seed),
+    )
+    .run()
+    .expect("run completes");
+    let nacim = run(OptimizerSpec::Rl, space, cfg(obj, NACIM_EPISODES, seed))
         .run()
         .expect("run completes");
     ScatterData {
@@ -146,14 +159,20 @@ pub fn fig4(seed: u64) -> ScatterData {
 pub fn fig5(seed: u64) -> ScatterData {
     let space = DesignSpace::nacim_cifar10();
     let obj = Objective::AccuracyEnergy;
-    let expert = CoDesign::with_expert_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed))
-        .expect("valid config")
-        .run()
-        .expect("run completes");
-    let naive = CoDesign::with_naive_llm(space, cfg(obj, LCDA_EPISODES, seed))
-        .expect("valid config")
-        .run()
-        .expect("run completes");
+    let expert = run(
+        OptimizerSpec::ExpertLlm,
+        space.clone(),
+        cfg(obj, LCDA_EPISODES, seed),
+    )
+    .run()
+    .expect("run completes");
+    let naive = run(
+        OptimizerSpec::NaiveLlm,
+        space,
+        cfg(obj, LCDA_EPISODES, seed),
+    )
+    .run()
+    .expect("run completes");
     ScatterData {
         lcda_name: "LCDA".into(),
         lcda: outcome_points(&expert, obj),
@@ -172,14 +191,20 @@ pub fn speedup_table(seeds: &[u64], tolerance: f64) -> Vec<SpeedupReport> {
     seeds
         .iter()
         .map(|&seed| {
-            let lcda = CoDesign::with_expert_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed))
-                .expect("valid config")
-                .run()
-                .expect("run completes");
-            let nacim = CoDesign::with_rl(space.clone(), cfg(obj, NACIM_EPISODES, seed))
-                .expect("valid config")
-                .run()
-                .expect("run completes");
+            let lcda = run(
+                OptimizerSpec::ExpertLlm,
+                space.clone(),
+                cfg(obj, LCDA_EPISODES, seed),
+            )
+            .run()
+            .expect("run completes");
+            let nacim = run(
+                OptimizerSpec::Rl,
+                space.clone(),
+                cfg(obj, NACIM_EPISODES, seed),
+            )
+            .run()
+            .expect("run completes");
             speedup(
                 &RewardCurve::from_outcome(&lcda),
                 &RewardCurve::from_outcome(&nacim),
@@ -226,8 +251,8 @@ pub fn kernel_utilization() -> Vec<KernelUtilRow> {
     let mut rows = Vec::new();
     for &c_in in &[16u32, 24, 64] {
         for &kernel in &[1u32, 3, 5, 7] {
-            let layer = LayerWorkload::conv(c_in, 16, 16, 64, kernel, 1, kernel / 2)
-                .expect("valid layer");
+            let layer =
+                LayerWorkload::conv(c_in, 16, 16, 64, kernel, 1, kernel / 2).expect("valid layer");
             let mapping = LayerMapping::map(&layer, &chip.config().xbar, Precision::int8())
                 .expect("mappable");
             let report = chip.evaluate(&[layer]).expect("evaluates");
@@ -285,35 +310,67 @@ pub fn ablation_suite(seed: u64) -> Vec<AblationRow> {
     let runs: Vec<(&str, CoDesign)> = vec![
         (
             "lcda/pretrained @20",
-            CoDesign::with_expert_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::ExpertLlm,
+                space.clone(),
+                cfg(obj, LCDA_EPISODES, seed),
+            ),
         ),
         (
             "lcda/fine-tuned @20",
-            CoDesign::with_finetuned_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::FinetunedLlm,
+                space.clone(),
+                cfg(obj, LCDA_EPISODES, seed),
+            ),
         ),
         (
             "lcda/adaptive @20",
-            CoDesign::with_adaptive_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::AdaptiveLlm,
+                space.clone(),
+                cfg(obj, LCDA_EPISODES, seed),
+            ),
         ),
         (
             "lcda/naive @20",
-            CoDesign::with_naive_llm(space.clone(), cfg(obj, LCDA_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::NaiveLlm,
+                space.clone(),
+                cfg(obj, LCDA_EPISODES, seed),
+            ),
         ),
         (
             "nacim-rl @20",
-            CoDesign::with_rl(space.clone(), cfg(obj, LCDA_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::Rl,
+                space.clone(),
+                cfg(obj, LCDA_EPISODES, seed),
+            ),
         ),
         (
             "nacim-rl @500",
-            CoDesign::with_rl(space.clone(), cfg(obj, NACIM_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::Rl,
+                space.clone(),
+                cfg(obj, NACIM_EPISODES, seed),
+            ),
         ),
         (
             "genetic @500",
-            CoDesign::with_genetic(space.clone(), cfg(obj, NACIM_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::Genetic,
+                space.clone(),
+                cfg(obj, NACIM_EPISODES, seed),
+            ),
         ),
         (
             "random @500",
-            CoDesign::with_random(space.clone(), cfg(obj, NACIM_EPISODES, seed)).unwrap(),
+            run(
+                OptimizerSpec::Random,
+                space.clone(),
+                cfg(obj, NACIM_EPISODES, seed),
+            ),
         ),
     ];
     for (name, mut run) in runs {
@@ -326,8 +383,11 @@ pub fn ablation_suite(seed: u64) -> Vec<AblationRow> {
     let wv_space = space
         .clone()
         .with_write_verify(lcda_variation::WriteVerifyConfig::standard());
-    let mut wv_run =
-        CoDesign::with_expert_llm(wv_space, cfg(obj, LCDA_EPISODES, seed)).unwrap();
+    let mut wv_run = run(
+        OptimizerSpec::ExpertLlm,
+        wv_space,
+        cfg(obj, LCDA_EPISODES, seed),
+    );
     rows.push(ablation_row(
         "lcda/pretrained @20 + write-verify",
         &wv_run.run().expect("run completes"),
@@ -390,7 +450,10 @@ mod tests {
                 nonmonotone = true;
             }
         }
-        assert!(nonmonotone, "utilization should be non-monotone in k somewhere");
+        assert!(
+            nonmonotone,
+            "utilization should be non-monotone in k somewhere"
+        );
         // And the variation penalty grows with kernel size.
         let p: Vec<f64> = rows
             .iter()
@@ -535,7 +598,13 @@ pub fn retention_study() -> Vec<RetentionRow> {
         ("pcm-drift", RetentionConfig::pcm_like()),
     ];
     let hour = 3600.0;
-    let times = [0.0, hour, 24.0 * hour, 30.0 * 24.0 * hour, 365.0 * 24.0 * hour];
+    let times = [
+        0.0,
+        hour,
+        24.0 * hour,
+        30.0 * 24.0 * hour,
+        365.0 * 24.0 * hour,
+    ];
     let mut rows = Vec::new();
     for (name, retention) in corners {
         let variation = VariationConfig::rram_moderate().with_retention(retention);
@@ -548,6 +617,7 @@ pub fn retention_study() -> Vec<RetentionRow> {
                     variation: variation.clone(),
                     seed: 7,
                     elapsed_seconds: t,
+                    threads: 1,
                 },
             )
             .expect("evaluation succeeds");
@@ -582,12 +652,7 @@ mod retention_tests {
             );
         }
         // The PCM corner drifts harder than the RRAM corner at one year.
-        let at_year = |corner: &str| {
-            rows.iter()
-                .rfind(|r| r.corner == corner)
-                .unwrap()
-                .accuracy
-        };
+        let at_year = |corner: &str| rows.iter().rfind(|r| r.corner == corner).unwrap().accuracy;
         assert!(at_year("pcm-drift") <= at_year("rram-drift") + 0.05);
     }
 }

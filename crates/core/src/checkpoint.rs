@@ -17,6 +17,7 @@
 //! different config or seed.
 
 use crate::codesign::{CoDesignConfig, EpisodeRecord};
+use crate::pipeline::EvalCache;
 use crate::{CoreError, Result};
 use lcda_llm::transcript::ChatTranscript;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,12 @@ pub struct Checkpoint {
     /// The conversation transcript, for LLM-driven runs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub transcript: Option<ChatTranscript>,
+    /// The evaluation memo table ([`crate::pipeline::EvalCache`]), so a
+    /// resumed run re-serves already-evaluated designs from memory.
+    /// Optional: checkpoints written before the pipeline existed (or by
+    /// runs with caching off) load fine without it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eval_cache: Option<EvalCache>,
 }
 
 impl Checkpoint {
@@ -55,7 +62,15 @@ impl Checkpoint {
             optimizer: optimizer.into(),
             history,
             transcript,
+            eval_cache: None,
         }
+    }
+
+    /// Attaches the evaluation memo table (builder style).
+    #[must_use]
+    pub fn with_eval_cache(mut self, cache: EvalCache) -> Self {
+        self.eval_cache = Some(cache);
+        self
     }
 
     /// Number of completed episodes in the snapshot.
@@ -172,6 +187,24 @@ mod tests {
         // No stray temp file left behind.
         assert!(!path.with_extension("tmp").exists());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn eval_cache_rides_along_and_legacy_json_loads_without_it() {
+        let cp = Checkpoint::new(cfg(), "random", Vec::new(), None)
+            .with_eval_cache(EvalCache::new("deadbeefdeadbeef"));
+        let json = cp.to_json().unwrap();
+        assert!(json.contains("eval_cache"));
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(
+            back.eval_cache.as_ref().unwrap().context(),
+            "deadbeefdeadbeef"
+        );
+
+        // A pre-pipeline checkpoint has no eval_cache key at all.
+        let legacy = Checkpoint::new(cfg(), "random", Vec::new(), None);
+        let back = Checkpoint::from_json(&legacy.to_json().unwrap()).unwrap();
+        assert!(back.eval_cache.is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics, NeurosimCostEvaluator};
+use crate::pipeline::{CacheStats, EvalPipeline};
 use crate::reward::{Objective, INVALID_REWARD};
 use crate::space::DesignSpace;
 use crate::surrogate::SurrogateEvaluator;
@@ -161,14 +162,232 @@ impl Outcome {
     }
 }
 
-/// A fully wired co-design run: optimizer + generator + both evaluators +
-/// reward (Algorithm 2).
+/// Which design optimizer drives the episode loop.
+///
+/// This is the declarative face of the old `CoDesign::with_*` constructor
+/// family: every paper configuration (Fig. 3/5, Table 2) is one variant,
+/// consumed by [`CoDesign::builder`]. Each variant seeds its optimizer
+/// from the run's master seed, so a spec + [`CoDesignConfig`] pins a run
+/// bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum OptimizerSpec {
+    /// LCDA with the pretrained (paper-observed GPT-4) persona — the
+    /// headline configuration.
+    #[default]
+    ExpertLlm,
+    /// LCDA with the fine-tuned persona (misconceptions corrected — the
+    /// paper's future-work model).
+    FinetunedLlm,
+    /// LCDA-naive (Fig. 5): the prompt omits the co-design framing and
+    /// the model has no domain knowledge.
+    NaiveLlm,
+    /// Pretrained knowledge as a prior plus an online ridge-regression
+    /// correction fitted to the rewards in the prompt history — the
+    /// repository's executable take on the paper's "fine-tuning is
+    /// necessary" future-work conclusion.
+    AdaptiveLlm,
+    /// The NACIM baseline: REINFORCE controller.
+    Rl,
+    /// The genetic-algorithm baseline.
+    Genetic,
+    /// The random-search floor.
+    Random,
+    /// The pretrained persona behind the full resilience middleware stack
+    /// (fault injection → timeout → retry → circuit breaker) with a
+    /// random-search fallback for degraded mode.
+    ///
+    /// With [`FaultPlan::none`] the stack is transparent and the run is
+    /// bit-identical to [`OptimizerSpec::ExpertLlm`]; under any fault
+    /// schedule within the retry/circuit budget it *stays* bit-identical,
+    /// because injected faults intercept calls without consuming the
+    /// simulated model's randomness.
+    ResilientLlm {
+        /// The deterministic fault schedule to inject.
+        plan: FaultPlan,
+    },
+}
+
+impl OptimizerSpec {
+    /// Instantiates the optimizer for a design space and run config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer construction errors (e.g. invalid RL/GA
+    /// hyper-parameters).
+    pub fn instantiate(
+        &self,
+        space: &DesignSpace,
+        config: &CoDesignConfig,
+    ) -> Result<Box<dyn Optimizer>> {
+        Ok(match self {
+            OptimizerSpec::ExpertLlm => {
+                let llm = SimLlm::new(Persona::Pretrained, config.seed);
+                Box::new(LlmOptimizer::new(
+                    llm,
+                    space.choices.clone(),
+                    config.objective.prompt_objective(),
+                ))
+            }
+            OptimizerSpec::FinetunedLlm => {
+                let llm = SimLlm::new(Persona::FineTuned, config.seed);
+                Box::new(LlmOptimizer::new(
+                    llm,
+                    space.choices.clone(),
+                    config.objective.prompt_objective(),
+                ))
+            }
+            OptimizerSpec::NaiveLlm => {
+                let llm = SimLlm::new(Persona::Naive, config.seed);
+                Box::new(LlmOptimizer::new(
+                    llm,
+                    space.choices.clone(),
+                    lcda_llm::prompt::PromptObjective::Naive,
+                ))
+            }
+            OptimizerSpec::AdaptiveLlm => {
+                let llm = lcda_llm::adaptive::AdaptiveLlm::new(config.seed);
+                Box::new(LlmOptimizer::new(
+                    llm,
+                    space.choices.clone(),
+                    config.objective.prompt_objective(),
+                ))
+            }
+            OptimizerSpec::Rl => Box::new(RlOptimizer::new(
+                space.choices.clone(),
+                RlConfig::standard(),
+                config.seed,
+            )?),
+            OptimizerSpec::Genetic => Box::new(GeneticOptimizer::new(
+                space.choices.clone(),
+                GaConfig::standard(),
+                config.seed,
+            )?),
+            OptimizerSpec::Random => {
+                Box::new(RandomOptimizer::new(space.choices.clone(), config.seed))
+            }
+            OptimizerSpec::ResilientLlm { plan } => {
+                let clock = SimClock::new();
+                let llm = SimLlm::new(Persona::Pretrained, config.seed);
+                let model = resilient(llm, plan.clone(), clock, config.seed);
+                let fallback = RandomOptimizer::new(space.choices.clone(), config.seed ^ 0x5EED);
+                Box::new(
+                    LlmOptimizer::new(
+                        model,
+                        space.choices.clone(),
+                        config.objective.prompt_objective(),
+                    )
+                    .with_fallback(Box::new(fallback)),
+                )
+            }
+        })
+    }
+}
+
+/// Builder for [`CoDesign`]: pick an [`OptimizerSpec`], optionally swap
+/// evaluators, and tune the pipeline (threads, caching).
+pub struct CoDesignBuilder {
+    space: DesignSpace,
+    config: CoDesignConfig,
+    spec: OptimizerSpec,
+    accuracy: Option<Box<dyn AccuracyEvaluator>>,
+    hardware: Option<Box<dyn HardwareCostEvaluator>>,
+    threads: usize,
+    caching: bool,
+}
+
+impl std::fmt::Debug for CoDesignBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoDesignBuilder")
+            .field("config", &self.config)
+            .field("spec", &self.spec)
+            .field("threads", &self.threads)
+            .field("caching", &self.caching)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoDesignBuilder {
+    /// Selects the design optimizer (default: [`OptimizerSpec::ExpertLlm`]).
+    #[must_use]
+    pub fn optimizer(mut self, spec: OptimizerSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the default surrogate accuracy evaluator (e.g. with the
+    /// trained one).
+    #[must_use]
+    pub fn accuracy_evaluator(mut self, eval: Box<dyn AccuracyEvaluator>) -> Self {
+        self.accuracy = Some(eval);
+        self
+    }
+
+    /// Replaces the default NeuroSim hardware cost evaluator.
+    #[must_use]
+    pub fn hardware_evaluator(mut self, eval: Box<dyn HardwareCostEvaluator>) -> Self {
+        self.hardware = Some(eval);
+        self
+    }
+
+    /// Worker threads for evaluators that fan out internally (Monte-Carlo
+    /// trials). Results are bit-identical for every value; default 1.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables evaluation memoization (default: enabled).
+    #[must_use]
+    pub fn caching(mut self, enabled: bool) -> Self {
+        self.caching = enabled;
+        self
+    }
+
+    /// Disables evaluation memoization.
+    #[must_use]
+    pub fn no_cache(self) -> Self {
+        self.caching(false)
+    }
+
+    /// Wires the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid configs and
+    /// propagates optimizer construction errors.
+    pub fn build(self) -> Result<CoDesign> {
+        self.config.validate()?;
+        let optimizer = self.spec.instantiate(&self.space, &self.config)?;
+        let accuracy = self.accuracy.unwrap_or_else(|| {
+            Box::new(SurrogateEvaluator::new(
+                self.space.clone(),
+                self.config.seed,
+            ))
+        });
+        let hardware = self
+            .hardware
+            .unwrap_or_else(|| Box::new(NeurosimCostEvaluator::new(self.space.clone())));
+        let mut pipeline = EvalPipeline::new(accuracy, hardware);
+        pipeline.set_caching(self.caching);
+        pipeline.set_threads(self.threads);
+        Ok(CoDesign {
+            space: self.space,
+            config: self.config,
+            optimizer,
+            pipeline,
+        })
+    }
+}
+
+/// A fully wired co-design run: optimizer + generator + the evaluation
+/// pipeline + reward (Algorithm 2).
 pub struct CoDesign {
     space: DesignSpace,
     config: CoDesignConfig,
     optimizer: Box<dyn Optimizer>,
-    accuracy: Box<dyn AccuracyEvaluator>,
-    hardware: Box<dyn HardwareCostEvaluator>,
+    pipeline: EvalPipeline,
 }
 
 impl std::fmt::Debug for CoDesign {
@@ -176,11 +395,27 @@ impl std::fmt::Debug for CoDesign {
         f.debug_struct("CoDesign")
             .field("config", &self.config)
             .field("optimizer", &self.optimizer.name())
+            .field("pipeline", &self.pipeline)
             .finish_non_exhaustive()
     }
 }
 
 impl CoDesign {
+    /// Starts a builder wiring a run over `space` (default: expert-LLM
+    /// optimizer, surrogate accuracy, NeuroSim cost, caching on, 1
+    /// thread).
+    pub fn builder(space: DesignSpace, config: CoDesignConfig) -> CoDesignBuilder {
+        CoDesignBuilder {
+            space,
+            config,
+            spec: OptimizerSpec::default(),
+            accuracy: None,
+            hardware: None,
+            threads: 1,
+            caching: true,
+        }
+    }
+
     /// Wires a run with explicit components.
     ///
     /// # Errors
@@ -198,19 +433,8 @@ impl CoDesign {
             space,
             config,
             optimizer,
-            accuracy,
-            hardware,
+            pipeline: EvalPipeline::new(accuracy, hardware),
         })
-    }
-
-    fn with_defaults(
-        space: DesignSpace,
-        config: CoDesignConfig,
-        optimizer: Box<dyn Optimizer>,
-    ) -> Result<Self> {
-        let accuracy = Box::new(SurrogateEvaluator::new(space.clone(), config.seed));
-        let hardware = Box::new(NeurosimCostEvaluator::new(space.clone()));
-        CoDesign::new(space, config, optimizer, accuracy, hardware)
     }
 
     /// LCDA with the pretrained (paper-observed GPT-4) persona.
@@ -218,14 +442,11 @@ impl CoDesign {
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::ExpertLlm)")]
     pub fn with_expert_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let llm = SimLlm::new(Persona::Pretrained, config.seed);
-        let opt = LlmOptimizer::new(
-            llm,
-            space.choices.clone(),
-            config.objective.prompt_objective(),
-        );
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .build()
     }
 
     /// LCDA with the fine-tuned persona (misconceptions corrected —
@@ -234,14 +455,13 @@ impl CoDesign {
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(
+        note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::FinetunedLlm)"
+    )]
     pub fn with_finetuned_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let llm = SimLlm::new(Persona::FineTuned, config.seed);
-        let opt = LlmOptimizer::new(
-            llm,
-            space.choices.clone(),
-            config.objective.prompt_objective(),
-        );
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::FinetunedLlm)
+            .build()
     }
 
     /// LCDA-naive (Fig. 5): the prompt omits the co-design framing and the
@@ -250,32 +470,27 @@ impl CoDesign {
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::NaiveLlm)")]
     pub fn with_naive_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let llm = SimLlm::new(Persona::Naive, config.seed);
-        let opt = LlmOptimizer::new(
-            llm,
-            space.choices.clone(),
-            lcda_llm::prompt::PromptObjective::Naive,
-        );
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::NaiveLlm)
+            .build()
     }
 
     /// LCDA with the adaptive model: pretrained knowledge as a prior plus
     /// an online ridge-regression correction fitted to the rewards in the
-    /// prompt history — the repository's executable take on the paper's
-    /// "fine-tuning is necessary" future-work conclusion.
+    /// prompt history.
     ///
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(
+        note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::AdaptiveLlm)"
+    )]
     pub fn with_adaptive_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let llm = lcda_llm::adaptive::AdaptiveLlm::new(config.seed);
-        let opt = LlmOptimizer::new(
-            llm,
-            space.choices.clone(),
-            config.objective.prompt_objective(),
-        );
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::AdaptiveLlm)
+            .build()
     }
 
     /// The NACIM baseline: REINFORCE controller.
@@ -283,9 +498,11 @@ impl CoDesign {
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::Rl)")]
     pub fn with_rl(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let opt = RlOptimizer::new(space.choices.clone(), RlConfig::standard(), config.seed)?;
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::Rl)
+            .build()
     }
 
     /// The genetic-algorithm baseline.
@@ -293,9 +510,11 @@ impl CoDesign {
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::Genetic)")]
     pub fn with_genetic(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let opt = GeneticOptimizer::new(space.choices.clone(), GaConfig::standard(), config.seed)?;
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::Genetic)
+            .build()
     }
 
     /// The random-search floor.
@@ -303,46 +522,53 @@ impl CoDesign {
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::Random)")]
     pub fn with_random(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        let opt = RandomOptimizer::new(space.choices.clone(), config.seed);
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::Random)
+            .build()
     }
 
     /// LCDA with the pretrained persona behind the full resilience
-    /// middleware stack (fault injection → timeout → retry → circuit
-    /// breaker) and a random-search fallback for degraded mode.
-    ///
-    /// With [`FaultPlan::none`] the stack is transparent and the run is
-    /// bit-identical to [`CoDesign::with_expert_llm`]; under any fault
-    /// schedule within the retry/circuit budget it *stays* bit-identical,
-    /// because injected faults intercept calls without consuming the
-    /// simulated model's randomness.
+    /// middleware stack (see [`OptimizerSpec::ResilientLlm`]).
     ///
     /// # Errors
     ///
     /// Returns configuration errors.
+    #[deprecated(
+        note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::ResilientLlm { plan })"
+    )]
     pub fn with_resilient_llm(
         space: DesignSpace,
         config: CoDesignConfig,
         plan: FaultPlan,
     ) -> Result<Self> {
-        let clock = SimClock::new();
-        let llm = SimLlm::new(Persona::Pretrained, config.seed);
-        let model = resilient(llm, plan, clock, config.seed);
-        let fallback = RandomOptimizer::new(space.choices.clone(), config.seed ^ 0x5EED);
-        let opt = LlmOptimizer::new(
-            model,
-            space.choices.clone(),
-            config.objective.prompt_objective(),
-        )
-        .with_fallback(Box::new(fallback));
-        Self::with_defaults(space, config, Box::new(opt))
+        Self::builder(space, config)
+            .optimizer(OptimizerSpec::ResilientLlm { plan })
+            .build()
     }
 
-    /// Replaces the accuracy evaluator (e.g. with the trained one).
+    /// Replaces the accuracy evaluator (e.g. with the trained one). The
+    /// evaluation cache is rebound to the new evaluator pair.
     pub fn with_accuracy_evaluator(mut self, eval: Box<dyn AccuracyEvaluator>) -> Self {
-        self.accuracy = eval;
+        self.pipeline.replace_accuracy(eval);
         self
+    }
+
+    /// The evaluation pipeline (cache inspection, thread control).
+    pub fn pipeline(&self) -> &EvalPipeline {
+        &self.pipeline
+    }
+
+    /// Mutable access to the evaluation pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut EvalPipeline {
+        &mut self.pipeline
+    }
+
+    /// The evaluation cache's hit/miss/insert counters (zeroes when
+    /// caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pipeline.stats()
     }
 
     /// Runs Algorithm 2 to completion.
@@ -379,6 +605,14 @@ impl CoDesign {
         let mut history: Vec<EpisodeRecord> = Vec::with_capacity(self.config.episodes as usize);
         if let Some(cp) = resume {
             self.replay(&cp)?;
+            // Rehydrate the evaluation memo table so designs evaluated
+            // before the kill stay cheap. A cache whose context
+            // fingerprint does not match this run's evaluators is
+            // silently dropped — replay above already vouched for the
+            // run's identity, and a mismatched cache only costs misses.
+            if let Some(cache) = cp.eval_cache {
+                self.pipeline.restore_cache(cache);
+            }
             history = cp.history;
         }
         for episode in history.len() as u32..self.config.episodes {
@@ -403,12 +637,16 @@ impl CoDesign {
 
     /// Snapshots the run after the episodes in `history`.
     fn snapshot(&self, history: &[EpisodeRecord]) -> Checkpoint {
-        Checkpoint::new(
+        let mut cp = Checkpoint::new(
             self.config,
             self.optimizer.name(),
             history.to_vec(),
             self.optimizer.transcript().cloned(),
-        )
+        );
+        if let Some(cache) = self.pipeline.cache() {
+            cp = cp.with_eval_cache(cache.clone());
+        }
+        cp
     }
 
     /// Replays a checkpoint's episodes through the optimizer, verifying
@@ -476,13 +714,10 @@ impl CoDesign {
                 quarantined: false,
             });
         }
-        let hw = self.hardware.cost(&design)?;
-        let (accuracy, reward) = match &hw {
-            Some(metrics) => {
-                let acc = self.accuracy.accuracy(&design)?;
-                (acc, self.config.objective.reward(acc, metrics))
-            }
-            None => (0.0, INVALID_REWARD),
+        let (accuracy, hw) = self.pipeline.evaluate(&design)?;
+        let reward = match &hw {
+            Some(metrics) => self.config.objective.reward(accuracy, metrics),
+            None => INVALID_REWARD,
         };
         // Quarantine: a NaN/inf from an evaluator must never reach the
         // optimizer history or `best_so_far` — replace the episode's
@@ -520,9 +755,18 @@ mod tests {
             .build()
     }
 
+    fn build(space: DesignSpace, config: CoDesignConfig, spec: OptimizerSpec) -> Result<CoDesign> {
+        CoDesign::builder(space, config).optimizer(spec).build()
+    }
+
     #[test]
     fn expert_llm_run_completes() {
-        let mut run = CoDesign::with_expert_llm(DesignSpace::nacim_cifar10(), cfg(6, 1)).unwrap();
+        let mut run = build(
+            DesignSpace::nacim_cifar10(),
+            cfg(6, 1),
+            OptimizerSpec::ExpertLlm,
+        )
+        .unwrap();
         let outcome = run.run().unwrap();
         assert_eq!(outcome.history.len(), 6);
         assert!(outcome.best.reward >= outcome.history[0].reward);
@@ -535,15 +779,17 @@ mod tests {
     #[test]
     fn all_optimizers_complete() {
         let space = DesignSpace::nacim_cifar10();
-        let runs: Vec<CoDesign> = vec![
-            CoDesign::with_expert_llm(space.clone(), cfg(3, 2)).unwrap(),
-            CoDesign::with_finetuned_llm(space.clone(), cfg(3, 2)).unwrap(),
-            CoDesign::with_naive_llm(space.clone(), cfg(3, 2)).unwrap(),
-            CoDesign::with_rl(space.clone(), cfg(3, 2)).unwrap(),
-            CoDesign::with_genetic(space.clone(), cfg(3, 2)).unwrap(),
-            CoDesign::with_random(space, cfg(3, 2)).unwrap(),
+        let specs = [
+            OptimizerSpec::ExpertLlm,
+            OptimizerSpec::FinetunedLlm,
+            OptimizerSpec::NaiveLlm,
+            OptimizerSpec::AdaptiveLlm,
+            OptimizerSpec::Rl,
+            OptimizerSpec::Genetic,
+            OptimizerSpec::Random,
         ];
-        for mut run in runs {
+        for spec in specs {
+            let mut run = build(space.clone(), cfg(3, 2), spec).unwrap();
             let name = format!("{run:?}");
             let outcome = run.run().unwrap();
             assert_eq!(outcome.history.len(), 3, "{name}");
@@ -552,13 +798,33 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_given_seed() {
-        let space = DesignSpace::nacim_cifar10();
-        let a = CoDesign::with_expert_llm(space.clone(), cfg(5, 7))
+    fn deprecated_constructors_still_match_the_builder() {
+        // The shims must stay bit-identical to their builder replacements
+        // until they are removed.
+        #[allow(deprecated)]
+        let legacy = CoDesign::with_expert_llm(DesignSpace::nacim_cifar10(), cfg(4, 17))
             .unwrap()
             .run()
             .unwrap();
-        let b = CoDesign::with_expert_llm(space, cfg(5, 7))
+        let modern = build(
+            DesignSpace::nacim_cifar10(),
+            cfg(4, 17),
+            OptimizerSpec::ExpertLlm,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(legacy, modern);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = DesignSpace::nacim_cifar10();
+        let a = build(space.clone(), cfg(5, 7), OptimizerSpec::ExpertLlm)
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = build(space, cfg(5, 7), OptimizerSpec::ExpertLlm)
             .unwrap()
             .run()
             .unwrap();
@@ -566,15 +832,38 @@ mod tests {
     }
 
     #[test]
+    fn cached_run_matches_uncached_run() {
+        // Memoization must be observable only through the counters —
+        // never through the Outcome.
+        let space = DesignSpace::nacim_cifar10();
+        let mut cached = build(space.clone(), cfg(8, 19), OptimizerSpec::ExpertLlm).unwrap();
+        let mut plain = CoDesign::builder(space, cfg(8, 19))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .no_cache()
+            .build()
+            .unwrap();
+        let a = cached.run().unwrap();
+        let b = plain.run().unwrap();
+        assert_eq!(a, b);
+        assert!(cached.cache_stats().inserts > 0);
+        assert_eq!(plain.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
     fn zero_episodes_rejected() {
-        assert!(CoDesign::with_random(DesignSpace::nacim_cifar10(), cfg(0, 0)).is_err());
+        assert!(build(
+            DesignSpace::nacim_cifar10(),
+            cfg(0, 0),
+            OptimizerSpec::Random
+        )
+        .is_err());
     }
 
     #[test]
     fn invalid_hardware_scores_minus_one() {
         let mut space = DesignSpace::nacim_cifar10();
         space.area_budget_mm2 = 1e-6; // nothing fits
-        let mut run = CoDesign::with_random(space, cfg(3, 3)).unwrap();
+        let mut run = build(space, cfg(3, 3), OptimizerSpec::Random).unwrap();
         let outcome = run.run().unwrap();
         for r in &outcome.history {
             assert_eq!(r.reward, INVALID_REWARD);
@@ -586,7 +875,12 @@ mod tests {
 
     #[test]
     fn rewards_are_plausible() {
-        let mut run = CoDesign::with_expert_llm(DesignSpace::nacim_cifar10(), cfg(10, 4)).unwrap();
+        let mut run = build(
+            DesignSpace::nacim_cifar10(),
+            cfg(10, 4),
+            OptimizerSpec::ExpertLlm,
+        )
+        .unwrap();
         let outcome = run.run().unwrap();
         for r in &outcome.history {
             assert!(r.reward > -1.5 && r.reward < 1.0, "reward {}", r.reward);
@@ -603,7 +897,12 @@ mod tests {
 
     #[test]
     fn outcome_serializes() {
-        let mut run = CoDesign::with_random(DesignSpace::nacim_cifar10(), cfg(2, 5)).unwrap();
+        let mut run = build(
+            DesignSpace::nacim_cifar10(),
+            cfg(2, 5),
+            OptimizerSpec::Random,
+        )
+        .unwrap();
         let outcome = run.run().unwrap();
         let json = serde_json::to_string(&outcome).unwrap();
         let back: Outcome = serde_json::from_str(&json).unwrap();
@@ -626,7 +925,7 @@ mod tests {
         // kernel bigger than its padded plane cannot occur in-space. Guard
         // the -1 path with an out-of-space architecture instead.
         let space = DesignSpace::tiny_test();
-        let mut run = CoDesign::with_random(space.clone(), cfg(1, 6)).unwrap();
+        let mut run = build(space.clone(), cfg(1, 6), OptimizerSpec::Random).unwrap();
         let mut d = space
             .choices
             .decode(&vec![0; space.choices.slot_count()])
@@ -645,7 +944,7 @@ mod tests {
 
         // Uninterrupted run, capturing every post-episode snapshot.
         let mut snapshots: Vec<crate::Checkpoint> = Vec::new();
-        let full = CoDesign::with_expert_llm(space.clone(), config)
+        let full = build(space.clone(), config, OptimizerSpec::ExpertLlm)
             .unwrap()
             .run_resumable(None, |cp| {
                 snapshots.push(cp.clone());
@@ -655,13 +954,20 @@ mod tests {
         assert_eq!(snapshots.len(), 6);
         assert_eq!(snapshots[2].episodes_done(), 3);
         assert!(snapshots[5].transcript.is_some());
+        assert!(
+            snapshots[5].eval_cache.is_some(),
+            "snapshots must carry the memo table"
+        );
 
         // "Kill" after episode 3 and resume from that snapshot.
-        let resumed = CoDesign::with_expert_llm(space, config)
-            .unwrap()
+        let mut resumer = build(space, config, OptimizerSpec::ExpertLlm).unwrap();
+        let resumed = resumer
             .run_resumable(Some(snapshots[2].clone()), |_| Ok(()))
             .unwrap();
         assert_eq!(resumed, full);
+        // The rehydrated cache serves the resumed episodes' lookups.
+        let stats = resumer.cache_stats();
+        assert!(stats.hits + stats.misses > 0);
     }
 
     #[test]
@@ -669,7 +975,7 @@ mod tests {
         let space = DesignSpace::nacim_cifar10();
         // Checkpoint from seed 21 into a seed-22 run: config mismatch.
         let mut cp_holder: Vec<crate::Checkpoint> = Vec::new();
-        CoDesign::with_expert_llm(space.clone(), cfg(3, 21))
+        build(space.clone(), cfg(3, 21), OptimizerSpec::ExpertLlm)
             .unwrap()
             .run_resumable(None, |cp| {
                 cp_holder.push(cp.clone());
@@ -677,7 +983,7 @@ mod tests {
             })
             .unwrap();
         let cp = cp_holder.pop().unwrap();
-        let err = CoDesign::with_expert_llm(space.clone(), cfg(3, 22))
+        let err = build(space.clone(), cfg(3, 22), OptimizerSpec::ExpertLlm)
             .unwrap()
             .run_resumable(Some(cp.clone()), |_| Ok(()))
             .unwrap_err();
@@ -688,7 +994,7 @@ mod tests {
         tampered.config = cfg(3, 21);
         let c0 = tampered.history[0].design.conv[0].channels;
         tampered.history[0].design.conv[0].channels = if c0 == 128 { 64 } else { 128 };
-        let err = CoDesign::with_expert_llm(space.clone(), cfg(3, 21))
+        let err = build(space.clone(), cfg(3, 21), OptimizerSpec::ExpertLlm)
             .unwrap()
             .run_resumable(Some(tampered), |_| Ok(()))
             .unwrap_err();
@@ -701,7 +1007,7 @@ mod tests {
         let mut wrong_opt = cp;
         wrong_opt.config = cfg(3, 21);
         wrong_opt.optimizer = "random".into();
-        let err = CoDesign::with_expert_llm(space, cfg(3, 21))
+        let err = build(space, cfg(3, 21), OptimizerSpec::ExpertLlm)
             .unwrap()
             .run_resumable(Some(wrong_opt), |_| Ok(()))
             .unwrap_err();
@@ -723,9 +1029,11 @@ mod tests {
     #[test]
     fn non_finite_accuracy_is_quarantined() {
         let space = DesignSpace::nacim_cifar10();
-        let mut run = CoDesign::with_random(space.clone(), cfg(4, 8))
-            .unwrap()
-            .with_accuracy_evaluator(Box::new(NanAccuracy));
+        let mut run = CoDesign::builder(space.clone(), cfg(4, 8))
+            .optimizer(OptimizerSpec::Random)
+            .accuracy_evaluator(Box::new(NanAccuracy))
+            .build()
+            .unwrap();
 
         // The reference design is feasible, so its NaN accuracy must be
         // quarantined into the invalid sentinel.
@@ -750,14 +1058,20 @@ mod tests {
     #[test]
     fn resilient_stack_is_transparent_without_faults() {
         let space = DesignSpace::nacim_cifar10();
-        let plain = CoDesign::with_expert_llm(space.clone(), cfg(5, 13))
+        let plain = build(space.clone(), cfg(5, 13), OptimizerSpec::ExpertLlm)
             .unwrap()
             .run()
             .unwrap();
-        let resilient = CoDesign::with_resilient_llm(space, cfg(5, 13), FaultPlan::none())
-            .unwrap()
-            .run()
-            .unwrap();
+        let resilient = build(
+            space,
+            cfg(5, 13),
+            OptimizerSpec::ResilientLlm {
+                plan: FaultPlan::none(),
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
         assert_eq!(plain, resilient);
     }
 

@@ -48,6 +48,23 @@ pub trait AccuracyEvaluator {
 
     /// Evaluator name for reports.
     fn name(&self) -> &'static str;
+
+    /// A stable fingerprint of the evaluator's identity *and* every
+    /// configuration input that affects its results (seeds, design space,
+    /// calibration constants). The evaluation cache
+    /// ([`crate::pipeline::EvalCache`]) keys its context on this: two
+    /// evaluators with the same fingerprint must return identical results
+    /// for every design. The default covers stateless evaluators only —
+    /// configurable evaluators must override it.
+    fn fingerprint(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Sets the worker-thread budget for evaluators that can fan out
+    /// internally (Monte-Carlo trials). Results must be bit-identical for
+    /// every thread count. Default: no-op for inherently serial
+    /// evaluators.
+    fn set_threads(&mut self, _threads: usize) {}
 }
 
 /// Evaluates a candidate's hardware cost (the paper's "hardware cost
@@ -64,6 +81,12 @@ pub trait HardwareCostEvaluator {
 
     /// Evaluator name for reports.
     fn name(&self) -> &'static str;
+
+    /// A stable fingerprint of the evaluator's identity and configuration
+    /// (see [`AccuracyEvaluator::fingerprint`] for the contract).
+    fn fingerprint(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// The NeuroSim-style hardware cost evaluator: builds the candidate's
@@ -99,6 +122,16 @@ impl HardwareCostEvaluator for NeurosimCostEvaluator {
 
     fn name(&self) -> &'static str {
         "neurosim"
+    }
+
+    fn fingerprint(&self) -> String {
+        // The space carries everything that shapes the cost model: the
+        // chip-config mapping, workloads, calibration and the area budget.
+        let space = serde_json::to_string(&self.space).unwrap_or_default();
+        format!(
+            "neurosim/{}",
+            crate::pipeline::stable_fingerprint(&[&space])
+        )
     }
 }
 

@@ -30,12 +30,16 @@
 //! use lcda_core::space::DesignSpace;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use lcda_core::codesign::OptimizerSpec;
+//!
 //! let space = DesignSpace::nacim_cifar10();
 //! let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
 //!     .episodes(4)
 //!     .seed(7)
 //!     .build();
-//! let mut run = CoDesign::with_expert_llm(space, config)?;
+//! let mut run = CoDesign::builder(space, config)
+//!     .optimizer(OptimizerSpec::ExpertLlm)
+//!     .build()?;
 //! let outcome = run.run()?;
 //! assert_eq!(outcome.history.len(), 4);
 //! # Ok(())
@@ -53,14 +57,19 @@ pub mod codesign;
 pub mod evaluate;
 pub mod mo;
 pub mod pareto;
+pub mod pipeline;
 pub mod reward;
 pub mod space;
 pub mod surrogate;
 pub mod trained;
 
 pub use checkpoint::Checkpoint;
-pub use codesign::{CoDesign, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, Outcome};
+pub use codesign::{
+    CoDesign, CoDesignBuilder, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, OptimizerSpec,
+    Outcome,
+};
 pub use error::CoreError;
+pub use pipeline::{CacheStats, EvalCache, EvalPipeline};
 pub use reward::Objective;
 
 /// Convenience result alias.

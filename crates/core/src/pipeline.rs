@@ -1,0 +1,542 @@
+//! The evaluation pipeline: memoization and threading behind one facade.
+//!
+//! Every optimizer in the paper spends nearly all of its wall-clock inside
+//! the evaluation loop — train/score a candidate, run the Monte-Carlo
+//! device-variation sweep, then the NeuroSim cost model. Two structural
+//! facts make that loop compressible:
+//!
+//! 1. **Evaluation is deterministic.** Every [`AccuracyEvaluator`] and
+//!    [`HardwareCostEvaluator`] in this repository is a pure function of
+//!    `(design, evaluator configuration)`, so a result can be memoized and
+//!    replayed bit-exactly.
+//! 2. **Optimizers repeat themselves.** LLM optimizers in particular
+//!    re-propose designs they have already seen; NACIM's RL controller
+//!    revisits its favourite rollouts hundreds of times across 500
+//!    episodes.
+//!
+//! [`EvalPipeline`] therefore wraps the two evaluators behind a single
+//! facade (it implements both evaluator traits itself) and adds a
+//! content-addressed [`EvalCache`]:
+//!
+//! - **keys** are the candidate's canonical rollout text (its full
+//!   content, e.g. `[[32,3],…]| hw: [128,8,2,rram]`) — content-addressed,
+//!   collision-free by construction;
+//! - **the context fingerprint** pins the cache to a specific evaluator
+//!   configuration ([`AccuracyEvaluator::fingerprint`] ×
+//!   [`HardwareCostEvaluator::fingerprint`]): a snapshot produced under a
+//!   different seed, design space or evaluator config is refused at
+//!   [`EvalPipeline::restore_cache`] time rather than silently served;
+//! - **values** are episode-grade results — Monte-Carlo/surrogate accuracy
+//!   and the full [`HwMetrics`] — and only finite values are admitted, so
+//!   a checkpoint JSON round-trip can never be poisoned by NaN;
+//! - **counters** ([`CacheStats`]) expose hits/misses/inserts for run
+//!   reports and for the perf trajectory benches.
+//!
+//! The cache serializes to checkpoint-compatible JSON
+//! ([`EvalCache::to_json`]) and rides inside [`crate::Checkpoint`], so a
+//! resumed run rehydrates its memo table and re-proposed designs stay
+//! cheap across kills.
+
+use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+use crate::{CoreError, Result};
+use lcda_llm::design::CandidateDesign;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A stable 64-bit FNV-1a fingerprint of evaluator-identity strings,
+/// rendered as fixed-width hex. Used by evaluators to compress their
+/// configuration (seeds, design-space JSON, calibration constants) into
+/// the cache-context fingerprint. Unlike `DefaultHasher`, the digest is
+/// specified and stable across Rust releases, so checkpoints written by
+/// one build rehydrate under another.
+pub fn stable_fingerprint(parts: &[&str]) -> String {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Separator byte so ["ab","c"] and ["a","bc"] differ.
+        h ^= 0x1F;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+/// Hit/miss/insert counters of an [`EvalCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the wrapped evaluator.
+    pub misses: u64,
+    /// Results admitted into the cache.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The content-addressed evaluation memo table.
+///
+/// Accuracy and hardware results are stored separately (an LLM optimizer
+/// may ask for one without the other), both keyed by the design's
+/// canonical rollout text. `BTreeMap` keeps the JSON serialization
+/// deterministic, so identical runs write byte-identical checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalCache {
+    /// Fingerprint of the evaluator pair that produced the entries.
+    context: String,
+    /// design text → accuracy in `[0, 1]`.
+    accuracy: BTreeMap<String, f64>,
+    /// design text → metrics (`None` = constraint violation, a valid and
+    /// deterministic outcome worth memoizing).
+    hardware: BTreeMap<String, Option<HwMetrics>>,
+    #[serde(default)]
+    stats: CacheStats,
+}
+
+impl EvalCache {
+    /// An empty cache bound to an evaluator-context fingerprint.
+    pub fn new(context: impl Into<String>) -> Self {
+        EvalCache {
+            context: context.into(),
+            accuracy: BTreeMap::new(),
+            hardware: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The evaluator-context fingerprint the entries belong to.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Number of memoized entries (accuracy + hardware).
+    pub fn len(&self) -> usize {
+        self.accuracy.len() + self.hardware.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.accuracy.is_empty() && self.hardware.is_empty()
+    }
+
+    /// The hit/miss/insert counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn lookup_accuracy(&mut self, key: &str) -> Option<f64> {
+        let found = self.accuracy.get(key).copied();
+        self.count(found.is_some());
+        found
+    }
+
+    fn lookup_hardware(&mut self, key: &str) -> Option<Option<HwMetrics>> {
+        let found = self.hardware.get(key).cloned();
+        self.count(found.is_some());
+        found
+    }
+
+    fn count(&mut self, hit: bool) {
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+    }
+
+    fn insert_accuracy(&mut self, key: String, value: f64) {
+        // Non-finite results are quarantined upstream; admitting them here
+        // would break the JSON round-trip (serde_json cannot represent
+        // NaN) and re-serve poison.
+        if value.is_finite() {
+            self.accuracy.insert(key, value);
+            self.stats.inserts += 1;
+        }
+    }
+
+    fn insert_hardware(&mut self, key: String, value: Option<HwMetrics>) {
+        if value.as_ref().map_or(true, HwMetrics::is_finite) {
+            self.hardware.insert(key, value);
+            self.stats.inserts += 1;
+        }
+    }
+
+    /// Serializes the cache to checkpoint-compatible JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize eval cache: {e}")))
+    }
+
+    /// Deserializes a cache from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| CoreError::Checkpoint(format!("parse eval cache: {e}")))
+    }
+}
+
+/// The evaluation facade: both evaluators plus the memo table, consumed by
+/// [`crate::CoDesign`] and usable standalone (it implements
+/// [`AccuracyEvaluator`] and [`HardwareCostEvaluator`] itself, so anything
+/// that accepts an evaluator accepts a pipeline).
+pub struct EvalPipeline {
+    accuracy: Box<dyn AccuracyEvaluator>,
+    hardware: Box<dyn HardwareCostEvaluator>,
+    cache: Option<EvalCache>,
+    context: String,
+}
+
+impl std::fmt::Debug for EvalPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPipeline")
+            .field("accuracy", &self.accuracy.name())
+            .field("hardware", &self.hardware.name())
+            .field("context", &self.context)
+            .field("cached_entries", &self.cache.as_ref().map(EvalCache::len))
+            .finish()
+    }
+}
+
+impl EvalPipeline {
+    /// Wraps an evaluator pair with caching enabled.
+    pub fn new(
+        accuracy: Box<dyn AccuracyEvaluator>,
+        hardware: Box<dyn HardwareCostEvaluator>,
+    ) -> Self {
+        let context = Self::context_of(accuracy.as_ref(), hardware.as_ref());
+        EvalPipeline {
+            cache: Some(EvalCache::new(context.clone())),
+            accuracy,
+            hardware,
+            context,
+        }
+    }
+
+    fn context_of(acc: &dyn AccuracyEvaluator, hw: &dyn HardwareCostEvaluator) -> String {
+        stable_fingerprint(&[&acc.fingerprint(), &hw.fingerprint()])
+    }
+
+    /// Disables memoization (builder style). Every evaluation recomputes.
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Enables or disables memoization in place. Enabling starts from an
+    /// empty table; disabling drops the current one.
+    pub fn set_caching(&mut self, enabled: bool) {
+        if enabled {
+            if self.cache.is_none() {
+                self.cache = Some(EvalCache::new(self.context.clone()));
+            }
+        } else {
+            self.cache = None;
+        }
+    }
+
+    /// Whether memoization is on.
+    pub fn caching(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The current memo table, for checkpointing.
+    pub fn cache(&self) -> Option<&EvalCache> {
+        self.cache.as_ref()
+    }
+
+    /// Hit/miss/insert counters (zeroes when caching is disabled).
+    pub fn stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(EvalCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Replaces the accuracy evaluator. The cache is rebound to the new
+    /// evaluator pair: old entries are dropped (they describe a different
+    /// evaluator) but the caching on/off choice is preserved.
+    pub fn replace_accuracy(&mut self, accuracy: Box<dyn AccuracyEvaluator>) {
+        self.accuracy = accuracy;
+        self.context = Self::context_of(self.accuracy.as_ref(), self.hardware.as_ref());
+        if self.cache.is_some() {
+            self.cache = Some(EvalCache::new(self.context.clone()));
+        }
+    }
+
+    /// Rehydrates the memo table from a checkpoint snapshot.
+    ///
+    /// Returns `true` when the snapshot was adopted. A snapshot whose
+    /// context fingerprint does not match this pipeline's evaluators (or a
+    /// pipeline with caching disabled) is refused — serving entries from a
+    /// different evaluator configuration would silently corrupt results.
+    pub fn restore_cache(&mut self, snapshot: EvalCache) -> bool {
+        if self.cache.is_some() && snapshot.context == self.context {
+            self.cache = Some(snapshot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forwards the worker-thread budget to evaluators that can fan out
+    /// internally (e.g. Monte-Carlo accuracy).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.accuracy.set_threads(threads);
+    }
+
+    /// One episode-grade evaluation: hardware cost first, then accuracy
+    /// when the platform constraint holds — exactly the Algorithm-2 order.
+    /// Returns `(accuracy, metrics)`; accuracy is `0.0` for constraint
+    /// violations, mirroring [`crate::codesign::EpisodeRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures on malformed designs.
+    pub fn evaluate(&mut self, design: &CandidateDesign) -> Result<(f64, Option<HwMetrics>)> {
+        let hw = self.cost(design)?;
+        let accuracy = match &hw {
+            Some(_) => self.accuracy(design)?,
+            None => 0.0,
+        };
+        Ok((accuracy, hw))
+    }
+}
+
+impl AccuracyEvaluator for EvalPipeline {
+    fn accuracy(&mut self, design: &CandidateDesign) -> Result<f64> {
+        let key = design.to_response_text();
+        if let Some(cache) = &mut self.cache {
+            if let Some(hit) = cache.lookup_accuracy(&key) {
+                return Ok(hit);
+            }
+        }
+        let value = self.accuracy.accuracy(design)?;
+        if let Some(cache) = &mut self.cache {
+            cache.insert_accuracy(key, value);
+        }
+        Ok(value)
+    }
+
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn fingerprint(&self) -> String {
+        self.context.clone()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        EvalPipeline::set_threads(self, threads);
+    }
+}
+
+impl HardwareCostEvaluator for EvalPipeline {
+    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
+        let key = design.to_response_text();
+        if let Some(cache) = &mut self.cache {
+            if let Some(hit) = cache.lookup_hardware(&key) {
+                return Ok(hit);
+            }
+        }
+        let value = self.hardware.cost(design)?;
+        if let Some(cache) = &mut self.cache {
+            cache.insert_hardware(key, value.clone());
+        }
+        Ok(value)
+    }
+
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn fingerprint(&self) -> String {
+        self.context.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::NeurosimCostEvaluator;
+    use crate::space::DesignSpace;
+    use crate::surrogate::SurrogateEvaluator;
+
+    fn pipeline(seed: u64) -> EvalPipeline {
+        let space = DesignSpace::nacim_cifar10();
+        EvalPipeline::new(
+            Box::new(SurrogateEvaluator::new(space.clone(), seed)),
+            Box::new(NeurosimCostEvaluator::new(space)),
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separator_sensitive() {
+        assert_eq!(
+            stable_fingerprint(&["a", "b"]),
+            stable_fingerprint(&["a", "b"])
+        );
+        assert_ne!(stable_fingerprint(&["ab"]), stable_fingerprint(&["a", "b"]));
+        assert_ne!(
+            stable_fingerprint(&["a", "bc"]),
+            stable_fingerprint(&["ab", "c"])
+        );
+        assert_eq!(stable_fingerprint(&[]).len(), 16);
+    }
+
+    #[test]
+    fn second_evaluation_is_a_hit_and_bit_identical() {
+        let mut p = pipeline(0);
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let first = p.evaluate(&d).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2); // hardware + accuracy
+        assert_eq!(stats.inserts, 2);
+        let second = p.evaluate(&d).unwrap();
+        assert_eq!(first, second);
+        let stats = p.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert!(stats.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn cached_matches_uncached() {
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut cached = pipeline(3);
+        let mut plain = pipeline(3).without_cache();
+        let a = cached.evaluate(&d).unwrap();
+        let b = plain.evaluate(&d).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain.stats(), CacheStats::default());
+        assert!(!plain.caching());
+    }
+
+    #[test]
+    fn constraint_violation_is_memoized() {
+        let mut space = DesignSpace::nacim_cifar10();
+        space.area_budget_mm2 = 1e-6; // nothing fits
+        let d = space.reference_design();
+        let mut p = EvalPipeline::new(
+            Box::new(SurrogateEvaluator::new(space.clone(), 0)),
+            Box::new(NeurosimCostEvaluator::new(space)),
+        );
+        assert_eq!(p.evaluate(&d).unwrap().1, None);
+        assert_eq!(p.evaluate(&d).unwrap().1, None);
+        // Second round served from cache: one hardware hit, no second
+        // accuracy lookup (accuracy is skipped for invalid hardware).
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().inserts, 1);
+    }
+
+    #[test]
+    fn cache_json_roundtrip_restores() {
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut p = pipeline(1);
+        let before = p.evaluate(&d).unwrap();
+        let json = p.cache().unwrap().to_json().unwrap();
+        let snapshot = EvalCache::from_json(&json).unwrap();
+        assert_eq!(snapshot.len(), 2);
+
+        let mut q = pipeline(1);
+        assert!(q.restore_cache(snapshot));
+        let after = q.evaluate(&d).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(q.stats().hits, 2, "restored entries must serve hits");
+    }
+
+    #[test]
+    fn foreign_cache_is_refused() {
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut p = pipeline(1);
+        p.evaluate(&d).unwrap();
+        let snapshot = p.cache().unwrap().clone();
+
+        // Different surrogate seed → different context fingerprint.
+        let mut other = pipeline(2);
+        assert!(!other.restore_cache(snapshot.clone()));
+        assert!(other.cache().unwrap().is_empty());
+
+        // Caching disabled → also refused.
+        let mut off = pipeline(1).without_cache();
+        assert!(!off.restore_cache(snapshot));
+    }
+
+    #[test]
+    fn replace_accuracy_rebinds_the_cache() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut p = pipeline(1);
+        p.evaluate(&d).unwrap();
+        assert!(!p.cache().unwrap().is_empty());
+        let old_context = p.context.clone();
+        p.replace_accuracy(Box::new(SurrogateEvaluator::new(space, 99)));
+        assert_ne!(p.context, old_context);
+        assert!(
+            p.cache().unwrap().is_empty(),
+            "stale entries must be dropped"
+        );
+    }
+
+    #[test]
+    fn set_caching_toggles() {
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut p = pipeline(0);
+        p.evaluate(&d).unwrap();
+        p.set_caching(false);
+        assert!(p.cache().is_none());
+        p.set_caching(true);
+        assert!(p.cache().unwrap().is_empty());
+        let again = p.evaluate(&d).unwrap();
+        assert!(again.0 > 0.0);
+    }
+
+    /// An accuracy evaluator that returns NaN: the cache must refuse the
+    /// entry so checkpoints stay JSON-serializable.
+    struct NanAccuracy;
+    impl AccuracyEvaluator for NanAccuracy {
+        fn accuracy(&mut self, _design: &CandidateDesign) -> Result<f64> {
+            Ok(f64::NAN)
+        }
+        fn name(&self) -> &'static str {
+            "nan"
+        }
+    }
+
+    #[test]
+    fn non_finite_results_are_not_cached() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut p = EvalPipeline::new(
+            Box::new(NanAccuracy),
+            Box::new(NeurosimCostEvaluator::new(space)),
+        );
+        let (acc, hw) = p.evaluate(&d).unwrap();
+        assert!(acc.is_nan());
+        assert!(hw.is_some());
+        // Hardware was cached; the NaN accuracy was not.
+        assert_eq!(p.stats().inserts, 1);
+        let json = p.cache().unwrap().to_json().unwrap();
+        assert!(EvalCache::from_json(&json).is_ok());
+    }
+}

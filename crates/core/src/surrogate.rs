@@ -244,6 +244,22 @@ impl AccuracyEvaluator for SurrogateEvaluator {
     fn name(&self) -> &'static str {
         "surrogate"
     }
+
+    fn fingerprint(&self) -> String {
+        // Everything that shapes a result: the space (variation mapping,
+        // architecture construction), calibration constants, jitter seed
+        // and the noise-injection toggle.
+        let space = serde_json::to_string(&self.space).unwrap_or_default();
+        format!(
+            "surrogate/{}",
+            crate::pipeline::stable_fingerprint(&[
+                &space,
+                &format!("{:?}", self.params),
+                &self.seed.to_string(),
+                &self.noise_injection_training.to_string(),
+            ])
+        )
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,9 @@ pub struct TrainedEvalConfig {
     /// Master seed (dataset, weights, noise, MC trials all derive from
     /// it).
     pub seed: u64,
+    /// Worker threads for the Monte-Carlo trial fan-out; bit-identical
+    /// for every value (see [`lcda_dnn::mc_eval::McEvalConfig::threads`]).
+    pub threads: usize,
 }
 
 impl TrainedEvalConfig {
@@ -39,6 +42,7 @@ impl TrainedEvalConfig {
             epochs: 6,
             mc_trials: 4,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -51,6 +55,7 @@ impl Default for TrainedEvalConfig {
             epochs: 12,
             mc_trials: 16,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -119,6 +124,7 @@ impl AccuracyEvaluator for TrainedEvaluator {
                 variation,
                 seed: self.config.seed.wrapping_add(0x4D43),
                 elapsed_seconds: 0.0,
+                threads: self.config.threads,
             },
         )?;
         Ok(f64::from(stats.mean))
@@ -126,6 +132,28 @@ impl AccuracyEvaluator for TrainedEvaluator {
 
     fn name(&self) -> &'static str {
         "trained"
+    }
+
+    fn fingerprint(&self) -> String {
+        // threads is deliberately excluded: results are bit-identical for
+        // every thread count, so a cache written at 1 thread must serve a
+        // run at 8.
+        let space = serde_json::to_string(&self.space).unwrap_or_default();
+        format!(
+            "trained/{}",
+            crate::pipeline::stable_fingerprint(&[
+                &space,
+                &self.config.train_samples.to_string(),
+                &self.config.test_samples.to_string(),
+                &self.config.epochs.to_string(),
+                &self.config.mc_trials.to_string(),
+                &self.config.seed.to_string(),
+            ])
+        )
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
     }
 }
 
@@ -146,17 +174,20 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_given_config() {
+    fn deterministic_given_config_and_thread_invariant() {
         let space = DesignSpace::tiny_test();
         let d = space.choices.decode(&[0, 1, 1, 1, 0, 0, 0, 0]).unwrap();
         let a = TrainedEvaluator::new(space.clone(), TrainedEvalConfig::fast_test())
             .unwrap()
             .accuracy(&d)
             .unwrap();
-        let b = TrainedEvaluator::new(space, TrainedEvalConfig::fast_test())
-            .unwrap()
-            .accuracy(&d)
-            .unwrap();
+        // A multi-threaded Monte-Carlo sweep must be bit-identical — and
+        // must share the single-threaded evaluator's cache fingerprint.
+        let mut parallel = TrainedEvaluator::new(space, TrainedEvalConfig::fast_test()).unwrap();
+        let serial_fp = parallel.fingerprint();
+        parallel.set_threads(3);
+        assert_eq!(parallel.fingerprint(), serial_fp);
+        let b = parallel.accuracy(&d).unwrap();
         assert_eq!(a, b);
     }
 }

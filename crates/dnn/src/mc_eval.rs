@@ -9,7 +9,7 @@ use crate::dataset::SynthCifar;
 use crate::metrics::accuracy;
 use crate::network::Network;
 use crate::Result;
-use lcda_variation::montecarlo::{trial_seed, McStats};
+use lcda_variation::montecarlo::{stream_seed, try_run_parallel, McStats, TryRunError};
 use lcda_variation::weights::WeightPerturber;
 use lcda_variation::VariationConfig;
 
@@ -25,6 +25,11 @@ pub struct McEvalConfig {
     /// Time since programming, seconds (retention drift applies when the
     /// corner configures it; 0 = read immediately).
     pub elapsed_seconds: f64,
+    /// Worker threads for the trial fan-out. Every thread count — `1`
+    /// included — produces bit-identical statistics, because each trial
+    /// derives its own seed and runs on its own copy of the network; the
+    /// knob only trades wall-clock for cores.
+    pub threads: usize,
 }
 
 impl Default for McEvalConfig {
@@ -34,7 +39,17 @@ impl Default for McEvalConfig {
             variation: VariationConfig::rram_moderate(),
             seed: 0,
             elapsed_seconds: 0.0,
+            threads: 1,
         }
+    }
+}
+
+impl McEvalConfig {
+    /// Sets the worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -52,6 +67,13 @@ pub fn clean_accuracy(network: &mut Network, data: &SynthCifar) -> Result<f32> {
 /// matrices the way crossbar programming would, measure accuracy, restore
 /// the clean weights.
 ///
+/// Trials fan out across `config.threads` workers via
+/// [`lcda_variation::montecarlo::try_run_parallel`], each on its own clone
+/// of the network, so any thread count is bit-identical to the sequential
+/// path. Each weight matrix within a trial draws from its own random
+/// stream ([`stream_seed`]), so no `(trial, matrix)` pair ever aliases
+/// another.
+///
 /// # Errors
 ///
 /// Propagates dataset/tensor errors; zero trials yield an error from the
@@ -61,27 +83,28 @@ pub fn mc_accuracy(
     data: &SynthCifar,
     config: &McEvalConfig,
 ) -> Result<McStats> {
-    let clean = network.snapshot_weights();
     let w_max = network.max_abs_weight().max(1e-3);
     let perturber = WeightPerturber::new(config.variation.clone(), w_max);
-    let mut samples = Vec::with_capacity(config.trials as usize);
-    for t in 0..config.trials {
-        let seed = trial_seed(config.seed, t);
+    let template: &Network = network;
+    let trial = |_t: u32, seed: u64| -> Result<f32> {
+        // Every trial programs its own chip instance: clone the clean
+        // network, perturb the clone, and measure it. The borrowed
+        // template is never mutated, which is what makes the fan-out safe
+        // and order-independent.
+        let mut chip = template.clone();
         let mut matrix_index = 0u64;
-        network.perturb_weight_matrices(|w| {
-            perturber.perturb_after(
-                w,
-                seed.wrapping_add(matrix_index),
-                config.elapsed_seconds,
-            );
+        chip.perturb_weight_matrices(|w| {
+            perturber.perturb_after(w, stream_seed(seed, matrix_index), config.elapsed_seconds);
             matrix_index += 1;
         });
-        let preds = network.predict(data.images())?;
-        samples.push(accuracy(&preds, data.labels())?);
-        network.restore_weights(&clean);
-    }
-    McStats::from_samples(&samples).map_err(|_| {
-        crate::DnnError::InvalidTraining("monte-carlo evaluation needs trials > 0".into())
+        let preds = chip.predict(data.images())?;
+        accuracy(&preds, data.labels())
+    };
+    try_run_parallel(config.trials, config.seed, config.threads, trial).map_err(|e| match e {
+        TryRunError::ZeroTrials => {
+            crate::DnnError::InvalidTraining("monte-carlo evaluation needs trials > 0".into())
+        }
+        TryRunError::Metric(err) => err,
     })
 }
 
@@ -113,6 +136,7 @@ mod tests {
                 variation: VariationConfig::ideal(),
                 seed: 0,
                 elapsed_seconds: 0.0,
+                threads: 1,
             },
         )
         .unwrap();
@@ -132,6 +156,7 @@ mod tests {
                 variation: VariationConfig::rram_severe(),
                 seed: 1,
                 elapsed_seconds: 0.0,
+                threads: 1,
             },
         )
         .unwrap();
@@ -159,10 +184,40 @@ mod tests {
             variation: VariationConfig::rram_moderate(),
             seed: 9,
             elapsed_seconds: 0.0,
+            threads: 1,
         };
         let a = mc_accuracy(&mut net, &data, &cfg).unwrap();
         let b = mc_accuracy(&mut net, &data, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_thread_count_is_bit_identical_to_sequential() {
+        let (mut net, data) = trained_network_and_data();
+        let base = McEvalConfig {
+            trials: 8,
+            variation: VariationConfig::rram_moderate(),
+            seed: 4,
+            elapsed_seconds: 0.0,
+            threads: 1,
+        };
+        let seq = mc_accuracy(&mut net, &data, &base).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let par = mc_accuracy(&mut net, &data, &base.clone().with_threads(threads)).unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_behaves_as_one() {
+        let (mut net, data) = trained_network_and_data();
+        let cfg = McEvalConfig {
+            trials: 3,
+            ..McEvalConfig::default()
+        };
+        let one = mc_accuracy(&mut net, &data, &cfg).unwrap();
+        let zero = mc_accuracy(&mut net, &data, &cfg.clone().with_threads(0)).unwrap();
+        assert_eq!(one, zero);
     }
 
     #[test]
@@ -206,6 +261,7 @@ mod retention_tests {
                     variation: variation.clone(),
                     seed: 5,
                     elapsed_seconds: secs,
+                    threads: 1,
                 },
             )
             .unwrap()

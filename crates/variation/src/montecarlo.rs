@@ -98,36 +98,113 @@ pub fn run_parallel<F>(trials: u32, base_seed: u64, threads: usize, metric: F) -
 where
     F: Fn(u32, u64) -> f32 + Sync,
 {
+    try_run_parallel(trials, base_seed, threads, |t, seed| {
+        Ok::<f32, std::convert::Infallible>(metric(t, seed))
+    })
+    .map_err(|e| match e {
+        TryRunError::ZeroTrials => VariationError::ZeroTrials,
+        TryRunError::Metric(infallible) => match infallible {},
+    })
+}
+
+/// Error from a fallible Monte-Carlo run ([`try_run_parallel`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryRunError<E> {
+    /// The run was asked for zero trials.
+    ZeroTrials,
+    /// A per-trial metric failed; carries the error of the *lowest-index*
+    /// failing trial so the reported error is deterministic regardless of
+    /// thread count.
+    Metric(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TryRunError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRunError::ZeroTrials => write!(f, "monte-carlo run needs trials > 0"),
+            TryRunError::Metric(e) => write!(f, "monte-carlo trial failed: {e}"),
+        }
+    }
+}
+
+/// Like [`run_parallel`] but for fallible metrics: each trial returns
+/// `Result<f32, E>` and the first (lowest trial index) failure aborts the
+/// statistics. Thread fan-out, seeding and results are otherwise identical
+/// to [`run_parallel`] — and therefore bit-identical to the sequential
+/// [`run`] for any thread count.
+///
+/// # Errors
+///
+/// Returns [`TryRunError::ZeroTrials`] when `trials == 0` and
+/// [`TryRunError::Metric`] carrying the lowest-index trial error when any
+/// trial fails.
+pub fn try_run_parallel<F, E>(
+    trials: u32,
+    base_seed: u64,
+    threads: usize,
+    metric: F,
+) -> std::result::Result<McStats, TryRunError<E>>
+where
+    F: Fn(u32, u64) -> std::result::Result<f32, E> + Sync,
+    E: Send,
+{
     if trials == 0 {
-        return Err(VariationError::ZeroTrials);
+        return Err(TryRunError::ZeroTrials);
     }
     let threads = threads.max(1).min(trials as usize);
-    let mut samples = vec![0.0f32; trials as usize];
+    let mut slots: Vec<Option<std::result::Result<f32, E>>> = Vec::new();
+    slots.resize_with(trials as usize, || None);
     let chunk = trials as usize / threads + usize::from(!(trials as usize).is_multiple_of(threads));
     crossbeam::scope(|s| {
-        for (w, out_chunk) in samples.chunks_mut(chunk).enumerate() {
+        for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
             let metric = &metric;
             let start = w * chunk;
             s.spawn(move |_| {
                 for (i, out) in out_chunk.iter_mut().enumerate() {
                     let t = (start + i) as u32;
-                    *out = metric(t, trial_seed(base_seed, t));
+                    *out = Some(metric(t, trial_seed(base_seed, t)));
                 }
             });
         }
     })
     .expect("monte-carlo worker panicked");
-    McStats::from_samples(&samples)
+    let mut samples = Vec::with_capacity(trials as usize);
+    for slot in slots {
+        match slot.expect("every trial slot is filled") {
+            Ok(v) => samples.push(v),
+            Err(e) => return Err(TryRunError::Metric(e)),
+        }
+    }
+    McStats::from_samples(&samples).map_err(|_| TryRunError::ZeroTrials)
 }
 
 /// Derives the deterministic seed of trial `t` from a base seed.
 pub fn trial_seed(base_seed: u64, t: u32) -> u64 {
     // SplitMix64-style mixing keeps adjacent trials decorrelated.
-    let mut z = base_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+    let mut z = base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives the seed of sub-stream `stream` within a trial.
+///
+/// **Stream-separation invariant.** A Monte-Carlo trial often needs
+/// several independent random streams (one per weight matrix, say). Naive
+/// derivations like `trial_seed + stream` break down because adjacent
+/// trial seeds can collide across `(trial, stream)` pairs — trial `t`
+/// stream `k+1` must never alias trial `t'` stream `k`. This function
+/// therefore re-mixes *both* inputs through a full-avalanche finalizer
+/// (the MurmurHash3 constants, deliberately different from
+/// [`trial_seed`]'s SplitMix64 constants so the two derivations never
+/// produce overlapping sequences): every output bit depends on every bit
+/// of `(seed, stream)`, so distinct pairs map to distinct streams with
+/// collision probability ~2⁻⁶⁴.
+pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1));
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
 }
 
 #[cfg(test)]
@@ -186,6 +263,63 @@ mod tests {
         for t in 0..10_000u32 {
             assert!(seen.insert(trial_seed(42, t)));
         }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_trial_stream_pairs() {
+        // The collision the naive `seed + stream` derivation suffers:
+        // (trial t, stream k+1) vs (trial t', stream k). Mixed streams
+        // must keep every pair distinct.
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..200u32 {
+            let ts = trial_seed(7, t);
+            for m in 0..64u64 {
+                assert!(seen.insert(stream_seed(ts, m)), "collision at t={t} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_additive_streams_do_collide() {
+        // Documents why stream_seed exists: additive derivation aliases
+        // whenever two trial seeds differ by less than the stream count.
+        let a = 100u64.wrapping_add(3);
+        let b = 101u64.wrapping_add(2);
+        assert_eq!(a, b);
+        assert_ne!(stream_seed(100, 3), stream_seed(101, 2));
+    }
+
+    #[test]
+    fn try_run_parallel_matches_run_parallel() {
+        let f = |t: u32, seed: u64| ((seed ^ t as u64) % 997) as f32;
+        let plain = run_parallel(50, 9, 4, f).unwrap();
+        let fallible =
+            try_run_parallel(50, 9, 4, |t, s| Ok::<f32, VariationError>(f(t, s))).unwrap();
+        assert_eq!(plain, fallible);
+    }
+
+    #[test]
+    fn try_run_parallel_reports_lowest_failing_trial() {
+        for threads in [1, 3, 8] {
+            let err = try_run_parallel(
+                32,
+                0,
+                threads,
+                |t, _s| {
+                    if t >= 5 {
+                        Err(t)
+                    } else {
+                        Ok(0.0)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, TryRunError::Metric(5), "threads={threads}");
+        }
+        assert_eq!(
+            try_run_parallel(0, 0, 2, |_, _| Ok::<f32, u32>(0.0)).unwrap_err(),
+            TryRunError::ZeroTrials
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 //! cargo run --release --example ablation_naive
 //! ```
 
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DesignSpace::nacim_cifar10();
@@ -23,20 +22,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
 
     println!("running LCDA (expert prompt + knowledge)…");
-    let expert = CoDesign::with_expert_llm(space.clone(), cfg)?.run()?;
+    let expert = CoDesign::builder(space.clone(), cfg)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()?
+        .run()?;
     println!("running LCDA-naive (no co-design framing)…");
-    let naive = CoDesign::with_naive_llm(space, cfg)?.run()?;
+    let naive = CoDesign::builder(space, cfg)
+        .optimizer(OptimizerSpec::NaiveLlm)
+        .build()?
+        .run()?;
 
     println!("\n         {:>8}  {:>8}", "LCDA", "naive");
     println!(
         "best     {:>+8.3}  {:>+8.3}",
         expert.best.reward, naive.best.reward
     );
-    let mean = |o: &lcda::core::Outcome| {
-        o.history.iter().map(|r| r.reward).sum::<f64>() / o.history.len() as f64
-    };
+    let mean =
+        |o: &Outcome| o.history.iter().map(|r| r.reward).sum::<f64>() / o.history.len() as f64;
     println!("mean     {:>+8.3}  {:>+8.3}", mean(&expert), mean(&naive));
-    let mean_acc = |o: &lcda::core::Outcome| {
+    let mean_acc = |o: &Outcome| {
         let pts = o.accuracy_energy_points();
         if pts.is_empty() {
             0.0
@@ -44,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pts.iter().map(|p| p.0).sum::<f64>() / pts.len() as f64
         }
     };
-    println!("mean acc {:>8.3}  {:>8.3}", mean_acc(&expert), mean_acc(&naive));
+    println!(
+        "mean acc {:>8.3}  {:>8.3}",
+        mean_acc(&expert),
+        mean_acc(&naive)
+    );
 
     println!("\nnaive candidates (accuracy, energy pJ):");
     for (acc, e) in naive.accuracy_energy_points() {

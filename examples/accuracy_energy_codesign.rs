@@ -12,8 +12,7 @@
 
 use lcda::core::analysis::{speedup, RewardCurve};
 use lcda::core::pareto::{hypervolume, pareto_front, TradeoffPoint};
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DesignSpace::nacim_cifar10();
@@ -29,9 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
 
     println!("running LCDA (20 episodes)…");
-    let lcda = CoDesign::with_expert_llm(space.clone(), lcda_cfg)?.run()?;
+    let lcda = CoDesign::builder(space.clone(), lcda_cfg)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()?
+        .run()?;
     println!("running NACIM RL baseline (500 episodes)…");
-    let nacim = CoDesign::with_rl(space, nacim_cfg)?.run()?;
+    let nacim = CoDesign::builder(space, nacim_cfg)
+        .optimizer(OptimizerSpec::Rl)
+        .build()?
+        .run()?;
 
     // --- Fig. 2: the scatter --------------------------------------------
     println!("\nLCDA candidates (accuracy, energy pJ):");
@@ -63,8 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lc = RewardCurve::from_outcome(&lcda);
     let nc = RewardCurve::from_outcome(&nacim);
     let report = speedup(&lc, &nc, 0.02);
-    println!("\nbest reward: LCDA {:+.3} in {} episodes; NACIM {:+.3} in 500",
-        lc.final_best(), report.fast_episodes, nc.final_best());
+    println!(
+        "\nbest reward: LCDA {:+.3} in {} episodes; NACIM {:+.3} in 500",
+        lc.final_best(),
+        report.fast_episodes,
+        nc.final_best()
+    );
     match report.baseline_episodes {
         Some(n) => println!(
             "NACIM needed {n} episodes to reach LCDA's quality → speedup ≈ {:.0}x (paper: 25x)",

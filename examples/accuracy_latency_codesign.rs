@@ -14,8 +14,7 @@
 //! cargo run --release --example accuracy_latency_codesign
 //! ```
 
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective, Outcome};
+use lcda::prelude::*;
 
 fn min_latency(outcome: &Outcome) -> f64 {
     outcome
@@ -44,11 +43,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("running LCDA pretrained (20 episodes)…");
-    let lcda = CoDesign::with_expert_llm(space.clone(), cfg(20))?.run()?;
+    let lcda = CoDesign::builder(space.clone(), cfg(20))
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()?
+        .run()?;
     println!("running NACIM RL baseline (500 episodes)…");
-    let nacim = CoDesign::with_rl(space.clone(), cfg(500))?.run()?;
+    let nacim = CoDesign::builder(space.clone(), cfg(500))
+        .optimizer(OptimizerSpec::Rl)
+        .build()?
+        .run()?;
     println!("running LCDA fine-tuned (20 episodes, future-work persona)…");
-    let finetuned = CoDesign::with_finetuned_llm(space, cfg(20))?.run()?;
+    let finetuned = CoDesign::builder(space, cfg(20))
+        .optimizer(OptimizerSpec::FinetunedLlm)
+        .build()?
+        .run()?;
 
     println!("\nLCDA candidates (accuracy, latency ns):");
     for (acc, lat) in lcda.accuracy_latency_points() {
@@ -58,15 +66,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsummary:");
     println!(
         "  {:12} best reward {:+.3}   min latency {:>9.0} ns   max accuracy {:.3}",
-        "LCDA", lcda.best.reward, min_latency(&lcda), max_accuracy(&lcda)
+        "LCDA",
+        lcda.best.reward,
+        min_latency(&lcda),
+        max_accuracy(&lcda)
     );
     println!(
         "  {:12} best reward {:+.3}   min latency {:>9.0} ns   max accuracy {:.3}",
-        "NACIM", nacim.best.reward, min_latency(&nacim), max_accuracy(&nacim)
+        "NACIM",
+        nacim.best.reward,
+        min_latency(&nacim),
+        max_accuracy(&nacim)
     );
     println!(
         "  {:12} best reward {:+.3}   min latency {:>9.0} ns   max accuracy {:.3}",
-        "fine-tuned", finetuned.best.reward, min_latency(&finetuned), max_accuracy(&finetuned)
+        "fine-tuned",
+        finetuned.best.reward,
+        min_latency(&finetuned),
+        max_accuracy(&finetuned)
     );
 
     println!(

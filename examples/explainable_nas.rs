@@ -10,13 +10,12 @@
 //! cargo run --release --example explainable_nas
 //! ```
 
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
 use lcda::llm::persona::Persona;
 use lcda::llm::prompt::PromptObjective;
 use lcda::llm::sim::SimLlm;
 use lcda::optim::llm_opt::LlmOptimizer;
 use lcda::optim::Optimizer;
+use lcda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DesignSpace::nacim_cifar10();
@@ -26,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     // Borrow LCDA's evaluators through a scorer run; we drive the
     // optimizer by hand to read its rationales.
-    let mut scorer = CoDesign::with_random(space.clone(), config)?;
+    let mut scorer = CoDesign::builder(space.clone(), config)
+        .optimizer(OptimizerSpec::Random)
+        .build()?;
 
     let llm = SimLlm::new(Persona::Pretrained, 11);
     let mut opt = LlmOptimizer::new(llm, space.choices.clone(), PromptObjective::AccuracyEnergy);
@@ -57,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.approx_prompt_tokens()
     );
     let last = t.exchanges().last().expect("episodes ran");
-    println!("\nfinal raw model response:\n  {}", last.response.replace('\n', "\n  "));
+    println!(
+        "\nfinal raw model response:\n  {}",
+        last.response.replace('\n', "\n  ")
+    );
     Ok(())
 }

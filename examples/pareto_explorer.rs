@@ -9,38 +9,37 @@
 
 use lcda::core::mo::MultiObjectiveCoDesign;
 use lcda::core::pareto::{hypervolume, pareto_front, TradeoffPoint};
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DesignSpace::nacim_cifar10();
     let seed = 4;
 
     println!("running NSGA-II (240 evaluations, objective vector = accuracy, −energy)…");
-    let mut nsga = MultiObjectiveCoDesign::new(
-        space.clone(),
-        Objective::AccuracyEnergy,
-        240,
-        seed,
-    )?;
+    let mut nsga =
+        MultiObjectiveCoDesign::new(space.clone(), Objective::AccuracyEnergy, 240, seed)?;
     let mo = nsga.run()?;
 
     println!("running scalarized LCDA (20 episodes) and NACIM (500 episodes) for comparison…");
-    let lcda = CoDesign::with_expert_llm(
+    let lcda = CoDesign::builder(
         space.clone(),
         CoDesignConfig::builder(Objective::AccuracyEnergy)
             .episodes(20)
             .seed(seed)
             .build(),
-    )?
+    )
+    .optimizer(OptimizerSpec::ExpertLlm)
+    .build()?
     .run()?;
-    let nacim = CoDesign::with_rl(
+    let nacim = CoDesign::builder(
         space,
         CoDesignConfig::builder(Objective::AccuracyEnergy)
             .episodes(500)
             .seed(seed)
             .build(),
-    )?
+    )
+    .optimizer(OptimizerSpec::Rl)
+    .build()?
     .run()?;
 
     println!("\nNSGA-II front ({} designs):", mo.front.len());

@@ -4,8 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The NACIM CIFAR-10 search problem from the paper: six convolution
@@ -22,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .episodes(20)
         .seed(42)
         .build();
-    let mut run = CoDesign::with_expert_llm(space, config)?;
+    let mut run = CoDesign::builder(space, config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()?;
     let outcome = run.run()?;
 
     println!("\nepisode  reward    accuracy  energy(pJ)     design");
@@ -44,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  reward   {:+.3}", outcome.best.reward);
     println!("  accuracy {:.3}", outcome.best.accuracy);
     if let Some(hw) = &outcome.best.hw {
-        println!("  energy   {:.3e} pJ (ISAAC reference: 8e7 pJ)", hw.energy_pj);
+        println!(
+            "  energy   {:.3e} pJ (ISAAC reference: 8e7 pJ)",
+            hw.energy_pj
+        );
         println!("  latency  {:.0} ns ({:.0} FPS)", hw.latency_ns, hw.fps());
         println!("  area     {:.2} mm²", hw.area_mm2);
     }

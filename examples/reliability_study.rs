@@ -51,6 +51,7 @@ fn mc(
                 variation,
                 seed: 13,
                 elapsed_seconds,
+                threads: 1,
             },
         )?
         .mean,
@@ -67,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ni_aug = train(&data, Some(corner.clone()), true)?;
     let mut ni_all = train(&data, Some(corner.clone()), true)?;
 
-    let wv = corner.clone().with_write_verify(WriteVerifyConfig::standard());
+    let wv = corner
+        .clone()
+        .with_write_verify(WriteVerifyConfig::standard());
     println!("{:<42} {:>9}", "configuration", "mc-acc");
     println!(
         "{:<42} {:>9.3}",

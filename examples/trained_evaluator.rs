@@ -7,9 +7,7 @@
 //! cargo run --release --example trained_evaluator
 //! ```
 
-use lcda::core::space::DesignSpace;
-use lcda::core::trained::{TrainedEvalConfig, TrainedEvaluator};
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The tiny space: 2 conv layers on 8×8 synthetic images, 4 classes.
@@ -27,12 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             epochs: 8,
             mc_trials: 6,
             seed: 5,
+            threads: 2, // Monte-Carlo trials fan out; results stay bit-identical
         },
     )?;
 
     println!("co-designing with REAL training per candidate (noise-injection + MC eval)…\n");
-    let mut run = CoDesign::with_expert_llm(space, config)?
-        .with_accuracy_evaluator(Box::new(trained));
+    let mut run = CoDesign::builder(space, config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .accuracy_evaluator(Box::new(trained))
+        .build()?;
     let outcome = run.run()?;
 
     println!("episode  reward    mc-accuracy  design");
@@ -42,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.episode, r.reward, r.accuracy, r.design
         );
     }
-    println!("\nbest: {} (reward {:+.3})", outcome.best.design, outcome.best.reward);
+    println!(
+        "\nbest: {} (reward {:+.3})",
+        outcome.best.design, outcome.best.reward
+    );
     println!(
         "\nEvery candidate above was actually trained with weights perturbed the \
          way crossbar programming perturbs them, then evaluated across Monte-Carlo \

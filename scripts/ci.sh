@@ -7,3 +7,7 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+# Smoke-run the benches (one iteration each) so changes that *break* a
+# bench are caught here; real timings come from `cargo bench`. This also
+# exercises the BENCH_eval.json writer in eval_pipeline.
+cargo bench -p lcda-bench -- --test

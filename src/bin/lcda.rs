@@ -8,12 +8,9 @@
 //! lcda reference
 //! ```
 
-use lcda::core::checkpoint::Checkpoint;
 use lcda::core::mo::MultiObjectiveCoDesign;
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
-use lcda::llm::middleware::FaultPlan;
 use lcda::llm::parse::parse_design;
+use lcda::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,6 +35,9 @@ SEARCH OPTIONS:
     --seed <n>                                               (default 0)
     --checkpoint <path>     write a JSON checkpoint after every episode
     --resume                resume from --checkpoint if it exists
+    --threads <n>           evaluator worker threads; results are
+                            bit-identical for every value     (default 1)
+    --no-cache              disable evaluation memoization
     --fault-rate <p>        (resilient only) inject faults with probability p
     --fault-seed <n>        (resilient only) fault schedule seed (default --seed)
     --json                                                   emit JSON
@@ -157,14 +157,16 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             "--episodes",
             "--seed",
             "--checkpoint",
+            "--threads",
             "--fault-rate",
             "--fault-seed",
         ],
-        &["--json", "--resume"],
+        &["--json", "--resume", "--no-cache"],
     )?;
     let objective = args.objective()?;
     let episodes = args.num("--episodes", 20)? as u32;
     let seed = args.num("--seed", 0)?;
+    let threads = args.num("--threads", 1)? as usize;
     let optimizer = args.get("--optimizer").unwrap_or("expert");
     let fault_rate = args.fnum("--fault-rate", 0.0)?;
     let fault_seed = args.num("--fault-seed", seed)?;
@@ -188,14 +190,14 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         .episodes(episodes)
         .seed(seed)
         .build();
-    let run = match optimizer {
-        "expert" => CoDesign::with_expert_llm(space, config),
-        "finetuned" => CoDesign::with_finetuned_llm(space, config),
-        "adaptive" => CoDesign::with_adaptive_llm(space, config),
-        "naive" => CoDesign::with_naive_llm(space, config),
-        "rl" => CoDesign::with_rl(space, config),
-        "genetic" => CoDesign::with_genetic(space, config),
-        "random" => CoDesign::with_random(space, config),
+    let spec = match optimizer {
+        "expert" => OptimizerSpec::ExpertLlm,
+        "finetuned" => OptimizerSpec::FinetunedLlm,
+        "adaptive" => OptimizerSpec::AdaptiveLlm,
+        "naive" => OptimizerSpec::NaiveLlm,
+        "rl" => OptimizerSpec::Rl,
+        "genetic" => OptimizerSpec::Genetic,
+        "random" => OptimizerSpec::Random,
         "resilient" => {
             // Budget ~8 model calls per episode: enough horizon to cover
             // every retry the middleware may issue.
@@ -204,10 +206,15 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             } else {
                 FaultPlan::none()
             };
-            CoDesign::with_resilient_llm(space, config, plan)
+            OptimizerSpec::ResilientLlm { plan }
         }
         other => return Err(format!("unknown optimizer `{other}`")),
     };
+    let run = CoDesign::builder(space, config)
+        .optimizer(spec)
+        .threads(threads)
+        .caching(!args.flag("--no-cache"))
+        .build();
 
     let resume_from = match (&checkpoint_path, resume) {
         (Some(path), true) if path.exists() => {
@@ -268,7 +275,10 @@ fn evaluate_design_text(text: &str, objective: Objective, json: bool) -> Result<
         .episodes(1)
         .seed(0)
         .build();
-    let mut scorer = CoDesign::with_random(space, config).map_err(|e| e.to_string())?;
+    let mut scorer = CoDesign::builder(space, config)
+        .optimizer(OptimizerSpec::Random)
+        .build()
+        .map_err(|e| e.to_string())?;
     let record = scorer
         .evaluate_design(0, design)
         .map_err(|e| e.to_string())?;

@@ -18,8 +18,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use lcda::core::{CoDesign, CoDesignConfig, Objective};
-//! use lcda::core::space::DesignSpace;
+//! use lcda::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let space = DesignSpace::nacim_cifar10();
@@ -27,7 +26,9 @@
 //!     .episodes(5)
 //!     .seed(42)
 //!     .build();
-//! let mut run = CoDesign::with_expert_llm(space, config)?;
+//! let mut run = CoDesign::builder(space, config)
+//!     .optimizer(OptimizerSpec::ExpertLlm)
+//!     .build()?;
 //! let outcome = run.run()?;
 //! assert_eq!(outcome.history.len(), 5);
 //! println!("best reward {:.3}", outcome.best.reward);
@@ -42,3 +43,24 @@ pub use lcda_neurosim as neurosim;
 pub use lcda_optim as optim;
 pub use lcda_tensor as tensor;
 pub use lcda_variation as variation;
+
+pub mod prelude {
+    //! One-stop imports for driving a co-design run.
+    //!
+    //! ```
+    //! use lcda::prelude::*;
+    //! ```
+    pub use lcda_core::checkpoint::Checkpoint;
+    pub use lcda_core::codesign::{
+        CoDesign, CoDesignBuilder, CoDesignConfig, EpisodeRecord, OptimizerSpec, Outcome,
+    };
+    pub use lcda_core::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+    pub use lcda_core::pipeline::{CacheStats, EvalCache, EvalPipeline};
+    pub use lcda_core::reward::Objective;
+    pub use lcda_core::space::DesignSpace;
+    pub use lcda_core::surrogate::SurrogateEvaluator;
+    pub use lcda_core::trained::{TrainedEvalConfig, TrainedEvaluator};
+    pub use lcda_dnn::mc_eval::McEvalConfig;
+    pub use lcda_llm::design::CandidateDesign;
+    pub use lcda_llm::middleware::FaultPlan;
+}

@@ -3,24 +3,32 @@
 //! EXPERIMENTS.md's recorded numbers rely on.
 
 use lcda::core::mo::MultiObjectiveCoDesign;
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 #[test]
 fn scalar_runs_are_bitwise_reproducible() {
     let space = DesignSpace::nacim_cifar10();
     for objective in [Objective::AccuracyEnergy, Objective::AccuracyLatency] {
-        let cfg = CoDesignConfig::builder(objective).episodes(12).seed(9).build();
+        let cfg = CoDesignConfig::builder(objective)
+            .episodes(12)
+            .seed(9)
+            .build();
         let run = |mut r: CoDesign| serde_json::to_string(&r.run().unwrap()).unwrap();
-        let a = run(CoDesign::with_expert_llm(space.clone(), cfg).unwrap());
-        let b = run(CoDesign::with_expert_llm(space.clone(), cfg).unwrap());
-        assert_eq!(a, b, "{objective:?} expert");
-        let a = run(CoDesign::with_rl(space.clone(), cfg).unwrap());
-        let b = run(CoDesign::with_rl(space.clone(), cfg).unwrap());
-        assert_eq!(a, b, "{objective:?} rl");
-        let a = run(CoDesign::with_adaptive_llm(space.clone(), cfg).unwrap());
-        let b = run(CoDesign::with_adaptive_llm(space.clone(), cfg).unwrap());
-        assert_eq!(a, b, "{objective:?} adaptive");
+        let build = |spec: OptimizerSpec| {
+            CoDesign::builder(space.clone(), cfg)
+                .optimizer(spec)
+                .build()
+                .unwrap()
+        };
+        for spec in [
+            OptimizerSpec::ExpertLlm,
+            OptimizerSpec::Rl,
+            OptimizerSpec::AdaptiveLlm,
+        ] {
+            let a = run(build(spec.clone()));
+            let b = run(build(spec.clone()));
+            assert_eq!(a, b, "{objective:?} {spec:?}");
+        }
     }
 }
 
@@ -41,8 +49,6 @@ fn multi_objective_runs_are_bitwise_reproducible() {
 
 #[test]
 fn trained_pipeline_is_bitwise_reproducible() {
-    use lcda::core::evaluate::AccuracyEvaluator;
-    use lcda::core::trained::{TrainedEvalConfig, TrainedEvaluator};
     let space = DesignSpace::tiny_test();
     let design = space.choices.decode(&vec![1, 1, 0, 1, 0, 0, 0, 0]).unwrap();
     let run = || {
@@ -60,13 +66,15 @@ fn different_seeds_actually_diversify() {
     // The counterpart guarantee: seeds are not ignored.
     let space = DesignSpace::nacim_cifar10();
     let best = |seed| {
-        CoDesign::with_rl(
+        CoDesign::builder(
             space.clone(),
             CoDesignConfig::builder(Objective::AccuracyEnergy)
                 .episodes(30)
                 .seed(seed)
                 .build(),
         )
+        .optimizer(OptimizerSpec::Rl)
+        .build()
         .unwrap()
         .run()
         .unwrap()

@@ -2,8 +2,7 @@
 //! Algorithm-2 loop against the real design generator and both
 //! evaluators.
 
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective};
+use lcda::prelude::*;
 
 fn cfg(objective: Objective, episodes: u32, seed: u64) -> CoDesignConfig {
     CoDesignConfig::builder(objective)
@@ -16,33 +15,19 @@ fn cfg(objective: Objective, episodes: u32, seed: u64) -> CoDesignConfig {
 fn every_optimizer_completes_both_objectives() {
     let space = DesignSpace::nacim_cifar10();
     for objective in [Objective::AccuracyEnergy, Objective::AccuracyLatency] {
-        let constructors: Vec<(&str, CoDesign)> = vec![
-            (
-                "expert",
-                CoDesign::with_expert_llm(space.clone(), cfg(objective, 8, 1)).unwrap(),
-            ),
-            (
-                "finetuned",
-                CoDesign::with_finetuned_llm(space.clone(), cfg(objective, 8, 1)).unwrap(),
-            ),
-            (
-                "naive",
-                CoDesign::with_naive_llm(space.clone(), cfg(objective, 8, 1)).unwrap(),
-            ),
-            (
-                "rl",
-                CoDesign::with_rl(space.clone(), cfg(objective, 8, 1)).unwrap(),
-            ),
-            (
-                "genetic",
-                CoDesign::with_genetic(space.clone(), cfg(objective, 8, 1)).unwrap(),
-            ),
-            (
-                "random",
-                CoDesign::with_random(space.clone(), cfg(objective, 8, 1)).unwrap(),
-            ),
+        let specs: Vec<(&str, OptimizerSpec)> = vec![
+            ("expert", OptimizerSpec::ExpertLlm),
+            ("finetuned", OptimizerSpec::FinetunedLlm),
+            ("naive", OptimizerSpec::NaiveLlm),
+            ("rl", OptimizerSpec::Rl),
+            ("genetic", OptimizerSpec::Genetic),
+            ("random", OptimizerSpec::Random),
         ];
-        for (name, mut run) in constructors {
+        for (name, spec) in specs {
+            let mut run = CoDesign::builder(space.clone(), cfg(objective, 8, 1))
+                .optimizer(spec)
+                .build()
+                .unwrap();
             let outcome = run.run().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(outcome.history.len(), 8, "{name}");
             // The loop must record every episode, valid or not, and best
@@ -57,7 +42,11 @@ fn every_optimizer_completes_both_objectives() {
                 // Valid designs can score below −1 (Eq. 1 is unbounded in
                 // energy); only sanity-bound the value and pin invalid
                 // designs to exactly −1.
-                assert!(r.reward.is_finite() && r.reward > -10.0, "{name}: {}", r.reward);
+                assert!(
+                    r.reward.is_finite() && r.reward > -10.0,
+                    "{name}: {}",
+                    r.reward
+                );
                 if r.is_valid() {
                     assert!((0.0..=1.0).contains(&r.accuracy), "{name}");
                 } else {
@@ -72,7 +61,9 @@ fn every_optimizer_completes_both_objectives() {
 fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
     let space = DesignSpace::nacim_cifar10();
     let run = |seed| {
-        CoDesign::with_expert_llm(space.clone(), cfg(Objective::AccuracyEnergy, 10, seed))
+        CoDesign::builder(space.clone(), cfg(Objective::AccuracyEnergy, 10, seed))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .build()
             .unwrap()
             .run()
             .unwrap()
@@ -96,11 +87,15 @@ fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
 #[test]
 fn designs_stay_inside_the_space() {
     let space = DesignSpace::nacim_cifar10();
-    for mut run in [
-        CoDesign::with_expert_llm(space.clone(), cfg(Objective::AccuracyEnergy, 12, 3)).unwrap(),
-        CoDesign::with_naive_llm(space.clone(), cfg(Objective::AccuracyEnergy, 12, 3)).unwrap(),
-        CoDesign::with_rl(space.clone(), cfg(Objective::AccuracyEnergy, 12, 3)).unwrap(),
+    for spec in [
+        OptimizerSpec::ExpertLlm,
+        OptimizerSpec::NaiveLlm,
+        OptimizerSpec::Rl,
     ] {
+        let mut run = CoDesign::builder(space.clone(), cfg(Objective::AccuracyEnergy, 12, 3))
+            .optimizer(spec)
+            .build()
+            .unwrap();
         let outcome = run.run().unwrap();
         for r in &outcome.history {
             space.contains(&r.design).unwrap();
@@ -113,8 +108,10 @@ fn reward_components_reconcile() {
     // reward must equal the objective formula applied to the recorded
     // accuracy and hardware metrics.
     let space = DesignSpace::nacim_cifar10();
-    let mut run =
-        CoDesign::with_random(space, cfg(Objective::AccuracyEnergy, 15, 4)).unwrap();
+    let mut run = CoDesign::builder(space, cfg(Objective::AccuracyEnergy, 15, 4))
+        .optimizer(OptimizerSpec::Random)
+        .build()
+        .unwrap();
     let outcome = run.run().unwrap();
     for r in &outcome.history {
         if let Some(hw) = &r.hw {
@@ -134,8 +131,10 @@ fn reward_components_reconcile() {
 #[test]
 fn latency_reward_reconciles() {
     let space = DesignSpace::nacim_cifar10();
-    let mut run =
-        CoDesign::with_random(space, cfg(Objective::AccuracyLatency, 15, 5)).unwrap();
+    let mut run = CoDesign::builder(space, cfg(Objective::AccuracyLatency, 15, 5))
+        .optimizer(OptimizerSpec::Random)
+        .build()
+        .unwrap();
     let outcome = run.run().unwrap();
     for r in &outcome.history {
         if let Some(hw) = &r.hw {
@@ -150,8 +149,10 @@ fn latency_reward_reconciles() {
 fn tiny_area_budget_invalidates_everything() {
     let mut space = DesignSpace::nacim_cifar10();
     space.area_budget_mm2 = 1e-9;
-    let mut run =
-        CoDesign::with_expert_llm(space, cfg(Objective::AccuracyEnergy, 5, 6)).unwrap();
+    let mut run = CoDesign::builder(space, cfg(Objective::AccuracyEnergy, 5, 6))
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap();
     let outcome = run.run().unwrap();
     assert!(outcome.history.iter().all(|r| r.reward == -1.0));
     // The LLM keeps proposing (the paper's loop tolerates -1 feedback).

@@ -2,8 +2,6 @@
 //! degenerate configurations and hostile corners must fail loudly and
 //! recoverably — never panic, never silently corrupt a run.
 
-use lcda::core::space::DesignSpace;
-use lcda::core::{Checkpoint, CoDesign, CoDesignConfig, Objective};
 use lcda::llm::design::DesignChoices;
 use lcda::llm::middleware::{CircuitBreaker, Fault, FaultPlan, SimClock};
 use lcda::llm::parse::parse_design;
@@ -12,6 +10,7 @@ use lcda::llm::{LanguageModel, LlmError};
 use lcda::optim::llm_opt::LlmOptimizer;
 use lcda::optim::random::RandomOptimizer;
 use lcda::optim::{OptimError, Optimizer};
+use lcda::prelude::*;
 use proptest::prelude::*;
 
 /// A model that emits a *valid-looking but out-of-space* design first,
@@ -132,10 +131,17 @@ fn zero_episode_configs_rejected_everywhere() {
         .episodes(0)
         .seed(0)
         .build();
-    assert!(CoDesign::with_expert_llm(space.clone(), cfg).is_err());
-    assert!(CoDesign::with_rl(space.clone(), cfg).is_err());
-    assert!(CoDesign::with_genetic(space.clone(), cfg).is_err());
-    assert!(CoDesign::with_random(space, cfg).is_err());
+    for spec in [
+        OptimizerSpec::ExpertLlm,
+        OptimizerSpec::Rl,
+        OptimizerSpec::Genetic,
+        OptimizerSpec::Random,
+    ] {
+        assert!(CoDesign::builder(space.clone(), cfg)
+            .optimizer(spec)
+            .build()
+            .is_err());
+    }
 }
 
 #[test]
@@ -215,7 +221,11 @@ proptest! {
 fn search_outcome_is_bit_identical_under_fault_schedules() {
     let space = DesignSpace::nacim_cifar10();
     let config = resilient_cfg(5, 3);
-    let baseline = CoDesign::with_resilient_llm(space.clone(), config, FaultPlan::none())
+    let baseline = CoDesign::builder(space.clone(), config)
+        .optimizer(OptimizerSpec::ResilientLlm {
+            plan: FaultPlan::none(),
+        })
+        .build()
         .unwrap()
         .run()
         .unwrap();
@@ -227,7 +237,9 @@ fn search_outcome_is_bit_identical_under_fault_schedules() {
             !plan.is_empty(),
             "fault seed {fault_seed} scheduled nothing"
         );
-        let faulted = CoDesign::with_resilient_llm(space.clone(), config, plan)
+        let faulted = CoDesign::builder(space.clone(), config)
+            .optimizer(OptimizerSpec::ResilientLlm { plan })
+            .build()
             .unwrap()
             .run()
             .unwrap();
@@ -247,7 +259,9 @@ fn checkpoint_kill_resume_equals_uninterrupted_run() {
     let plan = FaultPlan::seeded(5, 200, 0.25, 2);
 
     let mut snapshots: Vec<Checkpoint> = Vec::new();
-    let uninterrupted = CoDesign::with_resilient_llm(space.clone(), config, plan.clone())
+    let uninterrupted = CoDesign::builder(space.clone(), config)
+        .optimizer(OptimizerSpec::ResilientLlm { plan: plan.clone() })
+        .build()
         .unwrap()
         .run_resumable(None, |cp| {
             snapshots.push(cp.clone());
@@ -261,7 +275,9 @@ fn checkpoint_kill_resume_equals_uninterrupted_run() {
     for kill_after in [1usize, 3, 5] {
         let cp = snapshots[kill_after - 1].clone();
         assert_eq!(cp.episodes_done() as usize, kill_after);
-        let resumed = CoDesign::with_resilient_llm(space.clone(), config, plan.clone())
+        let resumed = CoDesign::builder(space.clone(), config)
+            .optimizer(OptimizerSpec::ResilientLlm { plan: plan.clone() })
+            .build()
             .unwrap()
             .run_resumable(Some(cp), |_| Ok(()))
             .unwrap();
@@ -279,7 +295,9 @@ fn checkpoint_json_roundtrip_resumes_identically() {
     let space = DesignSpace::nacim_cifar10();
     let config = resilient_cfg(4, 9);
     let mut snapshots: Vec<Checkpoint> = Vec::new();
-    let full = CoDesign::with_expert_llm(space.clone(), config)
+    let full = CoDesign::builder(space.clone(), config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
         .unwrap()
         .run_resumable(None, |cp| {
             snapshots.push(cp.clone());
@@ -289,7 +307,9 @@ fn checkpoint_json_roundtrip_resumes_identically() {
     let json = snapshots[1].to_json().unwrap();
     let restored = Checkpoint::from_json(&json).unwrap();
     assert_eq!(&restored, &snapshots[1]);
-    let resumed = CoDesign::with_expert_llm(space, config)
+    let resumed = CoDesign::builder(space, config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
         .unwrap()
         .run_resumable(Some(restored), |_| Ok(()))
         .unwrap();

@@ -6,30 +6,29 @@
 
 use lcda::core::analysis::{speedup, RewardCurve};
 use lcda::core::pareto::{hypervolume, pareto_front, TradeoffPoint};
-use lcda::core::space::DesignSpace;
-use lcda::core::{CoDesign, CoDesignConfig, Objective, Outcome};
+use lcda::prelude::*;
 
-fn run_lcda(objective: Objective, seed: u64) -> Outcome {
-    CoDesign::with_expert_llm(
-        DesignSpace::nacim_cifar10(),
-        CoDesignConfig::builder(objective).episodes(20).seed(seed).build(),
-    )
-    .unwrap()
-    .run()
-    .unwrap()
-}
-
-fn run_nacim(objective: Objective, episodes: u32, seed: u64) -> Outcome {
-    CoDesign::with_rl(
+fn run_spec(spec: OptimizerSpec, objective: Objective, episodes: u32, seed: u64) -> Outcome {
+    CoDesign::builder(
         DesignSpace::nacim_cifar10(),
         CoDesignConfig::builder(objective)
             .episodes(episodes)
             .seed(seed)
             .build(),
     )
+    .optimizer(spec)
+    .build()
     .unwrap()
     .run()
     .unwrap()
+}
+
+fn run_lcda(objective: Objective, seed: u64) -> Outcome {
+    run_spec(OptimizerSpec::ExpertLlm, objective, 20, seed)
+}
+
+fn run_nacim(objective: Objective, episodes: u32, seed: u64) -> Outcome {
+    run_spec(OptimizerSpec::Rl, objective, episodes, seed)
 }
 
 /// §IV-A / Fig. 2–3: LCDA reaches a best reward comparable to NACIM's
@@ -159,8 +158,18 @@ fn finetuned_persona_improves_latency_objective() {
         .episodes(20)
         .seed(1)
         .build();
-    let pretrained = CoDesign::with_expert_llm(space.clone(), cfg).unwrap().run().unwrap();
-    let finetuned = CoDesign::with_finetuned_llm(space, cfg).unwrap().run().unwrap();
+    let pretrained = CoDesign::builder(space.clone(), cfg)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let finetuned = CoDesign::builder(space, cfg)
+        .optimizer(OptimizerSpec::FinetunedLlm)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(
         finetuned.best.reward >= pretrained.best.reward,
         "fine-tuned {:.3} vs pretrained {:.3}",
@@ -178,8 +187,18 @@ fn naive_ablation_shape() {
             .episodes(20)
             .seed(seed)
             .build();
-        let expert = CoDesign::with_expert_llm(space.clone(), cfg).unwrap().run().unwrap();
-        let naive = CoDesign::with_naive_llm(space.clone(), cfg).unwrap().run().unwrap();
+        let expert = CoDesign::builder(space.clone(), cfg)
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let naive = CoDesign::builder(space.clone(), cfg)
+            .optimizer(OptimizerSpec::NaiveLlm)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             expert.best.reward > naive.best.reward + 0.2,
             "seed {seed}: expert {:.3} vs naive {:.3}",
@@ -197,9 +216,18 @@ fn early_episode_quality_shape() {
     let lcda = run_lcda(Objective::AccuracyEnergy, 3);
     let nacim = run_nacim(Objective::AccuracyEnergy, 500, 3);
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-    let lcda_first10 = mean(&lcda.history[..10].iter().map(|r| r.reward).collect::<Vec<_>>());
-    let nacim_first10 =
-        mean(&nacim.history[..10].iter().map(|r| r.reward).collect::<Vec<_>>());
+    let lcda_first10 = mean(
+        &lcda.history[..10]
+            .iter()
+            .map(|r| r.reward)
+            .collect::<Vec<_>>(),
+    );
+    let nacim_first10 = mean(
+        &nacim.history[..10]
+            .iter()
+            .map(|r| r.reward)
+            .collect::<Vec<_>>(),
+    );
     assert!(
         lcda_first10 > nacim_first10 + 0.1,
         "LCDA early mean {lcda_first10:.3} vs NACIM {nacim_first10:.3}"

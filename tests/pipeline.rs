@@ -1,0 +1,163 @@
+//! Acceptance properties of the evaluation pipeline: memoization must be
+//! invisible in the results, thread counts must be invisible in the
+//! results, and the cache must survive a kill/resume cycle through the
+//! checkpoint JSON.
+
+use lcda::prelude::*;
+use proptest::prelude::*;
+
+fn cfg(objective: Objective, episodes: u32, seed: u64) -> CoDesignConfig {
+    CoDesignConfig::builder(objective)
+        .episodes(episodes)
+        .seed(seed)
+        .build()
+}
+
+fn outcome_json(outcome: &Outcome) -> String {
+    serde_json::to_string(outcome).expect("outcome serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Memoization is an implementation detail: for any seed and either
+    /// scalar objective, a cached run and an uncached run produce
+    /// bit-identical Outcomes.
+    #[test]
+    fn cached_run_is_bit_identical_to_uncached(seed in 0u64..1_000, latency in any::<bool>()) {
+        let objective = if latency {
+            Objective::AccuracyLatency
+        } else {
+            Objective::AccuracyEnergy
+        };
+        let space = DesignSpace::nacim_cifar10();
+        let mut cached = CoDesign::builder(space.clone(), cfg(objective, 10, seed))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .build()
+            .unwrap();
+        let mut uncached = CoDesign::builder(space, cfg(objective, 10, seed))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .no_cache()
+            .build()
+            .unwrap();
+        let a = cached.run().unwrap();
+        let b = uncached.run().unwrap();
+        prop_assert_eq!(outcome_json(&a), outcome_json(&b));
+        // The cached run actually exercised the memo table…
+        let stats = cached.cache_stats();
+        prop_assert!(stats.misses > 0);
+        prop_assert!(stats.inserts > 0);
+        // …and the uncached run never touched one.
+        let off = uncached.cache_stats();
+        prop_assert_eq!(off.hits + off.misses + off.inserts, 0);
+    }
+}
+
+/// Re-proposed designs are served from the cache: an RL search over a
+/// long budget revisits designs, and every revisit is a hit, never a
+/// re-evaluation.
+#[test]
+fn revisited_designs_hit_the_cache() {
+    let mut run = CoDesign::builder(
+        DesignSpace::nacim_cifar10(),
+        cfg(Objective::AccuracyEnergy, 120, 5),
+    )
+    .optimizer(OptimizerSpec::Rl)
+    .build()
+    .unwrap();
+    run.run().unwrap();
+    let stats = run.cache_stats();
+    assert!(
+        stats.hits > 0,
+        "120 RL episodes must revisit at least one design: {stats:?}"
+    );
+    assert_eq!(stats.inserts, stats.misses, "every finite miss is inserted");
+    assert!(stats.hit_rate() > 0.0);
+}
+
+/// Thread counts are invisible in the results: the trained evaluator's
+/// Monte-Carlo loop fans out across worker threads, and any thread count
+/// is bit-identical to the sequential run.
+#[test]
+fn thread_count_is_bit_identical() {
+    let space = DesignSpace::tiny_test();
+    let run = |threads: usize| {
+        let trained = TrainedEvaluator::new(space.clone(), TrainedEvalConfig::fast_test()).unwrap();
+        let mut r = CoDesign::builder(space.clone(), cfg(Objective::AccuracyEnergy, 3, 7))
+            .optimizer(OptimizerSpec::Random)
+            .accuracy_evaluator(Box::new(trained))
+            .threads(threads)
+            .build()
+            .unwrap();
+        outcome_json(&r.run().unwrap())
+    };
+    let sequential = run(1);
+    for threads in [2usize, 3, 8] {
+        assert_eq!(run(threads), sequential, "threads={threads}");
+    }
+}
+
+/// The memo table survives a kill/resume cycle *through the JSON
+/// checkpoint*: the snapshot carries the cache, a fresh process restores
+/// it, and the resumed run is bit-identical to the uninterrupted one.
+#[test]
+fn cache_survives_kill_and_resume() {
+    let space = DesignSpace::nacim_cifar10();
+    let config = cfg(Objective::AccuracyEnergy, 8, 13);
+
+    let mut snapshots: Vec<Checkpoint> = Vec::new();
+    let full = CoDesign::builder(space.clone(), config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap()
+        .run_resumable(None, |cp| {
+            snapshots.push(cp.clone());
+            Ok(())
+        })
+        .unwrap();
+
+    // "Kill" after episode 4; the wire format must carry the memo table.
+    let json = snapshots[3].to_json().unwrap();
+    assert!(json.contains("\"eval_cache\""));
+    let restored = Checkpoint::from_json(&json).unwrap();
+    let carried = restored
+        .eval_cache
+        .as_ref()
+        .expect("snapshot carries cache");
+    assert!(!carried.is_empty());
+
+    let mut resumer = CoDesign::builder(space, config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap();
+    let resumed = resumer.run_resumable(Some(restored), |_| Ok(())).unwrap();
+    assert_eq!(outcome_json(&resumed), outcome_json(&full));
+
+    // The restored entries are live: the resumed episodes consulted the
+    // table and it still holds everything the snapshot carried.
+    let cache = resumer.pipeline().cache().expect("caching stays on");
+    assert!(cache.len() >= snapshots[3].eval_cache.as_ref().unwrap().len());
+    let stats = resumer.cache_stats();
+    assert!(stats.hits + stats.misses > 0);
+}
+
+/// Disabling the cache through the CLI-facing builder knob really turns
+/// memoization off, including for checkpoints: snapshots carry no cache.
+#[test]
+fn no_cache_runs_snapshot_without_a_memo_table() {
+    let mut snapshots: Vec<Checkpoint> = Vec::new();
+    CoDesign::builder(
+        DesignSpace::nacim_cifar10(),
+        cfg(Objective::AccuracyEnergy, 3, 2),
+    )
+    .optimizer(OptimizerSpec::ExpertLlm)
+    .no_cache()
+    .build()
+    .unwrap()
+    .run_resumable(None, |cp| {
+        snapshots.push(cp.clone());
+        Ok(())
+    })
+    .unwrap();
+    assert!(snapshots.iter().all(|cp| cp.eval_cache.is_none()));
+}
