@@ -5,7 +5,7 @@
 //! baseline future PRs diff against.
 
 use criterion::{criterion_group, Criterion};
-use lcda_core::evaluate::NeurosimCostEvaluator;
+use lcda_core::backend::CimBackend;
 use lcda_core::pipeline::EvalPipeline;
 use lcda_core::space::DesignSpace;
 use lcda_core::surrogate::SurrogateEvaluator;
@@ -41,7 +41,7 @@ fn surrogate_pipeline() -> (EvalPipeline, lcda_llm::design::CandidateDesign) {
     let design = space.reference_design();
     let pipeline = EvalPipeline::new(
         Box::new(SurrogateEvaluator::new(space.clone(), 0)),
-        Box::new(NeurosimCostEvaluator::new(space)),
+        Box::new(CimBackend::new(space)),
     );
     (pipeline, design)
 }

@@ -45,9 +45,7 @@ fn bench(c: &mut Criterion) {
     let layer = LayerWorkload::conv(64, 16, 16, 128, 3, 1, 1).unwrap();
     c.bench_function("neurosim/map_layer", |b| {
         b.iter(|| {
-            black_box(
-                LayerMapping::map(&layer, &chip.config().xbar, Precision::int8()).unwrap(),
-            )
+            black_box(LayerMapping::map(&layer, &chip.config().xbar, Precision::int8()).unwrap())
         })
     });
     let net = reference_network();

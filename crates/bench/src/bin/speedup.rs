@@ -5,9 +5,7 @@ use lcda_bench::{experiments, render};
 
 fn main() {
     let seeds: Vec<u64> = (1..=5).collect();
-    println!(
-        "SPEEDUP — NACIM episodes needed to reach within 0.02 of LCDA's 20-episode best\n"
-    );
+    println!("SPEEDUP — NACIM episodes needed to reach within 0.02 of LCDA's 20-episode best\n");
     let reports = experiments::speedup_table(&seeds, 0.02);
     print!("{}", render::speedup_table(&reports));
 }

@@ -1,6 +1,7 @@
 //! Experiment definitions, one per paper artifact.
 
 use lcda_core::analysis::{speedup, RewardCurve, SpeedupReport};
+use lcda_core::backend::CimBackend;
 use lcda_core::evaluate::AccuracyEvaluator;
 use lcda_core::space::DesignSpace;
 use lcda_core::surrogate::SurrogateEvaluator;
@@ -243,7 +244,7 @@ pub struct KernelUtilRow {
 /// pretrained model's general-hardware intuitions.
 pub fn kernel_utilization() -> Vec<KernelUtilRow> {
     let space = DesignSpace::nacim_cifar10();
-    let chip_cfg = space
+    let chip_cfg = CimBackend::new(space.clone())
         .chip_config(&space.reference_design())
         .expect("reference converts");
     let chip = Chip::new(chip_cfg).expect("valid chip");
@@ -516,11 +517,12 @@ pub fn tech_sweep() -> Vec<TechSweepRow> {
             surrogate = SurrogateEvaluator::new(space.clone(), 0);
         }
 
-        let mut cfg = space.chip_config(&design).expect("valid tech");
+        let cim = CimBackend::new(space.clone());
+        let mut cfg = cim.chip_config(&design).expect("valid tech");
         let seq = Chip::new(cfg).expect("valid chip");
         cfg.latency_mode = LatencyMode::Pipelined;
         let pipe = Chip::new(cfg).expect("valid chip");
-        let layers = space.workloads(&design).expect("reference converts");
+        let layers = cim.lower(&design).expect("reference converts");
         let rs = seq.evaluate(&layers).expect("evaluates");
         let rp = pipe.evaluate(&layers).expect("evaluates");
         let accuracy = surrogate.accuracy(&design).expect("in space");

@@ -76,13 +76,20 @@ pub fn ascii_plot(data: &ScatterData) -> String {
     place(&data.baseline, '·');
     place(&data.lcda, '■');
     let mut out = String::new();
-    let _ = writeln!(out, "accuracy {amax:.2} ┐  (■ {}, · {})", data.lcda_name, data.baseline_name);
+    let _ = writeln!(
+        out,
+        "accuracy {amax:.2} ┐  (■ {}, · {})",
+        data.lcda_name, data.baseline_name
+    );
     for row in grid {
         let line: String = row.into_iter().collect();
         let _ = writeln!(out, "             │{line}");
     }
     let _ = writeln!(out, "    {amin:.2} └{}", "─".repeat(W));
-    let _ = writeln!(out, "               {cmin:.2e} → {cmax:.2e} (lower cost = left = better)");
+    let _ = writeln!(
+        out,
+        "               {cmin:.2e} → {cmax:.2e} (lower cost = left = better)"
+    );
     out
 }
 
@@ -144,7 +151,10 @@ pub fn speedup_table(reports: &[SpeedupReport]) -> String {
         );
     }
     let gm = geometric_mean(reports.iter().map(|r| r.speedup_lower_bound));
-    let _ = writeln!(out, "\ngeometric-mean speedup: {gm:.1}x  (paper reports 25x)");
+    let _ = writeln!(
+        out,
+        "\ngeometric-mean speedup: {gm:.1}x  (paper reports 25x)"
+    );
     out
 }
 

@@ -1,0 +1,319 @@
+//! The compute-in-memory backend: the NeuroSim-style macro model of
+//! §III-D behind the [`HardwareBackend`] trait.
+//!
+//! This module is the **only** place in `lcda-core` that names
+//! `lcda_neurosim` chip/mapper types — everything else speaks
+//! [`HardwareBackend`]/[`HardwareCostEvaluator`]. It owns the two pieces
+//! of lowering that used to live on [`DesignSpace`]: candidate →
+//! [`ChipConfig`] (the hardware half of the rollout) and candidate →
+//! [`LayerWorkload`] list (the crossbar view of the network).
+
+use super::{backend_fingerprint, HardwareBackend};
+use crate::evaluate::{HardwareCostEvaluator, HwMetrics};
+use crate::space::DesignSpace;
+use crate::{CoreError, Result};
+use lcda_llm::design::CandidateDesign;
+use lcda_neurosim::chip::{Chip, ChipConfig, LatencyMode};
+use lcda_neurosim::crossbar::CrossbarConfig;
+use lcda_neurosim::device::DeviceTech;
+use lcda_neurosim::isaac;
+use lcda_neurosim::mapper::{LayerWorkload, Precision};
+use lcda_neurosim::NeurosimError;
+use serde::{Deserialize, Serialize};
+
+/// Fixed (non-searched) constants of the CiM platform — the values the
+/// paper holds constant while the LLM explores the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CimBackendConfig {
+    /// On-chip activation buffer, KB.
+    pub buffer_kb: u32,
+    /// DAC resolution, bits.
+    pub dac_bits: u8,
+    /// Columns sharing one ADC.
+    pub adc_share: u32,
+    /// Technology feature size, nm.
+    pub feature_nm: f64,
+    /// Latency accounting mode (the paper's FPS normalization is
+    /// single-image latency, i.e. sequential).
+    pub latency_mode: LatencyMode,
+    /// Global `(energy, latency)` calibration factors, computed **once**
+    /// from the default ISAAC configuration and applied to *every*
+    /// candidate chip. A per-candidate calibration would silently erase
+    /// the real differences between hardware choices (ADC resolution,
+    /// cell precision, array size), which are exactly what the search is
+    /// supposed to explore.
+    pub calibration: (f64, f64),
+}
+
+impl CimBackendConfig {
+    /// The paper's platform constants, calibrated to the ISAAC anchors.
+    pub fn paper_default() -> Self {
+        CimBackendConfig {
+            buffer_kb: 64,
+            dac_bits: 1,
+            adc_share: 8,
+            feature_nm: 32.0,
+            latency_mode: LatencyMode::Sequential,
+            calibration: isaac_calibration(),
+        }
+    }
+}
+
+impl Default for CimBackendConfig {
+    fn default() -> Self {
+        CimBackendConfig::paper_default()
+    }
+}
+
+fn isaac_calibration() -> (f64, f64) {
+    isaac::calibrate(ChipConfig::isaac_default())
+        .expect("default ISAAC configuration is valid")
+        .calibration
+}
+
+/// The NeuroSim-style hardware cost backend: builds the candidate's
+/// calibrated chip and evaluates its workloads.
+#[derive(Debug, Clone)]
+pub struct CimBackend {
+    space: DesignSpace,
+    config: CimBackendConfig,
+}
+
+impl CimBackend {
+    /// Creates the backend for a design space with the paper's platform
+    /// constants.
+    pub fn new(space: DesignSpace) -> Self {
+        CimBackend {
+            space,
+            config: CimBackendConfig::paper_default(),
+        }
+    }
+
+    /// Overrides the platform constants (builder style).
+    #[must_use]
+    pub fn with_config(mut self, config: CimBackendConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The platform constants in use.
+    pub fn config(&self) -> &CimBackendConfig {
+        &self.config
+    }
+
+    /// The chip configuration a candidate's hardware choice describes,
+    /// calibrated to the ISAAC anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors for unsupported combinations (e.g. a
+    /// cell precision the chosen technology cannot store).
+    pub fn chip_config(&self, design: &CandidateDesign) -> Result<ChipConfig> {
+        let tech = DeviceTech::parse(&design.hw.tech)?;
+        let xbar = CrossbarConfig {
+            rows: design.hw.xbar_size,
+            cols: design.hw.xbar_size,
+            cell_bits: design.hw.cell_bits,
+            dac_bits: self.config.dac_bits,
+            adc_bits: design.hw.adc_bits,
+            adc_share: self.config.adc_share,
+            tech,
+            feature_nm: self.config.feature_nm,
+        };
+        Ok(ChipConfig {
+            xbar,
+            precision: Precision::int8(),
+            buffer_kb: self.config.buffer_kb,
+            area_budget_mm2: self.space.area_budget_mm2,
+            latency_mode: self.config.latency_mode,
+            calibration: self.config.calibration,
+        })
+    }
+
+    /// Lowers a candidate's network to this backend's workload
+    /// representation: one crossbar layer description per conv/FC stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture and workload validation errors.
+    pub fn lower(&self, design: &CandidateDesign) -> Result<Vec<LayerWorkload>> {
+        let arch = self.space.architecture(design)?;
+        let mut layers = Vec::with_capacity(arch.convs.len() + 2);
+        for (c_in, size, spec) in arch.conv_stages() {
+            layers.push(LayerWorkload::conv(
+                c_in,
+                size,
+                size,
+                spec.channels,
+                spec.kernel,
+                1,
+                spec.kernel / 2,
+            )?);
+        }
+        layers.push(LayerWorkload::fc(arch.flat_features(), arch.hidden)?);
+        layers.push(LayerWorkload::fc(arch.hidden, arch.classes)?);
+        Ok(layers)
+    }
+}
+
+impl HardwareCostEvaluator for CimBackend {
+    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
+        let config = self.chip_config(design)?;
+        let chip = Chip::new(config).map_err(CoreError::from)?;
+        let layers = self.lower(design)?;
+        match chip.evaluate_checked(&layers) {
+            Ok(report) => Ok(Some(HwMetrics {
+                energy_pj: report.energy_pj,
+                latency_ns: report.latency_ns,
+                area_mm2: report.area_mm2,
+                leakage_uw: report.leakage_uw,
+            })),
+            Err(NeurosimError::ConstraintViolation { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cim"
+    }
+
+    fn fingerprint(&self) -> String {
+        // The space carries everything design-dependent (the chip-config
+        // mapping, workloads, area budget); the config carries the fixed
+        // platform constants and calibration.
+        let space = serde_json::to_string(&self.space).unwrap_or_default();
+        let config = serde_json::to_string(&self.config).unwrap_or_default();
+        backend_fingerprint(self.id(), &[&space, &config])
+    }
+}
+
+impl HardwareBackend for CimBackend {
+    fn id(&self) -> &'static str {
+        "cim"
+    }
+
+    fn config_json(&self) -> Result<String> {
+        serde_json::to_string(&self.config)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize cim config: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_design_is_valid_and_on_anchor() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = CimBackend::new(space.clone());
+        let m = eval
+            .cost(&space.reference_design())
+            .unwrap()
+            .expect("reference must fit the area budget");
+        // Calibration pins the reference to the ISAAC anchors.
+        assert!(
+            (m.energy_pj - 8.0e7).abs() / 8.0e7 < 1e-9,
+            "{}",
+            m.energy_pj
+        );
+        let fps = m.fps().unwrap();
+        assert!((fps - 1600.0).abs() / 1600.0 < 1e-9, "{fps}");
+        assert!(m.area_mm2 > 0.0 && m.area_mm2 < space.area_budget_mm2);
+    }
+
+    #[test]
+    fn bigger_designs_cost_more() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = CimBackend::new(space.clone());
+        let small = {
+            let mut d = space.reference_design();
+            for c in &mut d.conv {
+                c.channels = 16;
+            }
+            d
+        };
+        let ms = eval.cost(&small).unwrap().unwrap();
+        let mr = eval.cost(&space.reference_design()).unwrap().unwrap();
+        assert!(ms.energy_pj < mr.energy_pj);
+        assert!(ms.area_mm2 < mr.area_mm2);
+    }
+
+    #[test]
+    fn oversized_design_violates_budget() {
+        let mut space = DesignSpace::nacim_cifar10();
+        space.area_budget_mm2 = 0.001;
+        let mut eval = CimBackend::new(space.clone());
+        assert!(eval.cost(&space.reference_design()).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_design_is_an_error_not_invalid() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = CimBackend::new(space.clone());
+        let mut d = space.reference_design();
+        d.hw.tech = "nonsense".into();
+        assert!(eval.cost(&d).is_err());
+    }
+
+    #[test]
+    fn reference_lowering_matches_the_isaac_network() {
+        let space = DesignSpace::nacim_cifar10();
+        let backend = CimBackend::new(space.clone());
+        let d = space.reference_design();
+        let layers = backend.lower(&d).unwrap();
+        assert_eq!(layers.len(), 8);
+        assert_eq!(layers, lcda_neurosim::isaac::reference_network());
+        let chip = backend.chip_config(&d).unwrap();
+        assert_eq!(chip.xbar.rows, 128);
+        assert_ne!(chip.calibration, (1.0, 1.0));
+    }
+
+    #[test]
+    fn hw_variants_convert() {
+        let space = DesignSpace::nacim_cifar10();
+        let backend = CimBackend::new(space.clone());
+        let mut d = space.reference_design();
+        d.hw.xbar_size = 256;
+        d.hw.adc_bits = 4;
+        d.hw.cell_bits = 4;
+        d.hw.tech = "fefet".to_string();
+        let chip = backend.chip_config(&d).unwrap();
+        assert_eq!(chip.xbar.rows, 256);
+        assert_eq!(chip.xbar.adc_bits, 4);
+    }
+
+    #[test]
+    fn workload_rows_track_kernels() {
+        let space = DesignSpace::nacim_cifar10();
+        let backend = CimBackend::new(space.clone());
+        let mut d = space.reference_design();
+        d.conv[1].kernel = 7;
+        let layers = backend.lower(&d).unwrap();
+        if let LayerWorkload::Conv { kernel, c_in, .. } = layers[1] {
+            assert_eq!(kernel, 7);
+            assert_eq!(c_in, 32);
+        } else {
+            panic!("layer 1 should be conv");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_namespaced_and_config_sensitive() {
+        let space = DesignSpace::nacim_cifar10();
+        let a = CimBackend::new(space.clone());
+        assert!(a.fingerprint().starts_with("cim/"));
+        let mut cfg = CimBackendConfig::paper_default();
+        cfg.buffer_kb = 128;
+        let b = CimBackend::new(space).with_config(cfg);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn config_json_roundtrips() {
+        let backend = CimBackend::new(DesignSpace::nacim_cifar10());
+        let json = backend.config_json().unwrap();
+        let back: CimBackendConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.buffer_kb, 64);
+        assert_eq!(back.latency_mode, LatencyMode::Sequential);
+    }
+}

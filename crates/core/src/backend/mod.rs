@@ -1,0 +1,203 @@
+//! The pluggable hardware-backend layer.
+//!
+//! The paper treats the hardware cost model as an interchangeable oracle
+//! (§III-C): the co-design loop only ever asks "what does this candidate
+//! cost?". This module makes that interchangeability real. A
+//! [`HardwareBackend`] is a [`HardwareCostEvaluator`] that additionally
+//!
+//! 1. carries a stable **backend id** (`cim`, `systolic`, …) used as the
+//!    registry key *and* as the namespace prefix of its cache
+//!    fingerprint, and
+//! 2. exposes its full configuration as an **opaque, serde-able JSON
+//!    snapshot** ([`HardwareBackend::config_json`]), so run reports and
+//!    fingerprints can capture every constant that shaped a result
+//!    without the core crate knowing the backend's concrete types.
+//!
+//! Two backends ship in-tree, registered in [`BackendRegistry::standard`]:
+//!
+//! - [`cim::CimBackend`] — the NeuroSim-style compute-in-memory macro
+//!   model the paper uses (the adapter is the **only** module in
+//!   `lcda-core` allowed to name `lcda_neurosim` chip/mapper types);
+//! - [`systolic::SystolicBackend`] — a from-scratch Eyeriss/TPU-style
+//!   analytic digital accelerator model, the cross-architecture baseline.
+//!
+//! # Cache-fingerprint namespacing
+//!
+//! [`crate::pipeline::EvalCache`] keys its context on the evaluator
+//! pair's fingerprints. Every backend fingerprint is
+//! `"{id}/{digest-of-config}"`, so two backends can never collide even if
+//! their config JSON happened to hash identically: a memoized result
+//! produced under `cim` is structurally unservable to a `systolic` run.
+
+use crate::evaluate::HardwareCostEvaluator;
+use crate::space::DesignSpace;
+use crate::{CoreError, Result};
+use std::collections::BTreeMap;
+
+pub mod cim;
+pub mod systolic;
+
+pub use cim::CimBackend;
+pub use systolic::SystolicBackend;
+
+/// The registry key of the backend used when none is requested — the
+/// paper's compute-in-memory model.
+pub const DEFAULT_BACKEND: &str = "cim";
+
+/// A hardware cost model that can be swapped under the co-design loop.
+///
+/// Everything the optimizer stack touches is the [`HardwareCostEvaluator`]
+/// supertrait; the extra methods exist for the registry, checkpoints and
+/// cache namespacing. `Box<dyn HardwareBackend>` upcasts directly to
+/// `Box<dyn HardwareCostEvaluator>`.
+pub trait HardwareBackend: HardwareCostEvaluator {
+    /// Stable registry key (`cim`, `systolic`). Doubles as the namespace
+    /// prefix of [`HardwareCostEvaluator::fingerprint`] and as the value
+    /// stamped into [`crate::Checkpoint::backend`].
+    fn id(&self) -> &'static str;
+
+    /// The backend's full configuration as an opaque JSON snapshot —
+    /// every constant that shapes its results, in a form the core crate
+    /// does not need concrete types to carry around.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when serialization fails.
+    fn config_json(&self) -> Result<String>;
+}
+
+/// Builds the namespaced fingerprint every backend must use:
+/// `"{id}/{fnv-digest(parts)}"`. The id prefix guarantees two backends
+/// never share a fingerprint (and therefore never share cache entries),
+/// even on digest collision.
+pub fn backend_fingerprint(id: &str, parts: &[&str]) -> String {
+    format!("{id}/{}", crate::pipeline::stable_fingerprint(parts))
+}
+
+/// Constructor signature stored in the registry: backends are built from
+/// the design space alone, with their own defaults for everything else.
+pub type BackendCtor = fn(&DesignSpace) -> Result<Box<dyn HardwareBackend>>;
+
+/// A small name → constructor table for hardware backends.
+///
+/// The CLI's `--backend` flag and [`crate::CoDesignBuilder::backend`]
+/// resolve through one of these; downstream crates can
+/// [`register`](BackendRegistry::register) their own models without
+/// touching `lcda-core`.
+#[derive(Debug, Clone, Default)]
+pub struct BackendRegistry {
+    ctors: BTreeMap<String, BackendCtor>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// The in-tree backends: `cim` (NeuroSim-style CiM, the default) and
+    /// `systolic` (digital systolic-array baseline).
+    pub fn standard() -> Self {
+        let mut r = BackendRegistry::empty();
+        r.register("cim", |space| Ok(Box::new(CimBackend::new(space.clone()))));
+        r.register("systolic", |space| {
+            Ok(Box::new(SystolicBackend::new(space.clone())))
+        });
+        r
+    }
+
+    /// Registers (or replaces) a backend constructor under a name.
+    pub fn register(&mut self, name: impl Into<String>, ctor: BackendCtor) {
+        self.ctors.insert(name.into(), ctor);
+    }
+
+    /// Whether a backend name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.ctors.contains_key(name)
+    }
+
+    /// The registered backend names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.ctors.keys().map(String::as_str).collect()
+    }
+
+    /// Instantiates the named backend over a design space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown name and
+    /// propagates backend construction errors.
+    pub fn create(&self, name: &str, space: &DesignSpace) -> Result<Box<dyn HardwareBackend>> {
+        match self.ctors.get(name) {
+            Some(ctor) => ctor(space),
+            None => Err(CoreError::InvalidConfig(format!(
+                "unknown hardware backend `{name}` (known: {})",
+                self.names().join(", ")
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_lists_both_backends() {
+        let r = BackendRegistry::standard();
+        assert_eq!(r.names(), vec!["cim", "systolic"]);
+        assert!(r.contains(DEFAULT_BACKEND));
+    }
+
+    #[test]
+    fn create_builds_the_named_backend() {
+        let r = BackendRegistry::standard();
+        let space = DesignSpace::nacim_cifar10();
+        let cim = r.create("cim", &space).unwrap();
+        let sys = r.create("systolic", &space).unwrap();
+        assert_eq!(cim.id(), "cim");
+        assert_eq!(sys.id(), "systolic");
+        assert!(cim.fingerprint().starts_with("cim/"));
+        assert!(sys.fingerprint().starts_with("systolic/"));
+    }
+
+    #[test]
+    fn unknown_backend_is_a_config_error_naming_the_options() {
+        let r = BackendRegistry::standard();
+        let err = r.create("fpga", &DesignSpace::nacim_cifar10()).unwrap_err();
+        match err {
+            CoreError::InvalidConfig(msg) => {
+                assert!(msg.contains("fpga"));
+                assert!(msg.contains("cim, systolic"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_namespaced_by_id() {
+        // Same digest input, different ids → different fingerprints.
+        let a = backend_fingerprint("cim", &["x"]);
+        let b = backend_fingerprint("systolic", &["x"]);
+        assert_ne!(a, b);
+        assert_eq!(a.split('/').next(), Some("cim"));
+    }
+
+    #[test]
+    fn custom_backend_registration() {
+        let mut r = BackendRegistry::empty();
+        assert!(r.names().is_empty());
+        r.register("cim", |space| Ok(Box::new(CimBackend::new(space.clone()))));
+        assert!(r.contains("cim"));
+        assert!(!r.contains("systolic"));
+    }
+
+    #[test]
+    fn backend_boxes_upcast_to_cost_evaluators() {
+        use crate::evaluate::HardwareCostEvaluator;
+        let space = DesignSpace::nacim_cifar10();
+        let backend = BackendRegistry::standard().create("cim", &space).unwrap();
+        let mut eval: Box<dyn HardwareCostEvaluator> = backend;
+        assert!(eval.cost(&space.reference_design()).unwrap().is_some());
+    }
+}

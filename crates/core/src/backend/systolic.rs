@@ -1,0 +1,484 @@
+//! A from-scratch Eyeriss/TPU-style analytic digital accelerator model:
+//! the cross-architecture baseline backend.
+//!
+//! Unlike [`super::cim::CimBackend`], nothing here touches
+//! `lcda_neurosim` — the model is a self-contained first-order roll-up of
+//! a weight-stationary (or output-stationary) systolic array:
+//!
+//! - each conv/FC layer is lowered to a GEMM with reduction dimension
+//!   `K = k²·c_in`, output channels `C = c_out`, and `P` output pixels;
+//! - the `K×C` weight matrix is tiled over the `pe_rows × pe_cols` array
+//!   (`row_tiles = ⌈K/pe_rows⌉`, `col_tiles = ⌈C/pe_cols⌉`), and each
+//!   tile streams its pixels through the pipeline with a fill/drain
+//!   overhead of one array traversal;
+//! - energy is MACs × E_mac plus dataflow-dependent SRAM traffic (the
+//!   stationary tensor is read once, the others re-stream per tile) plus
+//!   one DRAM trip per tensor;
+//! - area and leakage are PE-count- and buffer-capacity-proportional.
+//!
+//! The point is not cycle accuracy — it is a *structurally different*
+//! cost surface (digital MACs scale with work, not with crossbar count)
+//! evaluated behind the same [`HardwareBackend`] seam, which is exactly
+//! what a cross-architecture co-design study needs.
+
+use super::{backend_fingerprint, HardwareBackend};
+use crate::evaluate::{HardwareCostEvaluator, HwMetrics};
+use crate::space::DesignSpace;
+use crate::{CoreError, Result};
+use lcda_llm::design::CandidateDesign;
+use serde::{Deserialize, Serialize};
+
+/// Which tensor stays resident in the PE array between cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Dataflow {
+    /// Weights are pinned per tile (TPU-style); inputs re-stream once per
+    /// column tile and partial sums spill once per row tile.
+    WeightStationary,
+    /// Outputs accumulate in place (ShiDianNao-style); each PE owns one
+    /// output element for `K` cycles, weights and inputs re-stream.
+    OutputStationary,
+}
+
+/// The digital accelerator's fixed platform constants. All energies are
+/// pJ, areas µm², int8 operands (1 byte/element).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicConfig {
+    /// PE array rows (reduction dimension).
+    pub pe_rows: u32,
+    /// PE array columns (output-channel dimension).
+    pub pe_cols: u32,
+    /// Clock frequency, GHz.
+    pub clock_ghz: f64,
+    /// Global SRAM buffer capacity, KB.
+    pub glb_kb: u32,
+    /// Energy per int8 MAC, pJ.
+    pub mac_energy_pj: f64,
+    /// Energy per byte of global-buffer traffic, pJ.
+    pub sram_energy_pj_per_byte: f64,
+    /// Energy per byte of DRAM traffic, pJ.
+    pub dram_energy_pj_per_byte: f64,
+    /// Area per PE (MAC + registers + control share), µm².
+    pub pe_area_um2: f64,
+    /// Global-buffer area per KB, µm².
+    pub glb_area_um2_per_kb: f64,
+    /// Fixed overhead (NoC, controller, I/O), mm².
+    pub overhead_mm2: f64,
+    /// Leakage per PE, µW.
+    pub pe_leakage_uw: f64,
+    /// Leakage per KB of global buffer, µW.
+    pub glb_leakage_uw_per_kb: f64,
+    /// Which tensor is held stationary.
+    pub dataflow: Dataflow,
+}
+
+impl SystolicConfig {
+    /// A 32×32 weight-stationary array at 1 GHz with a 256 KB global
+    /// buffer — Eyeriss-class constants at a 32 nm-ish node.
+    pub fn baseline() -> Self {
+        SystolicConfig {
+            pe_rows: 32,
+            pe_cols: 32,
+            clock_ghz: 1.0,
+            glb_kb: 256,
+            mac_energy_pj: 0.3,
+            sram_energy_pj_per_byte: 1.0,
+            dram_energy_pj_per_byte: 20.0,
+            pe_area_um2: 2500.0,
+            glb_area_um2_per_kb: 1500.0,
+            overhead_mm2: 0.5,
+            pe_leakage_uw: 0.05,
+            glb_leakage_uw_per_kb: 0.5,
+            dataflow: Dataflow::WeightStationary,
+        }
+    }
+
+    /// Validates the constants are physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero-sized arrays or
+    /// non-positive clock/energy/area constants.
+    pub fn validate(&self) -> Result<()> {
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err(CoreError::InvalidConfig(
+                "systolic PE array dimensions must be nonzero".into(),
+            ));
+        }
+        if !self.clock_ghz.is_finite() || self.clock_ghz <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "systolic clock must be positive, got {} GHz",
+                self.clock_ghz
+            )));
+        }
+        let constants = [
+            self.mac_energy_pj,
+            self.sram_energy_pj_per_byte,
+            self.dram_energy_pj_per_byte,
+            self.pe_area_um2,
+            self.glb_area_um2_per_kb,
+            self.overhead_mm2,
+            self.pe_leakage_uw,
+            self.glb_leakage_uw_per_kb,
+        ];
+        if constants.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "systolic energy/area/leakage constants must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystolicConfig {
+    fn default() -> Self {
+        SystolicConfig::baseline()
+    }
+}
+
+/// One network layer lowered to the systolic backend's GEMM view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicLayer {
+    /// Reduction dimension `K` (= `k²·c_in` for conv, `in_features` for FC).
+    pub reduction: u64,
+    /// Output channels `C`.
+    pub channels: u64,
+    /// Output pixels `P` (1 for FC).
+    pub pixels: u64,
+    /// Unique input tensor size, bytes (int8), before im2col duplication.
+    pub input_bytes: u64,
+}
+
+impl SystolicLayer {
+    /// Total multiply-accumulates: `K·C·P`.
+    pub fn macs(&self) -> u64 {
+        self.reduction * self.channels * self.pixels
+    }
+
+    /// Weight tensor size, bytes (int8): `K·C`.
+    pub fn weight_bytes(&self) -> u64 {
+        self.reduction * self.channels
+    }
+
+    /// Output tensor size, bytes (int8): `C·P`.
+    pub fn output_bytes(&self) -> u64 {
+        self.channels * self.pixels
+    }
+}
+
+/// The analytic digital systolic-array backend.
+#[derive(Debug, Clone)]
+pub struct SystolicBackend {
+    space: DesignSpace,
+    config: SystolicConfig,
+}
+
+impl SystolicBackend {
+    /// Creates the backend for a design space with [`SystolicConfig::baseline`]
+    /// constants.
+    pub fn new(space: DesignSpace) -> Self {
+        SystolicBackend {
+            space,
+            config: SystolicConfig::baseline(),
+        }
+    }
+
+    /// Overrides the platform constants (builder style).
+    #[must_use]
+    pub fn with_config(mut self, config: SystolicConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The platform constants in use.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    /// Lowers a candidate's network to this backend's GEMM view. The
+    /// candidate's CiM-specific hardware knobs (crossbar size, ADC bits,
+    /// device tech) have no digital counterpart and are ignored — only
+    /// the network topology shapes the cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture validation errors.
+    pub fn lower(&self, design: &CandidateDesign) -> Result<Vec<SystolicLayer>> {
+        let arch = self.space.architecture(design)?;
+        let mut layers = Vec::with_capacity(arch.convs.len() + 2);
+        for (c_in, size, spec) in arch.conv_stages() {
+            // Stride 1, same-padding conv: the output plane keeps `size`.
+            layers.push(SystolicLayer {
+                reduction: u64::from(spec.kernel) * u64::from(spec.kernel) * u64::from(c_in),
+                channels: u64::from(spec.channels),
+                pixels: u64::from(size) * u64::from(size),
+                input_bytes: u64::from(c_in) * u64::from(size) * u64::from(size),
+            });
+        }
+        for (k, c) in [
+            (arch.flat_features(), arch.hidden),
+            (arch.hidden, arch.classes),
+        ] {
+            layers.push(SystolicLayer {
+                reduction: u64::from(k),
+                channels: u64::from(c),
+                pixels: 1,
+                input_bytes: u64::from(k),
+            });
+        }
+        Ok(layers)
+    }
+
+    /// Chip area, mm²: PEs + global buffer + fixed overhead.
+    pub fn area_mm2(&self) -> f64 {
+        let pes = f64::from(self.config.pe_rows) * f64::from(self.config.pe_cols);
+        let pe_area = pes * self.config.pe_area_um2 / 1.0e6;
+        let glb_area = f64::from(self.config.glb_kb) * self.config.glb_area_um2_per_kb / 1.0e6;
+        pe_area + glb_area + self.config.overhead_mm2
+    }
+
+    /// Static leakage, µW: PE- and buffer-proportional.
+    pub fn leakage_uw(&self) -> f64 {
+        let pes = f64::from(self.config.pe_rows) * f64::from(self.config.pe_cols);
+        pes * self.config.pe_leakage_uw
+            + f64::from(self.config.glb_kb) * self.config.glb_leakage_uw_per_kb
+    }
+
+    /// Pipeline cycles for one layer under the configured dataflow.
+    fn layer_cycles(&self, layer: &SystolicLayer) -> u64 {
+        let rows = u64::from(self.config.pe_rows);
+        let cols = u64::from(self.config.pe_cols);
+        let fill = rows + cols;
+        match self.config.dataflow {
+            Dataflow::WeightStationary => {
+                // Each K×C weight tile streams all P pixels.
+                let tiles = layer.reduction.div_ceil(rows) * layer.channels.div_ceil(cols);
+                tiles * (layer.pixels + fill)
+            }
+            Dataflow::OutputStationary => {
+                // Each PE owns one output element for K accumulation cycles.
+                let tiles = layer.output_bytes().div_ceil(rows * cols);
+                tiles * (layer.reduction + fill)
+            }
+        }
+    }
+
+    /// Global-buffer traffic for one layer, bytes, under the configured
+    /// dataflow: the stationary tensor moves once, the others re-stream
+    /// per tile.
+    fn layer_sram_bytes(&self, layer: &SystolicLayer) -> u64 {
+        let rows = u64::from(self.config.pe_rows);
+        let cols = u64::from(self.config.pe_cols);
+        let stream_in = layer.reduction * layer.pixels;
+        match self.config.dataflow {
+            Dataflow::WeightStationary => {
+                let row_tiles = layer.reduction.div_ceil(rows);
+                let col_tiles = layer.channels.div_ceil(cols);
+                // Weights once; inputs once per column tile; partial sums
+                // spill and reload once per extra row tile.
+                layer.weight_bytes()
+                    + stream_in * col_tiles
+                    + layer.output_bytes() * (2 * row_tiles - 1)
+            }
+            Dataflow::OutputStationary => {
+                let out_tiles = layer.output_bytes().div_ceil(rows * cols);
+                // Outputs once; weights and inputs once per output tile.
+                layer.output_bytes() + (layer.weight_bytes() + stream_in) * out_tiles
+            }
+        }
+    }
+
+    /// DRAM traffic for one layer, bytes: each unique tensor crosses the
+    /// chip boundary once (the global buffer is assumed large enough to
+    /// avoid re-fetch at these layer sizes).
+    fn layer_dram_bytes(&self, layer: &SystolicLayer) -> u64 {
+        layer.weight_bytes() + layer.input_bytes + layer.output_bytes()
+    }
+}
+
+impl HardwareCostEvaluator for SystolicBackend {
+    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
+        self.config.validate()?;
+        let area_mm2 = self.area_mm2();
+        if area_mm2 > self.space.area_budget_mm2 {
+            return Ok(None);
+        }
+        let layers = self.lower(design)?;
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+        let mut sram_bytes = 0u64;
+        let mut dram_bytes = 0u64;
+        for layer in &layers {
+            cycles += self.layer_cycles(layer);
+            macs += layer.macs();
+            sram_bytes += self.layer_sram_bytes(layer);
+            dram_bytes += self.layer_dram_bytes(layer);
+        }
+        let latency_ns = cycles as f64 / self.config.clock_ghz;
+        let energy_pj = macs as f64 * self.config.mac_energy_pj
+            + sram_bytes as f64 * self.config.sram_energy_pj_per_byte
+            + dram_bytes as f64 * self.config.dram_energy_pj_per_byte;
+        Ok(Some(HwMetrics {
+            energy_pj,
+            latency_ns,
+            area_mm2,
+            leakage_uw: self.leakage_uw(),
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "systolic"
+    }
+
+    fn fingerprint(&self) -> String {
+        let space = serde_json::to_string(&self.space).unwrap_or_default();
+        let config = serde_json::to_string(&self.config).unwrap_or_default();
+        backend_fingerprint(self.id(), &[&space, &config])
+    }
+}
+
+impl HardwareBackend for SystolicBackend {
+    fn id(&self) -> &'static str {
+        "systolic"
+    }
+
+    fn config_json(&self) -> Result<String> {
+        serde_json::to_string(&self.config)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize systolic config: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_design_yields_finite_positive_metrics() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = SystolicBackend::new(space.clone());
+        let m = eval
+            .cost(&space.reference_design())
+            .unwrap()
+            .expect("baseline array fits the 12 mm² budget");
+        assert!(m.is_finite());
+        assert!(m.energy_pj > 0.0);
+        assert!(m.latency_ns > 0.0);
+        assert!(m.area_mm2 > 0.0 && m.area_mm2 < space.area_budget_mm2);
+        assert!(m.leakage_uw > 0.0);
+        assert!(m.fps().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bigger_networks_cost_more() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = SystolicBackend::new(space.clone());
+        let small = {
+            let mut d = space.reference_design();
+            for c in &mut d.conv {
+                c.channels = 16;
+            }
+            d
+        };
+        let ms = eval.cost(&small).unwrap().unwrap();
+        let mr = eval.cost(&space.reference_design()).unwrap().unwrap();
+        assert!(ms.energy_pj < mr.energy_pj);
+        assert!(ms.latency_ns < mr.latency_ns);
+        // Digital area is design-independent: the array doesn't grow with
+        // the network, the schedule does.
+        assert_eq!(ms.area_mm2, mr.area_mm2);
+    }
+
+    #[test]
+    fn cim_hardware_knobs_do_not_move_the_digital_cost() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = SystolicBackend::new(space.clone());
+        let base = eval.cost(&space.reference_design()).unwrap().unwrap();
+        let mut d = space.reference_design();
+        d.hw.xbar_size = 256;
+        d.hw.adc_bits = 8;
+        d.hw.tech = "fefet".to_string();
+        let varied = eval.cost(&d).unwrap().unwrap();
+        assert_eq!(base.energy_pj, varied.energy_pj);
+        assert_eq!(base.latency_ns, varied.latency_ns);
+    }
+
+    #[test]
+    fn oversized_array_violates_budget() {
+        let mut space = DesignSpace::nacim_cifar10();
+        space.area_budget_mm2 = 0.1;
+        let mut eval = SystolicBackend::new(space.clone());
+        assert!(eval.cost(&space.reference_design()).unwrap().is_none());
+    }
+
+    #[test]
+    fn bigger_arrays_are_faster_but_larger() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut small = SystolicBackend::new(space.clone());
+        let mut cfg = SystolicConfig::baseline();
+        cfg.pe_rows = 64;
+        cfg.pe_cols = 64;
+        let mut big = SystolicBackend::new(space).with_config(cfg);
+        let ms = small.cost(&d).unwrap().unwrap();
+        let mb = big.cost(&d).unwrap().unwrap();
+        assert!(mb.latency_ns < ms.latency_ns);
+        assert!(mb.area_mm2 > ms.area_mm2);
+    }
+
+    #[test]
+    fn dataflow_changes_the_cost_surface() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut ws = SystolicBackend::new(space.clone());
+        let mut cfg = SystolicConfig::baseline();
+        cfg.dataflow = Dataflow::OutputStationary;
+        let mut os = SystolicBackend::new(space).with_config(cfg);
+        let mw = ws.cost(&d).unwrap().unwrap();
+        let mo = os.cost(&d).unwrap().unwrap();
+        assert_ne!(mw.energy_pj, mo.energy_pj);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_invalid_design() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut cfg = SystolicConfig::baseline();
+        cfg.pe_rows = 0;
+        let mut eval = SystolicBackend::new(space.clone()).with_config(cfg);
+        assert!(eval.cost(&space.reference_design()).is_err());
+    }
+
+    #[test]
+    fn lowering_matches_hand_counts() {
+        let space = DesignSpace::nacim_cifar10();
+        let backend = SystolicBackend::new(space.clone());
+        let layers = backend.lower(&space.reference_design()).unwrap();
+        assert_eq!(layers.len(), 8);
+        // First conv: 3→32 channels, 3×3 kernel, 32×32 plane.
+        assert_eq!(layers[0].reduction, 27);
+        assert_eq!(layers[0].channels, 32);
+        assert_eq!(layers[0].pixels, 1024);
+        assert_eq!(layers[0].macs(), 27 * 32 * 1024);
+        // Last FC: hidden→classes.
+        assert_eq!(layers[7].reduction, 1024);
+        assert_eq!(layers[7].channels, 10);
+        assert_eq!(layers[7].pixels, 1);
+    }
+
+    #[test]
+    fn fingerprint_is_namespaced_and_distinct_from_cim() {
+        let space = DesignSpace::nacim_cifar10();
+        let sys = SystolicBackend::new(space.clone());
+        assert!(sys.fingerprint().starts_with("systolic/"));
+        let cim = super::super::CimBackend::new(space);
+        assert_ne!(sys.fingerprint(), cim.fingerprint());
+    }
+
+    #[test]
+    fn config_json_roundtrips() {
+        let backend = SystolicBackend::new(DesignSpace::nacim_cifar10());
+        let json = backend.config_json().unwrap();
+        let back: SystolicConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, SystolicConfig::baseline());
+        assert_eq!(back.dataflow, Dataflow::WeightStationary);
+    }
+}

@@ -26,6 +26,10 @@ use std::path::Path;
 /// Format version stamped into every checkpoint file.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
+fn default_backend_name() -> String {
+    crate::backend::DEFAULT_BACKEND.to_string()
+}
+
 /// A point-in-time snapshot of a co-design run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -35,6 +39,12 @@ pub struct Checkpoint {
     pub config: CoDesignConfig,
     /// Name of the optimizer that produced the history.
     pub optimizer: String,
+    /// Name of the hardware backend the history was evaluated under.
+    /// Checkpoints written before the backend layer existed carry no such
+    /// field and default to `cim` — the only hardware model of that era —
+    /// so they load and resume unchanged.
+    #[serde(default = "default_backend_name")]
+    pub backend: String,
     /// Every completed episode, in order.
     pub history: Vec<EpisodeRecord>,
     /// The conversation transcript, for LLM-driven runs.
@@ -60,6 +70,7 @@ impl Checkpoint {
             version: CHECKPOINT_VERSION,
             config,
             optimizer: optimizer.into(),
+            backend: default_backend_name(),
             history,
             transcript,
             eval_cache: None,
@@ -70,6 +81,13 @@ impl Checkpoint {
     #[must_use]
     pub fn with_eval_cache(mut self, cache: EvalCache) -> Self {
         self.eval_cache = Some(cache);
+        self
+    }
+
+    /// Stamps the hardware backend name (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = backend.into();
         self
     }
 
@@ -205,6 +223,27 @@ mod tests {
         let legacy = Checkpoint::new(cfg(), "random", Vec::new(), None);
         let back = Checkpoint::from_json(&legacy.to_json().unwrap()).unwrap();
         assert!(back.eval_cache.is_none());
+    }
+
+    #[test]
+    fn backend_stamp_roundtrips_and_legacy_json_defaults_to_cim() {
+        let cp = Checkpoint::new(cfg(), "random", Vec::new(), None).with_backend("systolic");
+        let back = Checkpoint::from_json(&cp.to_json().unwrap()).unwrap();
+        assert_eq!(back.backend, "systolic");
+
+        // A pre-backend checkpoint has no `backend` key at all; it must
+        // load under the default `cim` backend (forward compatibility).
+        let json = Checkpoint::new(cfg(), "random", Vec::new(), None)
+            .to_json()
+            .unwrap();
+        let legacy: String = json
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"backend\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!legacy.contains("backend"));
+        let back = Checkpoint::from_json(&legacy).unwrap();
+        assert_eq!(back.backend, "cim");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! The same loop drives every optimizer (LLM, RL, GA, random), which is
 //! what makes the episode-count comparison of Fig. 3 fair.
 
+use crate::backend::{BackendRegistry, DEFAULT_BACKEND};
 use crate::checkpoint::Checkpoint;
-use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics, NeurosimCostEvaluator};
+use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
 use crate::pipeline::{CacheStats, EvalPipeline};
 use crate::reward::{Objective, INVALID_REWARD};
 use crate::space::DesignSpace;
@@ -292,6 +293,8 @@ pub struct CoDesignBuilder {
     spec: OptimizerSpec,
     accuracy: Option<Box<dyn AccuracyEvaluator>>,
     hardware: Option<Box<dyn HardwareCostEvaluator>>,
+    backend: String,
+    registry: BackendRegistry,
     threads: usize,
     caching: bool,
 }
@@ -301,6 +304,7 @@ impl std::fmt::Debug for CoDesignBuilder {
         f.debug_struct("CoDesignBuilder")
             .field("config", &self.config)
             .field("spec", &self.spec)
+            .field("backend", &self.backend)
             .field("threads", &self.threads)
             .field("caching", &self.caching)
             .finish_non_exhaustive()
@@ -323,10 +327,33 @@ impl CoDesignBuilder {
         self
     }
 
-    /// Replaces the default NeuroSim hardware cost evaluator.
+    /// Replaces the hardware cost evaluator with an arbitrary
+    /// implementation, bypassing the backend registry. The run's recorded
+    /// backend name becomes the evaluator's [`HardwareCostEvaluator::name`].
     #[must_use]
     pub fn hardware_evaluator(mut self, eval: Box<dyn HardwareCostEvaluator>) -> Self {
         self.hardware = Some(eval);
+        self
+    }
+
+    /// Selects the hardware backend by registry name (default:
+    /// [`DEFAULT_BACKEND`], the paper's CiM model). Resolution happens in
+    /// [`CoDesignBuilder::build`]; an unknown name errors there, listing
+    /// the registered options. Ignored when
+    /// [`CoDesignBuilder::hardware_evaluator`] supplies an evaluator
+    /// directly.
+    #[must_use]
+    pub fn backend(mut self, name: impl Into<String>) -> Self {
+        self.backend = name.into();
+        self
+    }
+
+    /// Replaces the backend registry the `backend` name resolves through
+    /// (default: [`BackendRegistry::standard`]). Lets downstream crates
+    /// plug in their own hardware models by name.
+    #[must_use]
+    pub fn registry(mut self, registry: BackendRegistry) -> Self {
+        self.registry = registry;
         self
     }
 
@@ -366,15 +393,24 @@ impl CoDesignBuilder {
                 self.config.seed,
             ))
         });
-        let hardware = self
-            .hardware
-            .unwrap_or_else(|| Box::new(NeurosimCostEvaluator::new(self.space.clone())));
+        let (hardware, backend) = match self.hardware {
+            Some(eval) => {
+                let name = eval.name().to_string();
+                (eval, name)
+            }
+            None => {
+                let b: Box<dyn HardwareCostEvaluator> =
+                    self.registry.create(&self.backend, &self.space)?;
+                (b, self.backend)
+            }
+        };
         let mut pipeline = EvalPipeline::new(accuracy, hardware);
         pipeline.set_caching(self.caching);
         pipeline.set_threads(self.threads);
         Ok(CoDesign {
             space: self.space,
             config: self.config,
+            backend,
             optimizer,
             pipeline,
         })
@@ -386,6 +422,7 @@ impl CoDesignBuilder {
 pub struct CoDesign {
     space: DesignSpace,
     config: CoDesignConfig,
+    backend: String,
     optimizer: Box<dyn Optimizer>,
     pipeline: EvalPipeline,
 }
@@ -394,6 +431,7 @@ impl std::fmt::Debug for CoDesign {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoDesign")
             .field("config", &self.config)
+            .field("backend", &self.backend)
             .field("optimizer", &self.optimizer.name())
             .field("pipeline", &self.pipeline)
             .finish_non_exhaustive()
@@ -402,8 +440,8 @@ impl std::fmt::Debug for CoDesign {
 
 impl CoDesign {
     /// Starts a builder wiring a run over `space` (default: expert-LLM
-    /// optimizer, surrogate accuracy, NeuroSim cost, caching on, 1
-    /// thread).
+    /// optimizer, surrogate accuracy, the `cim` hardware backend, caching
+    /// on, 1 thread).
     pub fn builder(space: DesignSpace, config: CoDesignConfig) -> CoDesignBuilder {
         CoDesignBuilder {
             space,
@@ -411,6 +449,8 @@ impl CoDesign {
             spec: OptimizerSpec::default(),
             accuracy: None,
             hardware: None,
+            backend: DEFAULT_BACKEND.to_string(),
+            registry: BackendRegistry::standard(),
             threads: 1,
             caching: true,
         }
@@ -429,9 +469,11 @@ impl CoDesign {
         hardware: Box<dyn HardwareCostEvaluator>,
     ) -> Result<Self> {
         config.validate()?;
+        let backend = hardware.name().to_string();
         Ok(CoDesign {
             space,
             config,
+            backend,
             optimizer,
             pipeline: EvalPipeline::new(accuracy, hardware),
         })
@@ -555,6 +597,12 @@ impl CoDesign {
         self
     }
 
+    /// The hardware backend name this run was wired with (`cim`,
+    /// `systolic`, or a custom evaluator's name).
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
     /// The evaluation pipeline (cache inspection, thread control).
     pub fn pipeline(&self) -> &EvalPipeline {
         &self.pipeline
@@ -642,7 +690,8 @@ impl CoDesign {
             self.optimizer.name(),
             history.to_vec(),
             self.optimizer.transcript().cloned(),
-        );
+        )
+        .with_backend(&self.backend);
         if let Some(cache) = self.pipeline.cache() {
             cp = cp.with_eval_cache(cache.clone());
         }
@@ -667,6 +716,13 @@ impl CoDesign {
                 "checkpoint optimizer `{}` does not match `{}`",
                 cp.optimizer,
                 self.optimizer.name()
+            )));
+        }
+        if cp.backend != self.backend {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint was produced under hardware backend `{}` but \
+                 this run uses `{}`",
+                cp.backend, self.backend
             )));
         }
         if cp.history.len() as u32 > self.config.episodes {
@@ -1073,6 +1129,67 @@ mod tests {
         .run()
         .unwrap();
         assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn backend_selection_changes_the_cost_surface() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut cim = build(space.clone(), cfg(4, 9), OptimizerSpec::ExpertLlm).unwrap();
+        let mut sys = CoDesign::builder(space, cfg(4, 9))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .backend("systolic")
+            .build()
+            .unwrap();
+        assert_eq!(cim.backend(), "cim");
+        assert_eq!(sys.backend(), "systolic");
+        let a = cim.run().unwrap();
+        let b = sys.run().unwrap();
+        // Same optimizer stream proposes the same designs; the hardware
+        // verdicts (and rewards) come from different models.
+        assert_eq!(a.history.len(), b.history.len());
+        let (ra, rb) = (&a.history[0], &b.history[0]);
+        assert_eq!(ra.design, rb.design);
+        if let (Some(ha), Some(hb)) = (&ra.hw, &rb.hw) {
+            assert_ne!(ha.energy_pj, hb.energy_pj);
+        }
+    }
+
+    #[test]
+    fn unknown_backend_rejected_at_build() {
+        let err = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(2, 1))
+            .backend("fpga")
+            .build()
+            .unwrap_err();
+        match err {
+            CoreError::InvalidConfig(msg) => assert!(msg.contains("fpga")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_cross_backend_checkpoint() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut snaps: Vec<crate::Checkpoint> = Vec::new();
+        build(space.clone(), cfg(3, 31), OptimizerSpec::ExpertLlm)
+            .unwrap()
+            .run_resumable(None, |cp| {
+                snaps.push(cp.clone());
+                Ok(())
+            })
+            .unwrap();
+        let cp = snaps.pop().unwrap();
+        assert_eq!(cp.backend, "cim");
+        let err = CoDesign::builder(space, cfg(3, 31))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .backend("systolic")
+            .build()
+            .unwrap()
+            .run_resumable(Some(cp), |_| Ok(()))
+            .unwrap_err();
+        match err {
+            CoreError::Checkpoint(msg) => assert!(msg.contains("backend")),
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
     }
 
     #[test]

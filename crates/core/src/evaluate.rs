@@ -1,10 +1,10 @@
-//! Evaluator interfaces and the NeuroSim-backed hardware cost evaluator.
+//! Evaluator interfaces: the two oracles of the co-design loop (§III-C).
+//!
+//! Concrete hardware cost models live in [`crate::backend`]; this module
+//! defines only the traits and the [`HwMetrics`] currency they trade in.
 
-use crate::space::DesignSpace;
-use crate::{CoreError, Result};
+use crate::Result;
 use lcda_llm::design::CandidateDesign;
-use lcda_neurosim::chip::Chip;
-use lcda_neurosim::NeurosimError;
 use serde::{Deserialize, Serialize};
 
 /// The hardware metrics the reward functions consume.
@@ -21,9 +21,16 @@ pub struct HwMetrics {
 }
 
 impl HwMetrics {
-    /// Frames per second implied by the latency.
-    pub fn fps(&self) -> f64 {
-        1.0e9 / self.latency_ns
+    /// Frames per second implied by the latency, or `None` when the
+    /// latency is zero, negative, or non-finite (a raw `1e9 / latency_ns`
+    /// would yield `inf`/garbage and silently trip the finite-quarantine
+    /// gate downstream).
+    pub fn fps(&self) -> Option<f64> {
+        if self.latency_ns.is_finite() && self.latency_ns > 0.0 {
+            Some(1.0e9 / self.latency_ns)
+        } else {
+            None
+        }
     }
 
     /// True when every metric is finite — the quarantine gate a record
@@ -69,6 +76,9 @@ pub trait AccuracyEvaluator {
 
 /// Evaluates a candidate's hardware cost (the paper's "hardware cost
 /// evaluator", §III-D).
+///
+/// Swappable implementations carrying their own config live behind the
+/// [`crate::backend::HardwareBackend`] subtrait.
 pub trait HardwareCostEvaluator {
     /// The four headline metrics, or `Ok(None)` when the design violates
     /// the platform constraint (→ reward −1).
@@ -84,114 +94,21 @@ pub trait HardwareCostEvaluator {
 
     /// A stable fingerprint of the evaluator's identity and configuration
     /// (see [`AccuracyEvaluator::fingerprint`] for the contract).
+    /// Backends namespace theirs as `"{id}/{digest}"` so cache entries
+    /// can never cross backends.
     fn fingerprint(&self) -> String {
         self.name().to_string()
     }
 }
 
-/// The NeuroSim-style hardware cost evaluator: builds the candidate's
-/// calibrated chip and evaluates its workloads.
-#[derive(Debug, Clone)]
-pub struct NeurosimCostEvaluator {
-    space: DesignSpace,
-}
-
-impl NeurosimCostEvaluator {
-    /// Creates the evaluator for a design space.
-    pub fn new(space: DesignSpace) -> Self {
-        NeurosimCostEvaluator { space }
-    }
-}
-
-impl HardwareCostEvaluator for NeurosimCostEvaluator {
-    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
-        let config = self.space.chip_config(design)?;
-        let chip = Chip::new(config).map_err(CoreError::from)?;
-        let layers = self.space.workloads(design)?;
-        match chip.evaluate_checked(&layers) {
-            Ok(report) => Ok(Some(HwMetrics {
-                energy_pj: report.energy_pj,
-                latency_ns: report.latency_ns,
-                area_mm2: report.area_mm2,
-                leakage_uw: report.leakage_uw,
-            })),
-            Err(NeurosimError::ConstraintViolation { .. }) => Ok(None),
-            Err(e) => Err(e.into()),
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        "neurosim"
-    }
-
-    fn fingerprint(&self) -> String {
-        // The space carries everything that shapes the cost model: the
-        // chip-config mapping, workloads, calibration and the area budget.
-        let space = serde_json::to_string(&self.space).unwrap_or_default();
-        format!(
-            "neurosim/{}",
-            crate::pipeline::stable_fingerprint(&[&space])
-        )
-    }
-}
+/// The NeuroSim-style evaluator's historical name; the implementation now
+/// lives in the backend layer as [`crate::backend::CimBackend`].
+#[deprecated(since = "0.3.0", note = "use `backend::CimBackend` (or the registry)")]
+pub type NeurosimCostEvaluator = crate::backend::CimBackend;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn reference_design_is_valid_and_on_anchor() {
-        let space = DesignSpace::nacim_cifar10();
-        let mut eval = NeurosimCostEvaluator::new(space.clone());
-        let m = eval
-            .cost(&space.reference_design())
-            .unwrap()
-            .expect("reference must fit the area budget");
-        // Calibration pins the reference to the ISAAC anchors.
-        assert!(
-            (m.energy_pj - 8.0e7).abs() / 8.0e7 < 1e-9,
-            "{}",
-            m.energy_pj
-        );
-        assert!((m.fps() - 1600.0).abs() / 1600.0 < 1e-9, "{}", m.fps());
-        assert!(m.area_mm2 > 0.0 && m.area_mm2 < space.area_budget_mm2);
-    }
-
-    #[test]
-    fn bigger_designs_cost_more() {
-        let space = DesignSpace::nacim_cifar10();
-        let mut eval = NeurosimCostEvaluator::new(space.clone());
-        let small = {
-            let mut d = space.reference_design();
-            for c in &mut d.conv {
-                c.channels = 16;
-            }
-            d.conv[0].channels = 16;
-            d
-        };
-        // Keep channels monotone-feasible: all 16 is fine.
-        let ms = eval.cost(&small).unwrap().unwrap();
-        let mr = eval.cost(&space.reference_design()).unwrap().unwrap();
-        assert!(ms.energy_pj < mr.energy_pj);
-        assert!(ms.area_mm2 < mr.area_mm2);
-    }
-
-    #[test]
-    fn oversized_design_violates_budget() {
-        let mut space = DesignSpace::nacim_cifar10();
-        space.area_budget_mm2 = 0.001;
-        let mut eval = NeurosimCostEvaluator::new(space.clone());
-        assert!(eval.cost(&space.reference_design()).unwrap().is_none());
-    }
-
-    #[test]
-    fn malformed_design_is_an_error_not_invalid() {
-        let space = DesignSpace::nacim_cifar10();
-        let mut eval = NeurosimCostEvaluator::new(space.clone());
-        let mut d = space.reference_design();
-        d.hw.tech = "nonsense".into();
-        assert!(eval.cost(&d).is_err());
-    }
 
     #[test]
     fn fps_helper() {
@@ -201,7 +118,24 @@ mod tests {
             area_mm2: 1.0,
             leakage_uw: 0.0,
         };
-        assert!((m.fps() - 2000.0).abs() < 1e-9);
+        assert!((m.fps().unwrap() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fps_rejects_degenerate_latency() {
+        let mut m = HwMetrics {
+            energy_pj: 1.0,
+            latency_ns: 0.0,
+            area_mm2: 1.0,
+            leakage_uw: 0.0,
+        };
+        assert_eq!(m.fps(), None, "zero latency must not yield inf");
+        m.latency_ns = -5.0;
+        assert_eq!(m.fps(), None, "negative latency is meaningless");
+        m.latency_ns = f64::NAN;
+        assert_eq!(m.fps(), None);
+        m.latency_ns = f64::INFINITY;
+        assert_eq!(m.fps(), None);
     }
 
     #[test]
@@ -218,5 +152,15 @@ mod tests {
         m.energy_pj = 1.0;
         m.latency_ns = f64::INFINITY;
         assert!(!m.is_finite());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn neurosim_alias_still_constructs() {
+        use crate::space::DesignSpace;
+        let space = DesignSpace::nacim_cifar10();
+        let mut eval = NeurosimCostEvaluator::new(space.clone());
+        assert_eq!(eval.name(), "cim");
+        assert!(eval.cost(&space.reference_design()).unwrap().is_some());
     }
 }

@@ -9,14 +9,17 @@
 //! 1. **design optimizer** — any [`lcda_optim::Optimizer`]; the paper's
 //!    contribution plugs an LLM in via `lcda_optim::llm_opt::LlmOptimizer`,
 //! 2. **design generator** — [`space::DesignSpace`], turning a parsed
-//!    candidate into a trainable [`lcda_dnn::arch::Architecture`] and a
-//!    [`lcda_neurosim::chip::ChipConfig`],
+//!    candidate into a trainable [`lcda_dnn::arch::Architecture`]; each
+//!    hardware backend owns its own lowering from there,
 //! 3. **DNN performance evaluator** — [`evaluate::AccuracyEvaluator`]
 //!    implementations: the fast calibrated [`surrogate::SurrogateEvaluator`]
 //!    and the real [`trained::TrainedEvaluator`] (noise-injection training
 //!    plus Monte-Carlo evaluation, §III-C),
-//! 4. **hardware cost evaluator** — [`evaluate::NeurosimCostEvaluator`],
-//!    the NeuroSim-style macro model of §III-D.
+//! 4. **hardware cost evaluator** — a pluggable
+//!    [`backend::HardwareBackend`]: the NeuroSim-style
+//!    [`backend::CimBackend`] macro model of §III-D (the default) or the
+//!    digital [`backend::SystolicBackend`] baseline, resolved by name
+//!    through [`backend::BackendRegistry`].
 //!
 //! [`codesign::CoDesign`] wires them into the Algorithm-2 episode loop;
 //! [`reward`] provides Eq. 1 and Eq. 2; [`pareto`] and [`analysis`]
@@ -52,6 +55,7 @@
 mod error;
 
 pub mod analysis;
+pub mod backend;
 pub mod checkpoint;
 pub mod codesign;
 pub mod evaluate;
@@ -63,6 +67,7 @@ pub mod space;
 pub mod surrogate;
 pub mod trained;
 
+pub use backend::{BackendRegistry, CimBackend, HardwareBackend, SystolicBackend, DEFAULT_BACKEND};
 pub use checkpoint::Checkpoint;
 pub use codesign::{
     CoDesign, CoDesignBuilder, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, OptimizerSpec,

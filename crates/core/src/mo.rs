@@ -9,7 +9,8 @@
 //! [`MoOutcome::front`] a designer can pick from, rather than a single
 //! scalar-optimal point.
 
-use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, NeurosimCostEvaluator};
+use crate::backend::CimBackend;
+use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator};
 use crate::reward::{Objective, ENERGY_NORM_PJ, FPS_NORM};
 use crate::space::DesignSpace;
 use crate::surrogate::SurrogateEvaluator;
@@ -60,7 +61,7 @@ impl std::fmt::Debug for MultiObjectiveCoDesign {
 }
 
 impl MultiObjectiveCoDesign {
-    /// Creates a run with the default (surrogate + NeuroSim) evaluators.
+    /// Creates a run with the default (surrogate + CiM backend) evaluators.
     ///
     /// # Errors
     ///
@@ -72,7 +73,7 @@ impl MultiObjectiveCoDesign {
         let optimizer = Nsga2Optimizer::new(space.choices.clone(), NsgaConfig::standard(), seed)?;
         Ok(MultiObjectiveCoDesign {
             accuracy: Box::new(SurrogateEvaluator::new(space.clone(), seed)),
-            hardware: Box::new(NeurosimCostEvaluator::new(space.clone())),
+            hardware: Box::new(CimBackend::new(space.clone())),
             space,
             objective,
             episodes,

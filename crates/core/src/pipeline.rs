@@ -377,7 +377,7 @@ impl HardwareCostEvaluator for EvalPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluate::NeurosimCostEvaluator;
+    use crate::backend::{CimBackend, SystolicBackend};
     use crate::space::DesignSpace;
     use crate::surrogate::SurrogateEvaluator;
 
@@ -385,7 +385,15 @@ mod tests {
         let space = DesignSpace::nacim_cifar10();
         EvalPipeline::new(
             Box::new(SurrogateEvaluator::new(space.clone(), seed)),
-            Box::new(NeurosimCostEvaluator::new(space)),
+            Box::new(CimBackend::new(space)),
+        )
+    }
+
+    fn systolic_pipeline(seed: u64) -> EvalPipeline {
+        let space = DesignSpace::nacim_cifar10();
+        EvalPipeline::new(
+            Box::new(SurrogateEvaluator::new(space.clone(), seed)),
+            Box::new(SystolicBackend::new(space)),
         )
     }
 
@@ -439,7 +447,7 @@ mod tests {
         let d = space.reference_design();
         let mut p = EvalPipeline::new(
             Box::new(SurrogateEvaluator::new(space.clone(), 0)),
-            Box::new(NeurosimCostEvaluator::new(space)),
+            Box::new(CimBackend::new(space)),
         );
         assert_eq!(p.evaluate(&d).unwrap().1, None);
         assert_eq!(p.evaluate(&d).unwrap().1, None);
@@ -463,6 +471,25 @@ mod tests {
         let after = q.evaluate(&d).unwrap();
         assert_eq!(before, after);
         assert_eq!(q.stats().hits, 2, "restored entries must serve hits");
+    }
+
+    #[test]
+    fn cache_never_crosses_backends() {
+        // A memo table filled under the cim backend must be refused by a
+        // systolic pipeline over the *same* space and seed: the backend id
+        // namespaces the context fingerprint.
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut cim = pipeline(1);
+        cim.evaluate(&d).unwrap();
+        let snapshot = cim.cache().unwrap().clone();
+
+        let mut sys = systolic_pipeline(1);
+        assert!(!sys.restore_cache(snapshot));
+        assert!(sys.cache().unwrap().is_empty());
+        // The systolic evaluation is a miss, not a stale cim hit.
+        let (_, hw) = sys.evaluate(&d).unwrap();
+        assert!(hw.is_some());
+        assert_eq!(sys.stats().hits, 0);
     }
 
     #[test]
@@ -527,10 +554,7 @@ mod tests {
     fn non_finite_results_are_not_cached() {
         let space = DesignSpace::nacim_cifar10();
         let d = space.reference_design();
-        let mut p = EvalPipeline::new(
-            Box::new(NanAccuracy),
-            Box::new(NeurosimCostEvaluator::new(space)),
-        );
+        let mut p = EvalPipeline::new(Box::new(NanAccuracy), Box::new(CimBackend::new(space)));
         let (acc, hw) = p.evaluate(&d).unwrap();
         assert!(acc.is_nan());
         assert!(hw.is_some());

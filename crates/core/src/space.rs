@@ -1,14 +1,15 @@
 //! The design generator (§III-B): from parsed candidates to concrete DNN
-//! architectures and hardware configurations.
+//! architectures, plus the backend-agnostic platform constraints.
+//!
+//! Backend-specific lowering (chip configs, crossbar workloads, GEMM
+//! tiles) lives with the backends in [`crate::backend`]; this module only
+//! knows the search space and the shared platform contract (the area
+//! budget every backend must respect).
 
 use crate::Result;
 use lcda_dnn::arch::{Architecture, ConvSpec};
 use lcda_llm::design::{CandidateDesign, DesignChoices};
-use lcda_neurosim::chip::ChipConfig;
-use lcda_neurosim::crossbar::CrossbarConfig;
 use lcda_neurosim::device::DeviceTech;
-use lcda_neurosim::isaac;
-use lcda_neurosim::mapper::{LayerWorkload, Precision};
 use lcda_variation::{VariationConfig, WriteVerifyConfig};
 use serde::{Deserialize, Serialize};
 
@@ -29,25 +30,13 @@ pub struct DesignSpace {
     /// Pooling cadence (after every 2 convolutions).
     pub pool_every: u32,
     /// Platform area budget, mm²; designs above it are invalid and score
-    /// −1 (the prompt's contract).
+    /// −1 (the prompt's contract). Every hardware backend enforces it
+    /// against its own area model.
     pub area_budget_mm2: f64,
     /// Optional write-verify programming (SWIM, the paper's reference
     /// \[5\]): when set, every candidate's NVM cells are programmed with
     /// a verify loop, tightening conductances at extra write cost.
     pub write_verify: Option<WriteVerifyConfig>,
-    /// Global `(energy, latency)` calibration factors, computed **once**
-    /// from the default ISAAC configuration and applied to *every*
-    /// candidate chip. A per-candidate calibration would silently erase
-    /// the real differences between hardware choices (ADC resolution,
-    /// cell precision, array size), which are exactly what the search is
-    /// supposed to explore.
-    pub calibration: (f64, f64),
-}
-
-fn isaac_calibration() -> (f64, f64) {
-    isaac::calibrate(ChipConfig::isaac_default())
-        .expect("default ISAAC configuration is valid")
-        .calibration
 }
 
 impl DesignSpace {
@@ -62,7 +51,6 @@ impl DesignSpace {
             pool_every: 2,
             area_budget_mm2: 12.0,
             write_verify: None,
-            calibration: isaac_calibration(),
         }
     }
 
@@ -77,7 +65,6 @@ impl DesignSpace {
             pool_every: 2,
             area_budget_mm2: 12.0,
             write_verify: None,
-            calibration: isaac_calibration(),
         }
     }
 
@@ -106,61 +93,6 @@ impl DesignSpace {
         };
         arch.validate()?;
         Ok(arch)
-    }
-
-    /// The hardware workloads (crossbar layer descriptions) a candidate's
-    /// network generates.
-    ///
-    /// # Errors
-    ///
-    /// Propagates architecture and workload validation errors.
-    pub fn workloads(&self, design: &CandidateDesign) -> Result<Vec<LayerWorkload>> {
-        let arch = self.architecture(design)?;
-        let mut layers = Vec::with_capacity(arch.convs.len() + 2);
-        for (c_in, size, spec) in arch.conv_stages() {
-            layers.push(LayerWorkload::conv(
-                c_in,
-                size,
-                size,
-                spec.channels,
-                spec.kernel,
-                1,
-                spec.kernel / 2,
-            )?);
-        }
-        layers.push(LayerWorkload::fc(arch.flat_features(), arch.hidden)?);
-        layers.push(LayerWorkload::fc(arch.hidden, arch.classes)?);
-        Ok(layers)
-    }
-
-    /// The chip configuration a candidate's hardware choice describes,
-    /// calibrated to the ISAAC anchors.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors for unsupported combinations (e.g. a
-    /// cell precision the chosen technology cannot store).
-    pub fn chip_config(&self, design: &CandidateDesign) -> Result<ChipConfig> {
-        let tech = DeviceTech::parse(&design.hw.tech)?;
-        let xbar = CrossbarConfig {
-            rows: design.hw.xbar_size,
-            cols: design.hw.xbar_size,
-            cell_bits: design.hw.cell_bits,
-            dac_bits: 1,
-            adc_bits: design.hw.adc_bits,
-            adc_share: 8,
-            tech,
-            feature_nm: 32.0,
-        };
-        Ok(ChipConfig {
-            xbar,
-            precision: Precision::int8(),
-            buffer_kb: 64,
-            area_budget_mm2: self.area_budget_mm2,
-            // The paper's FPS normalization is single-image latency.
-            latency_mode: lcda_neurosim::chip::LatencyMode::Sequential,
-            calibration: self.calibration,
-        })
     }
 
     /// The device-variation corner this candidate's technology exhibits.
@@ -214,26 +146,13 @@ mod tests {
         space.contains(&d).unwrap();
         let arch = space.architecture(&d).unwrap();
         assert_eq!(arch.convs.len(), 6);
-        let layers = space.workloads(&d).unwrap();
-        assert_eq!(layers.len(), 8);
-        // Matches the neurosim reference network exactly.
-        assert_eq!(layers, lcda_neurosim::isaac::reference_network());
-        let chip = space.chip_config(&d).unwrap();
-        assert_eq!(chip.xbar.rows, 128);
-        assert_ne!(chip.calibration, (1.0, 1.0));
     }
 
     #[test]
-    fn hw_variants_convert() {
+    fn variation_tracks_technology() {
         let space = DesignSpace::nacim_cifar10();
         let mut d = space.reference_design();
-        d.hw.xbar_size = 256;
-        d.hw.adc_bits = 4;
-        d.hw.cell_bits = 4;
         d.hw.tech = "fefet".to_string();
-        let chip = space.chip_config(&d).unwrap();
-        assert_eq!(chip.xbar.rows, 256);
-        assert_eq!(chip.xbar.adc_bits, 4);
         let v = space.variation(&d).unwrap();
         assert_eq!(v, lcda_variation::VariationConfig::fefet_moderate());
     }
@@ -243,7 +162,6 @@ mod tests {
         let space = DesignSpace::nacim_cifar10();
         let mut d = space.reference_design();
         d.hw.tech = "unobtainium".to_string();
-        assert!(space.chip_config(&d).is_err());
         assert!(space.variation(&d).is_err());
     }
 
@@ -256,28 +174,20 @@ mod tests {
     }
 
     #[test]
-    fn workload_rows_track_kernels() {
-        let space = DesignSpace::nacim_cifar10();
-        let mut d = space.reference_design();
-        d.conv[1].kernel = 7;
-        let layers = space.workloads(&d).unwrap();
-        if let LayerWorkload::Conv { kernel, c_in, .. } = layers[1] {
-            assert_eq!(kernel, 7);
-            assert_eq!(c_in, 32);
-        } else {
-            panic!("layer 1 should be conv");
-        }
-    }
-
-    #[test]
     fn serde_roundtrip() {
         let space = DesignSpace::nacim_cifar10();
         let json = serde_json::to_string(&space).unwrap();
         let back: DesignSpace = serde_json::from_str(&json).unwrap();
-        // Calibration floats may drift 1 ULP through JSON text.
-        assert_eq!(space.choices, back.choices);
-        assert_eq!(space.area_budget_mm2, back.area_budget_mm2);
-        assert!((space.calibration.0 - back.calibration.0).abs() / space.calibration.0 < 1e-12);
-        assert!((space.calibration.1 - back.calibration.1).abs() / space.calibration.1 < 1e-12);
+        assert_eq!(space, back);
+    }
+
+    #[test]
+    fn pre_backend_space_json_still_loads() {
+        // Serialized spaces from before the backend split carried a
+        // `calibration` field; serde ignores it on load.
+        let json = serde_json::to_string(&DesignSpace::nacim_cifar10()).unwrap();
+        let legacy = json.replacen('{', "{\"calibration\":[0.5,0.5],", 1);
+        let back: DesignSpace = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, DesignSpace::nacim_cifar10());
     }
 }

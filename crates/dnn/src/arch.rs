@@ -303,8 +303,8 @@ mod tests {
     #[test]
     fn weight_count_reference() {
         let a = Architecture::reference();
-        let conv = 3 * 9 * 32 + 32 * 9 * 32 + 32 * 9 * 64 + 64 * 9 * 64 + 64 * 9 * 128
-            + 128 * 9 * 128;
+        let conv =
+            3 * 9 * 32 + 32 * 9 * 32 + 32 * 9 * 64 + 64 * 9 * 64 + 64 * 9 * 128 + 128 * 9 * 128;
         let fc = 2048 * 1024 + 1024 * 10;
         assert_eq!(a.weight_count(), (conv + fc) as u64);
     }

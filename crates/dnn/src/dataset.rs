@@ -168,10 +168,7 @@ impl SynthCifar {
             labels.push(self.labels[i]);
         }
         Ok(SynthCifar {
-            images: Tensor::from_vec(
-                Shape::d4(indices.len(), 3, self.size, self.size),
-                data,
-            )?,
+            images: Tensor::from_vec(Shape::d4(indices.len(), 3, self.size, self.size), data)?,
             labels,
             classes: self.classes,
             size: self.size,
@@ -339,11 +336,7 @@ impl Augmentation {
     }
 
     /// Applies the augmentation in place to one NCHW batch.
-    pub fn apply(
-        &self,
-        batch: &mut Tensor,
-        rng: &mut SeedRng,
-    ) -> crate::Result<()> {
+    pub fn apply(&self, batch: &mut Tensor, rng: &mut SeedRng) -> crate::Result<()> {
         if batch.shape().rank() != 4 {
             return Err(DnnError::InvalidDataset(
                 "augmentation expects an NCHW batch".into(),
@@ -368,8 +361,7 @@ impl Augmentation {
             }
             for ch in 0..c {
                 let base = (s * c + ch) * plane;
-                let src: Vec<f32> =
-                    batch.as_slice()[base..base + plane].to_vec();
+                let src: Vec<f32> = batch.as_slice()[base..base + plane].to_vec();
                 let dst = &mut batch.as_mut_slice()[base..base + plane];
                 for y in 0..h {
                     for x in 0..w {
@@ -380,10 +372,7 @@ impl Augmentation {
                         } else {
                             sx_pre
                         };
-                        dst[y * w + x] = if sy >= 0
-                            && sy < h as isize
-                            && sx >= 0
-                            && sx < w as isize
+                        dst[y * w + x] = if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize
                         {
                             src[sy as usize * w + sx as usize]
                         } else {

@@ -226,8 +226,8 @@ impl DropoutLayer {
                 }
             })
             .collect();
-        let mask = Tensor::from_vec(input.shape().clone(), mask_data)
-            .expect("mask matches input shape");
+        let mask =
+            Tensor::from_vec(input.shape().clone(), mask_data).expect("mask matches input shape");
         let out = input.mul(&mask).expect("same shape");
         self.mask = Some(mask);
         out
@@ -364,8 +364,7 @@ mod tests {
         // Inverted dropout: E[y] = E[x].
         assert!((y.mean() - 1.0).abs() < 0.03, "mean {}", y.mean());
         // Roughly 30% of units dropped.
-        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32
-            / y.len() as f32;
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32 / y.len() as f32;
         assert!((dropped - 0.3).abs() < 0.03, "dropped {dropped}");
     }
 

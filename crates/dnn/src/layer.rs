@@ -6,8 +6,7 @@ use crate::{DnnError, Result};
 use lcda_tensor::init::Init;
 use lcda_tensor::ops::{
     avgpool_global_backward, avgpool_global_forward, conv2d_backward, conv2d_forward,
-    maxpool2_backward, maxpool2_forward, relu_backward, relu_forward, Conv2dParams,
-    ConvGeometry,
+    maxpool2_backward, maxpool2_forward, relu_backward, relu_forward, Conv2dParams, ConvGeometry,
 };
 use lcda_tensor::rng::SeedRng;
 use lcda_tensor::{Shape, Tensor};

@@ -375,7 +375,10 @@ mod batchnorm_snapshot_tests {
         // Regression test: snapshot/restore must mirror visit_params order
         // exactly, including BatchNorm γ/β (found via the reliability
         // example panicking in noise-injection training).
-        let mut net = Architecture::tiny_test().with_batch_norm().build(1).unwrap();
+        let mut net = Architecture::tiny_test()
+            .with_batch_norm()
+            .build(1)
+            .unwrap();
         let snap = net.snapshot_weights();
         net.restore_weights(&snap); // must not panic
         net.perturb_weight_matrices(|w| {

@@ -161,8 +161,7 @@ impl Trainer {
         let bs = self.config.batch_size.min(n);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs as usize);
         let mut noise_seed = self.config.seed.wrapping_mul(0x5851_F42D_4C95_7F2D);
-        let mut aug_rng =
-            lcda_tensor::rng::SeedRng::new(self.config.seed.wrapping_add(0xA06));
+        let mut aug_rng = lcda_tensor::rng::SeedRng::new(self.config.seed.wrapping_add(0xA06));
 
         for epoch in 0..self.config.epochs {
             let mut total = 0.0f32;

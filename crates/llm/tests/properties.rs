@@ -17,10 +17,7 @@ fn arb_history(max: usize) -> impl Strategy<Value = Vec<HistoryEntry>> {
         .map(|s| choices.slot_options(s))
         .collect();
     let one = (
-        slots
-            .into_iter()
-            .map(|n| 0..n)
-            .collect::<Vec<_>>(),
+        slots.into_iter().map(|n| 0..n).collect::<Vec<_>>(),
         -1.0f64..1.0,
     )
         .prop_map(move |(idx, perf)| HistoryEntry {

@@ -254,11 +254,9 @@ impl Chip {
             let t_act = xbar.activation_latency_ns(worst_cols);
             let acc_stages = (u32::BITS - m.row_groups.leading_zeros()).saturating_sub(1);
             let t_acc = f64::from(acc_stages) * ShiftAdd.latency_ns();
-            let t_digital =
-                layer.logical_cols() as f64 * DigitalUnit.latency_per_op_ns();
+            let t_digital = layer.logical_cols() as f64 * DigitalUnit.latency_per_op_ns();
             let per_pixel = f64::from(m.input_cycles) * t_act + t_acc + t_digital;
-            let layer_latency =
-                layer.pixels() as f64 * per_pixel + Interconnect.hop_latency_ns();
+            let layer_latency = layer.pixels() as f64 * per_pixel + Interconnect.hop_latency_ns();
 
             // --- energy ----------------------------------------------------
             let mut array_bd = crate::crossbar::ArrayEnergyBreakdown::default();
@@ -266,8 +264,7 @@ impl Chip {
                 let rows = m.rows_in_group(rg, xbar.rows);
                 for cg in 0..m.col_groups {
                     let cols = m.cols_in_group(cg, xbar.cols);
-                    array_bd
-                        .accumulate(&xbar.activation_energy_breakdown(rows, cols), 1.0);
+                    array_bd.accumulate(&xbar.activation_energy_breakdown(rows, cols), 1.0);
                 }
             }
             let activations = layer.pixels() as f64 * f64::from(m.input_cycles);
@@ -284,14 +281,11 @@ impl Chip {
             } else {
                 0.0
             };
-            let traffic_bytes =
-                (layer.input_elems() + layer.output_elems()) as f64 * act_bytes;
+            let traffic_bytes = (layer.input_elems() + layer.output_elems()) as f64 * act_bytes;
             let buffer_energy = traffic_bytes * buffer.energy_per_byte_pj();
-            let noc_energy = layer.output_elems() as f64
-                * act_bytes
-                * Interconnect.energy_per_byte_pj();
-            let digital_energy =
-                layer.output_elems() as f64 * DigitalUnit.energy_per_op_pj();
+            let noc_energy =
+                layer.output_elems() as f64 * act_bytes * Interconnect.energy_per_byte_pj();
+            let digital_energy = layer.output_elems() as f64 * DigitalUnit.energy_per_op_pj();
             let layer_energy =
                 array_energy + merge_energy + buffer_energy + noc_energy + digital_energy;
             breakdown.driver_pj += layer_bd.driver_pj;
@@ -320,10 +314,7 @@ impl Chip {
         // the textbook II + (stages − 1) · II-fill lower bound: max + mean
         // of the rest).
         if self.config.latency_mode == LatencyMode::Pipelined {
-            let max = reports
-                .iter()
-                .map(|r| r.latency_ns)
-                .fold(0.0f64, f64::max);
+            let max = reports.iter().map(|r| r.latency_ns).fold(0.0f64, f64::max);
             let fill: f64 = reports
                 .iter()
                 .map(|r| r.latency_ns / reports.len() as f64)

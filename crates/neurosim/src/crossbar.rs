@@ -119,12 +119,16 @@ impl CrossbarConfig {
 
     /// The ADC model.
     pub fn adc(&self) -> Adc {
-        Adc { bits: self.adc_bits }
+        Adc {
+            bits: self.adc_bits,
+        }
     }
 
     /// The DAC model.
     pub fn dac(&self) -> Dac {
-        Dac { bits: self.dac_bits }
+        Dac {
+            bits: self.dac_bits,
+        }
     }
 
     /// Latency of one array activation (one input-bit cycle), in
@@ -140,7 +144,8 @@ impl CrossbarConfig {
     /// Dynamic energy of one array activation, picojoules, for the given
     /// numbers of rows driven and columns read.
     pub fn activation_energy_pj(&self, used_rows: u32, used_cols: u32) -> f64 {
-        self.activation_energy_breakdown(used_rows, used_cols).total()
+        self.activation_energy_breakdown(used_rows, used_cols)
+            .total()
     }
 
     /// Component-wise energy of one array activation: word-line drivers,
@@ -174,8 +179,7 @@ impl CrossbarConfig {
     /// Leakage of one array, microwatts (cells + ADCs).
     pub fn array_leakage_uw(&self) -> f64 {
         let p = self.params();
-        let cells =
-            self.rows as f64 * self.cols as f64 * p.leakage_nw_per_cell * 1e-3;
+        let cells = self.rows as f64 * self.cols as f64 * p.leakage_nw_per_cell * 1e-3;
         let adcs = self.adcs_per_array() as f64 * self.adc().leakage_uw();
         cells + adcs
     }

@@ -223,8 +223,7 @@ impl LayerMapping {
         let row_groups = rows_needed.div_ceil(xbar.rows);
         let col_groups = cols_needed.div_ceil(xbar.cols);
         let arrays = row_groups * col_groups;
-        let input_cycles =
-            u32::from(precision.activation_bits).div_ceil(u32::from(xbar.dac_bits));
+        let input_cycles = u32::from(precision.activation_bits).div_ceil(u32::from(xbar.dac_bits));
         let utilization = (rows_needed as f64 * cols_needed as f64)
             / (arrays as f64 * xbar.rows as f64 * xbar.cols as f64);
         Ok(LayerMapping {
@@ -381,5 +380,55 @@ mod tests {
         let m2 = LayerMapping::map(&l, &x2, Precision::int8()).unwrap();
         assert_eq!(m1.input_cycles, 8);
         assert_eq!(m2.input_cycles, 4);
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_pointwise() {
+        // A 1×1 conv is a per-pixel FC: patch length collapses to c_in and
+        // the spatial dims pass through untouched.
+        let l = LayerWorkload::conv(64, 16, 16, 32, 1, 1, 0).unwrap();
+        assert_eq!(l.out_dims(), (16, 16));
+        assert_eq!(l.rows_needed(), 64);
+        assert_eq!(l.weights(), 64 * 32);
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.row_groups, 1);
+        assert_eq!(m.rows_in_group(0, 128), 64);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+    }
+
+    #[test]
+    fn stride_larger_than_kernel_skips_pixels() {
+        // stride 4 > kernel 3: output shrinks to ⌊(16+2-3)/4⌋+1 = 4, so
+        // pixels (and MACs) drop while the weight footprint is unchanged.
+        let strided = LayerWorkload::conv(8, 16, 16, 16, 3, 4, 1).unwrap();
+        let dense = LayerWorkload::conv(8, 16, 16, 16, 3, 1, 1).unwrap();
+        assert_eq!(strided.out_dims(), (4, 4));
+        assert_eq!(strided.pixels(), 16);
+        assert_eq!(strided.weights(), dense.weights());
+        assert!(strided.macs() < dense.macs());
+        let ms = LayerMapping::map(&strided, &xbar(), Precision::int8()).unwrap();
+        let md = LayerMapping::map(&dense, &xbar(), Precision::int8()).unwrap();
+        // The crossbar allocation depends only on the weight matrix, not on
+        // how many pixels stream through it.
+        assert_eq!(ms.arrays, md.arrays);
+        assert_eq!(ms.utilization, md.utilization);
+    }
+
+    #[test]
+    fn channels_not_dividing_crossbar_dim_leave_partial_groups() {
+        // 3×3 from 15 channels: 135 rows on a 128-row array → two groups
+        // with a 7-row remainder; 25 outputs × 4 slices = 100 cols fit one
+        // group with 28 columns idle.
+        let l = LayerWorkload::conv(15, 16, 16, 25, 3, 1, 1).unwrap();
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.rows_needed, 135);
+        assert_eq!(m.row_groups, 2);
+        assert_eq!(m.rows_in_group(1, 128), 7);
+        assert_eq!(m.cols_needed, 100);
+        assert_eq!(m.col_groups, 1);
+        assert_eq!(m.cols_in_group(0, 128), 100);
+        let expected = (135.0 * 100.0) / (2.0 * 128.0 * 128.0);
+        assert!((m.utilization - expected).abs() < 1e-12);
+        assert!(m.utilization < 0.5, "partial groups waste cells");
     }
 }

@@ -57,7 +57,10 @@ fn check_input(input: &Tensor, p: &Conv2dParams, op: &'static str) -> Result<usi
     if d[1] != p.geom.in_channels || d[2] != p.geom.in_h || d[3] != p.geom.in_w {
         return Err(TensorError::ShapeMismatch {
             lhs: input.shape().to_string(),
-            rhs: format!("(n, {}, {}, {})", p.geom.in_channels, p.geom.in_h, p.geom.in_w),
+            rhs: format!(
+                "(n, {}, {}, {})",
+                p.geom.in_channels, p.geom.in_h, p.geom.in_w
+            ),
             op,
         });
     }
@@ -119,10 +122,7 @@ pub fn conv2d_forward(
         }
         cols_cache.push(cols);
     }
-    Ok((
-        Tensor::from_vec(params.output_shape(n), out)?,
-        cols_cache,
-    ))
+    Ok((Tensor::from_vec(params.output_shape(n), out)?, cols_cache))
 }
 
 /// Convolution backward pass.
@@ -295,7 +295,10 @@ mod tests {
             wm.as_mut_slice()[idx] -= eps;
             let fd = (loss(&wp, &bias, &input) - loss(&wm, &bias, &input)) / (2.0 * eps);
             let an = d_w.as_slice()[idx];
-            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "w[{idx}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 0.05 * an.abs().max(1.0),
+                "w[{idx}]: fd={fd} an={an}"
+            );
         }
         // Bias gradients.
         for idx in 0..3 {
@@ -305,7 +308,10 @@ mod tests {
             bm.as_mut_slice()[idx] -= eps;
             let fd = (loss(&weight, &bp, &input) - loss(&weight, &bm, &input)) / (2.0 * eps);
             let an = d_b.as_slice()[idx];
-            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "b[{idx}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 0.05 * an.abs().max(1.0),
+                "b[{idx}]: fd={fd} an={an}"
+            );
         }
         // Input gradients.
         for idx in [0usize, 13, 31, d_in.len() - 1] {
@@ -315,7 +321,10 @@ mod tests {
             xm.as_mut_slice()[idx] -= eps;
             let fd = (loss(&weight, &bias, &xp) - loss(&weight, &bias, &xm)) / (2.0 * eps);
             let an = d_in.as_slice()[idx];
-            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "x[{idx}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 0.05 * an.abs().max(1.0),
+                "x[{idx}]: fd={fd} an={an}"
+            );
         }
     }
 

@@ -128,8 +128,7 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
                         if ix < 0 || ix >= geom.in_w as isize {
                             continue;
                         }
-                        let src_idx =
-                            (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
+                        let src_idx = (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
                         out[row * cols + oy * ow + ox] = src[src_idx];
                     }
                 }
@@ -173,18 +172,14 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
                         if ix < 0 || ix >= geom.in_w as isize {
                             continue;
                         }
-                        let dst_idx =
-                            (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
+                        let dst_idx = (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
                         out[dst_idx] += src[row * n_cols + oy * ow + ox];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(
-        Shape::d3(geom.in_channels, geom.in_h, geom.in_w),
-        out,
-    )
+    Tensor::from_vec(Shape::d3(geom.in_channels, geom.in_h, geom.in_w), out)
 }
 
 #[cfg(test)]
@@ -224,11 +219,8 @@ mod tests {
     fn im2col_known_patch() {
         // Single channel 3x3 input, 2x2 kernel, stride 1, no padding.
         let g = ConvGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
-        let input = Tensor::from_vec(
-            Shape::d3(1, 3, 3),
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::d3(1, 3, 3), vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
         let cols = im2col(&input, &g).unwrap();
         // Rows are kernel positions (ki,kj); columns are the 4 output pixels.
         assert_eq!(cols.shape().dims(), &[4, 4]);

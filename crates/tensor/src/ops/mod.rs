@@ -14,4 +14,6 @@ pub use activation::{relu_backward, relu_forward, softmax_rows};
 pub use conv::{conv2d_backward, conv2d_forward, conv2d_forward_direct, Conv2dParams};
 pub use im2col::{col2im, im2col, ConvGeometry};
 pub use loss::{cross_entropy_loss, one_hot};
-pub use pool::{avgpool_global_backward, avgpool_global_forward, maxpool2_backward, maxpool2_forward};
+pub use pool::{
+    avgpool_global_backward, avgpool_global_forward, maxpool2_backward, maxpool2_forward,
+};

@@ -59,10 +59,7 @@ pub fn maxpool2_forward(input: &Tensor) -> Result<(Tensor, Vec<usize>)> {
             }
         }
     }
-    Ok((
-        Tensor::from_vec(Shape::d4(n, c, oh, ow), out)?,
-        arg,
-    ))
+    Ok((Tensor::from_vec(Shape::d4(n, c, oh, ow), out)?, arg))
 }
 
 /// Backward pass of 2×2 max pooling: routes each upstream gradient to the
@@ -71,11 +68,7 @@ pub fn maxpool2_forward(input: &Tensor) -> Result<(Tensor, Vec<usize>)> {
 /// # Errors
 ///
 /// Returns shape errors when `d_out` and `argmax` disagree.
-pub fn maxpool2_backward(
-    d_out: &Tensor,
-    argmax: &[usize],
-    input_shape: &Shape,
-) -> Result<Tensor> {
+pub fn maxpool2_backward(d_out: &Tensor, argmax: &[usize], input_shape: &Shape) -> Result<Tensor> {
     if d_out.len() != argmax.len() {
         return Err(TensorError::ShapeDataMismatch {
             expected: d_out.len(),
@@ -178,11 +171,7 @@ mod tests {
 
     #[test]
     fn maxpool_backward_routes_gradient() {
-        let input = Tensor::from_vec(
-            Shape::d4(1, 1, 2, 2),
-            vec![1., 9., 3., 4.],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1., 9., 3., 4.]).unwrap();
         let (_, arg) = maxpool2_forward(&input).unwrap();
         let d_out = Tensor::from_vec(Shape::d4(1, 1, 1, 1), vec![5.0]).unwrap();
         let d_in = maxpool2_backward(&d_out, &arg, input.shape()).unwrap();

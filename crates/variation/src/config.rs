@@ -89,8 +89,7 @@ impl RetentionConfig {
         if self.nu == 0.0 || elapsed_seconds <= 0.0 {
             return 1.0;
         }
-        (((elapsed_seconds + self.t0_seconds) / self.t0_seconds) as f32)
-            .powf(-self.nu)
+        (((elapsed_seconds + self.t0_seconds) / self.t0_seconds) as f32).powf(-self.nu)
     }
 }
 
@@ -260,8 +259,7 @@ impl VariationConfig {
     /// truncated distribution with σ ≈ `tolerance / sqrt(3)`. Stuck-at
     /// faults and post-programming chip drift are not correctable.
     pub fn effective_programming_sigma(&self) -> f32 {
-        let raw =
-            (self.temporal_sigma.powi(2) + self.spatial_local_sigma.powi(2)).sqrt();
+        let raw = (self.temporal_sigma.powi(2) + self.spatial_local_sigma.powi(2)).sqrt();
         match &self.write_verify {
             None => raw,
             Some(wv) => raw.min(wv.tolerance / (3.0f32).sqrt()),

@@ -446,7 +446,9 @@ mod write_verify_tests {
     #[test]
     fn effective_sigma_and_severity_reflect_verify() {
         let base = VariationConfig::rram_severe();
-        let wv = base.clone().with_write_verify(WriteVerifyConfig::standard());
+        let wv = base
+            .clone()
+            .with_write_verify(WriteVerifyConfig::standard());
         assert!(wv.effective_programming_sigma() < base.effective_programming_sigma());
         assert!(wv.severity() < base.severity());
     }

@@ -159,8 +159,8 @@ mod tests {
         let w: Vec<f32> = (0..512).map(|i| ((i as f32) / 256.0) - 1.0).collect();
         let moderate = WeightPerturber::new(VariationConfig::rram_moderate(), 1.0)
             .empirical_error_std(&w, 8, 0);
-        let severe = WeightPerturber::new(VariationConfig::rram_severe(), 1.0)
-            .empirical_error_std(&w, 8, 0);
+        let severe =
+            WeightPerturber::new(VariationConfig::rram_severe(), 1.0).empirical_error_std(&w, 8, 0);
         assert!(severe > moderate, "severe {severe} moderate {moderate}");
     }
 

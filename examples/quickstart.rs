@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  energy   {:.3e} pJ (ISAAC reference: 8e7 pJ)",
             hw.energy_pj
         );
-        println!("  latency  {:.0} ns ({:.0} FPS)", hw.latency_ns, hw.fps());
+        match hw.fps() {
+            Some(fps) => println!("  latency  {:.0} ns ({fps:.0} FPS)", hw.latency_ns),
+            None => println!("  latency  {:.0} ns (FPS undefined)", hw.latency_ns),
+        }
         println!("  area     {:.2} mm²", hw.area_mm2);
     }
     Ok(())

@@ -31,6 +31,7 @@ SEARCH OPTIONS:
     --optimizer <expert|finetuned|adaptive|naive|rl|genetic|random|resilient>
                                                              (default expert)
     --objective <energy|latency>                             (default energy)
+    --backend <cim|systolic>    hardware cost model           (default cim)
     --episodes <n>                                           (default 20)
     --seed <n>                                               (default 0)
     --checkpoint <path>     write a JSON checkpoint after every episode
@@ -45,6 +46,7 @@ SEARCH OPTIONS:
 EVALUATE OPTIONS:
     --design <rollout text>     e.g. \"[[32,3],...,[128,3]] | hw: [128,8,2,rram]\"
     --objective <energy|latency>
+    --backend <cim|systolic>
     --json
 
 FRONT OPTIONS:
@@ -118,6 +120,20 @@ impl Args {
             other => Err(format!("unknown objective `{other}` (energy|latency)")),
         }
     }
+
+    /// The hardware backend name, validated against the standard registry
+    /// so a typo fails before any work starts.
+    fn backend(&self) -> Result<String, String> {
+        let name = self.get("--backend").unwrap_or(DEFAULT_BACKEND);
+        let registry = BackendRegistry::standard();
+        if !registry.contains(name) {
+            return Err(format!(
+                "unknown backend `{name}` (known: {})",
+                registry.names().join(", ")
+            ));
+        }
+        Ok(name.to_string())
+    }
 }
 
 fn main() -> ExitCode {
@@ -154,6 +170,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         &[
             "--optimizer",
             "--objective",
+            "--backend",
             "--episodes",
             "--seed",
             "--checkpoint",
@@ -164,6 +181,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         &["--json", "--resume", "--no-cache"],
     )?;
     let objective = args.objective()?;
+    let backend = args.backend()?;
     let episodes = args.num("--episodes", 20)? as u32;
     let seed = args.num("--seed", 0)?;
     let threads = args.num("--threads", 1)? as usize;
@@ -212,6 +230,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     };
     let run = CoDesign::builder(space, config)
         .optimizer(spec)
+        .backend(&backend)
         .threads(threads)
         .caching(!args.flag("--no-cache"))
         .build();
@@ -248,7 +267,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "{} · {} · {episodes} episodes · seed {seed}\n",
+        "{} · {} · backend {backend} · {episodes} episodes · seed {seed}\n",
         outcome.optimizer,
         objective.name()
     );
@@ -268,7 +287,12 @@ fn cmd_search(args: &Args) -> Result<(), String> {
 
 /// Scores one design text and prints it — shared by `evaluate` and
 /// `reference`.
-fn evaluate_design_text(text: &str, objective: Objective, json: bool) -> Result<(), String> {
+fn evaluate_design_text(
+    text: &str,
+    objective: Objective,
+    backend: &str,
+    json: bool,
+) -> Result<(), String> {
     let space = DesignSpace::nacim_cifar10();
     let design = parse_design(text, &space.choices).map_err(|e| e.to_string())?;
     let config = CoDesignConfig::builder(objective)
@@ -277,6 +301,7 @@ fn evaluate_design_text(text: &str, objective: Objective, json: bool) -> Result<
         .build();
     let mut scorer = CoDesign::builder(space, config)
         .optimizer(OptimizerSpec::Random)
+        .backend(backend)
         .build()
         .map_err(|e| e.to_string())?;
     let record = scorer
@@ -299,7 +324,10 @@ fn evaluate_design_text(text: &str, objective: Objective, json: bool) -> Result<
                 hw.energy_pj,
                 hw.energy_pj / 8.0e7
             );
-            println!("latency  {:.0} ns   ({:.0} FPS)", hw.latency_ns, hw.fps());
+            match hw.fps() {
+                Some(fps) => println!("latency  {:.0} ns   ({fps:.0} FPS)", hw.latency_ns),
+                None => println!("latency  {:.0} ns   (FPS undefined)", hw.latency_ns),
+            }
             println!("area     {:.3} mm²", hw.area_mm2);
             println!("leakage  {:.1} µW", hw.leakage_uw);
         }
@@ -309,12 +337,13 @@ fn evaluate_design_text(text: &str, objective: Objective, json: bool) -> Result<
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    args.validate(&["--design", "--objective"], &["--json"])?;
+    args.validate(&["--design", "--objective", "--backend"], &["--json"])?;
     let text = args
         .get("--design")
         .ok_or("evaluate requires --design <rollout text>")?;
     let objective = args.objective()?;
-    evaluate_design_text(text, objective, args.flag("--json"))
+    let backend = args.backend()?;
+    evaluate_design_text(text, objective, &backend, args.flag("--json"))
 }
 
 fn cmd_front(args: &Args) -> Result<(), String> {
@@ -343,8 +372,14 @@ fn cmd_front(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_reference(args: &Args) -> Result<(), String> {
-    args.validate(&[], &["--json"])?;
+    args.validate(&["--backend"], &["--json"])?;
     let space = DesignSpace::nacim_cifar10();
     let text = space.reference_design().to_response_text();
-    evaluate_design_text(&text, Objective::AccuracyEnergy, args.flag("--json"))
+    let backend = args.backend()?;
+    evaluate_design_text(
+        &text,
+        Objective::AccuracyEnergy,
+        &backend,
+        args.flag("--json"),
+    )
 }

@@ -50,6 +50,9 @@ pub mod prelude {
     //! ```
     //! use lcda::prelude::*;
     //! ```
+    pub use lcda_core::backend::{
+        BackendRegistry, CimBackend, HardwareBackend, SystolicBackend, DEFAULT_BACKEND,
+    };
     pub use lcda_core::checkpoint::Checkpoint;
     pub use lcda_core::codesign::{
         CoDesign, CoDesignBuilder, CoDesignConfig, EpisodeRecord, OptimizerSpec, Outcome,

@@ -102,6 +102,56 @@ fn evaluate_rejects_bad_objective() {
 }
 
 #[test]
+fn search_accepts_backend_flag() {
+    let (ok, stdout, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--seed",
+        "3",
+        "--optimizer",
+        "random",
+        "--backend",
+        "systolic",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("backend systolic"), "{stdout}");
+    assert!(stdout.contains("best:"));
+}
+
+#[test]
+fn evaluate_backends_disagree_on_cost() {
+    let design = "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]";
+    let (ok, cim, _) = lcda(&["evaluate", "--design", design, "--json"]);
+    assert!(ok, "{cim}");
+    let (ok, sys, stderr) = lcda(&[
+        "evaluate",
+        "--design",
+        design,
+        "--backend",
+        "systolic",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let cim: serde_json::Value = serde_json::from_str(&cim).unwrap();
+    let sys: serde_json::Value = serde_json::from_str(&sys).unwrap();
+    assert!(cim["hw"]["energy_pj"].is_number());
+    assert!(sys["hw"]["energy_pj"].is_number());
+    assert_ne!(
+        cim["hw"]["energy_pj"], sys["hw"]["energy_pj"],
+        "the two cost models must produce different energies"
+    );
+}
+
+#[test]
+fn unknown_backend_is_rejected_with_known_names() {
+    let (ok, _, stderr) = lcda(&["reference", "--backend", "fpga"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown backend"), "{stderr}");
+    assert!(stderr.contains("cim, systolic"), "{stderr}");
+}
+
+#[test]
 fn front_prints_pareto_designs() {
     let (ok, stdout, _) = lcda(&["front", "--episodes", "48", "--seed", "2"]);
     assert!(ok, "{stdout}");

@@ -52,14 +52,8 @@ fn surrogate_and_trained_agree_on_capacity_ordering() {
 
     // Both evaluators must rank the largest k3 network above the smallest
     // k1 network — the core capacity monotonicity the search exploits.
-    assert!(
-        s[2] > s[0],
-        "surrogate ordering broken: {s:?}"
-    );
-    assert!(
-        t[2] > t[0],
-        "trained ordering broken: {t:?}"
-    );
+    assert!(s[2] > s[0], "surrogate ordering broken: {s:?}");
+    assert!(t[2] > t[0], "trained ordering broken: {t:?}");
     // And both place the k3 variant above the k1 variant at equal width.
     assert!(s[1] > s[0]);
     assert!(t[1] >= t[0] - 0.05, "trained: k3 {} vs k1 {}", t[1], t[0]);
@@ -70,16 +64,12 @@ fn trained_accuracy_degrades_under_severe_variation() {
     // The trained evaluator must show the §II-B effect for real: the same
     // design on a noisier technology loses Monte-Carlo accuracy.
     let space = DesignSpace::tiny_test();
-    let design = space
-        .choices
-        .decode(&[1, 1, 1, 1, 0, 0, 0, 0])
-        .unwrap();
+    let design = space.choices.decode(&[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
 
     let mc_with = |variation: lcda::variation::VariationConfig| {
         let arch = space.architecture(&design).unwrap();
         let mut net = arch.build(1).unwrap();
-        let data =
-            lcda::dnn::dataset::SynthCifar::generate_classes(96, 8, 4, 2).unwrap();
+        let data = lcda::dnn::dataset::SynthCifar::generate_classes(96, 8, 4, 2).unwrap();
         let mut trainer = lcda::dnn::trainer::Trainer::new(net.clone(), {
             let mut c = lcda::dnn::trainer::TrainConfig::fast_test();
             c.epochs = 8;

@@ -2,9 +2,10 @@
 //! must hold for *arbitrary* points of the design space, not just the
 //! hand-picked ones.
 
+use lcda::core::backend::CimBackend;
+use lcda::core::evaluate::HwMetrics;
 use lcda::core::pareto::{pareto_front, TradeoffPoint};
 use lcda::core::reward::Objective;
-use lcda::core::evaluate::HwMetrics;
 use lcda::core::space::DesignSpace;
 use lcda::llm::design::{CandidateDesign, DesignChoices};
 use lcda::llm::parse::{parse_design, parse_history};
@@ -68,9 +69,10 @@ proptest! {
     #[test]
     fn design_generator_total_weights_conserved(design in arb_design()) {
         let space = DesignSpace::nacim_cifar10();
+        let cim = CimBackend::new(space.clone());
         let arch = space.architecture(&design).unwrap();
-        let layers = space.workloads(&design).unwrap();
-        space.chip_config(&design).unwrap();
+        let layers = cim.lower(&design).unwrap();
+        cim.chip_config(&design).unwrap();
         let conv_fc_weights: u64 = layers.iter().map(|l| l.weights()).sum();
         prop_assert_eq!(conv_fc_weights, arch.weight_count());
     }
