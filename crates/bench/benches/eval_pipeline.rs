@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, Criterion};
 use lcda_core::backend::CimBackend;
+use lcda_core::journal::{Journal, RunReport};
 use lcda_core::pipeline::EvalPipeline;
 use lcda_core::space::DesignSpace;
 use lcda_core::surrogate::SurrogateEvaluator;
@@ -108,6 +109,17 @@ fn write_artifact() -> std::io::Result<()> {
     warm.evaluate(&design).unwrap();
     let hit = time_ns(200, || warm.evaluate(&design).unwrap().0);
 
+    // The same cold + warm evaluation under an in-memory journal, so the
+    // artifact carries the observability layer's counters alongside the
+    // timings (and proves journaling costs no correctness).
+    let (journal, buffer) = Journal::in_memory();
+    let (mut journaled, jd) = surrogate_pipeline();
+    journaled.set_journal(journal.clone());
+    journaled.evaluate(&jd).unwrap();
+    journaled.evaluate(&jd).unwrap();
+    journal.finish().map_err(std::io::Error::other)?;
+    let counters = RunReport::from_jsonl(&buffer.contents()).map_err(std::io::Error::other)?;
+
     let report = serde_json::json!({
         "bench": "eval_pipeline",
         "cores": std::thread::available_parallelism().map_or(1, usize::from),
@@ -122,6 +134,14 @@ fn write_artifact() -> std::io::Result<()> {
             "cold_eval_ns": cold,
             "hit_eval_ns": hit,
             "speedup": cold / hit,
+        },
+        "journal": {
+            "records": counters.records,
+            "evals": counters.evals,
+            "cache_hits": counters.cache.hits,
+            "cache_misses": counters.cache.misses,
+            "cache_inserts": counters.cache.inserts,
+            "backend_calls": counters.backend_calls,
         },
     });
     let path = concat!(

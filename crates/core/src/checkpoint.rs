@@ -91,9 +91,10 @@ impl Checkpoint {
         self
     }
 
-    /// Number of completed episodes in the snapshot.
-    pub fn episodes_done(&self) -> u32 {
-        self.history.len() as u32
+    /// Number of completed episodes in the snapshot. Returned as `u64`:
+    /// the former `as u32` cast silently truncated oversized histories.
+    pub fn episodes_done(&self) -> u64 {
+        self.history.len() as u64
     }
 
     /// Serializes to pretty JSON.

@@ -16,13 +16,14 @@
 use crate::backend::{BackendRegistry, DEFAULT_BACKEND};
 use crate::checkpoint::Checkpoint;
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+use crate::journal::{Journal, JournalEvent};
 use crate::pipeline::{CacheStats, EvalPipeline};
 use crate::reward::{Objective, INVALID_REWARD};
 use crate::space::DesignSpace;
 use crate::surrogate::SurrogateEvaluator;
 use crate::{CoreError, Result};
 use lcda_llm::design::CandidateDesign;
-use lcda_llm::middleware::{resilient, FaultPlan, SimClock};
+use lcda_llm::middleware::{resilient_observed, FaultPlan, SimClock};
 use lcda_llm::persona::Persona;
 use lcda_llm::sim::SimLlm;
 use lcda_optim::genetic::{GaConfig, GeneticOptimizer};
@@ -221,38 +222,71 @@ impl OptimizerSpec {
         space: &DesignSpace,
         config: &CoDesignConfig,
     ) -> Result<Box<dyn Optimizer>> {
+        self.instantiate_observed(space, config, &Journal::disabled())
+    }
+
+    /// Instantiates the optimizer with a run journal attached: LLM-backed
+    /// variants stream their prompt/parse/fault/retry/breaker events into
+    /// `journal`, and [`OptimizerSpec::ResilientLlm`] additionally shares
+    /// its middleware [`SimClock`] with the journal so record timestamps
+    /// advance with simulated retry delays. Observation never changes
+    /// optimizer behaviour: a journaled run proposes the exact same
+    /// designs as an unjournaled one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer construction errors (e.g. invalid RL/GA
+    /// hyper-parameters).
+    pub fn instantiate_observed(
+        &self,
+        space: &DesignSpace,
+        config: &CoDesignConfig,
+        journal: &Journal,
+    ) -> Result<Box<dyn Optimizer>> {
         Ok(match self {
             OptimizerSpec::ExpertLlm => {
                 let llm = SimLlm::new(Persona::Pretrained, config.seed);
-                Box::new(LlmOptimizer::new(
-                    llm,
-                    space.choices.clone(),
-                    config.objective.prompt_objective(),
-                ))
+                Box::new(
+                    LlmOptimizer::new(
+                        llm,
+                        space.choices.clone(),
+                        config.objective.prompt_objective(),
+                    )
+                    .with_observer(journal.llm_observer()),
+                )
             }
             OptimizerSpec::FinetunedLlm => {
                 let llm = SimLlm::new(Persona::FineTuned, config.seed);
-                Box::new(LlmOptimizer::new(
-                    llm,
-                    space.choices.clone(),
-                    config.objective.prompt_objective(),
-                ))
+                Box::new(
+                    LlmOptimizer::new(
+                        llm,
+                        space.choices.clone(),
+                        config.objective.prompt_objective(),
+                    )
+                    .with_observer(journal.llm_observer()),
+                )
             }
             OptimizerSpec::NaiveLlm => {
                 let llm = SimLlm::new(Persona::Naive, config.seed);
-                Box::new(LlmOptimizer::new(
-                    llm,
-                    space.choices.clone(),
-                    lcda_llm::prompt::PromptObjective::Naive,
-                ))
+                Box::new(
+                    LlmOptimizer::new(
+                        llm,
+                        space.choices.clone(),
+                        lcda_llm::prompt::PromptObjective::Naive,
+                    )
+                    .with_observer(journal.llm_observer()),
+                )
             }
             OptimizerSpec::AdaptiveLlm => {
                 let llm = lcda_llm::adaptive::AdaptiveLlm::new(config.seed);
-                Box::new(LlmOptimizer::new(
-                    llm,
-                    space.choices.clone(),
-                    config.objective.prompt_objective(),
-                ))
+                Box::new(
+                    LlmOptimizer::new(
+                        llm,
+                        space.choices.clone(),
+                        config.objective.prompt_objective(),
+                    )
+                    .with_observer(journal.llm_observer()),
+                )
             }
             OptimizerSpec::Rl => Box::new(RlOptimizer::new(
                 space.choices.clone(),
@@ -269,8 +303,15 @@ impl OptimizerSpec {
             }
             OptimizerSpec::ResilientLlm { plan } => {
                 let clock = SimClock::new();
+                journal.set_clock(clock.clone());
                 let llm = SimLlm::new(Persona::Pretrained, config.seed);
-                let model = resilient(llm, plan.clone(), clock, config.seed);
+                let model = resilient_observed(
+                    llm,
+                    plan.clone(),
+                    clock,
+                    config.seed,
+                    journal.llm_observer(),
+                );
                 let fallback = RandomOptimizer::new(space.choices.clone(), config.seed ^ 0x5EED);
                 Box::new(
                     LlmOptimizer::new(
@@ -278,7 +319,8 @@ impl OptimizerSpec {
                         space.choices.clone(),
                         config.objective.prompt_objective(),
                     )
-                    .with_fallback(Box::new(fallback)),
+                    .with_fallback(Box::new(fallback))
+                    .with_observer(journal.llm_observer()),
                 )
             }
         })
@@ -297,6 +339,7 @@ pub struct CoDesignBuilder {
     registry: BackendRegistry,
     threads: usize,
     caching: bool,
+    journal: Journal,
 }
 
 impl std::fmt::Debug for CoDesignBuilder {
@@ -378,6 +421,16 @@ impl CoDesignBuilder {
         self.caching(false)
     }
 
+    /// Attaches a run journal (default: disabled). Every phase of the
+    /// wired run — episode loop, evaluation pipeline, cache, Monte-Carlo
+    /// batches, backend cost calls, LLM middleware — streams its events
+    /// into it. Journaling never changes run results.
+    #[must_use]
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+
     /// Wires the run.
     ///
     /// # Errors
@@ -386,7 +439,9 @@ impl CoDesignBuilder {
     /// propagates optimizer construction errors.
     pub fn build(self) -> Result<CoDesign> {
         self.config.validate()?;
-        let optimizer = self.spec.instantiate(&self.space, &self.config)?;
+        let optimizer = self
+            .spec
+            .instantiate_observed(&self.space, &self.config, &self.journal)?;
         let accuracy = self.accuracy.unwrap_or_else(|| {
             Box::new(SurrogateEvaluator::new(
                 self.space.clone(),
@@ -407,12 +462,14 @@ impl CoDesignBuilder {
         let mut pipeline = EvalPipeline::new(accuracy, hardware);
         pipeline.set_caching(self.caching);
         pipeline.set_threads(self.threads);
+        pipeline.set_journal(self.journal.clone());
         Ok(CoDesign {
             space: self.space,
             config: self.config,
             backend,
             optimizer,
             pipeline,
+            journal: self.journal,
         })
     }
 }
@@ -425,6 +482,7 @@ pub struct CoDesign {
     backend: String,
     optimizer: Box<dyn Optimizer>,
     pipeline: EvalPipeline,
+    journal: Journal,
 }
 
 impl std::fmt::Debug for CoDesign {
@@ -453,6 +511,7 @@ impl CoDesign {
             registry: BackendRegistry::standard(),
             threads: 1,
             caching: true,
+            journal: Journal::disabled(),
         }
     }
 
@@ -476,6 +535,7 @@ impl CoDesign {
             backend,
             optimizer,
             pipeline: EvalPipeline::new(accuracy, hardware),
+            journal: Journal::disabled(),
         })
     }
 
@@ -663,19 +723,40 @@ impl CoDesign {
             }
             history = cp.history;
         }
+        self.journal.record(JournalEvent::RunStart {
+            optimizer: self.optimizer.name().to_string(),
+            backend: self.backend.clone(),
+            objective: self.config.objective.name().to_string(),
+            episodes: self.config.episodes,
+            seed: self.config.seed,
+            resumed: history.len() as u64,
+        });
         for episode in history.len() as u32..self.config.episodes {
             let design = self.optimizer.propose()?;
             let record = self.evaluate_design(episode, design)?;
             self.optimizer.observe(&record.design, record.reward)?;
+            self.journal.record(JournalEvent::Episode {
+                episode,
+                reward: record.reward,
+                accuracy: record.accuracy,
+                quarantined: record.quarantined,
+            });
             history.push(record);
             let snapshot = self.snapshot(&history);
             on_checkpoint(&snapshot)?;
+            self.journal.record(JournalEvent::CheckpointSaved {
+                episodes_done: snapshot.episodes_done(),
+            });
         }
         let best = history
             .iter()
             .max_by(|a, b| a.reward.total_cmp(&b.reward))
             .cloned()
             .ok_or_else(|| CoreError::InvalidConfig("no episodes run".into()))?;
+        self.journal.record(JournalEvent::RunEnd {
+            episodes: history.len() as u64,
+            best_reward: best.reward,
+        });
         Ok(Outcome {
             history,
             best,

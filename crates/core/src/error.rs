@@ -20,6 +20,8 @@ pub enum CoreError {
     /// current run (e.g. it was produced by a different config/seed and
     /// replay diverged).
     Checkpoint(String),
+    /// A run journal could not be written, read, or parsed.
+    Journal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +34,7 @@ impl fmt::Display for CoreError {
             CoreError::Variation(e) => write!(f, "variation: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid co-design config: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            CoreError::Journal(msg) => write!(f, "journal: {msg}"),
         }
     }
 }
@@ -44,7 +47,7 @@ impl std::error::Error for CoreError {
             CoreError::Llm(e) => Some(e),
             CoreError::Optim(e) => Some(e),
             CoreError::Variation(e) => Some(e),
-            CoreError::InvalidConfig(_) | CoreError::Checkpoint(_) => None,
+            CoreError::InvalidConfig(_) | CoreError::Checkpoint(_) | CoreError::Journal(_) => None,
         }
     }
 }

@@ -72,6 +72,11 @@ pub trait AccuracyEvaluator {
     /// every thread count. Default: no-op for inherently serial
     /// evaluators.
     fn set_threads(&mut self, _threads: usize) {}
+
+    /// Attaches a run journal so the evaluator can report its internal
+    /// phases (e.g. Monte-Carlo batches). Journaling must never change
+    /// results. Default: no-op for evaluators with nothing to report.
+    fn set_journal(&mut self, _journal: crate::journal::Journal) {}
 }
 
 /// Evaluates a candidate's hardware cost (the paper's "hardware cost

@@ -1,0 +1,809 @@
+//! The run journal: a structured, deterministic event stream for search
+//! runs.
+//!
+//! The paper's headline claim is *comparative* — LCDA reaches NACIM-grade
+//! designs with fewer evaluations — so the runtime must be able to show
+//! where a run spends its budget: cache hits vs. recomputation,
+//! Monte-Carlo trials, backend cost-model calls, LLM re-prompts and
+//! middleware recoveries. This module provides that substrate:
+//!
+//! - [`JournalEvent`] — the typed event taxonomy (run/episode lifecycle,
+//!   evaluation requests, cache traffic, Monte-Carlo batches, backend
+//!   cost calls, and the LLM events bridged from [`lcda_llm::obs`]);
+//! - [`Journal`] — a cheaply cloneable sink handle threaded through
+//!   [`crate::EvalPipeline`], [`crate::CoDesign`] and the optimizer
+//!   stack, writing each event as one JSON line (JSONL);
+//! - [`RunReport`] — per-phase time and counter aggregation parsed back
+//!   from a journal, rendered by `lcda report`.
+//!
+//! # Determinism
+//!
+//! Journals carry **no wall-clock timestamps**. Every record is stamped
+//! with a monotonic `step` index and the simulated-clock time (`t_ms`)
+//! of the run's [`SimClock`] — the same clock the LLM resilience
+//! middleware charges its backoff and cooldowns to. Identical seeded
+//! runs therefore produce **byte-identical** journals, which makes them
+//! diffable artifacts: a behaviour change between two builds shows up as
+//! a journal diff, not a hunch. `BTreeMap`-backed aggregation and
+//! `serde_json`'s deterministic float formatting keep [`RunReport`]
+//! equally reproducible.
+
+use crate::pipeline::CacheStats;
+use crate::{CoreError, Result};
+use lcda_llm::middleware::SimClock;
+use lcda_llm::obs::{LlmEvent, LlmObserver, ObserverHandle};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Which half of the memo table a cache event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CacheKind {
+    /// The accuracy memo table.
+    Accuracy,
+    /// The hardware-metrics memo table.
+    Hardware,
+}
+
+/// One observable moment of a search run.
+///
+/// Serialized internally tagged (`"event": "cache_hit"`, …) so a JSONL
+/// journal stays self-describing line by line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum JournalEvent {
+    /// The episode loop started (after any checkpoint replay).
+    RunStart {
+        /// Optimizer name driving the loop.
+        optimizer: String,
+        /// Hardware backend name.
+        backend: String,
+        /// Objective name (`accuracy-energy` / `accuracy-latency`).
+        objective: String,
+        /// Episode budget of the run.
+        episodes: u32,
+        /// Master seed.
+        seed: u64,
+        /// Episodes restored from a checkpoint before the loop started.
+        resumed: u64,
+    },
+    /// The episode loop finished.
+    RunEnd {
+        /// Total completed episodes (including resumed ones).
+        episodes: u64,
+        /// Reward of the best episode.
+        best_reward: f64,
+    },
+    /// One episode completed.
+    Episode {
+        /// Episode index (0-based).
+        episode: u32,
+        /// Scalar reward fed back to the optimizer.
+        reward: f64,
+        /// Monte-Carlo/surrogate accuracy (0 for invalid hardware).
+        accuracy: f64,
+        /// True when non-finite metrics were quarantined.
+        quarantined: bool,
+    },
+    /// The pipeline was asked for a full episode-grade evaluation.
+    EvalRequest {
+        /// Canonical rollout text of the design.
+        design: String,
+    },
+    /// A cache lookup was served from the memo table.
+    CacheHit {
+        /// Which memo table.
+        kind: CacheKind,
+    },
+    /// A cache lookup fell through to the wrapped evaluator.
+    CacheMiss {
+        /// Which memo table.
+        kind: CacheKind,
+    },
+    /// A result was admitted into the memo table.
+    CacheInsert {
+        /// Which memo table.
+        kind: CacheKind,
+    },
+    /// A Monte-Carlo accuracy batch completed.
+    McBatch {
+        /// Trials in the batch.
+        trials: u32,
+        /// Worker threads used.
+        threads: u64,
+        /// Mean accuracy over the trials.
+        mean: f64,
+    },
+    /// The hardware backend's cost model was invoked (a cache miss or an
+    /// uncached pipeline).
+    BackendCost {
+        /// Backend evaluator name.
+        backend: String,
+        /// False when the design violated the platform constraint.
+        feasible: bool,
+    },
+    /// A checkpoint snapshot was handed to the persistence callback.
+    CheckpointSaved {
+        /// Completed episodes in the snapshot.
+        episodes_done: u64,
+    },
+    /// The optimizer sent a prompt to the language model.
+    LlmPrompt {
+        /// Optimizer episode the prompt belongs to.
+        episode: u32,
+        /// Attempt within the episode (`> 0` = re-prompt).
+        attempt: u32,
+        /// Rendered prompt length in bytes.
+        chars: u64,
+    },
+    /// A model response could not be parsed into a design.
+    LlmParseFailure {
+        /// Optimizer episode the response belonged to.
+        episode: u32,
+        /// The parse error, single line.
+        error: String,
+    },
+    /// The fault-injection layer fired a scheduled fault.
+    LlmFault {
+        /// Model-call index the fault was scheduled at.
+        call: u64,
+        /// Stable fault-kind label.
+        kind: String,
+    },
+    /// The retry middleware re-issued a failed model call.
+    LlmRetry {
+        /// Retry attempt number (0-based).
+        attempt: u32,
+        /// Backoff charged to the simulated clock, milliseconds.
+        delay_ms: u64,
+    },
+    /// The circuit breaker opened.
+    LlmCircuitOpened {
+        /// Consecutive failures that tripped it.
+        failures: u32,
+    },
+    /// The circuit breaker closed after a successful probe.
+    LlmCircuitClosed,
+    /// A proposal was served by the fallback optimizer (degraded mode).
+    LlmDegraded {
+        /// Name of the fallback optimizer.
+        fallback: String,
+    },
+}
+
+impl JournalEvent {
+    /// The coarse phase this event is accounted under in [`RunReport`].
+    pub fn phase(&self) -> &'static str {
+        match self {
+            JournalEvent::RunStart { .. }
+            | JournalEvent::RunEnd { .. }
+            | JournalEvent::CheckpointSaved { .. } => "run",
+            JournalEvent::Episode { .. } => "episode",
+            JournalEvent::EvalRequest { .. } => "eval",
+            JournalEvent::CacheHit { .. }
+            | JournalEvent::CacheMiss { .. }
+            | JournalEvent::CacheInsert { .. } => "cache",
+            JournalEvent::McBatch { .. } => "mc",
+            JournalEvent::BackendCost { .. } => "backend",
+            JournalEvent::LlmPrompt { .. }
+            | JournalEvent::LlmParseFailure { .. }
+            | JournalEvent::LlmFault { .. }
+            | JournalEvent::LlmRetry { .. }
+            | JournalEvent::LlmCircuitOpened { .. }
+            | JournalEvent::LlmCircuitClosed
+            | JournalEvent::LlmDegraded { .. } => "llm",
+        }
+    }
+}
+
+/// One journal line: a monotonic step index, the simulated-clock
+/// timestamp, and the event payload (flattened alongside them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Monotonic record index within the journal (0-based).
+    pub step: u64,
+    /// Simulated-clock time of the run's [`SimClock`], milliseconds.
+    pub t_ms: u64,
+    /// The event payload.
+    #[serde(flatten)]
+    pub event: JournalEvent,
+}
+
+struct JournalInner {
+    sink: Box<dyn Write + Send>,
+    clock: SimClock,
+    step: u64,
+    error: Option<String>,
+}
+
+/// A cheaply cloneable handle to a JSONL event sink.
+///
+/// The default handle is disabled: every [`Journal::record`] through it
+/// is a no-op, so instrumented code costs nothing in un-journaled runs.
+/// All clones share one sink, one step counter, and one [`SimClock`];
+/// write or serialization failures are latched and surfaced by
+/// [`Journal::finish`] instead of panicking mid-search.
+#[derive(Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<Mutex<JournalInner>>>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+/// A shared in-memory byte buffer usable as a journal sink (tests,
+/// benches, and the `lcda report` round-trip check).
+#[derive(Debug, Clone, Default)]
+pub struct JournalBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl JournalBuffer {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        JournalBuffer::default()
+    }
+
+    /// The buffered JSONL text written so far.
+    pub fn contents(&self) -> String {
+        let bytes = self.bytes.lock().map(|b| b.clone()).unwrap_or_default();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+impl Write for JournalBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes
+            .lock()
+            .map_err(|_| std::io::Error::other("journal buffer poisoned"))?
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Journal {
+    /// The disabled journal: every record is a no-op.
+    pub fn disabled() -> Self {
+        Journal::default()
+    }
+
+    /// A journal writing JSONL to an arbitrary sink.
+    pub fn to_writer(sink: Box<dyn Write + Send>) -> Self {
+        Journal {
+            inner: Some(Arc::new(Mutex::new(JournalInner {
+                sink,
+                clock: SimClock::new(),
+                step: 0,
+                error: None,
+            }))),
+        }
+    }
+
+    /// A journal writing JSONL to a file, truncating any previous run's
+    /// journal at that path (each run owns its journal start to finish —
+    /// appending would break byte-identity across reruns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] when the file cannot be created.
+    pub fn to_file(path: &Path) -> Result<Self> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CoreError::Journal(format!("create {}: {e}", path.display())))?;
+        Ok(Journal::to_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// A journal writing into a shared in-memory buffer, returned
+    /// alongside the handle.
+    pub fn in_memory() -> (Self, JournalBuffer) {
+        let buffer = JournalBuffer::new();
+        (Journal::to_writer(Box::new(buffer.clone())), buffer)
+    }
+
+    /// True when a sink is attached.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Shares the run's simulated clock with the journal so records carry
+    /// its timestamps (a disabled journal ignores this).
+    pub fn set_clock(&self, clock: SimClock) {
+        if let Some(inner) = &self.inner {
+            if let Ok(mut guard) = inner.lock() {
+                guard.clock = clock;
+            }
+        }
+    }
+
+    /// Appends one event as a JSON line (no-op when disabled). Failures
+    /// are latched for [`Journal::finish`], never panicking mid-run.
+    pub fn record(&self, event: JournalEvent) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let Ok(mut guard) = inner.lock() else {
+            return;
+        };
+        if guard.error.is_some() {
+            return;
+        }
+        let record = JournalRecord {
+            step: guard.step,
+            t_ms: guard.clock.now_ms(),
+            event,
+        };
+        guard.step += 1;
+        match serde_json::to_string(&record) {
+            Ok(line) => {
+                let write = guard
+                    .sink
+                    .write_all(line.as_bytes())
+                    .and_then(|()| guard.sink.write_all(b"\n"));
+                if let Err(e) = write {
+                    guard.error = Some(format!("write journal record: {e}"));
+                }
+            }
+            Err(e) => guard.error = Some(format!("serialize journal record: {e}")),
+        }
+    }
+
+    /// Flushes the sink and surfaces any failure latched by
+    /// [`Journal::record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] for a latched record failure or a
+    /// failed flush.
+    pub fn finish(&self) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut guard = inner
+            .lock()
+            .map_err(|_| CoreError::Journal("journal lock poisoned".into()))?;
+        if let Some(e) = guard.error.take() {
+            return Err(CoreError::Journal(e));
+        }
+        guard
+            .sink
+            .flush()
+            .map_err(|e| CoreError::Journal(format!("flush journal: {e}")))
+    }
+
+    /// An [`ObserverHandle`] that bridges [`LlmEvent`]s from the
+    /// optimizer/middleware stack into this journal. Empty (no-op) when
+    /// the journal is disabled, so un-journaled runs skip the adapter
+    /// entirely.
+    pub fn llm_observer(&self) -> ObserverHandle {
+        if self.is_active() {
+            ObserverHandle::new(Box::new(LlmBridge {
+                journal: self.clone(),
+            }))
+        } else {
+            ObserverHandle::none()
+        }
+    }
+}
+
+/// Adapter mapping [`LlmEvent`]s onto [`JournalEvent`]s.
+struct LlmBridge {
+    journal: Journal,
+}
+
+impl LlmObserver for LlmBridge {
+    fn record(&mut self, event: &LlmEvent) {
+        let mapped = match event {
+            LlmEvent::Prompt {
+                episode,
+                attempt,
+                chars,
+            } => JournalEvent::LlmPrompt {
+                episode: *episode,
+                attempt: *attempt,
+                chars: *chars,
+            },
+            LlmEvent::ParseFailure { episode, error } => JournalEvent::LlmParseFailure {
+                episode: *episode,
+                error: error.clone(),
+            },
+            LlmEvent::Fault { call, kind } => JournalEvent::LlmFault {
+                call: *call,
+                kind: (*kind).to_string(),
+            },
+            LlmEvent::Retry { attempt, delay_ms } => JournalEvent::LlmRetry {
+                attempt: *attempt,
+                delay_ms: *delay_ms,
+            },
+            LlmEvent::CircuitOpened { failures } => JournalEvent::LlmCircuitOpened {
+                failures: *failures,
+            },
+            LlmEvent::CircuitClosed => JournalEvent::LlmCircuitClosed,
+            LlmEvent::Degraded { fallback } => JournalEvent::LlmDegraded {
+                fallback: fallback.clone(),
+            },
+        };
+        self.journal.record(mapped);
+    }
+}
+
+/// Event count and simulated time accounted to one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Events in the phase.
+    pub events: u64,
+    /// Simulated milliseconds attributed to the phase: each record's
+    /// clock delta since the previous record is charged to the phase of
+    /// the record that observed it.
+    pub sim_ms: u64,
+}
+
+/// Counter and per-phase time aggregation over a journal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total journal records.
+    pub records: u64,
+    /// Simulated time span of the journal, milliseconds.
+    pub sim_ms: u64,
+    /// Completed episodes.
+    pub episodes: u64,
+    /// Episodes quarantined for non-finite metrics.
+    pub quarantined: u64,
+    /// Episode-grade pipeline evaluations requested.
+    pub evals: u64,
+    /// Cache traffic rebuilt from the hit/miss/insert events — matches
+    /// the pipeline's run-local [`CacheStats`] exactly, because both are
+    /// driven by the same lookups.
+    pub cache: CacheStats,
+    /// Monte-Carlo batches run.
+    pub mc_batches: u64,
+    /// Total Monte-Carlo trials across all batches.
+    pub mc_trials: u64,
+    /// Hardware backend cost-model invocations.
+    pub backend_calls: u64,
+    /// Cost calls that reported a platform-constraint violation.
+    pub infeasible: u64,
+    /// Prompts sent to the language model.
+    pub prompts: u64,
+    /// Prompts that were retries within an episode (`attempt > 0`).
+    pub reprompts: u64,
+    /// Model responses that failed to parse.
+    pub parse_failures: u64,
+    /// Injected faults that fired.
+    pub faults: u64,
+    /// Middleware retries performed.
+    pub retries: u64,
+    /// Circuit-breaker open transitions.
+    pub circuit_trips: u64,
+    /// Proposals served by the fallback optimizer.
+    pub degraded: u64,
+    /// Checkpoint snapshots taken.
+    pub checkpoints: u64,
+    /// Best episode reward, when the run recorded its end.
+    pub best_reward: Option<f64>,
+    /// Per-phase event counts and simulated time.
+    pub phases: BTreeMap<String, PhaseStats>,
+}
+
+impl RunReport {
+    /// Aggregates a report from parsed records (in journal order).
+    pub fn from_records(records: impl IntoIterator<Item = JournalRecord>) -> Self {
+        let mut report = RunReport::default();
+        let mut prev_t: Option<u64> = None;
+        for record in records {
+            report.records += 1;
+            let phase = report
+                .phases
+                .entry(record.event.phase().to_string())
+                .or_default();
+            phase.events += 1;
+            if let Some(prev) = prev_t {
+                let delta = record.t_ms.saturating_sub(prev);
+                phase.sim_ms += delta;
+                report.sim_ms += delta;
+            }
+            prev_t = Some(record.t_ms);
+            match &record.event {
+                JournalEvent::RunStart { .. } => {}
+                JournalEvent::RunEnd { best_reward, .. } => {
+                    report.best_reward = Some(*best_reward);
+                }
+                JournalEvent::Episode { quarantined, .. } => {
+                    report.episodes += 1;
+                    if *quarantined {
+                        report.quarantined += 1;
+                    }
+                }
+                JournalEvent::EvalRequest { .. } => report.evals += 1,
+                JournalEvent::CacheHit { .. } => report.cache.hits += 1,
+                JournalEvent::CacheMiss { .. } => report.cache.misses += 1,
+                JournalEvent::CacheInsert { .. } => report.cache.inserts += 1,
+                JournalEvent::McBatch { trials, .. } => {
+                    report.mc_batches += 1;
+                    report.mc_trials += u64::from(*trials);
+                }
+                JournalEvent::BackendCost { feasible, .. } => {
+                    report.backend_calls += 1;
+                    if !feasible {
+                        report.infeasible += 1;
+                    }
+                }
+                JournalEvent::CheckpointSaved { .. } => report.checkpoints += 1,
+                JournalEvent::LlmPrompt { attempt, .. } => {
+                    report.prompts += 1;
+                    if *attempt > 0 {
+                        report.reprompts += 1;
+                    }
+                }
+                JournalEvent::LlmParseFailure { .. } => report.parse_failures += 1,
+                JournalEvent::LlmFault { .. } => report.faults += 1,
+                JournalEvent::LlmRetry { .. } => report.retries += 1,
+                JournalEvent::LlmCircuitOpened { .. } => report.circuit_trips += 1,
+                JournalEvent::LlmCircuitClosed => {}
+                JournalEvent::LlmDegraded { .. } => report.degraded += 1,
+            }
+        }
+        report
+    }
+
+    /// Parses a JSONL journal and aggregates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] for an unparseable line, naming the
+    /// 1-based line number.
+    pub fn from_jsonl(text: &str) -> Result<Self> {
+        let mut records = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: JournalRecord = serde_json::from_str(line)
+                .map_err(|e| CoreError::Journal(format!("line {}: {e}", idx + 1)))?;
+            records.push(record);
+        }
+        Ok(RunReport::from_records(records))
+    }
+
+    /// Renders the human-readable breakdown table for `lcda report`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run journal report");
+        let _ = writeln!(out, "  records          {}", self.records);
+        let _ = writeln!(out, "  sim time         {} ms", self.sim_ms);
+        let _ = writeln!(
+            out,
+            "  episodes         {} ({} quarantined)",
+            self.episodes, self.quarantined
+        );
+        let _ = writeln!(out, "  evaluations      {}", self.evals);
+        let _ = writeln!(
+            out,
+            "  cache            {} hits / {} misses / {} inserts (hit-rate {:.1}%)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.inserts,
+            self.cache.hit_rate() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  monte-carlo      {} batches / {} trials",
+            self.mc_batches, self.mc_trials
+        );
+        let _ = writeln!(
+            out,
+            "  backend calls    {} ({} infeasible)",
+            self.backend_calls, self.infeasible
+        );
+        let _ = writeln!(
+            out,
+            "  llm prompts      {} ({} re-prompts, {} parse failures)",
+            self.prompts, self.reprompts, self.parse_failures
+        );
+        let _ = writeln!(
+            out,
+            "  llm resilience   {} faults / {} retries / {} circuit trips / {} degraded",
+            self.faults, self.retries, self.circuit_trips, self.degraded
+        );
+        let _ = writeln!(out, "  checkpoints      {}", self.checkpoints);
+        if let Some(best) = self.best_reward {
+            let _ = writeln!(out, "  best reward      {best:.6}");
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "phase breakdown (events / simulated ms)");
+            for (name, stats) in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "  {name:<8} {:>6} events  {:>8} ms",
+                    stats.events, stats.sim_ms
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_is_a_noop() {
+        let j = Journal::disabled();
+        assert!(!j.is_active());
+        j.record(JournalEvent::LlmCircuitClosed);
+        j.finish().unwrap();
+        assert!(!j.llm_observer().is_active());
+    }
+
+    #[test]
+    fn records_are_stamped_and_jsonl_parses_back() {
+        let (j, buf) = Journal::in_memory();
+        let clock = SimClock::new();
+        j.set_clock(clock.clone());
+        j.record(JournalEvent::EvalRequest {
+            design: "d0".into(),
+        });
+        clock.advance_ms(250);
+        j.record(JournalEvent::CacheHit {
+            kind: CacheKind::Accuracy,
+        });
+        j.finish().unwrap();
+
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"eval_request\""));
+        let r0: JournalRecord = serde_json::from_str(lines[0]).unwrap();
+        let r1: JournalRecord = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!((r0.step, r0.t_ms), (0, 0));
+        assert_eq!((r1.step, r1.t_ms), (1, 250));
+        assert_eq!(
+            r1.event,
+            JournalEvent::CacheHit {
+                kind: CacheKind::Accuracy
+            }
+        );
+        assert_eq!(r1.event.phase(), "cache");
+    }
+
+    #[test]
+    fn clones_share_step_counter_and_sink() {
+        let (j, buf) = Journal::in_memory();
+        let j2 = j.clone();
+        j.record(JournalEvent::LlmCircuitClosed);
+        j2.record(JournalEvent::LlmCircuitClosed);
+        j.finish().unwrap();
+        let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+        assert_eq!(report.records, 2);
+        let text = buf.contents();
+        assert!(text.lines().nth(1).unwrap().contains("\"step\":1"));
+    }
+
+    #[test]
+    fn llm_observer_bridges_events() {
+        let (j, buf) = Journal::in_memory();
+        let observer = j.llm_observer();
+        assert!(observer.is_active());
+        observer.emit(LlmEvent::Prompt {
+            episode: 2,
+            attempt: 1,
+            chars: 900,
+        });
+        observer.emit(LlmEvent::Fault {
+            call: 5,
+            kind: "garbage",
+        });
+        j.finish().unwrap();
+        let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+        assert_eq!(report.prompts, 1);
+        assert_eq!(report.reprompts, 1);
+        assert_eq!(report.faults, 1);
+        assert_eq!(report.phases["llm"].events, 2);
+    }
+
+    #[test]
+    fn report_aggregates_counters_and_phase_time() {
+        let records = vec![
+            JournalRecord {
+                step: 0,
+                t_ms: 0,
+                event: JournalEvent::RunStart {
+                    optimizer: "o".into(),
+                    backend: "cim".into(),
+                    objective: "accuracy-energy".into(),
+                    episodes: 2,
+                    seed: 7,
+                    resumed: 0,
+                },
+            },
+            JournalRecord {
+                step: 1,
+                t_ms: 0,
+                event: JournalEvent::CacheMiss {
+                    kind: CacheKind::Hardware,
+                },
+            },
+            JournalRecord {
+                step: 2,
+                t_ms: 100,
+                event: JournalEvent::LlmRetry {
+                    attempt: 0,
+                    delay_ms: 100,
+                },
+            },
+            JournalRecord {
+                step: 3,
+                t_ms: 100,
+                event: JournalEvent::Episode {
+                    episode: 0,
+                    reward: 0.5,
+                    accuracy: 0.8,
+                    quarantined: false,
+                },
+            },
+            JournalRecord {
+                step: 4,
+                t_ms: 100,
+                event: JournalEvent::RunEnd {
+                    episodes: 1,
+                    best_reward: 0.5,
+                },
+            },
+        ];
+        let report = RunReport::from_records(records);
+        assert_eq!(report.records, 5);
+        assert_eq!(report.sim_ms, 100);
+        assert_eq!(report.episodes, 1);
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.best_reward, Some(0.5));
+        // The 100 ms delta landed on the retry record → the llm phase.
+        assert_eq!(report.phases["llm"].sim_ms, 100);
+        assert_eq!(report.phases["cache"].sim_ms, 0);
+        let table = report.render();
+        assert!(table.contains("best reward"));
+        assert!(table.contains("hit-rate 0.0%"));
+    }
+
+    #[test]
+    fn malformed_jsonl_names_the_line() {
+        let err = RunReport::from_jsonl("{\"step\":0,\"t_ms\":0,\"event\":\"run_end\",\"episodes\":1,\"best_reward\":0.1}\nnot json")
+            .unwrap_err();
+        match err {
+            CoreError::Journal(msg) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected journal error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn write_failures_surface_at_finish() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let j = Journal::to_writer(Box::new(Broken));
+        j.record(JournalEvent::LlmCircuitClosed);
+        match j.finish() {
+            Err(CoreError::Journal(msg)) => assert!(msg.contains("disk full")),
+            other => panic!("expected journal error, got {other:?}"),
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub mod backend;
 pub mod checkpoint;
 pub mod codesign;
 pub mod evaluate;
+pub mod journal;
 pub mod mo;
 pub mod pareto;
 pub mod pipeline;
@@ -74,6 +75,7 @@ pub use codesign::{
     Outcome,
 };
 pub use error::CoreError;
+pub use journal::{Journal, JournalEvent, JournalRecord, RunReport};
 pub use pipeline::{CacheStats, EvalCache, EvalPipeline};
 pub use reward::Objective;
 

@@ -30,14 +30,23 @@
 //!   and the full [`HwMetrics`] — and only finite values are admitted, so
 //!   a checkpoint JSON round-trip can never be poisoned by NaN;
 //! - **counters** ([`CacheStats`]) expose hits/misses/inserts for run
-//!   reports and for the perf trajectory benches.
+//!   reports and for the perf trajectory benches. Counters are strictly
+//!   **session-local**: they are never serialized (checkpoint bytes stay
+//!   independent of lookup patterns) and reset to zero when a snapshot is
+//!   rehydrated, so a resumed run reports its own hit-rate — not the
+//!   previous run's. The memoized *entries* are lifetime state and do
+//!   persist.
 //!
 //! The cache serializes to checkpoint-compatible JSON
 //! ([`EvalCache::to_json`]) and rides inside [`crate::Checkpoint`], so a
 //! resumed run rehydrates its memo table and re-proposed designs stay
-//! cheap across kills.
+//! cheap across kills. When a [`Journal`] is attached, every lookup and
+//! admission is also emitted as a `cache_hit`/`cache_miss`/`cache_insert`
+//! event at exactly the points the counters tick, so a journal's
+//! aggregated cache stats always equal [`EvalPipeline::stats`].
 
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+use crate::journal::{CacheKind, Journal, JournalEvent};
 use crate::{CoreError, Result};
 use lcda_llm::design::CandidateDesign;
 use serde::{Deserialize, Serialize};
@@ -101,7 +110,10 @@ pub struct EvalCache {
     /// design text → metrics (`None` = constraint violation, a valid and
     /// deterministic outcome worth memoizing).
     hardware: BTreeMap<String, Option<HwMetrics>>,
-    #[serde(default)]
+    /// Session-local counters: never serialized — persisting them made a
+    /// resumed run inherit the previous run's hit-rate and made checkpoint
+    /// bytes depend on lookup patterns.
+    #[serde(skip)]
     stats: CacheStats,
 }
 
@@ -131,7 +143,8 @@ impl EvalCache {
         self.accuracy.is_empty() && self.hardware.is_empty()
     }
 
-    /// The hit/miss/insert counters.
+    /// The session-local hit/miss/insert counters (zeroed on rehydrate;
+    /// see [`EvalPipeline::restore_cache`]).
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
@@ -156,20 +169,28 @@ impl EvalCache {
         }
     }
 
-    fn insert_accuracy(&mut self, key: String, value: f64) {
+    /// Returns true when the value was admitted (finite).
+    fn insert_accuracy(&mut self, key: String, value: f64) -> bool {
         // Non-finite results are quarantined upstream; admitting them here
         // would break the JSON round-trip (serde_json cannot represent
         // NaN) and re-serve poison.
         if value.is_finite() {
             self.accuracy.insert(key, value);
             self.stats.inserts += 1;
+            true
+        } else {
+            false
         }
     }
 
-    fn insert_hardware(&mut self, key: String, value: Option<HwMetrics>) {
+    /// Returns true when the value was admitted (finite or infeasible).
+    fn insert_hardware(&mut self, key: String, value: Option<HwMetrics>) -> bool {
         if value.as_ref().map_or(true, HwMetrics::is_finite) {
             self.hardware.insert(key, value);
             self.stats.inserts += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -203,6 +224,7 @@ pub struct EvalPipeline {
     hardware: Box<dyn HardwareCostEvaluator>,
     cache: Option<EvalCache>,
     context: String,
+    journal: Journal,
 }
 
 impl std::fmt::Debug for EvalPipeline {
@@ -228,6 +250,7 @@ impl EvalPipeline {
             accuracy,
             hardware,
             context,
+            journal: Journal::disabled(),
         }
     }
 
@@ -283,14 +306,27 @@ impl EvalPipeline {
         }
     }
 
+    /// Attaches a run journal: every cache lookup/admission and backend
+    /// cost call is emitted as an event. Forwarded to the accuracy
+    /// evaluator so it can report Monte-Carlo batches too.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.accuracy.set_journal(journal.clone());
+        self.journal = journal;
+    }
+
     /// Rehydrates the memo table from a checkpoint snapshot.
     ///
     /// Returns `true` when the snapshot was adopted. A snapshot whose
     /// context fingerprint does not match this pipeline's evaluators (or a
     /// pipeline with caching disabled) is refused — serving entries from a
     /// different evaluator configuration would silently corrupt results.
-    pub fn restore_cache(&mut self, snapshot: EvalCache) -> bool {
+    ///
+    /// The memoized *entries* carry over; the [`CacheStats`] counters are
+    /// session state and restart from zero, so a resumed run reports its
+    /// own hit-rate rather than inheriting the previous run's.
+    pub fn restore_cache(&mut self, mut snapshot: EvalCache) -> bool {
         if self.cache.is_some() && snapshot.context == self.context {
+            snapshot.stats = CacheStats::default();
             self.cache = Some(snapshot);
             true
         } else {
@@ -313,6 +349,9 @@ impl EvalPipeline {
     ///
     /// Propagates evaluator failures on malformed designs.
     pub fn evaluate(&mut self, design: &CandidateDesign) -> Result<(f64, Option<HwMetrics>)> {
+        self.journal.record(JournalEvent::EvalRequest {
+            design: design.to_response_text(),
+        });
         let hw = self.cost(design)?;
         let accuracy = match &hw {
             Some(_) => self.accuracy(design)?,
@@ -327,12 +366,22 @@ impl AccuracyEvaluator for EvalPipeline {
         let key = design.to_response_text();
         if let Some(cache) = &mut self.cache {
             if let Some(hit) = cache.lookup_accuracy(&key) {
+                self.journal.record(JournalEvent::CacheHit {
+                    kind: CacheKind::Accuracy,
+                });
                 return Ok(hit);
             }
+            self.journal.record(JournalEvent::CacheMiss {
+                kind: CacheKind::Accuracy,
+            });
         }
         let value = self.accuracy.accuracy(design)?;
         if let Some(cache) = &mut self.cache {
-            cache.insert_accuracy(key, value);
+            if cache.insert_accuracy(key, value) {
+                self.journal.record(JournalEvent::CacheInsert {
+                    kind: CacheKind::Accuracy,
+                });
+            }
         }
         Ok(value)
     }
@@ -355,12 +404,26 @@ impl HardwareCostEvaluator for EvalPipeline {
         let key = design.to_response_text();
         if let Some(cache) = &mut self.cache {
             if let Some(hit) = cache.lookup_hardware(&key) {
+                self.journal.record(JournalEvent::CacheHit {
+                    kind: CacheKind::Hardware,
+                });
                 return Ok(hit);
             }
+            self.journal.record(JournalEvent::CacheMiss {
+                kind: CacheKind::Hardware,
+            });
         }
         let value = self.hardware.cost(design)?;
+        self.journal.record(JournalEvent::BackendCost {
+            backend: self.hardware.name().to_string(),
+            feasible: value.is_some(),
+        });
         if let Some(cache) = &mut self.cache {
-            cache.insert_hardware(key, value.clone());
+            if cache.insert_hardware(key, value.clone()) {
+                self.journal.record(JournalEvent::CacheInsert {
+                    kind: CacheKind::Hardware,
+                });
+            }
         }
         Ok(value)
     }
@@ -548,6 +611,50 @@ mod tests {
         fn name(&self) -> &'static str {
             "nan"
         }
+    }
+
+    #[test]
+    fn serialized_cache_omits_counters_and_restore_zeroes_session_stats() {
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut p = pipeline(1);
+        p.evaluate(&d).unwrap();
+        p.evaluate(&d).unwrap();
+        assert_ne!(p.stats(), CacheStats::default());
+
+        // Checkpoint bytes must not depend on lookup patterns.
+        let json = p.cache().unwrap().to_json().unwrap();
+        assert!(!json.contains("hits"), "counters must not be serialized");
+        assert_eq!(
+            EvalCache::from_json(&json).unwrap().stats(),
+            CacheStats::default()
+        );
+
+        // Even an in-memory snapshot with live counters is adopted with
+        // zeroed session stats — the resumed run reports its own rate.
+        let dirty = p.cache().unwrap().clone();
+        assert_ne!(dirty.stats(), CacheStats::default());
+        let mut q = pipeline(1);
+        assert!(q.restore_cache(dirty));
+        assert_eq!(q.stats(), CacheStats::default());
+        let _ = q.evaluate(&d).unwrap();
+        assert_eq!(q.stats().hits, 2, "rehydrated entries still serve hits");
+        assert_eq!(q.stats().misses, 0);
+    }
+
+    #[test]
+    fn journal_cache_events_mirror_session_stats() {
+        use crate::journal::RunReport;
+        let (journal, buffer) = Journal::in_memory();
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let mut p = pipeline(4);
+        p.set_journal(journal.clone());
+        p.evaluate(&d).unwrap();
+        p.evaluate(&d).unwrap();
+        journal.finish().unwrap();
+        let report = RunReport::from_jsonl(&buffer.contents()).unwrap();
+        assert_eq!(report.cache, p.stats());
+        assert_eq!(report.evals, 2);
+        assert_eq!(report.backend_calls, 1, "second round is all cache hits");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! with actually training networks.
 
 use crate::evaluate::AccuracyEvaluator;
+use crate::journal::{Journal, JournalEvent};
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
 use lcda_dnn::dataset::SynthCifar;
@@ -68,6 +69,7 @@ pub struct TrainedEvaluator {
     config: TrainedEvalConfig,
     train: SynthCifar,
     test: SynthCifar,
+    journal: Journal,
 }
 
 impl TrainedEvaluator {
@@ -94,6 +96,7 @@ impl TrainedEvaluator {
             config,
             train,
             test,
+            journal: Journal::disabled(),
         })
     }
 
@@ -127,6 +130,11 @@ impl AccuracyEvaluator for TrainedEvaluator {
                 threads: self.config.threads,
             },
         )?;
+        self.journal.record(JournalEvent::McBatch {
+            trials: self.config.mc_trials,
+            threads: self.config.threads as u64,
+            mean: f64::from(stats.mean),
+        });
         Ok(f64::from(stats.mean))
     }
 
@@ -154,6 +162,10 @@ impl AccuracyEvaluator for TrainedEvaluator {
 
     fn set_threads(&mut self, threads: usize) {
         self.config.threads = threads;
+    }
+
+    fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 }
 

@@ -58,6 +58,7 @@ mod error;
 pub mod adaptive;
 pub mod design;
 pub mod middleware;
+pub mod obs;
 pub mod parse;
 pub mod persona;
 pub mod prompt;

@@ -51,6 +51,7 @@
 //! # }
 //! ```
 
+use crate::obs::{LlmEvent, ObserverHandle};
 use crate::{LanguageModel, LlmError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -208,6 +209,7 @@ pub struct FaultyModel<M> {
     plan: FaultPlan,
     clock: SimClock,
     calls: u64,
+    observer: ObserverHandle,
 }
 
 impl<M> FaultyModel<M> {
@@ -218,7 +220,14 @@ impl<M> FaultyModel<M> {
             plan,
             clock,
             calls: 0,
+            observer: ObserverHandle::none(),
         }
+    }
+
+    /// Installs an observer notified whenever a scheduled fault fires.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Total calls seen so far (faulted or not).
@@ -236,6 +245,16 @@ impl<M: LanguageModel> LanguageModel for FaultyModel<M> {
     fn complete(&mut self, prompt: &str) -> Result<String> {
         let call = self.calls;
         self.calls += 1;
+        if let Some(fault) = self.plan.fault_at(call) {
+            let kind = match fault {
+                Fault::RateLimit { .. } => "rate_limit",
+                Fault::Timeout { .. } => "timeout",
+                Fault::Garbage => "garbage",
+                Fault::Truncated => "truncated",
+                Fault::LatencySpike { .. } => "latency_spike",
+            };
+            self.observer.emit(LlmEvent::Fault { call, kind });
+        }
         match self.plan.fault_at(call) {
             Some(Fault::RateLimit { retry_after_ms }) => {
                 self.clock.advance_ms(1);
@@ -317,6 +336,7 @@ pub struct RetryModel<M> {
     max_delay_ms: u64,
     rng: StdRng,
     retries: u64,
+    observer: ObserverHandle,
 }
 
 impl<M> RetryModel<M> {
@@ -331,7 +351,14 @@ impl<M> RetryModel<M> {
             max_delay_ms: 10_000,
             rng: StdRng::seed_from_u64(seed ^ 0xB5F3_7A1E_4C9D_0286),
             retries: 0,
+            observer: ObserverHandle::none(),
         }
+    }
+
+    /// Installs an observer notified before every retry.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Overrides the attempt budget (minimum 1).
@@ -377,6 +404,10 @@ impl<M: LanguageModel> LanguageModel for RetryModel<M> {
                         _ => 0,
                     };
                     let delay = self.delay_ms(attempt, floor);
+                    self.observer.emit(LlmEvent::Retry {
+                        attempt,
+                        delay_ms: delay,
+                    });
                     self.clock.advance_ms(delay);
                     self.retries += 1;
                     attempt += 1;
@@ -403,6 +434,7 @@ pub struct CircuitBreaker<M> {
     consecutive_failures: u32,
     opened_at_ms: Option<u64>,
     trips: u64,
+    observer: ObserverHandle,
 }
 
 impl<M> CircuitBreaker<M> {
@@ -417,7 +449,14 @@ impl<M> CircuitBreaker<M> {
             consecutive_failures: 0,
             opened_at_ms: None,
             trips: 0,
+            observer: ObserverHandle::none(),
         }
+    }
+
+    /// Installs an observer notified on open/close transitions.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Overrides the consecutive-failure threshold (minimum 1).
@@ -456,7 +495,10 @@ impl<M: LanguageModel> LanguageModel for CircuitBreaker<M> {
         match self.inner.complete(prompt) {
             Ok(response) => {
                 self.consecutive_failures = 0;
-                self.opened_at_ms = None;
+                if self.opened_at_ms.take().is_some() {
+                    // A half-open probe succeeded: the circuit closes.
+                    self.observer.emit(LlmEvent::CircuitClosed);
+                }
                 Ok(response)
             }
             Err(e) => {
@@ -467,6 +509,9 @@ impl<M: LanguageModel> LanguageModel for CircuitBreaker<M> {
                         self.trips += 1;
                     }
                     self.opened_at_ms = Some(self.clock.now_ms());
+                    self.observer.emit(LlmEvent::CircuitOpened {
+                        failures: self.consecutive_failures,
+                    });
                 }
                 Err(e)
             }
@@ -490,10 +535,22 @@ pub fn resilient<M: LanguageModel>(
     clock: SimClock,
     seed: u64,
 ) -> CircuitBreaker<RetryModel<TimeoutModel<FaultyModel<M>>>> {
-    let faulty = FaultyModel::new(inner, plan, clock.clone());
+    resilient_observed(inner, plan, clock, seed, ObserverHandle::none())
+}
+
+/// [`resilient`] with an [`ObserverHandle`] installed at every layer, so
+/// faults, retries, and breaker transitions stream to the observer.
+pub fn resilient_observed<M: LanguageModel>(
+    inner: M,
+    plan: FaultPlan,
+    clock: SimClock,
+    seed: u64,
+    observer: ObserverHandle,
+) -> CircuitBreaker<RetryModel<TimeoutModel<FaultyModel<M>>>> {
+    let faulty = FaultyModel::new(inner, plan, clock.clone()).with_observer(observer.clone());
     let timed = TimeoutModel::new(faulty, clock.clone(), 30_000);
-    let retry = RetryModel::new(timed, clock.clone(), seed);
-    CircuitBreaker::new(retry, clock)
+    let retry = RetryModel::new(timed, clock.clone(), seed).with_observer(observer.clone());
+    CircuitBreaker::new(retry, clock).with_observer(observer)
 }
 
 #[cfg(test)]
@@ -687,6 +744,43 @@ mod tests {
         assert!(m.complete("p").is_ok());
         assert!(!m.is_open());
         assert!(m.complete("p").is_ok());
+    }
+
+    #[test]
+    fn observed_stack_streams_fault_retry_and_breaker_events() {
+        use crate::obs::LlmObserver;
+        use std::sync::Mutex;
+
+        struct Tap(Arc<Mutex<Vec<LlmEvent>>>);
+        impl LlmObserver for Tap {
+            fn record(&mut self, event: &LlmEvent) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let clock = SimClock::new();
+        let plan = FaultPlan::scripted([
+            (0, Fault::RateLimit { retry_after_ms: 5 }),
+            (1, Fault::Timeout { elapsed_ms: 100 }),
+        ]);
+        let observer = ObserverHandle::new(Box::new(Tap(log.clone())));
+        let mut m = resilient_observed(Echo, plan, clock, 3, observer);
+        assert!(m.complete("p").unwrap().contains("[["));
+        let events = log.lock().unwrap();
+        let faults = events
+            .iter()
+            .filter(|e| matches!(e, LlmEvent::Fault { .. }))
+            .count();
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e, LlmEvent::Retry { .. }))
+            .count();
+        assert_eq!(faults, 2);
+        assert_eq!(retries, 2);
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, LlmEvent::CircuitOpened { .. })));
     }
 
     #[test]

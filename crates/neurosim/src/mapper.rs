@@ -210,7 +210,12 @@ impl LayerMapping {
     /// # Errors
     ///
     /// Returns [`NeurosimError::InvalidConfig`] when the crossbar
-    /// configuration itself is invalid.
+    /// configuration itself is invalid, and
+    /// [`NeurosimError::InvalidWorkload`] when the layer's column or array
+    /// count overflows `u32`. The former unchecked multiplications wrapped
+    /// on such layers and could report `utilization` far above 1 (or
+    /// `inf` when `arrays` wrapped to 0), which then poisoned every
+    /// downstream energy/latency figure.
     pub fn map(
         workload: &LayerWorkload,
         xbar: &CrossbarConfig,
@@ -219,13 +224,34 @@ impl LayerMapping {
         xbar.validate()?;
         let rows_needed = workload.rows_needed();
         let col_slices = u32::from(precision.weight_bits).div_ceil(u32::from(xbar.cell_bits));
-        let cols_needed = workload.logical_cols() * col_slices;
+        let cols_needed = workload
+            .logical_cols()
+            .checked_mul(col_slices)
+            .ok_or_else(|| {
+                NeurosimError::InvalidWorkload(format!(
+                    "layer needs {} logical columns x {col_slices} bit-slices, \
+                     overflowing the column count",
+                    workload.logical_cols()
+                ))
+            })?;
         let row_groups = rows_needed.div_ceil(xbar.rows);
         let col_groups = cols_needed.div_ceil(xbar.cols);
-        let arrays = row_groups * col_groups;
+        let arrays = row_groups.checked_mul(col_groups).ok_or_else(|| {
+            NeurosimError::InvalidWorkload(format!(
+                "layer needs {row_groups} x {col_groups} crossbar arrays, \
+                 overflowing the array count"
+            ))
+        })?;
         let input_cycles = u32::from(precision.activation_bits).div_ceil(u32::from(xbar.dac_bits));
-        let utilization = (rows_needed as f64 * cols_needed as f64)
+        // With the overflow guards above, occupied cells can never exceed
+        // allocated cells; the clamp only absorbs float rounding.
+        let raw = (rows_needed as f64 * cols_needed as f64)
             / (arrays as f64 * xbar.rows as f64 * xbar.cols as f64);
+        debug_assert!(
+            raw.is_finite() && raw <= 1.0 + 1e-12,
+            "utilization {raw} escaped [0, 1]"
+        );
+        let utilization = raw.clamp(0.0, 1.0);
         Ok(LayerMapping {
             row_groups,
             col_groups,
@@ -412,6 +438,46 @@ mod tests {
         // how many pixels stream through it.
         assert_eq!(ms.arrays, md.arrays);
         assert_eq!(ms.utilization, md.utilization);
+    }
+
+    #[test]
+    fn oversized_layers_error_instead_of_wrapping() {
+        // u32::MAX inputs need 2^25 row groups; x 128 col groups the array
+        // count lands exactly on 2^32, which the former unchecked multiply
+        // wrapped to 0 — reporting utilization = inf.
+        let l = LayerWorkload::fc(u32::MAX, 4096).unwrap();
+        match LayerMapping::map(&l, &xbar(), Precision::int8()) {
+            Err(NeurosimError::InvalidWorkload(msg)) => {
+                assert!(msg.contains("arrays"), "{msg}");
+            }
+            other => panic!("expected overflow error, got {other:?}"),
+        }
+        // Bit-slicing u32::MAX outputs x 4 slices overflows the physical
+        // column count before the array count is even formed.
+        let l = LayerWorkload::fc(128, u32::MAX).unwrap();
+        match LayerMapping::map(&l, &xbar(), Precision::int8()) {
+            Err(NeurosimError::InvalidWorkload(msg)) => {
+                assert!(msg.contains("column"), "{msg}");
+            }
+            other => panic!("expected overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_fit_stays_within_unit_interval() {
+        // Exactly full arrays: 128 rows x 32 logical cols x 4 slices =
+        // 128 cols — the ratio is exactly 1.0 and must not drift above it.
+        let l = LayerWorkload::fc(128, 32).unwrap();
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.arrays, 1);
+        assert_eq!(m.utilization, 1.0);
+        // One row over the boundary: a second row group at 1/128 packing.
+        let l = LayerWorkload::fc(129, 32).unwrap();
+        let m = LayerMapping::map(&l, &xbar(), Precision::int8()).unwrap();
+        assert_eq!(m.row_groups, 2);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        let expected = (129.0 * 128.0) / (2.0 * 128.0 * 128.0);
+        assert!((m.utilization - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::{OptimError, Optimizer, Result};
 use lcda_llm::design::{CandidateDesign, DesignChoices};
+use lcda_llm::obs::{LlmEvent, ObserverHandle};
 use lcda_llm::parse::parse_design;
 use lcda_llm::prompt::{HistoryEntry, PromptBuilder, PromptObjective};
 use lcda_llm::transcript::ChatTranscript;
@@ -34,6 +35,7 @@ pub struct LlmOptimizer<M> {
     name: String,
     fallback: Option<Box<dyn Optimizer>>,
     degraded: u64,
+    observer: ObserverHandle,
 }
 
 impl<M: fmt::Debug> fmt::Debug for LlmOptimizer<M> {
@@ -88,7 +90,15 @@ impl<M: LanguageModel> LlmOptimizer<M> {
             name,
             fallback: None,
             degraded: 0,
+            observer: ObserverHandle::none(),
         }
+    }
+
+    /// Installs an observer notified of every prompt, parse failure, and
+    /// degraded (fallback-served) proposal.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Configures a degraded-mode fallback optimizer.
@@ -174,6 +184,9 @@ impl<M: LanguageModel> LlmOptimizer<M> {
             .fallback
             .as_mut()
             .expect("degrade requires a configured fallback");
+        self.observer.emit(LlmEvent::Degraded {
+            fallback: fb.name().to_string(),
+        });
         let design = fb.propose()?;
         self.degraded += 1;
         self.episode += 1;
@@ -186,13 +199,18 @@ impl<M: LanguageModel> Optimizer for LlmOptimizer<M> {
         let base_prompt = self.builder.render(&self.prompt_history());
         let mut feedback: Option<String> = None;
         let mut last_error = String::new();
-        for _ in 0..self.max_retries {
+        for attempt in 0..self.max_retries {
             // Retries carry the previous failure back to the model as a
             // corrective note instead of resending the prompt verbatim.
             let prompt = match &feedback {
                 Some(note) => format!("{base_prompt}\n\n{note}"),
                 None => base_prompt.clone(),
             };
+            self.observer.emit(LlmEvent::Prompt {
+                episode: self.episode,
+                attempt,
+                chars: prompt.len() as u64,
+            });
             match self.model.complete(&prompt) {
                 Ok(response) => match parse_design(&response, &self.choices) {
                     Ok(design) => {
@@ -202,6 +220,10 @@ impl<M: LanguageModel> Optimizer for LlmOptimizer<M> {
                     }
                     Err(e) => {
                         last_error = e.to_string();
+                        self.observer.emit(LlmEvent::ParseFailure {
+                            episode: self.episode,
+                            error: last_error.clone(),
+                        });
                         self.transcript
                             .record_failed(self.episode, prompt, response, &last_error);
                         feedback = Some(corrective_note(&last_error));

@@ -154,7 +154,7 @@ where
     let threads = threads.max(1).min(trials as usize);
     let mut slots: Vec<Option<std::result::Result<f32, E>>> = Vec::new();
     slots.resize_with(trials as usize, || None);
-    let chunk = trials as usize / threads + usize::from(!(trials as usize).is_multiple_of(threads));
+    let chunk = (trials as usize).div_ceil(threads);
     crossbeam::scope(|s| {
         for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
             let metric = &metric;

@@ -11,3 +11,15 @@ cargo test --workspace -q
 # bench are caught here; real timings come from `cargo bench`. This also
 # exercises the BENCH_eval.json writer in eval_pipeline.
 cargo bench -p lcda-bench -- --test
+
+# Journal smoke: a short search must stream a JSONL journal that
+# `lcda report` parses back, and identically seeded runs must write
+# byte-identical journals (the determinism contract).
+journal_dir="$(mktemp -d)"
+trap 'rm -rf "$journal_dir"' EXIT
+./target/release/lcda search --episodes 3 --seed 7 \
+    --journal "$journal_dir/run_a.jsonl" > /dev/null
+./target/release/lcda search --episodes 3 --seed 7 \
+    --journal "$journal_dir/run_b.jsonl" > /dev/null
+cmp "$journal_dir/run_a.jsonl" "$journal_dir/run_b.jsonl"
+./target/release/lcda report "$journal_dir/run_a.jsonl" | grep -q "episodes"

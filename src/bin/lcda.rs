@@ -25,6 +25,7 @@ COMMANDS:
     evaluate    score one design (accuracy, energy, latency, reward)
     front       evolve the accuracy-cost Pareto front with NSGA-II
     reference   print the ISAAC reference design's metrics
+    report      summarize a run journal written with --journal
     help        show this message
 
 SEARCH OPTIONS:
@@ -39,6 +40,8 @@ SEARCH OPTIONS:
     --threads <n>           evaluator worker threads; results are
                             bit-identical for every value     (default 1)
     --no-cache              disable evaluation memoization
+    --journal <path>        stream a JSONL event journal of the run
+                            (deterministic: same seed, same bytes)
     --fault-rate <p>        (resilient only) inject faults with probability p
     --fault-seed <n>        (resilient only) fault schedule seed (default --seed)
     --json                                                   emit JSON
@@ -47,10 +50,14 @@ EVALUATE OPTIONS:
     --design <rollout text>     e.g. \"[[32,3],...,[128,3]] | hw: [128,8,2,rram]\"
     --objective <energy|latency>
     --backend <cim|systolic>
+    --journal <path>        stream a JSONL event journal of the evaluation
     --json
 
 FRONT OPTIONS:
     --episodes <n>   (default 240)    --seed <n>    --objective <energy|latency>
+
+REPORT USAGE:
+    lcda report <journal.jsonl>     print per-phase counters and timings
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags, with
@@ -150,6 +157,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args),
         "front" => cmd_front(&args),
         "reference" => cmd_reference(&args),
+        "report" => cmd_report(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -175,6 +183,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             "--seed",
             "--checkpoint",
             "--threads",
+            "--journal",
             "--fault-rate",
             "--fault-seed",
         ],
@@ -228,11 +237,16 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown optimizer `{other}`")),
     };
+    let journal = match args.get("--journal") {
+        Some(path) => Journal::to_file(std::path::Path::new(path)).map_err(|e| e.to_string())?,
+        None => Journal::disabled(),
+    };
     let run = CoDesign::builder(space, config)
         .optimizer(spec)
         .backend(&backend)
         .threads(threads)
         .caching(!args.flag("--no-cache"))
+        .journal(journal.clone())
         .build();
 
     let resume_from = match (&checkpoint_path, resume) {
@@ -258,6 +272,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             Ok(())
         })
         .map_err(|e| e.to_string())?;
+    journal.finish().map_err(|e| e.to_string())?;
 
     if args.flag("--json") {
         println!(
@@ -292,6 +307,7 @@ fn evaluate_design_text(
     objective: Objective,
     backend: &str,
     json: bool,
+    journal: &Journal,
 ) -> Result<(), String> {
     let space = DesignSpace::nacim_cifar10();
     let design = parse_design(text, &space.choices).map_err(|e| e.to_string())?;
@@ -302,11 +318,13 @@ fn evaluate_design_text(
     let mut scorer = CoDesign::builder(space, config)
         .optimizer(OptimizerSpec::Random)
         .backend(backend)
+        .journal(journal.clone())
         .build()
         .map_err(|e| e.to_string())?;
     let record = scorer
         .evaluate_design(0, design)
         .map_err(|e| e.to_string())?;
+    journal.finish().map_err(|e| e.to_string())?;
     if json {
         println!(
             "{}",
@@ -337,13 +355,20 @@ fn evaluate_design_text(
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    args.validate(&["--design", "--objective", "--backend"], &["--json"])?;
+    args.validate(
+        &["--design", "--objective", "--backend", "--journal"],
+        &["--json"],
+    )?;
     let text = args
         .get("--design")
         .ok_or("evaluate requires --design <rollout text>")?;
     let objective = args.objective()?;
     let backend = args.backend()?;
-    evaluate_design_text(text, objective, &backend, args.flag("--json"))
+    let journal = match args.get("--journal") {
+        Some(path) => Journal::to_file(std::path::Path::new(path)).map_err(|e| e.to_string())?,
+        None => Journal::disabled(),
+    };
+    evaluate_design_text(text, objective, &backend, args.flag("--json"), &journal)
 }
 
 fn cmd_front(args: &Args) -> Result<(), String> {
@@ -381,5 +406,16 @@ fn cmd_reference(args: &Args) -> Result<(), String> {
         Objective::AccuracyEnergy,
         &backend,
         args.flag("--json"),
+        &Journal::disabled(),
     )
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let [path] = args.items.as_slice() else {
+        return Err("report expects exactly one argument: <journal.jsonl>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report = RunReport::from_jsonl(&text).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    Ok(())
 }

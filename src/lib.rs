@@ -58,6 +58,7 @@ pub mod prelude {
         CoDesign, CoDesignBuilder, CoDesignConfig, EpisodeRecord, OptimizerSpec, Outcome,
     };
     pub use lcda_core::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+    pub use lcda_core::journal::{Journal, JournalEvent, JournalRecord, RunReport};
     pub use lcda_core::pipeline::{CacheStats, EvalCache, EvalPipeline};
     pub use lcda_core::reward::Objective;
     pub use lcda_core::space::DesignSpace;

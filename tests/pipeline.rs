@@ -141,6 +141,115 @@ fn cache_survives_kill_and_resume() {
     assert!(stats.hits + stats.misses > 0);
 }
 
+/// Cache *statistics* are session-local and never ride the checkpoint:
+/// the snapshot JSON carries entries but no counters, and a resumed
+/// process starts counting from zero while the rehydrated entries still
+/// serve hits.
+#[test]
+fn resumed_session_starts_with_zero_stats_but_live_entries() {
+    let space = DesignSpace::nacim_cifar10();
+    let config = cfg(Objective::AccuracyEnergy, 4, 21);
+
+    let mut last: Option<Checkpoint> = None;
+    let mut first = CoDesign::builder(space.clone(), config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap();
+    let full = first
+        .run_resumable(None, |cp| {
+            last = Some(cp.clone());
+            Ok(())
+        })
+        .unwrap();
+    let pre_kill = first.cache_stats();
+    assert!(pre_kill.misses > 0, "the first session did real work");
+
+    // The wire format carries the memo table but none of the counters.
+    let json = last.as_ref().unwrap().to_json().unwrap();
+    assert!(json.contains("\"eval_cache\""));
+    assert!(!json.contains("\"hits\""), "stats must not be serialized");
+    assert!(!json.contains("\"misses\""));
+    assert!(!json.contains("\"inserts\""));
+
+    // A fresh process resumes from the completed snapshot: replay only,
+    // no new evaluations — so its session counters must read zero, not
+    // the first session's totals.
+    let restored = Checkpoint::from_json(&json).unwrap();
+    let mut resumer = CoDesign::builder(space, config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap();
+    resumer.run_resumable(Some(restored), |_| Ok(())).unwrap();
+    let after_resume = resumer.cache_stats();
+    assert_eq!(
+        after_resume.hits + after_resume.misses,
+        0,
+        "{after_resume:?}"
+    );
+
+    // …while the rehydrated entries are live: re-scoring a design the
+    // first session evaluated is served entirely from the table.
+    let seen = full
+        .history
+        .iter()
+        .find(|r| r.is_valid())
+        .expect("at least one feasible episode");
+    let record = resumer
+        .evaluate_design(seen.episode, seen.design.clone())
+        .unwrap();
+    assert_eq!(record.reward, seen.reward);
+    let stats = resumer.cache_stats();
+    assert_eq!(stats.hits, 2, "accuracy + hardware both hit: {stats:?}");
+    assert_eq!(stats.misses, 0);
+}
+
+/// Journals are deterministic artifacts: two identically seeded runs
+/// write byte-identical JSONL, journaling never changes the outcome, and
+/// the aggregated report's cache counters equal the pipeline's
+/// run-local statistics.
+#[test]
+fn journal_is_byte_identical_across_identical_runs() {
+    let space = DesignSpace::nacim_cifar10();
+    let journaled = |seed: u64| {
+        let (journal, buffer) = Journal::in_memory();
+        let mut run = CoDesign::builder(space.clone(), cfg(Objective::AccuracyEnergy, 6, seed))
+            .optimizer(OptimizerSpec::ResilientLlm {
+                plan: FaultPlan::seeded(seed, 64, 0.3, 2),
+            })
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        let outcome = run.run().unwrap();
+        journal.finish().unwrap();
+        (outcome, buffer.contents(), run.cache_stats())
+    };
+
+    let (outcome_a, journal_a, stats_a) = journaled(7);
+    let (outcome_b, journal_b, _) = journaled(7);
+    assert!(!journal_a.is_empty());
+    assert_eq!(journal_a, journal_b, "same seed, same bytes");
+
+    // Observation is transparent: an un-journaled run proposes and scores
+    // the exact same episodes.
+    let mut plain = CoDesign::builder(space, cfg(Objective::AccuracyEnergy, 6, 7))
+        .optimizer(OptimizerSpec::ResilientLlm {
+            plan: FaultPlan::seeded(7, 64, 0.3, 2),
+        })
+        .build()
+        .unwrap();
+    assert_eq!(
+        outcome_json(&plain.run().unwrap()),
+        outcome_json(&outcome_a)
+    );
+
+    // The report rebuilt from the journal mirrors the live counters.
+    let report = RunReport::from_jsonl(&journal_a).unwrap();
+    assert_eq!(report.cache, stats_a);
+    assert_eq!(report.episodes, 6);
+    assert_eq!(report.best_reward, Some(outcome_a.best.reward));
+    assert_eq!(outcome_b.best.reward, outcome_a.best.reward);
+}
+
 /// Disabling the cache through the CLI-facing builder knob really turns
 /// memoization off, including for checkpoints: snapshots carry no cache.
 #[test]
