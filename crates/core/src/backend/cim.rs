@@ -65,6 +65,11 @@ impl Default for CimBackendConfig {
     }
 }
 
+// The ISAAC default config is a compile-time constant validated by the
+// neurosim crate's own tests; calibration over it cannot fail at runtime,
+// so this is the one sanctioned expect in the crate (see the
+// `clippy::expect_used` gate in lib.rs).
+#[allow(clippy::expect_used)]
 fn isaac_calibration() -> (f64, f64) {
     isaac::calibrate(ChipConfig::isaac_default())
         .expect("default ISAAC configuration is valid")

@@ -1,0 +1,225 @@
+//! Deterministic fault injection around any hardware backend.
+//!
+//! [`FaultyBackend`] is the evaluation-side sibling of
+//! [`lcda_llm::middleware::FaultyModel`]: it wraps an inner
+//! [`HardwareBackend`] and fires the faults scheduled in an
+//! [`EvalFaultPlan`] at the corresponding cost-call indices. Faults
+//! *intercept* calls — a failing fault returns before the inner model is
+//! consulted — so the wrapped backend sees exactly the calls the plan
+//! lets through and, backends being pure functions of the design, a
+//! retried call returns the identical clean value. That is what lets
+//! `tests/chaos.rs` assert a faulty-backend search is bit-identical to
+//! its fault-free twin.
+
+use super::{backend_fingerprint, HardwareBackend};
+use crate::evaluate::{HardwareCostEvaluator, HwMetrics};
+use crate::fault::{EvalFault, EvalFaultPlan};
+use crate::journal::{Journal, JournalEvent};
+use crate::{CoreError, Result};
+use lcda_llm::design::CandidateDesign;
+use lcda_llm::middleware::SimClock;
+
+/// A [`HardwareBackend`] decorator injecting scheduled evaluation
+/// faults. Built by the registry for `--backend <base>+faulty` names.
+pub struct FaultyBackend {
+    inner: Box<dyn HardwareBackend>,
+    plan: EvalFaultPlan,
+    clock: SimClock,
+    journal: Journal,
+    calls: u64,
+    fired: u64,
+}
+
+impl FaultyBackend {
+    /// Wraps `inner`, firing `plan`'s faults; stalls advance `clock`.
+    pub fn new(inner: Box<dyn HardwareBackend>, plan: EvalFaultPlan, clock: SimClock) -> Self {
+        FaultyBackend {
+            inner,
+            plan,
+            clock,
+            journal: Journal::disabled(),
+            calls: 0,
+            fired: 0,
+        }
+    }
+
+    /// Total cost calls seen (fired faults included).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Faults that actually fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn HardwareBackend {
+        self.inner.as_ref()
+    }
+}
+
+impl HardwareCostEvaluator for FaultyBackend {
+    fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
+        let call = self.calls;
+        self.calls += 1;
+        let Some(fault) = self.plan.fault_at(call).cloned() else {
+            return self.inner.cost(design);
+        };
+        self.fired += 1;
+        self.journal.record(JournalEvent::EvalFault {
+            call,
+            kind: fault.kind().to_string(),
+        });
+        match fault {
+            EvalFault::Transient => Err(CoreError::EvalFault(format!(
+                "injected transient backend fault at call {call}"
+            ))),
+            EvalFault::Stall { delay_ms } => {
+                self.clock.advance_ms(delay_ms);
+                self.inner.cost(design)
+            }
+            EvalFault::NonFinite => Ok(Some(HwMetrics {
+                energy_pj: f64::NAN,
+                latency_ns: f64::NAN,
+                area_mm2: f64::NAN,
+                leakage_uw: f64::NAN,
+            })),
+            EvalFault::Panic => panic!("injected backend panic at call {call}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn fingerprint(&self) -> String {
+        // The plan is part of the identity: a different fault schedule
+        // never shares cache entries with the clean backend — even
+        // though post-retry values coincide, correctness must not
+        // depend on that.
+        let plan_json = serde_json::to_string(&self.plan).unwrap_or_default();
+        backend_fingerprint("faulty", &[&self.inner.fingerprint(), &plan_json])
+    }
+
+    fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal.clone();
+        self.inner.set_journal(journal);
+    }
+}
+
+impl HardwareBackend for FaultyBackend {
+    fn id(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn config_json(&self) -> Result<String> {
+        let inner: serde_json::Value = serde_json::from_str(&self.inner.config_json()?)
+            .map_err(|e| CoreError::Checkpoint(format!("inner backend config: {e}")))?;
+        serde_json::to_string(&serde_json::json!({
+            "id": "faulty",
+            "inner": inner,
+            "plan": self.plan,
+        }))
+        .map_err(|e| CoreError::Checkpoint(format!("serialize faulty config: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendRegistry;
+    use crate::space::DesignSpace;
+
+    fn wrap(plan: EvalFaultPlan) -> (FaultyBackend, CandidateDesign, SimClock) {
+        let space = DesignSpace::nacim_cifar10();
+        let design = space.reference_design();
+        let inner = BackendRegistry::standard().create("cim", &space).unwrap();
+        let clock = SimClock::new();
+        (
+            FaultyBackend::new(inner, plan, clock.clone()),
+            design,
+            clock,
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let (mut faulty, design, _) = wrap(EvalFaultPlan::none());
+        let space = DesignSpace::nacim_cifar10();
+        let mut clean = BackendRegistry::standard().create("cim", &space).unwrap();
+        assert_eq!(
+            faulty.cost(&design).unwrap(),
+            clean.cost(&design).unwrap(),
+            "no faults scheduled → identical to the inner backend"
+        );
+        assert_eq!(faulty.fired(), 0);
+        assert_eq!(faulty.calls(), 1);
+    }
+
+    #[test]
+    fn transient_fault_errors_then_clears() {
+        let (mut faulty, design, _) = wrap(EvalFaultPlan::scripted([(0, EvalFault::Transient)]));
+        let err = faulty.cost(&design).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(faulty.cost(&design).unwrap().is_some(), "retry is clean");
+        assert_eq!(faulty.fired(), 1);
+    }
+
+    #[test]
+    fn stall_advances_clock_but_returns_clean_value() {
+        let (mut faulty, design, clock) = wrap(EvalFaultPlan::scripted([(
+            0,
+            EvalFault::Stall { delay_ms: 250 },
+        )]));
+        let stalled = faulty.cost(&design).unwrap();
+        assert_eq!(clock.now_ms(), 250);
+        let clean = faulty.cost(&design).unwrap();
+        assert_eq!(stalled, clean, "a stall must not corrupt the value");
+    }
+
+    #[test]
+    fn non_finite_fault_poisons_every_metric() {
+        let (mut faulty, design, _) = wrap(EvalFaultPlan::scripted([(0, EvalFault::NonFinite)]));
+        let metrics = faulty.cost(&design).unwrap().unwrap();
+        assert!(!metrics.is_finite());
+    }
+
+    #[test]
+    fn panic_fault_panics() {
+        let (mut faulty, design, _) = wrap(EvalFaultPlan::scripted([(0, EvalFault::Panic)]));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = faulty.cost(&design);
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn fingerprint_differs_from_inner_and_varies_with_plan() {
+        let (faulty_a, _, _) = wrap(EvalFaultPlan::none());
+        let (faulty_b, _, _) = wrap(EvalFaultPlan::scripted([(0, EvalFault::Transient)]));
+        assert!(faulty_a.fingerprint().starts_with("faulty/"));
+        assert_ne!(faulty_a.fingerprint(), faulty_a.inner().fingerprint());
+        assert_ne!(faulty_a.fingerprint(), faulty_b.fingerprint());
+    }
+
+    #[test]
+    fn faults_are_journaled() {
+        let (mut faulty, design, _) = wrap(EvalFaultPlan::scripted([(0, EvalFault::Transient)]));
+        let (journal, buffer) = Journal::in_memory();
+        faulty.set_journal(journal.clone());
+        let _ = faulty.cost(&design);
+        journal.finish().unwrap();
+        assert!(buffer.contents().contains("\"event\":\"eval_fault\""));
+    }
+
+    #[test]
+    fn config_json_embeds_inner_and_plan() {
+        let (faulty, _, _) = wrap(EvalFaultPlan::scripted([(2, EvalFault::NonFinite)]));
+        let json = faulty.config_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["id"], "faulty");
+        assert!(value["inner"].is_object());
+        assert!(value["plan"]["faults"].is_object());
+    }
+}

@@ -30,19 +30,27 @@
 //! produced under `cim` is structurally unservable to a `systolic` run.
 
 use crate::evaluate::HardwareCostEvaluator;
+use crate::fault::EvalFaultPlan;
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
+use lcda_llm::middleware::SimClock;
 use std::collections::BTreeMap;
 
 pub mod cim;
+pub mod faulty;
 pub mod systolic;
 
 pub use cim::CimBackend;
+pub use faulty::FaultyBackend;
 pub use systolic::SystolicBackend;
 
 /// The registry key of the backend used when none is requested — the
 /// paper's compute-in-memory model.
 pub const DEFAULT_BACKEND: &str = "cim";
+
+/// The name of the fault-injection decorator accepted after `+` in a
+/// backend name (`cim+faulty`, `systolic+faulty`).
+pub const FAULTY_DECORATOR: &str = "faulty";
 
 /// A hardware cost model that can be swapped under the co-design loop.
 ///
@@ -84,9 +92,20 @@ pub type BackendCtor = fn(&DesignSpace) -> Result<Box<dyn HardwareBackend>>;
 /// resolve through one of these; downstream crates can
 /// [`register`](BackendRegistry::register) their own models without
 /// touching `lcda-core`.
+///
+/// # Decorators
+///
+/// A backend name may carry `+`-separated decorator suffixes, resolved
+/// left to right after the base backend is built. The only in-tree
+/// decorator is [`FAULTY_DECORATOR`]: `cim+faulty` wraps the CiM model
+/// in a [`FaultyBackend`] firing the registry's
+/// [fault plan](BackendRegistry::with_fault_plan) (empty by default, in
+/// which case the wrapper is transparent).
 #[derive(Debug, Clone, Default)]
 pub struct BackendRegistry {
     ctors: BTreeMap<String, BackendCtor>,
+    fault_plan: EvalFaultPlan,
+    fault_clock: SimClock,
 }
 
 impl BackendRegistry {
@@ -111,7 +130,8 @@ impl BackendRegistry {
         self.ctors.insert(name.into(), ctor);
     }
 
-    /// Whether a backend name is registered.
+    /// Whether a backend name is registered (exact base names only; use
+    /// [`BackendRegistry::resolves`] for decorated names).
     pub fn contains(&self, name: &str) -> bool {
         self.ctors.contains_key(name)
     }
@@ -121,20 +141,59 @@ impl BackendRegistry {
         self.ctors.keys().map(String::as_str).collect()
     }
 
-    /// Instantiates the named backend over a design space.
+    /// Sets the fault plan fired by the [`FAULTY_DECORATOR`] wrapper.
+    /// The plan is shared by every decorated backend this registry
+    /// creates, so one schedule drives the whole scenario.
+    pub fn with_fault_plan(mut self, plan: EvalFaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the simulated clock that [`FaultyBackend`] stalls advance.
+    pub fn with_fault_clock(mut self, clock: SimClock) -> Self {
+        self.fault_clock = clock;
+        self
+    }
+
+    /// Whether `name` resolves through this registry: its base is
+    /// registered and every `+`-suffix is a known decorator.
+    pub fn resolves(&self, name: &str) -> bool {
+        let mut parts = name.split('+');
+        let base = parts.next().unwrap_or("");
+        self.contains(base) && parts.all(|deco| deco == FAULTY_DECORATOR)
+    }
+
+    /// Instantiates the named backend over a design space, applying any
+    /// `+`-decorators left to right.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for an unknown name and
-    /// propagates backend construction errors.
+    /// Returns [`CoreError::InvalidConfig`] for an unknown base name or
+    /// decorator and propagates backend construction errors.
     pub fn create(&self, name: &str, space: &DesignSpace) -> Result<Box<dyn HardwareBackend>> {
-        match self.ctors.get(name) {
-            Some(ctor) => ctor(space),
-            None => Err(CoreError::InvalidConfig(format!(
-                "unknown hardware backend `{name}` (known: {})",
+        let mut parts = name.split('+');
+        let base = parts.next().unwrap_or("");
+        let ctor = self.ctors.get(base).ok_or_else(|| {
+            CoreError::InvalidConfig(format!(
+                "unknown hardware backend `{base}` (known: {})",
                 self.names().join(", ")
-            ))),
+            ))
+        })?;
+        let mut backend = ctor(space)?;
+        for deco in parts {
+            if deco == FAULTY_DECORATOR {
+                backend = Box::new(FaultyBackend::new(
+                    backend,
+                    self.fault_plan.clone(),
+                    self.fault_clock.clone(),
+                ));
+            } else {
+                return Err(CoreError::InvalidConfig(format!(
+                    "unknown backend decorator `{deco}` in `{name}` (known: {FAULTY_DECORATOR})"
+                )));
+            }
         }
+        Ok(backend)
     }
 }
 
@@ -190,6 +249,49 @@ mod tests {
         r.register("cim", |space| Ok(Box::new(CimBackend::new(space.clone()))));
         assert!(r.contains("cim"));
         assert!(!r.contains("systolic"));
+    }
+
+    #[test]
+    fn decorated_names_resolve_and_wrap() {
+        use crate::fault::EvalFault;
+        let r = BackendRegistry::standard()
+            .with_fault_plan(EvalFaultPlan::scripted([(0, EvalFault::Transient)]));
+        let space = DesignSpace::nacim_cifar10();
+        assert!(r.resolves("cim+faulty"));
+        assert!(r.resolves("systolic+faulty"));
+        assert!(r.resolves("cim"));
+        assert!(!r.resolves("cim+bogus"));
+        assert!(!r.resolves("fpga+faulty"));
+        let mut wrapped = r.create("cim+faulty", &space).unwrap();
+        assert_eq!(wrapped.id(), "faulty");
+        assert!(wrapped.fingerprint().starts_with("faulty/"));
+        let err = wrapped.cost(&space.reference_design()).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn unknown_decorator_is_a_config_error() {
+        let r = BackendRegistry::standard();
+        let err = r
+            .create("cim+bogus", &DesignSpace::nacim_cifar10())
+            .unwrap_err();
+        match err {
+            CoreError::InvalidConfig(msg) => {
+                assert!(msg.contains("bogus"));
+                assert!(msg.contains("faulty"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_plan_decorator_is_transparent() {
+        let r = BackendRegistry::standard();
+        let space = DesignSpace::nacim_cifar10();
+        let design = space.reference_design();
+        let mut plain = r.create("cim", &space).unwrap();
+        let mut wrapped = r.create("cim+faulty", &space).unwrap();
+        assert_eq!(plain.cost(&design).unwrap(), wrapped.cost(&design).unwrap());
     }
 
     #[test]

@@ -15,19 +15,51 @@
 //! re-proposed design against the recorded one and fails with
 //! [`crate::CoreError::Checkpoint`] when the checkpoint belongs to a
 //! different config or seed.
+//!
+//! # Durability and corruption
+//!
+//! The atomic rename protects against *torn* files, but not against a
+//! crash before the data reaches the platter, nor against on-disk bit
+//! rot. Three further layers close those holes:
+//!
+//! - [`Checkpoint::save`] fsyncs the temp file before the rename and the
+//!   parent directory after it, so a published checkpoint survives a
+//!   power cut;
+//! - every checkpoint embeds a content **checksum** (a stable FNV digest
+//!   of its canonical JSON), verified on load — silent corruption is a
+//!   typed [`CoreError::Checkpoint`] instead of garbage state (files
+//!   written before the checksum existed load without verification);
+//! - [`CheckpointStore`] keeps the last *N* **generations**
+//!   (`--keep-checkpoints N`): `run.json` is the newest, `run.json.1`
+//!   the previous one, and so on; [`CheckpointStore::load_latest`] falls
+//!   back to the newest generation that still verifies.
 
 use crate::codesign::{CoDesignConfig, EpisodeRecord};
 use crate::pipeline::EvalCache;
 use crate::{CoreError, Result};
 use lcda_llm::transcript::ChatTranscript;
 use serde::{Deserialize, Serialize};
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Format version stamped into every checkpoint file.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
+/// The JSON key carrying the content checksum. Not a struct field:
+/// the checksum describes the file, not the run, and keeping it out of
+/// [`Checkpoint`] keeps `PartialEq`/round-trip semantics value-based.
+const CHECKSUM_KEY: &str = "checksum";
+
 fn default_backend_name() -> String {
     crate::backend::DEFAULT_BACKEND.to_string()
+}
+
+/// The content checksum of a checkpoint JSON value (without its
+/// checksum field): a stable FNV digest of the compact canonical
+/// serialization. `serde_json` maps preserve sorted key order, so the
+/// canonical form is deterministic across pretty/compact round-trips.
+fn checksum_of(value: &serde_json::Value) -> String {
+    crate::pipeline::stable_fingerprint(&[&value.to_string()])
 }
 
 /// A point-in-time snapshot of a co-design run.
@@ -97,25 +129,53 @@ impl Checkpoint {
         self.history.len() as u64
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON with an embedded content checksum.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Checkpoint`] when serialization fails.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
+        let mut value = serde_json::to_value(self)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
+        let digest = checksum_of(&value);
+        match value.as_object_mut() {
+            Some(obj) => {
+                obj.insert(CHECKSUM_KEY.to_string(), serde_json::Value::String(digest));
+            }
+            None => {
+                return Err(CoreError::Checkpoint(
+                    "serialize: checkpoint did not form a JSON object".into(),
+                ))
+            }
+        }
+        serde_json::to_string_pretty(&value)
             .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))
     }
 
-    /// Deserializes from JSON, validating the format version.
+    /// Deserializes from JSON, verifying the content checksum (when
+    /// present — pre-checksum files load unverified) and the format
+    /// version.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Checkpoint`] for malformed JSON or an
-    /// unsupported version.
+    /// Returns [`CoreError::Checkpoint`] for malformed JSON, a checksum
+    /// mismatch (corruption), or an unsupported version.
     pub fn from_json(json: &str) -> Result<Self> {
-        let cp: Checkpoint =
+        let mut value: serde_json::Value =
             serde_json::from_str(json).map_err(|e| CoreError::Checkpoint(format!("parse: {e}")))?;
+        let recorded = value
+            .as_object_mut()
+            .and_then(|obj| obj.remove(CHECKSUM_KEY));
+        if let Some(recorded) = recorded {
+            let computed = checksum_of(&value);
+            if recorded.as_str() != Some(computed.as_str()) {
+                return Err(CoreError::Checkpoint(format!(
+                    "checksum mismatch (corrupted file): recorded {recorded}, computed \"{computed}\""
+                )));
+            }
+        }
+        let cp: Checkpoint = serde_json::from_value(value)
+            .map_err(|e| CoreError::Checkpoint(format!("parse: {e}")))?;
         if cp.version != CHECKPOINT_VERSION {
             return Err(CoreError::Checkpoint(format!(
                 "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
@@ -125,19 +185,45 @@ impl Checkpoint {
         Ok(cp)
     }
 
-    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
-    /// rename over `path`, so a kill mid-write never leaves a torn file.
+    /// Writes the checkpoint atomically **and durably**: serialize to
+    /// `<file>.tmp`, fsync it, rename over `path`, then fsync the parent
+    /// directory. A kill at any instant leaves either the previous or
+    /// the new checkpoint — never a torn file — and a power cut after
+    /// return cannot unpublish the rename.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
     pub fn save(&self, path: &Path) -> Result<()> {
         let json = self.to_json()?;
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("checkpoint");
+        let tmp = path.with_file_name(format!("{file_name}.tmp"));
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| CoreError::Checkpoint(format!("create {}: {e}", tmp.display())))?;
+        file.write_all(json.as_bytes())
             .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        file.sync_all()
+            .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", tmp.display())))?;
+        drop(file);
         std::fs::rename(&tmp, path)
-            .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))
+            .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+        // Durability of the rename itself requires fsyncing the directory
+        // entry (POSIX; meaningless and unsupported on other platforms).
+        #[cfg(unix)]
+        {
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+                _ => PathBuf::from("."),
+            };
+            let dir = std::fs::File::open(&parent)
+                .map_err(|e| CoreError::Checkpoint(format!("open {}: {e}", parent.display())))?;
+            dir.sync_all()
+                .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", parent.display())))?;
+        }
+        Ok(())
     }
 
     /// Reads a checkpoint from disk.
@@ -150,6 +236,122 @@ impl Checkpoint {
         let json = std::fs::read_to_string(path)
             .map_err(|e| CoreError::Checkpoint(format!("read {}: {e}", path.display())))?;
         Checkpoint::from_json(&json)
+    }
+}
+
+/// Generation-rotating checkpoint persistence (`--keep-checkpoints N`).
+///
+/// Generation 0 is `path` itself; generation *k* is `<path>.k`. Each
+/// [`CheckpointStore::save`] shifts the existing generations up by one
+/// (dropping the oldest beyond the keep budget) before writing the new
+/// snapshot, so the last `keep` snapshots survive on disk.
+/// [`CheckpointStore::load_latest`] returns the newest generation that
+/// still verifies — a corrupted `run.json` falls back to `run.json.1`,
+/// and deterministic replay makes resuming from an older generation
+/// converge to the identical outcome.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    keep: u32,
+}
+
+impl CheckpointStore {
+    /// A store rotating up to `keep` generations at `path` (min 1 —
+    /// `keep == 1` is plain non-rotating persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for `keep == 0`.
+    pub fn new(path: impl Into<PathBuf>, keep: u32) -> Result<Self> {
+        if keep == 0 {
+            return Err(CoreError::InvalidConfig(
+                "checkpoint generations to keep must be at least 1".into(),
+            ));
+        }
+        Ok(CheckpointStore {
+            path: path.into(),
+            keep,
+        })
+    }
+
+    /// The generation-0 path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many generations are kept.
+    pub fn keep(&self) -> u32 {
+        self.keep
+    }
+
+    /// The on-disk path of a generation (0 = newest = the base path).
+    pub fn generation_path(&self, generation: u32) -> PathBuf {
+        if generation == 0 {
+            self.path.clone()
+        } else {
+            let name = self
+                .path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("checkpoint");
+            self.path.with_file_name(format!("{name}.{generation}"))
+        }
+    }
+
+    /// Rotates existing generations up and writes `checkpoint` as
+    /// generation 0 (atomically and durably, via [`Checkpoint::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] on rotation or write failure.
+    pub fn save(&self, checkpoint: &Checkpoint) -> Result<()> {
+        for generation in (0..self.keep.saturating_sub(1)).rev() {
+            let from = self.generation_path(generation);
+            if from.exists() {
+                let to = self.generation_path(generation + 1);
+                std::fs::rename(&from, &to).map_err(|e| {
+                    CoreError::Checkpoint(format!(
+                        "rotate {} -> {}: {e}",
+                        from.display(),
+                        to.display()
+                    ))
+                })?;
+            }
+        }
+        checkpoint.save(&self.path)
+    }
+
+    /// Loads the newest generation that parses and verifies, returning
+    /// it with its generation index. `Ok(None)` when no generation file
+    /// exists (a fresh run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when generation files exist but
+    /// none verifies, naming the newest failure.
+    pub fn load_latest(&self) -> Result<Option<(Checkpoint, u32)>> {
+        let mut newest_failure: Option<(u32, CoreError)> = None;
+        for generation in 0..self.keep {
+            let path = self.generation_path(generation);
+            if !path.exists() {
+                continue;
+            }
+            match Checkpoint::load(&path) {
+                Ok(checkpoint) => return Ok(Some((checkpoint, generation))),
+                Err(e) => {
+                    if newest_failure.is_none() {
+                        newest_failure = Some((generation, e));
+                    }
+                }
+            }
+        }
+        match newest_failure {
+            None => Ok(None),
+            Some((generation, e)) => Err(CoreError::Checkpoint(format!(
+                "no valid checkpoint generation under {} (newest failure: generation {generation}: {e})",
+                self.path.display()
+            ))),
+        }
     }
 }
 
@@ -174,17 +376,53 @@ mod tests {
         assert_eq!(back.episodes_done(), 0);
     }
 
+    /// Drops the embedded checksum line, producing the legacy
+    /// (pre-checksum) file shape that loads without verification.
+    fn strip_checksum(json: &str) -> String {
+        json.lines()
+            .filter(|l| !l.trim_start().starts_with("\"checksum\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     #[test]
     fn version_mismatch_rejected() {
         let cp = Checkpoint::new(cfg(), "x", Vec::new(), None);
+        // Strip the checksum so the (older) version gate is what fires,
+        // not the corruption gate.
+        let json =
+            strip_checksum(&cp.to_json().unwrap()).replace("\"version\": 1", "\"version\": 99");
+        match Checkpoint::from_json(&json) {
+            Err(CoreError::Checkpoint(msg)) => assert!(msg.contains("version")),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_json_fails_the_checksum() {
+        let cp = Checkpoint::new(cfg(), "random", Vec::new(), None);
         let json = cp
             .to_json()
             .unwrap()
             .replace("\"version\": 1", "\"version\": 99");
         match Checkpoint::from_json(&json) {
-            Err(CoreError::Checkpoint(msg)) => assert!(msg.contains("version")),
-            other => panic!("expected version error, got {other:?}"),
+            Err(CoreError::Checkpoint(msg)) => {
+                assert!(msg.contains("checksum mismatch"), "{msg}")
+            }
+            other => panic!("expected checksum error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checksum_roundtrip_and_legacy_files_load_unverified() {
+        let cp = Checkpoint::new(cfg(), "random", Vec::new(), None);
+        let json = cp.to_json().unwrap();
+        assert!(json.contains("\"checksum\""));
+        assert_eq!(Checkpoint::from_json(&json).unwrap(), cp);
+        // A pre-checksum file has no checksum key and still loads.
+        let legacy = strip_checksum(&json);
+        assert!(!legacy.contains("checksum"));
+        assert_eq!(Checkpoint::from_json(&legacy).unwrap(), cp);
     }
 
     #[test]
@@ -203,8 +441,10 @@ mod tests {
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(cp, back);
-        // No stray temp file left behind.
-        assert!(!path.with_extension("tmp").exists());
+        // No stray temp file left behind (`<file>.tmp`, appended so
+        // rotated generations like `run.json.1` don't collide).
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        assert!(!path.with_file_name(format!("{name}.tmp")).exists());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -232,12 +472,13 @@ mod tests {
         let back = Checkpoint::from_json(&cp.to_json().unwrap()).unwrap();
         assert_eq!(back.backend, "systolic");
 
-        // A pre-backend checkpoint has no `backend` key at all; it must
-        // load under the default `cim` backend (forward compatibility).
+        // A pre-backend checkpoint has no `backend` key at all (and, being
+        // that old, no checksum either); it must load under the default
+        // `cim` backend (forward compatibility).
         let json = Checkpoint::new(cfg(), "random", Vec::new(), None)
             .to_json()
             .unwrap();
-        let legacy: String = json
+        let legacy: String = strip_checksum(&json)
             .lines()
             .filter(|l| !l.trim_start().starts_with("\"backend\""))
             .collect::<Vec<_>>()
@@ -254,5 +495,93 @@ mod tests {
             Checkpoint::load(&path),
             Err(CoreError::Checkpoint(_))
         ));
+    }
+
+    fn temp_store(tag: &str, keep: u32) -> CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("lcda-ckpt-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        CheckpointStore::new(dir.join("run.json"), keep).unwrap()
+    }
+
+    fn snapshot(episodes: u32) -> Checkpoint {
+        Checkpoint::new(
+            CoDesignConfig::builder(Objective::AccuracyEnergy)
+                .episodes(episodes)
+                .seed(7)
+                .build(),
+            "random",
+            Vec::new(),
+            None,
+        )
+    }
+
+    #[test]
+    fn store_rejects_zero_keep() {
+        assert!(matches!(
+            CheckpointStore::new("run.json", 0),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn store_rotates_generations_and_drops_the_oldest() {
+        let store = temp_store("rotate", 2);
+        store.save(&snapshot(1)).unwrap();
+        store.save(&snapshot(2)).unwrap();
+        store.save(&snapshot(3)).unwrap();
+        assert!(store.generation_path(0).exists());
+        assert!(store.generation_path(1).exists());
+        assert!(
+            !store.generation_path(2).exists(),
+            "keep=2 must never leave a third generation"
+        );
+        let (newest, generation) = store.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 0);
+        assert_eq!(newest.config.episodes, 3);
+        let previous = Checkpoint::load(&store.generation_path(1)).unwrap();
+        assert_eq!(previous.config.episodes, 2);
+        let _ = std::fs::remove_dir_all(store.path().parent().unwrap());
+    }
+
+    #[test]
+    fn store_falls_back_to_previous_valid_generation() {
+        let store = temp_store("fallback", 3);
+        store.save(&snapshot(1)).unwrap();
+        store.save(&snapshot(2)).unwrap();
+        // Corrupt the newest generation with a mid-file bit flip.
+        let g0 = store.generation_path(0);
+        let mut bytes = std::fs::read(&g0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&g0, bytes).unwrap();
+        let (cp, generation) = store.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 1, "corrupted newest must fall back");
+        assert_eq!(cp.config.episodes, 1);
+        let _ = std::fs::remove_dir_all(store.path().parent().unwrap());
+    }
+
+    #[test]
+    fn store_with_no_files_is_a_fresh_run() {
+        let store = temp_store("fresh", 2);
+        assert!(store.load_latest().unwrap().is_none());
+        let _ = std::fs::remove_dir_all(store.path().parent().unwrap());
+    }
+
+    #[test]
+    fn store_errors_when_every_generation_is_corrupt() {
+        let store = temp_store("allbad", 2);
+        store.save(&snapshot(1)).unwrap();
+        store.save(&snapshot(2)).unwrap();
+        for g in 0..2 {
+            std::fs::write(store.generation_path(g), b"{garbage").unwrap();
+        }
+        match store.load_latest() {
+            Err(CoreError::Checkpoint(msg)) => {
+                assert!(msg.contains("no valid checkpoint generation"), "{msg}")
+            }
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.path().parent().unwrap());
     }
 }

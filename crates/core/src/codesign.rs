@@ -17,7 +17,7 @@ use crate::backend::{BackendRegistry, DEFAULT_BACKEND};
 use crate::checkpoint::Checkpoint;
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
 use crate::journal::{Journal, JournalEvent};
-use crate::pipeline::{CacheStats, EvalPipeline};
+use crate::pipeline::{CacheStats, EvalPipeline, EvalRetryPolicy};
 use crate::reward::{Objective, INVALID_REWARD};
 use crate::space::DesignSpace;
 use crate::surrogate::SurrogateEvaluator;
@@ -340,6 +340,7 @@ pub struct CoDesignBuilder {
     threads: usize,
     caching: bool,
     journal: Journal,
+    retry: EvalRetryPolicy,
 }
 
 impl std::fmt::Debug for CoDesignBuilder {
@@ -431,6 +432,16 @@ impl CoDesignBuilder {
         self
     }
 
+    /// Tunes the evaluation retry budget applied to transient faults and
+    /// non-finite results (default: [`EvalRetryPolicy::default`], three
+    /// attempts with 100 ms simulated backoff). Retries never change the
+    /// results of a fault-free run.
+    #[must_use]
+    pub fn eval_retry(mut self, policy: EvalRetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Wires the run.
     ///
     /// # Errors
@@ -439,6 +450,12 @@ impl CoDesignBuilder {
     /// propagates optimizer construction errors.
     pub fn build(self) -> Result<CoDesign> {
         self.config.validate()?;
+        // One simulated clock spans the run: retry backoff and backend
+        // stalls advance it, the journal stamps events with it. The
+        // ResilientLlm path installs its own middleware clock on the
+        // journal afterwards, which is why this one goes in first.
+        let run_clock = SimClock::new();
+        self.journal.set_clock(run_clock.clone());
         let optimizer = self
             .spec
             .instantiate_observed(&self.space, &self.config, &self.journal)?;
@@ -463,6 +480,8 @@ impl CoDesignBuilder {
         pipeline.set_caching(self.caching);
         pipeline.set_threads(self.threads);
         pipeline.set_journal(self.journal.clone());
+        pipeline.set_retry_policy(self.retry);
+        pipeline.set_clock(run_clock);
         Ok(CoDesign {
             space: self.space,
             config: self.config,
@@ -512,6 +531,7 @@ impl CoDesign {
             threads: 1,
             caching: true,
             journal: Journal::disabled(),
+            retry: EvalRetryPolicy::default(),
         }
     }
 
@@ -830,9 +850,15 @@ impl CoDesign {
     /// Evaluates one design exactly as an episode would (exposed so
     /// benches can score hand-picked designs).
     ///
+    /// Evaluator panics and exhausted transient-fault retries do **not**
+    /// error: the episode comes back quarantined (reward −1, no metrics)
+    /// and the failure is journaled, so a chaotic backend cannot take the
+    /// search down.
+    ///
     /// # Errors
     ///
-    /// Propagates evaluator failures on *malformed* designs only.
+    /// Propagates structural evaluator failures (bad configuration, a
+    /// broken backend) only.
     pub fn evaluate_design(
         &mut self,
         episode: u32,
@@ -851,7 +877,27 @@ impl CoDesign {
                 quarantined: false,
             });
         }
-        let (accuracy, hw) = self.pipeline.evaluate(&design)?;
+        let (accuracy, hw) = match self.pipeline.evaluate(&design) {
+            Ok(result) => result,
+            // A panicking or persistently faulty evaluator must not take
+            // the run down: the design is quarantined (reward −1, no
+            // metrics) and the loop moves on. Structural errors — bad
+            // config, a broken backend — still propagate.
+            Err(e @ (CoreError::EvalPanic(_) | CoreError::EvalFault(_))) => {
+                self.journal.record(JournalEvent::EvalQuarantined {
+                    reason: e.to_string(),
+                });
+                return Ok(EpisodeRecord {
+                    episode,
+                    design,
+                    accuracy: 0.0,
+                    hw: None,
+                    reward: INVALID_REWARD,
+                    quarantined: true,
+                });
+            }
+            Err(e) => return Err(e),
+        };
         let reward = match &hw {
             Some(metrics) => self.config.objective.reward(accuracy, metrics),
             None => INVALID_REWARD,
@@ -1271,6 +1317,85 @@ mod tests {
             CoreError::Checkpoint(msg) => assert!(msg.contains("backend")),
             other => panic!("expected checkpoint error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn faulty_backend_run_is_bit_identical_to_the_clean_run() {
+        use crate::fault::EvalFault;
+        let space = DesignSpace::nacim_cifar10();
+        let plan = crate::fault::EvalFaultPlan::scripted([
+            (0, EvalFault::Transient),
+            (2, EvalFault::NonFinite),
+            (3, EvalFault::Stall { delay_ms: 250 }),
+        ]);
+        let mut faulty = CoDesign::builder(space.clone(), cfg(5, 23))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .backend("cim+faulty")
+            .registry(BackendRegistry::standard().with_fault_plan(plan))
+            .no_cache()
+            .build()
+            .unwrap();
+        let mut clean = CoDesign::builder(space, cfg(5, 23))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .no_cache()
+            .build()
+            .unwrap();
+        let a = faulty.run().unwrap();
+        let b = clean.run().unwrap();
+        assert_eq!(a.history.len(), b.history.len());
+        for (fa, cl) in a.history.iter().zip(&b.history) {
+            assert_eq!(fa.design, cl.design);
+            assert_eq!(fa.reward, cl.reward, "episode {}", fa.episode);
+            assert_eq!(fa.hw, cl.hw);
+        }
+    }
+
+    #[test]
+    fn panicking_backend_quarantines_the_episode_and_the_run_survives() {
+        use crate::fault::EvalFault;
+        let plan = crate::fault::EvalFaultPlan::scripted([(1, EvalFault::Panic)]);
+        let (journal, buffer) = Journal::in_memory();
+        let mut run = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(4, 29))
+            .optimizer(OptimizerSpec::Random)
+            .backend("cim+faulty")
+            .registry(BackendRegistry::standard().with_fault_plan(plan))
+            .no_cache()
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        let outcome = run.run().unwrap();
+        assert_eq!(outcome.history.len(), 4);
+        let poisoned: Vec<_> = outcome.history.iter().filter(|r| r.quarantined).collect();
+        assert_eq!(poisoned.len(), 1, "exactly the panicked episode");
+        assert_eq!(poisoned[0].reward, INVALID_REWARD);
+        journal.finish().unwrap();
+        let text = buffer.contents();
+        assert!(text.contains("\"event\":\"eval_panic\""), "{text}");
+        assert!(text.contains("\"event\":\"eval_quarantined\""), "{text}");
+    }
+
+    #[test]
+    fn exhausted_transient_retries_quarantine_instead_of_erroring() {
+        use crate::fault::EvalFault;
+        // Four consecutive transients exceed the default 3-attempt budget
+        // for episode 0's cost call; the run must still complete.
+        let plan = crate::fault::EvalFaultPlan::scripted([
+            (0, EvalFault::Transient),
+            (1, EvalFault::Transient),
+            (2, EvalFault::Transient),
+            (3, EvalFault::Transient),
+        ]);
+        let mut run = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(3, 37))
+            .optimizer(OptimizerSpec::Random)
+            .backend("cim+faulty")
+            .registry(BackendRegistry::standard().with_fault_plan(plan))
+            .no_cache()
+            .build()
+            .unwrap();
+        let outcome = run.run().unwrap();
+        assert_eq!(outcome.history.len(), 3);
+        assert!(outcome.history[0].quarantined);
+        assert!(!outcome.history[1].quarantined);
     }
 
     #[test]

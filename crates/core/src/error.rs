@@ -22,6 +22,24 @@ pub enum CoreError {
     Checkpoint(String),
     /// A run journal could not be written, read, or parsed.
     Journal(String),
+    /// A transient evaluation-substrate fault (injected or real). The
+    /// call may succeed on retry; [`EvalPipeline`](crate::EvalPipeline)
+    /// retries these up to its policy budget before surfacing them.
+    EvalFault(String),
+    /// An evaluator panicked. The panic was caught at the pipeline
+    /// boundary ([`std::panic::catch_unwind`]) and converted into this
+    /// typed error so a single poisoned design quarantines instead of
+    /// aborting the whole run. Never retried.
+    EvalPanic(String),
+}
+
+impl CoreError {
+    /// True for faults that may clear on retry (currently only
+    /// [`CoreError::EvalFault`]). Panics and structural errors are not
+    /// transient: retrying them would just repeat the failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::EvalFault(_))
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +53,8 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid co-design config: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
             CoreError::Journal(msg) => write!(f, "journal: {msg}"),
+            CoreError::EvalFault(msg) => write!(f, "transient evaluation fault: {msg}"),
+            CoreError::EvalPanic(msg) => write!(f, "evaluator panicked: {msg}"),
         }
     }
 }
@@ -47,7 +67,11 @@ impl std::error::Error for CoreError {
             CoreError::Llm(e) => Some(e),
             CoreError::Optim(e) => Some(e),
             CoreError::Variation(e) => Some(e),
-            CoreError::InvalidConfig(_) | CoreError::Checkpoint(_) | CoreError::Journal(_) => None,
+            CoreError::InvalidConfig(_)
+            | CoreError::Checkpoint(_)
+            | CoreError::Journal(_)
+            | CoreError::EvalFault(_)
+            | CoreError::EvalPanic(_) => None,
         }
     }
 }
@@ -104,6 +128,16 @@ mod tests {
         let e = CoreError::Checkpoint("stale".into());
         assert!(e.source().is_none());
         assert!(e.to_string().contains("checkpoint"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(CoreError::EvalFault("injected".into()).is_transient());
+        assert!(!CoreError::EvalPanic("boom".into()).is_transient());
+        assert!(!CoreError::Checkpoint("stale".into()).is_transient());
+        assert!(CoreError::EvalPanic("boom".into())
+            .to_string()
+            .contains("panicked"));
     }
 
     #[test]

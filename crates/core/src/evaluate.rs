@@ -104,6 +104,12 @@ pub trait HardwareCostEvaluator {
     fn fingerprint(&self) -> String {
         self.name().to_string()
     }
+
+    /// Attaches a run journal so the evaluator can report its internal
+    /// events (e.g. injected faults in
+    /// [`crate::backend::FaultyBackend`]). Journaling must never change
+    /// results. Default: no-op for evaluators with nothing to report.
+    fn set_journal(&mut self, _journal: crate::journal::Journal) {}
 }
 
 /// The NeuroSim-style evaluator's historical name; the implementation now

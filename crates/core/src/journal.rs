@@ -174,6 +174,34 @@ pub enum JournalEvent {
         /// Name of the fallback optimizer.
         fallback: String,
     },
+    /// The evaluation fault layer fired a scheduled fault
+    /// ([`crate::backend::FaultyBackend`]).
+    EvalFault {
+        /// Backend-call index the fault was scheduled at.
+        call: u64,
+        /// Stable fault-kind label (`transient` / `stall` / `non_finite`
+        /// / `panic`).
+        kind: String,
+    },
+    /// The pipeline re-issued a failed or non-finite evaluation.
+    EvalRetry {
+        /// Retry attempt number (0-based).
+        attempt: u32,
+        /// Why the previous attempt was discarded.
+        reason: String,
+    },
+    /// An evaluator panicked; the panic was caught at the pipeline
+    /// boundary and converted into a typed error.
+    EvalPanic {
+        /// First line of the panic payload.
+        message: String,
+    },
+    /// A design was quarantined because its evaluation failed
+    /// unrecoverably (panic, or retries exhausted).
+    EvalQuarantined {
+        /// The evaluation error that forced the quarantine.
+        reason: String,
+    },
 }
 
 impl JournalEvent {
@@ -184,7 +212,11 @@ impl JournalEvent {
             | JournalEvent::RunEnd { .. }
             | JournalEvent::CheckpointSaved { .. } => "run",
             JournalEvent::Episode { .. } => "episode",
-            JournalEvent::EvalRequest { .. } => "eval",
+            JournalEvent::EvalRequest { .. }
+            | JournalEvent::EvalFault { .. }
+            | JournalEvent::EvalRetry { .. }
+            | JournalEvent::EvalPanic { .. }
+            | JournalEvent::EvalQuarantined { .. } => "eval",
             JournalEvent::CacheHit { .. }
             | JournalEvent::CacheMiss { .. }
             | JournalEvent::CacheInsert { .. } => "cache",
@@ -311,6 +343,66 @@ impl Journal {
     pub fn in_memory() -> (Self, JournalBuffer) {
         let buffer = JournalBuffer::new();
         (Journal::to_writer(Box::new(buffer.clone())), buffer)
+    }
+
+    /// Reopens an existing journal for appending, repairing a torn
+    /// trailing line first (the counterpart of `--resume` for the
+    /// journal file).
+    ///
+    /// The file is truncated to its longest prefix of complete,
+    /// parseable lines; the step counter continues from the last
+    /// salvaged record and the clock resumes at its timestamp. A later
+    /// [`Journal::set_clock`] (e.g. from the resilient-LLM stack)
+    /// replaces the resumed clock, so `t_ms` may restart while `step`
+    /// stays monotonic — step is the ordering contract, `t_ms` is
+    /// advisory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] when the file cannot be read,
+    /// truncated, or reopened for appending.
+    pub fn resume_file(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Journal(format!("read {}: {e}", path.display())))?;
+        let mut valid_len = 0usize;
+        let mut last: Option<JournalRecord> = None;
+        for chunk in text.split_inclusive('\n') {
+            if !chunk.ends_with('\n') {
+                break; // torn tail: the final line never got its newline
+            }
+            let line = chunk.trim();
+            if !line.is_empty() {
+                match serde_json::from_str::<JournalRecord>(line) {
+                    Ok(record) => last = Some(record),
+                    Err(_) => break,
+                }
+            }
+            valid_len += chunk.len();
+        }
+        if valid_len < text.len() {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| CoreError::Journal(format!("reopen {}: {e}", path.display())))?;
+            file.set_len(valid_len as u64).map_err(|e| {
+                CoreError::Journal(format!("truncate torn tail of {}: {e}", path.display()))
+            })?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| CoreError::Journal(format!("append to {}: {e}", path.display())))?;
+        let (step, t_ms) = last.map_or((0, 0), |r| (r.step + 1, r.t_ms));
+        let clock = SimClock::new();
+        clock.advance_ms(t_ms);
+        Ok(Journal {
+            inner: Some(Arc::new(Mutex::new(JournalInner {
+                sink: Box::new(std::io::BufWriter::new(file)),
+                clock,
+                step,
+                error: None,
+            }))),
+        })
     }
 
     /// True when a sink is attached.
@@ -491,6 +583,30 @@ pub struct RunReport {
     pub degraded: u64,
     /// Checkpoint snapshots taken.
     pub checkpoints: u64,
+    /// Injected evaluation faults that fired ([`FaultyBackend`]
+    /// events; distinct from LLM-side `faults`).
+    ///
+    /// [`FaultyBackend`]: crate::backend::FaultyBackend
+    #[serde(default)]
+    pub eval_faults: u64,
+    /// Evaluation attempts re-issued by the pipeline's retry policy.
+    #[serde(default)]
+    pub eval_retries: u64,
+    /// Evaluator panics caught at the pipeline boundary.
+    #[serde(default)]
+    pub eval_panics: u64,
+    /// Designs quarantined for unrecoverable evaluation failures.
+    #[serde(default)]
+    pub eval_quarantined: u64,
+    /// True when the journal tail was torn (a trailing line could not be
+    /// parsed — typically a run killed mid-write) and the report covers
+    /// only the salvaged complete-line prefix.
+    #[serde(default)]
+    pub truncated: bool,
+    /// Journal lines dropped by the torn-tail salvage (the unparseable
+    /// line and everything after it).
+    #[serde(default)]
+    pub dropped_lines: u64,
     /// Best episode reward, when the run recorded its end.
     pub best_reward: Option<f64>,
     /// Per-phase event counts and simulated time.
@@ -553,28 +669,54 @@ impl RunReport {
                 JournalEvent::LlmCircuitOpened { .. } => report.circuit_trips += 1,
                 JournalEvent::LlmCircuitClosed => {}
                 JournalEvent::LlmDegraded { .. } => report.degraded += 1,
+                JournalEvent::EvalFault { .. } => report.eval_faults += 1,
+                JournalEvent::EvalRetry { .. } => report.eval_retries += 1,
+                JournalEvent::EvalPanic { .. } => report.eval_panics += 1,
+                JournalEvent::EvalQuarantined { .. } => report.eval_quarantined += 1,
             }
         }
         report
     }
 
-    /// Parses a JSONL journal and aggregates it.
+    /// Parses a JSONL journal and aggregates it, salvaging torn tails.
+    ///
+    /// A run killed mid-write leaves a partial final line; erroring on it
+    /// would make `lcda report` useless on exactly the runs it exists to
+    /// explain. Instead, the longest prefix of parseable lines is
+    /// aggregated and the cut is surfaced via [`RunReport::truncated`]
+    /// and [`RunReport::dropped_lines`] (the first unparseable line and
+    /// everything after it are dropped — corruption mid-file invalidates
+    /// the suffix, since step indices would no longer be trustworthy).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Journal`] for an unparseable line, naming the
-    /// 1-based line number.
+    /// Currently infallible; the `Result` is kept so future structural
+    /// validation can fail without an API break.
     pub fn from_jsonl(text: &str) -> Result<Self> {
         let mut records = Vec::new();
-        for (idx, line) in text.lines().enumerate() {
+        let mut truncated = false;
+        let mut dropped = 0u64;
+        let mut lines = text.lines();
+        for line in lines.by_ref() {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: JournalRecord = serde_json::from_str(line)
-                .map_err(|e| CoreError::Journal(format!("line {}: {e}", idx + 1)))?;
-            records.push(record);
+            match serde_json::from_str::<JournalRecord>(line) {
+                Ok(record) => records.push(record),
+                Err(_) => {
+                    truncated = true;
+                    dropped = 1;
+                    break;
+                }
+            }
         }
-        Ok(RunReport::from_records(records))
+        if truncated {
+            dropped += lines.filter(|l| !l.trim().is_empty()).count() as u64;
+        }
+        let mut report = RunReport::from_records(records);
+        report.truncated = truncated;
+        report.dropped_lines = dropped;
+        Ok(report)
     }
 
     /// Renders the human-readable breakdown table for `lcda report`.
@@ -617,7 +759,19 @@ impl RunReport {
             "  llm resilience   {} faults / {} retries / {} circuit trips / {} degraded",
             self.faults, self.retries, self.circuit_trips, self.degraded
         );
+        let _ = writeln!(
+            out,
+            "  eval resilience  {} faults / {} retries / {} panics / {} quarantined",
+            self.eval_faults, self.eval_retries, self.eval_panics, self.eval_quarantined
+        );
         let _ = writeln!(out, "  checkpoints      {}", self.checkpoints);
+        if self.truncated {
+            let _ = writeln!(
+                out,
+                "  truncated: true  (torn journal tail; {} line(s) dropped)",
+                self.dropped_lines
+            );
+        }
         if let Some(best) = self.best_reward {
             let _ = writeln!(out, "  best reward      {best:.6}");
         }
@@ -779,13 +933,101 @@ mod tests {
     }
 
     #[test]
-    fn malformed_jsonl_names_the_line() {
-        let err = RunReport::from_jsonl("{\"step\":0,\"t_ms\":0,\"event\":\"run_end\",\"episodes\":1,\"best_reward\":0.1}\nnot json")
-            .unwrap_err();
-        match err {
-            CoreError::Journal(msg) => assert!(msg.contains("line 2"), "{msg}"),
-            other => panic!("expected journal error, got {other}"),
+    fn malformed_jsonl_salvages_the_valid_prefix() {
+        let report = RunReport::from_jsonl("{\"step\":0,\"t_ms\":0,\"event\":\"run_end\",\"episodes\":1,\"best_reward\":0.1}\nnot json")
+            .unwrap();
+        assert_eq!(report.records, 1, "the parseable prefix must survive");
+        assert_eq!(report.best_reward, Some(0.1));
+        assert!(report.truncated);
+        assert_eq!(report.dropped_lines, 1);
+        let table = report.render();
+        assert!(table.contains("truncated: true"), "{table}");
+    }
+
+    #[test]
+    fn torn_tail_drops_suffix_after_first_bad_line() {
+        let good = "{\"step\":0,\"t_ms\":0,\"event\":\"llm_circuit_closed\"}";
+        let text = format!("{good}\n{{\"step\":1,\"t_ms\":0,\"ev\n{good}\n{good}\n");
+        let report = RunReport::from_jsonl(&text).unwrap();
+        assert_eq!(report.records, 1);
+        assert!(report.truncated);
+        assert_eq!(report.dropped_lines, 3, "bad line + unreachable suffix");
+    }
+
+    #[test]
+    fn intact_jsonl_is_not_flagged_truncated() {
+        let (j, buf) = Journal::in_memory();
+        j.record(JournalEvent::LlmCircuitClosed);
+        j.finish().unwrap();
+        let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+        assert!(!report.truncated);
+        assert_eq!(report.dropped_lines, 0);
+        assert!(!report.render().contains("truncated"));
+    }
+
+    #[test]
+    fn eval_events_are_counted_and_phased() {
+        let (j, buf) = Journal::in_memory();
+        j.record(JournalEvent::EvalFault {
+            call: 3,
+            kind: "transient".into(),
+        });
+        j.record(JournalEvent::EvalRetry {
+            attempt: 0,
+            reason: "transient evaluation fault".into(),
+        });
+        j.record(JournalEvent::EvalPanic {
+            message: "mapper overflow".into(),
+        });
+        j.record(JournalEvent::EvalQuarantined {
+            reason: "evaluator panicked: mapper overflow".into(),
+        });
+        j.finish().unwrap();
+        let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+        assert_eq!(report.eval_faults, 1);
+        assert_eq!(report.eval_retries, 1);
+        assert_eq!(report.eval_panics, 1);
+        assert_eq!(report.eval_quarantined, 1);
+        assert_eq!(report.phases["eval"].events, 4);
+        assert!(report.render().contains("eval resilience"));
+    }
+
+    #[test]
+    fn resume_file_repairs_torn_tail_and_continues_steps() {
+        let path = std::env::temp_dir().join(format!(
+            "lcda-journal-resume-test-{}.jsonl",
+            std::process::id()
+        ));
+        let j = Journal::to_file(&path).unwrap();
+        let clock = SimClock::new();
+        j.set_clock(clock.clone());
+        j.record(JournalEvent::LlmCircuitClosed);
+        clock.advance_ms(40);
+        j.record(JournalEvent::LlmCircuitClosed);
+        j.finish().unwrap();
+        // Tear the tail: append a partial line as a kill-mid-write would.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"step\":2,\"t_ms\":40,\"eve").unwrap();
         }
+        let resumed = Journal::resume_file(&path).unwrap();
+        resumed.record(JournalEvent::RunEnd {
+            episodes: 2,
+            best_reward: 0.5,
+        });
+        resumed.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let report = RunReport::from_jsonl(&text).unwrap();
+        assert!(!report.truncated, "resume must have repaired the tail");
+        assert_eq!(report.records, 3);
+        let last: JournalRecord = serde_json::from_str(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last.step, 2, "step must continue past the salvage point");
+        assert_eq!(last.t_ms, 40, "clock must resume at the last timestamp");
     }
 
     #[test]

@@ -51,6 +51,11 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+// A panic inside the episode loop is a crashed search, so fallible code
+// must surface typed `CoreError`s instead of unwrapping. Tests are
+// exempt (an unwrap there *is* the assertion); the single sanctioned
+// production `expect` carries its own `#[allow]` with a justification.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 
@@ -59,6 +64,7 @@ pub mod backend;
 pub mod checkpoint;
 pub mod codesign;
 pub mod evaluate;
+pub mod fault;
 pub mod journal;
 pub mod mo;
 pub mod pareto;
@@ -68,15 +74,19 @@ pub mod space;
 pub mod surrogate;
 pub mod trained;
 
-pub use backend::{BackendRegistry, CimBackend, HardwareBackend, SystolicBackend, DEFAULT_BACKEND};
-pub use checkpoint::Checkpoint;
+pub use backend::{
+    BackendRegistry, CimBackend, FaultyBackend, HardwareBackend, SystolicBackend, DEFAULT_BACKEND,
+    FAULTY_DECORATOR,
+};
+pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use codesign::{
     CoDesign, CoDesignBuilder, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, OptimizerSpec,
     Outcome,
 };
 pub use error::CoreError;
+pub use fault::{EvalFault, EvalFaultPlan};
 pub use journal::{Journal, JournalEvent, JournalRecord, RunReport};
-pub use pipeline::{CacheStats, EvalCache, EvalPipeline};
+pub use pipeline::{CacheStats, EvalCache, EvalPipeline, EvalRetryPolicy};
 pub use reward::Objective;
 
 /// Convenience result alias.

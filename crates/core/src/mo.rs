@@ -133,18 +133,20 @@ impl MultiObjectiveCoDesign {
                 objectives,
             });
         }
+        // Every archive member was observed, so the lookup should always
+        // hit — but a hypothetical optimizer bug must degrade to a
+        // shorter front, not a panic mid-run.
         let front = self
             .optimizer
             .pareto_archive()
             .into_iter()
             .filter(|(_, f)| f[0] > 0.0)
-            .map(|(d, _)| {
-                let rec = history
+            .filter_map(|(d, _)| {
+                history
                     .iter()
                     .rev()
                     .find(|r| r.design == d)
-                    .expect("archive members were evaluated");
-                (d.clone(), rec.accuracy, rec.cost)
+                    .map(|rec| (d.clone(), rec.accuracy, rec.cost))
             })
             .collect();
         Ok(MoOutcome { history, front })

@@ -115,66 +115,81 @@ pub enum Fault {
 
 /// A deterministic schedule mapping call indices to injected faults.
 ///
-/// The plan is the single source of truth for a fault scenario: build it
-/// from an explicit script or from a seed, hand it to a [`FaultyModel`],
-/// and the same faults fire at the same call indices on every run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct FaultPlan {
-    faults: BTreeMap<u64, Fault>,
+/// The schedule is the single source of truth for a fault scenario:
+/// build it from an explicit script or from a seed, hand it to a fault
+/// injector ([`FaultyModel`] for LLM calls, `FaultyBackend` in
+/// `lcda-core` for hardware-cost calls), and the same faults fire at the
+/// same call indices on every run. The fault vocabulary is a type
+/// parameter so each substrate can define its own failure modes while
+/// sharing the scheduling and burst-bounding machinery.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultSchedule<F> {
+    faults: BTreeMap<u64, F>,
 }
 
-impl FaultPlan {
-    /// The empty plan: no faults, the wrapped model is transparent.
+// Manual impl: `derive(Default)` would demand `F: Default`, which the
+// fault enums deliberately are not (no fault is a sensible default).
+impl<F> Default for FaultSchedule<F> {
+    fn default() -> Self {
+        FaultSchedule {
+            faults: BTreeMap::new(),
+        }
+    }
+}
+
+impl<F> FaultSchedule<F> {
+    /// The empty schedule: no faults, the wrapped substrate is transparent.
     pub fn none() -> Self {
-        FaultPlan::default()
+        FaultSchedule::default()
     }
 
-    /// A plan from explicit `(call_index, fault)` entries.
-    pub fn scripted(entries: impl IntoIterator<Item = (u64, Fault)>) -> Self {
-        FaultPlan {
+    /// A schedule from explicit `(call_index, fault)` entries.
+    pub fn scripted(entries: impl IntoIterator<Item = (u64, F)>) -> Self {
+        FaultSchedule {
             faults: entries.into_iter().collect(),
         }
     }
 
-    /// A seeded random plan over the first `horizon` calls.
+    /// A seeded random schedule over the first `horizon` calls with a
+    /// caller-supplied fault sampler.
     ///
     /// Each call index independently faults with probability `rate`
-    /// (clamped to `[0, 1]`), drawing the fault kind from a seeded RNG.
-    /// At most `max_burst` *consecutive* call indices fault, so a
-    /// resilient stack with a retry budget above `max_burst` always
-    /// recovers — the property the determinism-under-faults tests rely
-    /// on.
-    pub fn seeded(seed: u64, horizon: u64, rate: f64, max_burst: u32) -> Self {
+    /// (clamped to `[0, 1]`), drawing the fault from `sample`. Faults
+    /// for which `benign` returns true (the call still succeeds) reset
+    /// the burst counter; at most `max_burst` *consecutive* call indices
+    /// carry failing faults, so a resilient stack with a retry budget
+    /// above `max_burst` always recovers — the property the
+    /// determinism-under-faults tests rely on.
+    pub fn seeded_with(
+        seed: u64,
+        horizon: u64,
+        rate: f64,
+        max_burst: u32,
+        mut sample: impl FnMut(&mut StdRng) -> F,
+        mut benign: impl FnMut(&F) -> bool,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let rate = rate.clamp(0.0, 1.0);
         let mut faults = BTreeMap::new();
         let mut burst = 0u32;
         for call in 0..horizon {
             if burst < max_burst && rng.gen_bool(rate) {
-                let fault = match rng.gen_range(0..5u32) {
-                    0 => Fault::RateLimit { retry_after_ms: 50 },
-                    1 => Fault::Timeout { elapsed_ms: 500 },
-                    2 => Fault::Garbage,
-                    3 => Fault::Truncated,
-                    _ => Fault::LatencySpike { delay_ms: 400 },
-                };
-                // A latency spike still succeeds, so it does not extend a
-                // failure burst.
-                if !matches!(fault, Fault::LatencySpike { .. }) {
-                    burst += 1;
-                } else {
+                let fault = sample(&mut rng);
+                if benign(&fault) {
                     burst = 0;
+                } else {
+                    burst += 1;
                 }
                 faults.insert(call, fault);
             } else {
                 burst = 0;
             }
         }
-        FaultPlan { faults }
+        FaultSchedule { faults }
     }
 
     /// The fault scheduled at a call index, if any.
-    pub fn fault_at(&self, call: u64) -> Option<&Fault> {
+    pub fn fault_at(&self, call: u64) -> Option<&F> {
         self.faults.get(&call)
     }
 
@@ -186,6 +201,36 @@ impl FaultPlan {
     /// True when no faults are scheduled.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+}
+
+/// The LLM-side fault schedule: [`FaultSchedule`] over [`Fault`].
+pub type FaultPlan = FaultSchedule<Fault>;
+
+impl FaultSchedule<Fault> {
+    /// A seeded random plan over the first `horizon` calls.
+    ///
+    /// Each call index independently faults with probability `rate`
+    /// (clamped to `[0, 1]`), drawing the fault kind from a seeded RNG.
+    /// At most `max_burst` *consecutive* call indices fault, so a
+    /// resilient stack with a retry budget above `max_burst` always
+    /// recovers. A latency spike still succeeds, so it does not extend
+    /// a failure burst.
+    pub fn seeded(seed: u64, horizon: u64, rate: f64, max_burst: u32) -> Self {
+        FaultSchedule::seeded_with(
+            seed,
+            horizon,
+            rate,
+            max_burst,
+            |rng| match rng.gen_range(0..5u32) {
+                0 => Fault::RateLimit { retry_after_ms: 50 },
+                1 => Fault::Timeout { elapsed_ms: 500 },
+                2 => Fault::Garbage,
+                3 => Fault::Truncated,
+                _ => Fault::LatencySpike { delay_ms: 400 },
+            },
+            |fault| matches!(fault, Fault::LatencySpike { .. }),
+        )
     }
 }
 

@@ -4,6 +4,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
+# -D warnings also promotes lcda-core's `clippy::unwrap_used` /
+# `clippy::expect_used` gate (see crates/core/src/lib.rs) to a hard
+# error: production code must surface typed CoreErrors, not panic.
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
@@ -23,3 +26,31 @@ trap 'rm -rf "$journal_dir"' EXIT
     --journal "$journal_dir/run_b.jsonl" > /dev/null
 cmp "$journal_dir/run_a.jsonl" "$journal_dir/run_b.jsonl"
 ./target/release/lcda report "$journal_dir/run_a.jsonl" | grep -q "episodes"
+
+# Chaos smoke: kill -9 a checkpointed search mid-run, tear the journal
+# tail like an interrupted write, and require both the resume and the
+# report to come back clean. The kill is racy by design — a fast run may
+# finish first, which is also a pass (the resume then just replays).
+./target/release/lcda search --episodes 8 --seed 7 --no-cache \
+    --checkpoint "$journal_dir/chaos.json" --keep-checkpoints 2 \
+    --journal "$journal_dir/chaos.jsonl" > /dev/null &
+chaos_pid=$!
+sleep 0.2
+kill -9 "$chaos_pid" 2> /dev/null || true
+wait "$chaos_pid" 2> /dev/null || true
+if [ -s "$journal_dir/chaos.jsonl" ]; then
+    # Drop the last 5 bytes so the final record is torn mid-line.
+    size=$(wc -c < "$journal_dir/chaos.jsonl")
+    truncate -s $((size > 5 ? size - 5 : 0)) "$journal_dir/chaos.jsonl"
+fi
+./target/release/lcda search --episodes 8 --seed 7 --no-cache \
+    --checkpoint "$journal_dir/chaos.json" --keep-checkpoints 2 --resume \
+    --journal "$journal_dir/chaos.jsonl" > /dev/null
+./target/release/lcda report "$journal_dir/chaos.jsonl" | grep -q "episodes"
+
+# Fault-injection smoke: a faulty backend must not change the outcome.
+./target/release/lcda search --episodes 4 --seed 9 --json \
+    --backend cim+faulty --eval-fault-rate 0.3 > "$journal_dir/faulty.json"
+./target/release/lcda search --episodes 4 --seed 9 --json \
+    > "$journal_dir/clean.json"
+cmp "$journal_dir/faulty.json" "$journal_dir/clean.json"

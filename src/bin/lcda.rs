@@ -32,18 +32,28 @@ SEARCH OPTIONS:
     --optimizer <expert|finetuned|adaptive|naive|rl|genetic|random|resilient>
                                                              (default expert)
     --objective <energy|latency>                             (default energy)
-    --backend <cim|systolic>    hardware cost model           (default cim)
+    --backend <name>        hardware cost model: cim or systolic, with an
+                            optional +faulty decorator injecting the
+                            --eval-fault plan (e.g. cim+faulty)
+                                                             (default cim)
     --episodes <n>                                           (default 20)
     --seed <n>                                               (default 0)
     --checkpoint <path>     write a JSON checkpoint after every episode
-    --resume                resume from --checkpoint if it exists
+    --keep-checkpoints <n>  rotated checkpoint generations kept on disk;
+                            resume falls back to the newest *valid* one
+                                                             (default 1)
+    --resume                resume from --checkpoint if it exists; with
+                            --journal, repair and extend the journal too
     --threads <n>           evaluator worker threads; results are
                             bit-identical for every value     (default 1)
     --no-cache              disable evaluation memoization
     --journal <path>        stream a JSONL event journal of the run
                             (deterministic: same seed, same bytes)
-    --fault-rate <p>        (resilient only) inject faults with probability p
+    --fault-rate <p>        (resilient only) inject LLM faults with probability p
     --fault-seed <n>        (resilient only) fault schedule seed (default --seed)
+    --eval-fault-rate <p>   (+faulty backends) inject evaluation faults
+                            with probability p per cost call  (default 0)
+    --eval-fault-seed <n>   evaluation fault schedule seed    (default --seed)
     --json                                                   emit JSON
 
 EVALUATE OPTIONS:
@@ -128,14 +138,14 @@ impl Args {
         }
     }
 
-    /// The hardware backend name, validated against the standard registry
-    /// so a typo fails before any work starts.
+    /// The hardware backend name (decorators included), validated against
+    /// the standard registry so a typo fails before any work starts.
     fn backend(&self) -> Result<String, String> {
         let name = self.get("--backend").unwrap_or(DEFAULT_BACKEND);
         let registry = BackendRegistry::standard();
-        if !registry.contains(name) {
+        if !registry.resolves(name) {
             return Err(format!(
-                "unknown backend `{name}` (known: {})",
+                "unknown backend `{name}` (known: {}; optional decorator: +{FAULTY_DECORATOR})",
                 registry.names().join(", ")
             ));
         }
@@ -182,10 +192,13 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             "--episodes",
             "--seed",
             "--checkpoint",
+            "--keep-checkpoints",
             "--threads",
             "--journal",
             "--fault-rate",
             "--fault-seed",
+            "--eval-fault-rate",
+            "--eval-fault-seed",
         ],
         &["--json", "--resume", "--no-cache"],
     )?;
@@ -205,12 +218,36 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     if !(0.0..=1.0).contains(&fault_rate) {
         return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}"));
     }
+    let eval_fault_rate = args.fnum("--eval-fault-rate", 0.0)?;
+    let eval_fault_seed = args.num("--eval-fault-seed", seed)?;
+    let faulty_backend = backend.split('+').any(|part| part == FAULTY_DECORATOR);
+    if !faulty_backend
+        && (args.get("--eval-fault-rate").is_some() || args.get("--eval-fault-seed").is_some())
+    {
+        return Err(format!(
+            "--eval-fault-rate/--eval-fault-seed require a +{FAULTY_DECORATOR} backend \
+             (e.g. --backend cim+{FAULTY_DECORATOR})"
+        ));
+    }
+    if !(0.0..=1.0).contains(&eval_fault_rate) {
+        return Err(format!(
+            "--eval-fault-rate must be in [0, 1], got {eval_fault_rate}"
+        ));
+    }
 
     let checkpoint_path = args.get("--checkpoint").map(PathBuf::from);
+    let keep_checkpoints = args.num("--keep-checkpoints", 1)? as u32;
+    if keep_checkpoints == 0 {
+        return Err("--keep-checkpoints must be at least 1".into());
+    }
     let resume = args.flag("--resume");
     if resume && checkpoint_path.is_none() {
         return Err("--resume requires --checkpoint <path>".into());
     }
+    let store = checkpoint_path
+        .as_ref()
+        .map(|path| CheckpointStore::new(path, keep_checkpoints).map_err(|e| e.to_string()))
+        .transpose()?;
 
     let space = DesignSpace::nacim_cifar10();
     let config = CoDesignConfig::builder(objective)
@@ -238,36 +275,65 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown optimizer `{other}`")),
     };
     let journal = match args.get("--journal") {
+        // Resuming over an existing journal repairs a torn trailing line
+        // (a mid-write kill) and appends; anything else starts fresh.
+        Some(path) if resume && std::path::Path::new(path).exists() => {
+            Journal::resume_file(std::path::Path::new(path)).map_err(|e| e.to_string())?
+        }
         Some(path) => Journal::to_file(std::path::Path::new(path)).map_err(|e| e.to_string())?,
         None => Journal::disabled(),
+    };
+    let registry = if eval_fault_rate > 0.0 {
+        // Budget ~4 cost calls per episode: retries re-enter the plan, so
+        // the horizon must outlast the nominal one-call-per-episode pace.
+        BackendRegistry::standard().with_fault_plan(lcda::core::fault::seeded_plan(
+            eval_fault_seed,
+            u64::from(episodes) * 4,
+            eval_fault_rate,
+            2,
+        ))
+    } else {
+        BackendRegistry::standard()
     };
     let run = CoDesign::builder(space, config)
         .optimizer(spec)
         .backend(&backend)
+        .registry(registry)
         .threads(threads)
         .caching(!args.flag("--no-cache"))
         .journal(journal.clone())
         .build();
 
-    let resume_from = match (&checkpoint_path, resume) {
-        (Some(path), true) if path.exists() => {
-            Some(Checkpoint::load(path).map_err(|e| e.to_string())?)
-        }
-        (Some(path), true) => {
-            eprintln!(
-                "checkpoint {} not found; starting a fresh run",
-                path.display()
-            );
-            None
-        }
+    let resume_from = match (&store, resume) {
+        (Some(store), true) => match store.load_latest().map_err(|e| e.to_string())? {
+            Some((cp, generation)) => {
+                if generation > 0 {
+                    eprintln!(
+                        "newest checkpoint generation is corrupt; \
+                         resuming from generation {generation}"
+                    );
+                }
+                Some(cp)
+            }
+            None => {
+                eprintln!(
+                    "checkpoint {} not found; starting a fresh run",
+                    checkpoint_path
+                        .as_deref()
+                        .unwrap_or_else(|| std::path::Path::new("?"))
+                        .display()
+                );
+                None
+            }
+        },
         _ => None,
     };
 
     let outcome = run
         .map_err(|e| e.to_string())?
         .run_resumable(resume_from, |cp| {
-            if let Some(path) = &checkpoint_path {
-                cp.save(path)?;
+            if let Some(store) = &store {
+                store.save(cp)?;
             }
             Ok(())
         })

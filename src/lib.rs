@@ -51,20 +51,22 @@ pub mod prelude {
     //! use lcda::prelude::*;
     //! ```
     pub use lcda_core::backend::{
-        BackendRegistry, CimBackend, HardwareBackend, SystolicBackend, DEFAULT_BACKEND,
+        BackendRegistry, CimBackend, FaultyBackend, HardwareBackend, SystolicBackend,
+        DEFAULT_BACKEND, FAULTY_DECORATOR,
     };
-    pub use lcda_core::checkpoint::Checkpoint;
+    pub use lcda_core::checkpoint::{Checkpoint, CheckpointStore};
     pub use lcda_core::codesign::{
         CoDesign, CoDesignBuilder, CoDesignConfig, EpisodeRecord, OptimizerSpec, Outcome,
     };
     pub use lcda_core::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+    pub use lcda_core::fault::{EvalFault, EvalFaultPlan};
     pub use lcda_core::journal::{Journal, JournalEvent, JournalRecord, RunReport};
-    pub use lcda_core::pipeline::{CacheStats, EvalCache, EvalPipeline};
+    pub use lcda_core::pipeline::{CacheStats, EvalCache, EvalPipeline, EvalRetryPolicy};
     pub use lcda_core::reward::Objective;
     pub use lcda_core::space::DesignSpace;
     pub use lcda_core::surrogate::SurrogateEvaluator;
     pub use lcda_core::trained::{TrainedEvalConfig, TrainedEvaluator};
     pub use lcda_dnn::mc_eval::McEvalConfig;
     pub use lcda_llm::design::CandidateDesign;
-    pub use lcda_llm::middleware::FaultPlan;
+    pub use lcda_llm::middleware::{FaultPlan, SimClock};
 }

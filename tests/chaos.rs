@@ -1,0 +1,276 @@
+//! Chaos suite: the ISSUE-mandated crash/corruption drills.
+//!
+//! Every test here follows the same contract — whatever the chaos
+//! (injected evaluation faults, a kill at a random step, a corrupted
+//! checkpoint generation, a torn journal tail), the search must come
+//! back **bit-identical** to the undisturbed run. Recovery that merely
+//! "works" is not enough; it must be invisible in the results.
+
+use lcda::core::fault::seeded_plan;
+use lcda::core::CoreError;
+use lcda::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path per test invocation (the suite runs tests in
+/// parallel threads of one process, so pid alone is not enough).
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("lcda-chaos-{tag}-{}-{n}.json", std::process::id()))
+}
+
+fn cfg(episodes: u32, seed: u64) -> CoDesignConfig {
+    CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(episodes)
+        .seed(seed)
+        .build()
+}
+
+fn clean_run(episodes: u32, seed: u64) -> Outcome {
+    CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, seed))
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+/// Removes every generation a [`CheckpointStore`] may have written.
+fn remove_generations(path: &PathBuf, keep: u32) {
+    let _ = std::fs::remove_file(path);
+    for g in 1..keep {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(path.with_file_name(format!("{name}.{g}")));
+    }
+}
+
+#[test]
+fn faulty_backend_search_is_bit_identical_to_its_fault_free_twin() {
+    // A dense seeded plan: at 35% per call over a 4-calls-per-episode
+    // horizon, faults are statistically certain; the journal counters
+    // prove they actually fired.
+    let plan = seeded_plan(99, 8 * 4, 0.35, 2);
+    assert!(!plan.is_empty(), "the seeded plan must schedule faults");
+    let (journal, buffer) = Journal::in_memory();
+    let faulty = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(8, 11))
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .backend("cim+faulty")
+        .registry(BackendRegistry::standard().with_fault_plan(plan))
+        .journal(journal.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    journal.finish().unwrap();
+    let report = RunReport::from_jsonl(&buffer.contents()).unwrap();
+    assert!(report.eval_faults > 0, "no faults fired — plan too sparse");
+    assert_eq!(
+        report.eval_quarantined, 0,
+        "seeded bursts must be survivable"
+    );
+
+    let clean = clean_run(8, 11);
+    assert_eq!(faulty, clean, "fault recovery must be invisible in results");
+}
+
+#[test]
+fn kill_at_every_step_resumes_to_the_identical_outcome() {
+    let episodes = 5;
+    let reference = clean_run(episodes, 13);
+    for kill_after in 1..episodes {
+        let path = scratch("kill");
+        let store = CheckpointStore::new(&path, 2).unwrap();
+        // Crash the driver right after the kill_after-th checkpoint write
+        // — run_resumable propagates the error like a process death would
+        // lose the rest of the loop.
+        let mut saved = 0u32;
+        let crashed = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, 13))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .build()
+            .unwrap()
+            .run_resumable(None, |cp| {
+                store.save(cp)?;
+                saved += 1;
+                if saved == kill_after {
+                    return Err(CoreError::Checkpoint("simulated kill".into()));
+                }
+                Ok(())
+            });
+        assert!(crashed.is_err(), "the simulated kill must abort the run");
+
+        let (cp, generation) = store.load_latest().unwrap().expect("checkpoint persisted");
+        assert_eq!(generation, 0, "newest generation is intact here");
+        assert_eq!(cp.episodes_done(), kill_after as u64);
+        let resumed = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, 13))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .build()
+            .unwrap()
+            .run_resumable(Some(cp), |cp| store.save(cp))
+            .unwrap();
+        assert_eq!(
+            resumed, reference,
+            "resume after kill at step {kill_after} diverged"
+        );
+        remove_generations(&path, 2);
+    }
+}
+
+#[test]
+fn torn_journal_tail_is_repaired_and_the_resumed_run_reports_cleanly() {
+    let episodes = 4;
+    let journal_path = scratch("journal").with_extension("jsonl");
+    let ckpt_path = scratch("journal-ckpt");
+    let store = CheckpointStore::new(&ckpt_path, 1).unwrap();
+
+    // Run two episodes, then die; tear the journal mid-line like a kill
+    // during a buffered write would.
+    let journal = Journal::to_file(&journal_path).unwrap();
+    let mut saved = 0u32;
+    let _ = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, 17))
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .journal(journal.clone())
+        .build()
+        .unwrap()
+        .run_resumable(None, |cp| {
+            store.save(cp)?;
+            saved += 1;
+            if saved == 2 {
+                return Err(CoreError::Checkpoint("simulated kill".into()));
+            }
+            Ok(())
+        });
+    journal.finish().unwrap();
+    let mut text = std::fs::read_to_string(&journal_path).unwrap();
+    assert!(text.lines().count() > 2, "need a journal worth tearing");
+    text.truncate(text.len() - 17); // mid-line: no trailing newline
+    std::fs::write(&journal_path, &text).unwrap();
+
+    // The torn file is still reportable — minus the destroyed tail.
+    let torn = RunReport::from_jsonl(&std::fs::read_to_string(&journal_path).unwrap()).unwrap();
+    assert!(torn.truncated, "a torn tail must be surfaced");
+
+    // Resuming repairs the tail in place and appends the rest of the run.
+    let resumed_journal = Journal::resume_file(&journal_path).unwrap();
+    let (cp, _) = store.load_latest().unwrap().expect("checkpoint persisted");
+    let outcome = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, 17))
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .journal(resumed_journal.clone())
+        .build()
+        .unwrap()
+        .run_resumable(Some(cp), |cp| store.save(cp))
+        .unwrap();
+    resumed_journal.finish().unwrap();
+    assert_eq!(outcome, clean_run(episodes, 17));
+
+    let healed = RunReport::from_jsonl(&std::fs::read_to_string(&journal_path).unwrap()).unwrap();
+    assert!(!healed.truncated, "the repaired journal must parse cleanly");
+    assert_eq!(healed.dropped_lines, 0);
+    assert!(healed.episodes >= u64::from(episodes - 2));
+
+    let _ = std::fs::remove_file(&journal_path);
+    remove_generations(&ckpt_path, 1);
+}
+
+#[test]
+fn scripted_panic_mid_search_is_quarantined_not_fatal() {
+    let plan = EvalFaultPlan::scripted([(2, EvalFault::Panic)]);
+    let outcome = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(5, 19))
+        .optimizer(OptimizerSpec::Random)
+        .backend("cim+faulty")
+        .registry(BackendRegistry::standard().with_fault_plan(plan))
+        .no_cache()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(outcome.history.len(), 5, "the run must survive the panic");
+    assert_eq!(
+        outcome.history.iter().filter(|r| r.quarantined).count(),
+        1,
+        "exactly the panicked episode is quarantined"
+    );
+}
+
+/// The ways a checkpoint file can rot on disk.
+#[derive(Debug, Clone)]
+enum Corruption {
+    /// Cut the file at a fraction of its length (a torn write).
+    Truncate(f64),
+    /// Flip one bit somewhere in the body (media rot).
+    BitFlip { offset_frac: f64, bit: u8 },
+    /// Rewrite the version field without fixing the checksum.
+    VersionTamper,
+}
+
+fn corruption_strategy() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        (0.0..0.999f64).prop_map(Corruption::Truncate),
+        ((0.0..0.999f64), (0u8..8))
+            .prop_map(|(offset_frac, bit)| Corruption::BitFlip { offset_frac, bit }),
+        Just(Corruption::VersionTamper),
+    ]
+}
+
+fn corrupt(path: &std::path::Path, how: &Corruption) {
+    let mut bytes = std::fs::read(path).unwrap();
+    assert!(!bytes.is_empty());
+    match how {
+        Corruption::Truncate(frac) => {
+            let len = ((bytes.len() as f64) * frac) as usize;
+            bytes.truncate(len.min(bytes.len() - 1));
+        }
+        Corruption::BitFlip { offset_frac, bit } => {
+            let at = (((bytes.len() as f64) * offset_frac) as usize).min(bytes.len() - 1);
+            bytes[at] ^= 1 << bit;
+        }
+        Corruption::VersionTamper => {
+            let text = String::from_utf8(bytes).unwrap();
+            bytes = text
+                .replacen("\"version\":", "\"version\": 990000, \"_v\":", 1)
+                .into_bytes();
+        }
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Satellite (d): whatever happens to the newest checkpoint
+    /// generation, resume falls back to the previous valid one and
+    /// replays to the exact same outcome.
+    #[test]
+    fn corrupted_newest_generation_falls_back_and_replays_identically(
+        how in corruption_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let episodes = 3;
+        let path = scratch("rot");
+        let store = CheckpointStore::new(&path, 3).unwrap();
+        let reference = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, seed))
+            .optimizer(OptimizerSpec::Random)
+            .build()
+            .unwrap()
+            .run_resumable(None, |cp| store.save(cp))
+            .unwrap();
+        prop_assert!(path.exists());
+
+        corrupt(&path, &how);
+        let (cp, generation) = store.load_latest().unwrap().expect("older generations survive");
+        prop_assert!(generation > 0, "corrupt gen 0 must be rejected ({how:?})");
+        prop_assert_eq!(cp.episodes_done(), u64::from(episodes) - 1);
+
+        // Replaying the salvaged generation under the full budget lands on
+        // the identical outcome.
+        let replayed = CoDesign::builder(DesignSpace::nacim_cifar10(), cfg(episodes, seed))
+            .optimizer(OptimizerSpec::Random)
+            .build()
+            .unwrap()
+            .run_resumable(Some(cp), |_| Ok(()))
+            .unwrap();
+        prop_assert_eq!(replayed, reference);
+        remove_generations(&path, 3);
+    }
+}
