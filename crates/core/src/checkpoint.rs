@@ -62,6 +62,132 @@ fn checksum_of(value: &serde_json::Value) -> String {
     crate::pipeline::stable_fingerprint(&[&value.to_string()])
 }
 
+/// Serializes any durable artifact to pretty JSON with an embedded
+/// content checksum (shared by [`Checkpoint`] and the shard manifest).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] when serialization fails or the
+/// value does not form a JSON object.
+pub(crate) fn to_checksummed_json<T: Serialize>(artifact: &T) -> Result<String> {
+    let mut value = serde_json::to_value(artifact)
+        .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
+    let digest = checksum_of(&value);
+    match value.as_object_mut() {
+        Some(obj) => {
+            obj.insert(CHECKSUM_KEY.to_string(), serde_json::Value::String(digest));
+        }
+        None => {
+            return Err(CoreError::Checkpoint(
+                "serialize: artifact did not form a JSON object".into(),
+            ))
+        }
+    }
+    serde_json::to_string_pretty(&value)
+        .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))
+}
+
+/// Parses a checksummed JSON artifact, verifying and stripping the
+/// embedded checksum (when present — pre-checksum files pass
+/// unverified). Returns the cleaned value for `serde_json::from_value`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] for malformed JSON or a checksum
+/// mismatch.
+pub(crate) fn from_checksummed_json(json: &str) -> Result<serde_json::Value> {
+    let mut value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| CoreError::Checkpoint(format!("parse: {e}")))?;
+    let recorded = value
+        .as_object_mut()
+        .and_then(|obj| obj.remove(CHECKSUM_KEY));
+    if let Some(recorded) = recorded {
+        let computed = checksum_of(&value);
+        if recorded.as_str() != Some(computed.as_str()) {
+            return Err(CoreError::Checkpoint(format!(
+                "checksum mismatch (corrupted file): recorded {recorded}, computed \"{computed}\""
+            )));
+        }
+    }
+    Ok(value)
+}
+
+/// Writes `contents` to `path` atomically **and durably**: write to
+/// `<file>.tmp`, fsync it, rename over `path`, then fsync the parent
+/// directory (unix). A kill at any instant leaves either the previous
+/// or the new file — never a torn one.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] on I/O failure.
+pub(crate) fn atomic_save(path: &Path, contents: &str) -> Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint");
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| CoreError::Checkpoint(format!("create {}: {e}", tmp.display())))?;
+    file.write_all(contents.as_bytes())
+        .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+    file.sync_all()
+        .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", tmp.display())))?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+    // Durability of the rename itself requires fsyncing the directory
+    // entry (POSIX; meaningless and unsupported on other platforms).
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let dir = std::fs::File::open(&parent)
+            .map_err(|e| CoreError::Checkpoint(format!("open {}: {e}", parent.display())))?;
+        dir.sync_all()
+            .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", parent.display())))?;
+    }
+    Ok(())
+}
+
+/// The on-disk path of a rotated generation (0 = newest = `base`;
+/// generation *k* is `<base>.k`).
+pub(crate) fn generation_path(base: &Path, generation: u32) -> PathBuf {
+    if generation == 0 {
+        base.to_path_buf()
+    } else {
+        let name = base
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("checkpoint");
+        base.with_file_name(format!("{name}.{generation}"))
+    }
+}
+
+/// Shifts existing generations of `base` up by one, dropping the oldest
+/// beyond `keep` (the rotation half of a generation-rotating save).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] on a failed rename.
+pub(crate) fn rotate_generations(base: &Path, keep: u32) -> Result<()> {
+    for generation in (0..keep.saturating_sub(1)).rev() {
+        let from = generation_path(base, generation);
+        if from.exists() {
+            let to = generation_path(base, generation + 1);
+            std::fs::rename(&from, &to).map_err(|e| {
+                CoreError::Checkpoint(format!(
+                    "rotate {} -> {}: {e}",
+                    from.display(),
+                    to.display()
+                ))
+            })?;
+        }
+    }
+    Ok(())
+}
+
 /// A point-in-time snapshot of a co-design run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -135,21 +261,7 @@ impl Checkpoint {
     ///
     /// Returns [`CoreError::Checkpoint`] when serialization fails.
     pub fn to_json(&self) -> Result<String> {
-        let mut value = serde_json::to_value(self)
-            .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
-        let digest = checksum_of(&value);
-        match value.as_object_mut() {
-            Some(obj) => {
-                obj.insert(CHECKSUM_KEY.to_string(), serde_json::Value::String(digest));
-            }
-            None => {
-                return Err(CoreError::Checkpoint(
-                    "serialize: checkpoint did not form a JSON object".into(),
-                ))
-            }
-        }
-        serde_json::to_string_pretty(&value)
-            .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))
+        to_checksummed_json(self)
     }
 
     /// Deserializes from JSON, verifying the content checksum (when
@@ -161,19 +273,7 @@ impl Checkpoint {
     /// Returns [`CoreError::Checkpoint`] for malformed JSON, a checksum
     /// mismatch (corruption), or an unsupported version.
     pub fn from_json(json: &str) -> Result<Self> {
-        let mut value: serde_json::Value =
-            serde_json::from_str(json).map_err(|e| CoreError::Checkpoint(format!("parse: {e}")))?;
-        let recorded = value
-            .as_object_mut()
-            .and_then(|obj| obj.remove(CHECKSUM_KEY));
-        if let Some(recorded) = recorded {
-            let computed = checksum_of(&value);
-            if recorded.as_str() != Some(computed.as_str()) {
-                return Err(CoreError::Checkpoint(format!(
-                    "checksum mismatch (corrupted file): recorded {recorded}, computed \"{computed}\""
-                )));
-            }
-        }
+        let value = from_checksummed_json(json)?;
         let cp: Checkpoint = serde_json::from_value(value)
             .map_err(|e| CoreError::Checkpoint(format!("parse: {e}")))?;
         if cp.version != CHECKPOINT_VERSION {
@@ -195,35 +295,7 @@ impl Checkpoint {
     ///
     /// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
     pub fn save(&self, path: &Path) -> Result<()> {
-        let json = self.to_json()?;
-        let file_name = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("checkpoint");
-        let tmp = path.with_file_name(format!("{file_name}.tmp"));
-        let mut file = std::fs::File::create(&tmp)
-            .map_err(|e| CoreError::Checkpoint(format!("create {}: {e}", tmp.display())))?;
-        file.write_all(json.as_bytes())
-            .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
-        file.sync_all()
-            .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", tmp.display())))?;
-        drop(file);
-        std::fs::rename(&tmp, path)
-            .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
-        // Durability of the rename itself requires fsyncing the directory
-        // entry (POSIX; meaningless and unsupported on other platforms).
-        #[cfg(unix)]
-        {
-            let parent = match path.parent() {
-                Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-                _ => PathBuf::from("."),
-            };
-            let dir = std::fs::File::open(&parent)
-                .map_err(|e| CoreError::Checkpoint(format!("open {}: {e}", parent.display())))?;
-            dir.sync_all()
-                .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", parent.display())))?;
-        }
-        Ok(())
+        atomic_save(path, &self.to_json()?)
     }
 
     /// Reads a checkpoint from disk.
@@ -286,16 +358,7 @@ impl CheckpointStore {
 
     /// The on-disk path of a generation (0 = newest = the base path).
     pub fn generation_path(&self, generation: u32) -> PathBuf {
-        if generation == 0 {
-            self.path.clone()
-        } else {
-            let name = self
-                .path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .unwrap_or("checkpoint");
-            self.path.with_file_name(format!("{name}.{generation}"))
-        }
+        generation_path(&self.path, generation)
     }
 
     /// Rotates existing generations up and writes `checkpoint` as
@@ -305,19 +368,7 @@ impl CheckpointStore {
     ///
     /// Returns [`CoreError::Checkpoint`] on rotation or write failure.
     pub fn save(&self, checkpoint: &Checkpoint) -> Result<()> {
-        for generation in (0..self.keep.saturating_sub(1)).rev() {
-            let from = self.generation_path(generation);
-            if from.exists() {
-                let to = self.generation_path(generation + 1);
-                std::fs::rename(&from, &to).map_err(|e| {
-                    CoreError::Checkpoint(format!(
-                        "rotate {} -> {}: {e}",
-                        from.display(),
-                        to.display()
-                    ))
-                })?;
-            }
-        }
+        rotate_generations(&self.path, self.keep)?;
         checkpoint.save(&self.path)
     }
 

@@ -31,6 +31,10 @@ pub enum CoreError {
     /// typed error so a single poisoned design quarantines instead of
     /// aborting the whole run. Never retried.
     EvalPanic(String),
+    /// A sharded-search failure: an invalid shard plan, a manifest that
+    /// does not match the run, or a fleet whose surviving shards cannot
+    /// produce a result.
+    Shard(String),
 }
 
 impl CoreError {
@@ -55,6 +59,7 @@ impl fmt::Display for CoreError {
             CoreError::Journal(msg) => write!(f, "journal: {msg}"),
             CoreError::EvalFault(msg) => write!(f, "transient evaluation fault: {msg}"),
             CoreError::EvalPanic(msg) => write!(f, "evaluator panicked: {msg}"),
+            CoreError::Shard(msg) => write!(f, "shard: {msg}"),
         }
     }
 }
@@ -71,7 +76,8 @@ impl std::error::Error for CoreError {
             | CoreError::Checkpoint(_)
             | CoreError::Journal(_)
             | CoreError::EvalFault(_)
-            | CoreError::EvalPanic(_) => None,
+            | CoreError::EvalPanic(_)
+            | CoreError::Shard(_) => None,
         }
     }
 }
@@ -138,6 +144,10 @@ mod tests {
         assert!(CoreError::EvalPanic("boom".into())
             .to_string()
             .contains("panicked"));
+        let s = CoreError::Shard("budget exhausted".into());
+        assert!(!s.is_transient());
+        assert!(s.source().is_none());
+        assert!(s.to_string().contains("shard"));
     }
 
     #[test]

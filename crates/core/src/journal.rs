@@ -202,6 +202,77 @@ pub enum JournalEvent {
         /// The evaluation error that forced the quarantine.
         reason: String,
     },
+    /// A shard worker reported progress for one generation (emitted by
+    /// the supervisor after joining the worker, in fixed shard order, so
+    /// journals stay byte-identical run-to-run).
+    ShardHeartbeat {
+        /// Shard index (0-based).
+        shard: u32,
+        /// Barrier generation the heartbeat covers.
+        generation: u32,
+        /// Episodes completed by the shard so far.
+        episodes: u32,
+    },
+    /// A shard worker panicked mid-generation; the supervisor caught the
+    /// unwind and discarded the generation's work.
+    ShardCrashed {
+        /// Shard index.
+        shard: u32,
+        /// Generation that was lost.
+        generation: u32,
+        /// First line of the panic payload.
+        message: String,
+    },
+    /// A shard's heartbeat silence exceeded the supervisor's stall
+    /// threshold; the shard was declared hung and killed.
+    ShardStalled {
+        /// Shard index.
+        shard: u32,
+        /// Generation that was lost.
+        generation: u32,
+        /// Simulated milliseconds of heartbeat silence observed.
+        ticks: u64,
+    },
+    /// A killed shard was rebuilt from its last barrier state and
+    /// restarted under the bounded restart budget.
+    ShardRestarted {
+        /// Shard index.
+        shard: u32,
+        /// Generation being re-run.
+        generation: u32,
+        /// Cumulative restarts of this shard (1-based).
+        attempt: u32,
+    },
+    /// A shard exhausted its restart budget and was quarantined; its
+    /// completed barriers still contribute to the merge, but it runs no
+    /// further generations and the fleet result is flagged partial.
+    ShardQuarantined {
+        /// Shard index.
+        shard: u32,
+        /// Generation at which the budget ran out.
+        generation: u32,
+        /// Restarts consumed before quarantine.
+        restarts: u32,
+    },
+    /// All live shards reached a generation barrier and exchanged
+    /// elites.
+    ShardBarrier {
+        /// Barrier generation (0-based).
+        generation: u32,
+        /// Shards still live at the barrier.
+        live: u32,
+        /// Elite designs migrated between islands at this barrier.
+        migrants: u64,
+    },
+    /// The per-shard histories were merged into the fleet Pareto front.
+    ShardMerge {
+        /// Total shards in the plan.
+        shards: u32,
+        /// Shards quarantined before the run finished.
+        quarantined: u32,
+        /// Points on the merged front.
+        points: u64,
+    },
 }
 
 impl JournalEvent {
@@ -229,6 +300,13 @@ impl JournalEvent {
             | JournalEvent::LlmCircuitOpened { .. }
             | JournalEvent::LlmCircuitClosed
             | JournalEvent::LlmDegraded { .. } => "llm",
+            JournalEvent::ShardHeartbeat { .. }
+            | JournalEvent::ShardCrashed { .. }
+            | JournalEvent::ShardStalled { .. }
+            | JournalEvent::ShardRestarted { .. }
+            | JournalEvent::ShardQuarantined { .. }
+            | JournalEvent::ShardBarrier { .. }
+            | JournalEvent::ShardMerge { .. } => "shard",
         }
     }
 }
@@ -607,6 +685,28 @@ pub struct RunReport {
     /// line and everything after it).
     #[serde(default)]
     pub dropped_lines: u64,
+    /// Shard heartbeats recorded by the supervisor.
+    #[serde(default)]
+    pub shard_heartbeats: u64,
+    /// Shard workers that crashed mid-generation.
+    #[serde(default)]
+    pub shard_crashes: u64,
+    /// Shard workers killed for exceeding the stall threshold.
+    #[serde(default)]
+    pub shard_stalls: u64,
+    /// Shard restarts performed under the bounded budget.
+    #[serde(default)]
+    pub shard_restarts: u64,
+    /// Shards quarantined after exhausting their restart budget.
+    #[serde(default)]
+    pub shard_quarantined: u64,
+    /// Generation barriers the fleet completed.
+    #[serde(default)]
+    pub shard_barriers: u64,
+    /// True when the merged result came from a partial fleet (at least
+    /// one shard was quarantined before the run finished).
+    #[serde(default)]
+    pub partial_fleet: bool,
     /// Best episode reward, when the run recorded its end.
     pub best_reward: Option<f64>,
     /// Per-phase event counts and simulated time.
@@ -673,6 +773,20 @@ impl RunReport {
                 JournalEvent::EvalRetry { .. } => report.eval_retries += 1,
                 JournalEvent::EvalPanic { .. } => report.eval_panics += 1,
                 JournalEvent::EvalQuarantined { .. } => report.eval_quarantined += 1,
+                JournalEvent::ShardHeartbeat { .. } => report.shard_heartbeats += 1,
+                JournalEvent::ShardCrashed { .. } => report.shard_crashes += 1,
+                JournalEvent::ShardStalled { .. } => report.shard_stalls += 1,
+                JournalEvent::ShardRestarted { .. } => report.shard_restarts += 1,
+                JournalEvent::ShardQuarantined { .. } => {
+                    report.shard_quarantined += 1;
+                    report.partial_fleet = true;
+                }
+                JournalEvent::ShardBarrier { .. } => report.shard_barriers += 1,
+                JournalEvent::ShardMerge { quarantined, .. } => {
+                    if *quarantined > 0 {
+                        report.partial_fleet = true;
+                    }
+                }
             }
         }
         report
@@ -765,6 +879,24 @@ impl RunReport {
             self.eval_faults, self.eval_retries, self.eval_panics, self.eval_quarantined
         );
         let _ = writeln!(out, "  checkpoints      {}", self.checkpoints);
+        if self.shard_heartbeats > 0 || self.shard_barriers > 0 || self.partial_fleet {
+            let _ = writeln!(
+                out,
+                "  shards           {} heartbeats / {} barriers / {} crashes / {} stalls / {} restarts / {} quarantined",
+                self.shard_heartbeats,
+                self.shard_barriers,
+                self.shard_crashes,
+                self.shard_stalls,
+                self.shard_restarts,
+                self.shard_quarantined
+            );
+            if self.partial_fleet {
+                let _ = writeln!(
+                    out,
+                    "  partial fleet: true  (quarantined shards excluded from later barriers)"
+                );
+            }
+        }
         if self.truncated {
             let _ = writeln!(
                 out,
@@ -990,6 +1122,76 @@ mod tests {
         assert_eq!(report.eval_quarantined, 1);
         assert_eq!(report.phases["eval"].events, 4);
         assert!(report.render().contains("eval resilience"));
+    }
+
+    #[test]
+    fn shard_events_are_counted_phased_and_flag_partial_fleets() {
+        let (j, buf) = Journal::in_memory();
+        j.record(JournalEvent::ShardHeartbeat {
+            shard: 0,
+            generation: 0,
+            episodes: 4,
+        });
+        j.record(JournalEvent::ShardCrashed {
+            shard: 1,
+            generation: 0,
+            message: "boom".into(),
+        });
+        j.record(JournalEvent::ShardRestarted {
+            shard: 1,
+            generation: 0,
+            attempt: 1,
+        });
+        j.record(JournalEvent::ShardStalled {
+            shard: 2,
+            generation: 0,
+            ticks: 60_000,
+        });
+        j.record(JournalEvent::ShardRestarted {
+            shard: 2,
+            generation: 0,
+            attempt: 1,
+        });
+        j.record(JournalEvent::ShardQuarantined {
+            shard: 2,
+            generation: 0,
+            restarts: 1,
+        });
+        j.record(JournalEvent::ShardBarrier {
+            generation: 0,
+            live: 2,
+            migrants: 2,
+        });
+        j.record(JournalEvent::ShardMerge {
+            shards: 3,
+            quarantined: 1,
+            points: 5,
+        });
+        j.finish().unwrap();
+        let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+        assert_eq!(report.shard_heartbeats, 1);
+        assert_eq!(report.shard_crashes, 1);
+        assert_eq!(report.shard_stalls, 1);
+        assert_eq!(report.shard_restarts, 2);
+        assert_eq!(report.shard_quarantined, 1);
+        assert_eq!(report.shard_barriers, 1);
+        assert!(report.partial_fleet);
+        assert_eq!(report.phases["shard"].events, 8);
+        let table = report.render();
+        assert!(table.contains("shards"), "{table}");
+        assert!(table.contains("partial fleet: true"), "{table}");
+        // The JSONL tags are snake_case and self-describing.
+        assert!(buf.contents().contains("\"event\":\"shard_quarantined\""));
+    }
+
+    #[test]
+    fn unsharded_reports_render_no_shard_lines() {
+        let (j, buf) = Journal::in_memory();
+        j.record(JournalEvent::LlmCircuitClosed);
+        j.finish().unwrap();
+        let report = RunReport::from_jsonl(&buf.contents()).unwrap();
+        assert!(!report.partial_fleet);
+        assert!(!report.render().contains("shards"));
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod mo;
 pub mod pareto;
 pub mod pipeline;
 pub mod reward;
+pub mod shard;
 pub mod space;
 pub mod surrogate;
 pub mod trained;
@@ -84,10 +85,11 @@ pub use codesign::{
     Outcome,
 };
 pub use error::CoreError;
-pub use fault::{EvalFault, EvalFaultPlan};
+pub use fault::{EvalFault, EvalFaultPlan, ShardFault, ShardFaultPlan};
 pub use journal::{Journal, JournalEvent, JournalRecord, RunReport};
 pub use pipeline::{CacheStats, EvalCache, EvalPipeline, EvalRetryPolicy};
 pub use reward::Objective;
+pub use shard::{FrontPoint, ShardManifest, ShardOutcome, ShardPlan, ShardSummary, Supervisor};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -107,23 +107,26 @@ impl GeneticOptimizer {
 
     /// The best evaluated design so far, if any.
     pub fn best(&self) -> Option<(CandidateDesign, f64)> {
+        // Genomes enter `evaluated` only via `encode` or in-space random
+        // sampling, so decode cannot fail; a hypothetical mismatch reads
+        // as "no best yet" rather than a panic.
         self.evaluated
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(g, f)| (self.choices.decode(g).expect("genomes are in-space"), *f))
+            .and_then(|(g, f)| self.choices.decode(g).ok().map(|d| (d, *f)))
     }
 
     fn tournament_pick(&mut self) -> Genome {
-        let pool = &self.evaluated;
-        debug_assert!(!pool.is_empty());
-        let mut best: Option<&(Genome, f64)> = None;
-        for _ in 0..self.config.tournament {
-            let c = &pool[self.rng.gen_range(0..pool.len())];
-            if best.is_none() || c.1 > best.expect("set above").1 {
-                best = Some(c);
+        let pool_len = self.evaluated.len();
+        debug_assert!(pool_len > 0);
+        let mut best = self.rng.gen_range(0..pool_len);
+        for _ in 1..self.config.tournament {
+            let c = self.rng.gen_range(0..pool_len);
+            if self.evaluated[c].1 > self.evaluated[best].1 {
+                best = c;
             }
         }
-        best.expect("tournament ran at least once").0.clone()
+        self.evaluated[best].0.clone()
     }
 
     fn breed(&mut self) -> Genome {
@@ -180,8 +183,10 @@ impl Optimizer for GeneticOptimizer {
                 self.next_generation();
             }
         }
-        let g = self.pending.pop().expect("replenished above");
-        Ok(self.choices.decode(&g).expect("genomes are in-space"))
+        let g = self.pending.pop().ok_or_else(|| {
+            OptimError::InvalidConfig("population replenishment produced no genomes".into())
+        })?;
+        Ok(self.choices.decode(&g)?)
     }
 
     fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {

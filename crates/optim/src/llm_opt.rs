@@ -180,10 +180,11 @@ impl<M: LanguageModel> LlmOptimizer<M> {
 
     /// Serves one proposal from the fallback optimizer (degraded mode).
     fn degrade(&mut self) -> Result<CandidateDesign> {
-        let fb = self
-            .fallback
-            .as_mut()
-            .expect("degrade requires a configured fallback");
+        let Some(fb) = self.fallback.as_mut() else {
+            return Err(OptimError::InvalidConfig(
+                "degraded mode requires a configured fallback optimizer".into(),
+            ));
+        };
         self.observer.emit(LlmEvent::Degraded {
             fallback: fb.name().to_string(),
         });

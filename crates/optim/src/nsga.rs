@@ -299,8 +299,10 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
                 self.next_generation();
             }
         }
-        let g = self.pending.pop().expect("replenished above");
-        Ok(self.choices.decode(&g).expect("genomes are in-space"))
+        let g = self.pending.pop().ok_or_else(|| {
+            OptimError::InvalidConfig("population replenishment produced no genomes".into())
+        })?;
+        Ok(self.choices.decode(&g)?)
     }
 
     fn observe(&mut self, design: &CandidateDesign, objectives: &[f64]) -> Result<()> {
@@ -322,15 +324,16 @@ impl MultiObjectiveOptimizer for Nsga2Optimizer {
             return Vec::new();
         }
         let fronts = fast_non_dominated_sort(&fits);
+        // Genomes enter `evaluated` only via `encode` or in-space random
+        // sampling, so decode cannot fail; a hypothetical mismatch drops
+        // the member rather than panicking inside an archive read.
         fronts[0]
             .iter()
-            .map(|&i| {
-                (
-                    self.choices
-                        .decode(&self.evaluated[i].0)
-                        .expect("genomes are in-space"),
-                    self.evaluated[i].1.clone(),
-                )
+            .filter_map(|&i| {
+                self.choices
+                    .decode(&self.evaluated[i].0)
+                    .ok()
+                    .map(|d| (d, self.evaluated[i].1.clone()))
             })
             .collect()
     }

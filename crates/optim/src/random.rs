@@ -25,26 +25,26 @@ impl RandomOptimizer {
         }
     }
 
-    fn sample(&mut self) -> CandidateDesign {
+    fn sample(&mut self) -> Result<CandidateDesign> {
         let idx: Vec<usize> = (0..self.choices.slot_count())
             .map(|s| self.rng.gen_range(0..self.choices.slot_options(s)))
             .collect();
-        self.choices
-            .decode(&idx)
-            .expect("indices in range by construction")
+        // Indices are in range by construction; a decode failure would be
+        // a space-definition bug and surfaces as a typed error.
+        Ok(self.choices.decode(&idx)?)
     }
 }
 
 impl Optimizer for RandomOptimizer {
     fn propose(&mut self) -> Result<CandidateDesign> {
         for _ in 0..64 {
-            let d = self.sample();
+            let d = self.sample()?;
             if !self.seen.contains(&d) {
                 return Ok(d);
             }
         }
         // Space nearly exhausted — accept a repeat rather than spin.
-        Ok(self.sample())
+        self.sample()
     }
 
     fn observe(&mut self, design: &CandidateDesign, _reward: f64) -> Result<()> {

@@ -154,10 +154,9 @@ impl Optimizer for RlOptimizer {
         let idx: Vec<usize> = (0..self.choices.slot_count())
             .map(|s| self.sample_slot(s))
             .collect();
-        Ok(self
-            .choices
-            .decode(&idx)
-            .expect("sampled indices in range by construction"))
+        // Sampled indices are in range by construction; a decode failure
+        // would be a space-definition bug and surfaces as a typed error.
+        Ok(self.choices.decode(&idx)?)
     }
 
     fn observe(&mut self, design: &CandidateDesign, reward: f64) -> Result<()> {

@@ -4,9 +4,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
-# -D warnings also promotes lcda-core's `clippy::unwrap_used` /
-# `clippy::expect_used` gate (see crates/core/src/lib.rs) to a hard
-# error: production code must surface typed CoreErrors, not panic.
+# -D warnings also promotes the `clippy::unwrap_used` /
+# `clippy::expect_used` gates in lcda-core and lcda-optim (see
+# crates/core/src/lib.rs and crates/optim/src/lib.rs) to hard errors:
+# production code must surface typed errors, not panic.
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
@@ -54,3 +55,30 @@ fi
 ./target/release/lcda search --episodes 4 --seed 9 --json \
     > "$journal_dir/clean.json"
 cmp "$journal_dir/faulty.json" "$journal_dir/clean.json"
+
+# Sharded chaos smoke: kill -9 a supervised fleet mid-run, resume it
+# from the coordinator manifest, and require the merged Pareto front to
+# be byte-identical to an uninterrupted fleet's. As above, the kill is
+# racy by design — a fast fleet that finishes first simply replays.
+./target/release/lcda search --episodes 8 --seed 11 --shards 4 --json \
+    > "$journal_dir/fleet_clean.json"
+./target/release/lcda search --episodes 8 --seed 11 --shards 4 --json \
+    --checkpoint "$journal_dir/fleet.json" --keep-checkpoints 2 \
+    > "$journal_dir/fleet_killed.json" &
+fleet_pid=$!
+sleep 0.3
+kill -9 "$fleet_pid" 2> /dev/null || true
+wait "$fleet_pid" 2> /dev/null || true
+./target/release/lcda search --episodes 8 --seed 11 --shards 4 --json \
+    --checkpoint "$journal_dir/fleet.json" --keep-checkpoints 2 --resume \
+    > "$journal_dir/fleet_resumed.json"
+cmp "$journal_dir/fleet_clean.json" "$journal_dir/fleet_resumed.json"
+
+# Salvage must be loud: a torn journal fails `lcda report` by default
+# and passes only with the explicit escape hatch.
+printf '%s' '{"event":"run_sta' > "$journal_dir/torn.jsonl"
+if ./target/release/lcda report "$journal_dir/torn.jsonl" > /dev/null 2>&1; then
+    echo "ci: report accepted a salvaged journal without --allow-truncated" >&2
+    exit 1
+fi
+./target/release/lcda report "$journal_dir/torn.jsonl" --allow-truncated > /dev/null

@@ -54,6 +54,14 @@ SEARCH OPTIONS:
     --eval-fault-rate <p>   (+faulty backends) inject evaluation faults
                             with probability p per cost call  (default 0)
     --eval-fault-seed <n>   evaluation fault schedule seed    (default --seed)
+    --shards <n>            split the search into n supervised island
+                            shards exchanging elites at generation
+                            barriers; the merged Pareto front is
+                            bit-identical run-to-run for any n ≥ 1
+    --shard-restart-budget <n>  restarts per shard before quarantine
+                                                             (default 3)
+    --shard-stall-ticks <ms>    heartbeat silence before a shard is
+                                declared hung and killed  (default 10000)
     --json                                                   emit JSON
 
 EVALUATE OPTIONS:
@@ -67,7 +75,10 @@ FRONT OPTIONS:
     --episodes <n>   (default 240)    --seed <n>    --objective <energy|latency>
 
 REPORT USAGE:
-    lcda report <journal.jsonl>     print per-phase counters and timings
+    lcda report <journal.jsonl> [--allow-truncated]
+                print per-phase counters and timings; exits non-zero if
+                the journal was salvaged (torn tail / dropped lines)
+                unless --allow-truncated is passed
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags, with
@@ -121,13 +132,44 @@ impl Args {
         }
     }
 
+    /// A `u32`-ranged value flag: overflowing values are a parse-time
+    /// error, never a silent `as` truncation.
+    fn num_u32(&self, key: &str, default: u32) -> Result<u32, String> {
+        u32::try_from(self.num(key, u64::from(default))?)
+            .map_err(|_| format!("{key} exceeds the supported range (max {})", u32::MAX))
+    }
+
+    /// A `usize`-ranged value flag, checked like [`Args::num_u32`].
+    fn num_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        usize::try_from(self.num(key, default as u64)?)
+            .map_err(|_| format!("{key} exceeds the supported range"))
+    }
+
+    /// A float value flag: NaN and infinities are a parse-time error
+    /// (`0.3` parses; `NaN` must not sail through range checks, which
+    /// it would — every comparison against NaN is false).
     fn fnum(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("{key} expects a number, got `{v}`")),
+            Some(v) => {
+                let parsed: f64 = v
+                    .parse()
+                    .map_err(|_| format!("{key} expects a number, got `{v}`"))?;
+                if !parsed.is_finite() {
+                    return Err(format!("{key} expects a finite number, got `{v}`"));
+                }
+                Ok(parsed)
+            }
         }
+    }
+
+    /// A probability value flag: finite and inside `[0, 1]`.
+    fn probability(&self, key: &str, default: f64) -> Result<f64, String> {
+        let p = self.fnum(key, default)?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("{key} must be in [0, 1], got {p}"));
+        }
+        Ok(p)
     }
 
     fn objective(&self) -> Result<Objective, String> {
@@ -199,26 +241,26 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             "--fault-seed",
             "--eval-fault-rate",
             "--eval-fault-seed",
+            "--shards",
+            "--shard-restart-budget",
+            "--shard-stall-ticks",
         ],
         &["--json", "--resume", "--no-cache"],
     )?;
     let objective = args.objective()?;
     let backend = args.backend()?;
-    let episodes = args.num("--episodes", 20)? as u32;
+    let episodes = args.num_u32("--episodes", 20)?;
     let seed = args.num("--seed", 0)?;
-    let threads = args.num("--threads", 1)? as usize;
+    let threads = args.num_usize("--threads", 1)?;
     let optimizer = args.get("--optimizer").unwrap_or("expert");
-    let fault_rate = args.fnum("--fault-rate", 0.0)?;
+    let fault_rate = args.probability("--fault-rate", 0.0)?;
     let fault_seed = args.num("--fault-seed", seed)?;
     if optimizer != "resilient"
         && (args.get("--fault-rate").is_some() || args.get("--fault-seed").is_some())
     {
         return Err("--fault-rate/--fault-seed require --optimizer resilient".into());
     }
-    if !(0.0..=1.0).contains(&fault_rate) {
-        return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}"));
-    }
-    let eval_fault_rate = args.fnum("--eval-fault-rate", 0.0)?;
+    let eval_fault_rate = args.probability("--eval-fault-rate", 0.0)?;
     let eval_fault_seed = args.num("--eval-fault-seed", seed)?;
     let faulty_backend = backend.split('+').any(|part| part == FAULTY_DECORATOR);
     if !faulty_backend
@@ -229,14 +271,26 @@ fn cmd_search(args: &Args) -> Result<(), String> {
              (e.g. --backend cim+{FAULTY_DECORATOR})"
         ));
     }
-    if !(0.0..=1.0).contains(&eval_fault_rate) {
-        return Err(format!(
-            "--eval-fault-rate must be in [0, 1], got {eval_fault_rate}"
-        ));
+
+    let shards = match args.get("--shards") {
+        None => None,
+        Some(_) => {
+            let n = args.num_u32("--shards", 1)?;
+            if n == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            Some(n)
+        }
+    };
+    if shards.is_none()
+        && (args.get("--shard-restart-budget").is_some()
+            || args.get("--shard-stall-ticks").is_some())
+    {
+        return Err("--shard-restart-budget/--shard-stall-ticks require --shards <n>".into());
     }
 
     let checkpoint_path = args.get("--checkpoint").map(PathBuf::from);
-    let keep_checkpoints = args.num("--keep-checkpoints", 1)? as u32;
+    let keep_checkpoints = args.num_u32("--keep-checkpoints", 1)?;
     if keep_checkpoints == 0 {
         return Err("--keep-checkpoints must be at least 1".into());
     }
@@ -244,10 +298,6 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     if resume && checkpoint_path.is_none() {
         return Err("--resume requires --checkpoint <path>".into());
     }
-    let store = checkpoint_path
-        .as_ref()
-        .map(|path| CheckpointStore::new(path, keep_checkpoints).map_err(|e| e.to_string()))
-        .transpose()?;
 
     let space = DesignSpace::nacim_cifar10();
     let config = CoDesignConfig::builder(objective)
@@ -295,6 +345,69 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     } else {
         BackendRegistry::standard()
     };
+
+    if let Some(shards) = shards {
+        let mut plan = ShardPlan::new(shards);
+        plan.restart_budget = args.num_u32("--shard-restart-budget", plan.restart_budget)?;
+        plan.stall_ticks = args.num("--shard-stall-ticks", plan.stall_ticks)?;
+        let mut fleet = Supervisor::new(space, config, plan)
+            .optimizer(spec)
+            .backend(&backend)
+            .registry(registry)
+            .threads(threads)
+            .caching(!args.flag("--no-cache"))
+            .journal(journal.clone());
+        if let Some(path) = &checkpoint_path {
+            fleet = fleet.checkpoints(path, keep_checkpoints);
+        }
+        let outcome =
+            if resume { fleet.resume() } else { fleet.run() }.map_err(|e| e.to_string())?;
+        journal.finish().map_err(|e| e.to_string())?;
+        if args.flag("--json") {
+            println!("{}", outcome.to_json().map_err(|e| e.to_string())?);
+            return Ok(());
+        }
+        let unit = match objective {
+            Objective::AccuracyEnergy => "pJ",
+            Objective::AccuracyLatency => "ns",
+        };
+        println!(
+            "supervised fleet · {shards} shards · {} · backend {backend} · \
+             {episodes} episodes/shard · seed {seed}\n",
+            objective.name()
+        );
+        for s in &outcome.shards {
+            let state = match s.quarantined_at {
+                Some(g) => format!("QUARANTINED at generation {g}"),
+                None => "ok".to_string(),
+            };
+            println!(
+                "  shard {:>2}  seed {:>20}  episodes {:>4}  restarts {}  {state}",
+                s.shard, s.seed, s.episodes, s.restarts
+            );
+        }
+        println!(
+            "\nmerged Pareto front ({} points{}):",
+            outcome.front.len(),
+            if outcome.partial_fleet {
+                ", PARTIAL FLEET"
+            } else {
+                ""
+            }
+        );
+        for p in &outcome.front {
+            println!(
+                "  acc {:.3} @ {:.4e} {unit}   {}",
+                p.accuracy, p.cost, p.design
+            );
+        }
+        return Ok(());
+    }
+
+    let store = checkpoint_path
+        .as_ref()
+        .map(|path| CheckpointStore::new(path, keep_checkpoints).map_err(|e| e.to_string()))
+        .transpose()?;
     let run = CoDesign::builder(space, config)
         .optimizer(spec)
         .backend(&backend)
@@ -477,11 +590,31 @@ fn cmd_reference(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let [path] = args.items.as_slice() else {
+    let allow_truncated = args.flag("--allow-truncated");
+    let positional: Vec<&str> = args
+        .items
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--allow-truncated")
+        .collect();
+    if let Some(flag) = positional.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag `{flag}` (see `lcda help`)"));
+    }
+    let [path] = positional.as_slice() else {
         return Err("report expects exactly one argument: <journal.jsonl>".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let report = RunReport::from_jsonl(&text).map_err(|e| e.to_string())?;
     print!("{}", report.render());
+    // Salvage must be loud: a torn tail or dropped lines mean the
+    // journal does not tell the whole story, so the default is a
+    // non-zero exit — CI pipelines must opt in to accept it.
+    if (report.truncated || report.dropped_lines > 0) && !allow_truncated {
+        return Err(format!(
+            "journal was salvaged (truncated tail: {}, dropped lines: {}); \
+             pass --allow-truncated to accept a partial report",
+            report.truncated, report.dropped_lines
+        ));
+    }
     Ok(())
 }

@@ -286,6 +286,130 @@ fn resume_with_missing_checkpoint_starts_fresh() {
 }
 
 #[test]
+fn numeric_flags_are_validated_at_parse_time() {
+    // Zero kept generations would silently disable checkpointing.
+    let (ok, _, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--checkpoint",
+        "/tmp/never-written.json",
+        "--keep-checkpoints",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--keep-checkpoints must be at least 1"),
+        "{stderr}"
+    );
+
+    // Probabilities outside [0, 1] are a parse error, not a clamp.
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--eval-fault-rate", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("must be in [0, 1]"), "{stderr}");
+
+    // NaN must not sail through range checks.
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--eval-fault-rate", "NaN"]);
+    assert!(!ok);
+    assert!(stderr.contains("finite"), "{stderr}");
+
+    // Overflowing u32 budgets fail loudly instead of truncating.
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "99999999999"]);
+    assert!(!ok);
+    assert!(stderr.contains("exceeds the supported range"), "{stderr}");
+}
+
+#[test]
+fn shard_flags_are_validated() {
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--shards", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--shards must be at least 1"), "{stderr}");
+
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--shard-restart-budget", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("require --shards"), "{stderr}");
+
+    let (ok, _, stderr) = lcda(&["search", "--episodes", "2", "--shard-stall-ticks", "500"]);
+    assert!(!ok);
+    assert!(stderr.contains("require --shards"), "{stderr}");
+}
+
+#[test]
+fn sharded_search_reports_a_fleet_and_is_repeatable() {
+    let run = || {
+        lcda(&[
+            "search",
+            "--episodes",
+            "4",
+            "--seed",
+            "8",
+            "--shards",
+            "2",
+            "--json",
+        ])
+    };
+    let (ok, a, stderr) = run();
+    assert!(ok, "{stderr}");
+    let v: serde_json::Value = serde_json::from_str(&a).expect("valid fleet JSON");
+    assert_eq!(v["shards"].as_array().unwrap().len(), 2);
+    assert!(!v["front"].as_array().unwrap().is_empty());
+    assert_eq!(v["partial_fleet"], serde_json::Value::Bool(false));
+    let (ok, b, _) = run();
+    assert!(ok);
+    assert_eq!(a, b, "sharded CLI runs must be byte-identical");
+
+    // The human rendering names the fleet.
+    let (ok, stdout, stderr) = lcda(&["search", "--episodes", "4", "--seed", "8", "--shards", "2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("supervised fleet"), "{stdout}");
+    assert!(stdout.contains("merged Pareto front"), "{stdout}");
+}
+
+#[test]
+fn report_exits_nonzero_on_salvaged_journals() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lcda-cli-salvage-{}.jsonl", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let (ok, _, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--seed",
+        "4",
+        "--journal",
+        path_s,
+    ]);
+    assert!(ok, "{stderr}");
+
+    // An intact journal reports cleanly.
+    let (ok, stdout, stderr) = lcda(&["report", path_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("episodes"), "{stdout}");
+
+    // Tear the tail: a crash mid-write leaves half a JSON line.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, format!("{}{}", text, "{\"event\":\"run_en")).unwrap();
+
+    let (ok, stdout, stderr) = lcda(&["report", path_s]);
+    assert!(!ok, "salvaged journal must fail the report");
+    assert!(
+        stdout.contains("episodes"),
+        "the partial report still renders"
+    );
+    assert!(stderr.contains("salvaged"), "{stderr}");
+    assert!(stderr.contains("--allow-truncated"), "{stderr}");
+
+    // The escape hatch accepts the partial story explicitly.
+    let (ok, stdout, stderr) = lcda(&["report", path_s, "--allow-truncated"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("episodes"), "{stdout}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn resilient_search_with_faults_matches_fault_free_search() {
     let (ok, faulted, stderr) = lcda(&[
         "search",
