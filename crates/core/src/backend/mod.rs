@@ -35,6 +35,8 @@ use crate::space::DesignSpace;
 use crate::{CoreError, Result};
 use lcda_llm::middleware::SimClock;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
 
 pub mod cim;
 pub mod faulty;
@@ -85,6 +87,176 @@ pub fn backend_fingerprint(id: &str, parts: &[&str]) -> String {
 /// Constructor signature stored in the registry: backends are built from
 /// the design space alone, with their own defaults for everything else.
 pub type BackendCtor = fn(&DesignSpace) -> Result<Box<dyn HardwareBackend>>;
+
+/// A decorator that wraps a base backend, named after `+` in a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendDecorator {
+    /// Fault injection: wraps the backend in a [`FaultyBackend`] firing
+    /// the registry's fault plan.
+    Faulty,
+}
+
+impl BackendDecorator {
+    /// The decorator's grammar name (what follows the `+`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendDecorator::Faulty => FAULTY_DECORATOR,
+        }
+    }
+
+    fn parse(token: &str) -> Option<Self> {
+        (token == FAULTY_DECORATOR).then_some(BackendDecorator::Faulty)
+    }
+}
+
+/// A grammar-level failure parsing a backend spec string.
+///
+/// These are the *typed* errors behind `BackendSpec::from_str`; callers
+/// that want a [`CoreError`] get one via `From`. Registry membership of
+/// the base name is a separate, registry-level check
+/// ([`BackendRegistry::parse`]) — the grammar cannot know which backends
+/// are registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpecError {
+    /// The spec was empty or started with `+` (no base backend name).
+    EmptyBase {
+        /// The offending spec string.
+        spec: String,
+    },
+    /// A `+` with nothing after it (`cim+`).
+    EmptyDecorator {
+        /// The offending spec string.
+        spec: String,
+    },
+    /// A decorator token the grammar does not know.
+    UnknownDecorator {
+        /// The offending spec string.
+        spec: String,
+        /// The unrecognized token after `+`.
+        decorator: String,
+    },
+}
+
+impl fmt::Display for BackendSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendSpecError::EmptyBase { spec } => {
+                write!(f, "backend spec `{spec}` has no base backend name")
+            }
+            BackendSpecError::EmptyDecorator { spec } => {
+                write!(f, "backend spec `{spec}` has an empty `+` decorator")
+            }
+            BackendSpecError::UnknownDecorator { spec, decorator } => {
+                write!(
+                    f,
+                    "unknown backend decorator `{decorator}` in `{spec}` (known: {FAULTY_DECORATOR})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendSpecError {}
+
+impl From<BackendSpecError> for CoreError {
+    fn from(err: BackendSpecError) -> Self {
+        CoreError::InvalidConfig(err.to_string())
+    }
+}
+
+/// A parsed, validated backend name: `base(+decorator)*`.
+///
+/// This replaces the ad-hoc string splitting the CLI used to do: a spec
+/// parses exactly once — at the flag boundary, or at serve-job admission
+/// — into a typed value, and everything downstream consumes the type.
+/// Parsing validates the *grammar* (typed [`BackendSpecError`]s);
+/// [`BackendRegistry::parse`] additionally validates that the base name
+/// is registered.
+///
+/// ```
+/// use lcda_core::backend::BackendSpec;
+/// let spec: BackendSpec = "cim+faulty".parse().unwrap();
+/// assert_eq!(spec.base(), "cim");
+/// assert!(spec.is_faulty());
+/// assert!("cim+bogus".parse::<BackendSpec>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    base: String,
+    decorators: Vec<BackendDecorator>,
+}
+
+impl BackendSpec {
+    /// A bare spec for a base backend, no decorators.
+    pub fn bare(base: impl Into<String>) -> Self {
+        BackendSpec {
+            base: base.into(),
+            decorators: Vec::new(),
+        }
+    }
+
+    /// The base backend's registry name (`cim`, `systolic`, …).
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The decorators to apply, left to right.
+    pub fn decorators(&self) -> &[BackendDecorator] {
+        &self.decorators
+    }
+
+    /// Whether the spec carries the fault-injection decorator.
+    pub fn is_faulty(&self) -> bool {
+        self.decorators.contains(&BackendDecorator::Faulty)
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    /// Renders the canonical spec string (`cim+faulty`), round-tripping
+    /// through [`FromStr`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for deco in &self.decorators {
+            write!(f, "+{}", deco.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BackendSpec {
+    type Err = BackendSpecError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let mut parts = s.split('+');
+        let base = parts.next().unwrap_or_default();
+        if base.is_empty() {
+            return Err(BackendSpecError::EmptyBase {
+                spec: s.to_string(),
+            });
+        }
+        let mut decorators = Vec::new();
+        for token in parts {
+            if token.is_empty() {
+                return Err(BackendSpecError::EmptyDecorator {
+                    spec: s.to_string(),
+                });
+            }
+            match BackendDecorator::parse(token) {
+                Some(deco) => decorators.push(deco),
+                None => {
+                    return Err(BackendSpecError::UnknownDecorator {
+                        spec: s.to_string(),
+                        decorator: token.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(BackendSpec {
+            base: base.to_string(),
+            decorators,
+        })
+    }
+}
 
 /// A small name → constructor table for hardware backends.
 ///
@@ -155,12 +327,34 @@ impl BackendRegistry {
         self
     }
 
+    /// Parses and fully validates a backend spec string: the grammar
+    /// (via [`BackendSpec::from_str`]) plus registry membership of the
+    /// base name. This is the admission-time check the CLI and the serve
+    /// job intake share — a spec that parses here is guaranteed to
+    /// [`create`](BackendRegistry::create_spec) later (modulo backend
+    /// construction failures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] (carrying the typed
+    /// [`BackendSpecError`] message for grammar faults, or the known-name
+    /// listing for an unregistered base).
+    pub fn parse(&self, name: &str) -> Result<BackendSpec> {
+        let spec: BackendSpec = name.parse()?;
+        if !self.contains(spec.base()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "unknown hardware backend `{}` (known: {})",
+                spec.base(),
+                self.names().join(", ")
+            )));
+        }
+        Ok(spec)
+    }
+
     /// Whether `name` resolves through this registry: its base is
     /// registered and every `+`-suffix is a known decorator.
     pub fn resolves(&self, name: &str) -> bool {
-        let mut parts = name.split('+');
-        let base = parts.next().unwrap_or("");
-        self.contains(base) && parts.all(|deco| deco == FAULTY_DECORATOR)
+        self.parse(name).is_ok()
     }
 
     /// Instantiates the named backend over a design space, applying any
@@ -171,26 +365,39 @@ impl BackendRegistry {
     /// Returns [`CoreError::InvalidConfig`] for an unknown base name or
     /// decorator and propagates backend construction errors.
     pub fn create(&self, name: &str, space: &DesignSpace) -> Result<Box<dyn HardwareBackend>> {
-        let mut parts = name.split('+');
-        let base = parts.next().unwrap_or("");
-        let ctor = self.ctors.get(base).ok_or_else(|| {
+        let spec = self.parse(name)?;
+        self.create_spec(&spec, space)
+    }
+
+    /// Instantiates an already-parsed [`BackendSpec`] over a design
+    /// space, applying its decorators left to right.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the spec's base is not
+    /// registered and propagates backend construction errors.
+    pub fn create_spec(
+        &self,
+        spec: &BackendSpec,
+        space: &DesignSpace,
+    ) -> Result<Box<dyn HardwareBackend>> {
+        let ctor = self.ctors.get(spec.base()).ok_or_else(|| {
             CoreError::InvalidConfig(format!(
-                "unknown hardware backend `{base}` (known: {})",
+                "unknown hardware backend `{}` (known: {})",
+                spec.base(),
                 self.names().join(", ")
             ))
         })?;
         let mut backend = ctor(space)?;
-        for deco in parts {
-            if deco == FAULTY_DECORATOR {
-                backend = Box::new(FaultyBackend::new(
-                    backend,
-                    self.fault_plan.clone(),
-                    self.fault_clock.clone(),
-                ));
-            } else {
-                return Err(CoreError::InvalidConfig(format!(
-                    "unknown backend decorator `{deco}` in `{name}` (known: {FAULTY_DECORATOR})"
-                )));
+        for deco in spec.decorators() {
+            match deco {
+                BackendDecorator::Faulty => {
+                    backend = Box::new(FaultyBackend::new(
+                        backend,
+                        self.fault_plan.clone(),
+                        self.fault_clock.clone(),
+                    ));
+                }
             }
         }
         Ok(backend)
@@ -267,6 +474,72 @@ mod tests {
         assert!(wrapped.fingerprint().starts_with("faulty/"));
         let err = wrapped.cost(&space.reference_design()).unwrap_err();
         assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn backend_spec_parses_the_grammar_with_typed_errors() {
+        let bare: BackendSpec = "cim".parse().unwrap();
+        assert_eq!(bare.base(), "cim");
+        assert!(!bare.is_faulty());
+        assert!(bare.decorators().is_empty());
+        assert_eq!(bare.to_string(), "cim");
+        assert_eq!(bare, BackendSpec::bare("cim"));
+
+        let deco: BackendSpec = "systolic+faulty".parse().unwrap();
+        assert_eq!(deco.base(), "systolic");
+        assert!(deco.is_faulty());
+        assert_eq!(deco.decorators(), &[BackendDecorator::Faulty]);
+        assert_eq!(deco.to_string(), "systolic+faulty");
+
+        // Display round-trips through FromStr.
+        assert_eq!(deco.to_string().parse::<BackendSpec>().unwrap(), deco);
+
+        assert_eq!(
+            "".parse::<BackendSpec>().unwrap_err(),
+            BackendSpecError::EmptyBase {
+                spec: String::new()
+            }
+        );
+        assert_eq!(
+            "+faulty".parse::<BackendSpec>().unwrap_err(),
+            BackendSpecError::EmptyBase {
+                spec: "+faulty".to_string()
+            }
+        );
+        assert_eq!(
+            "cim+".parse::<BackendSpec>().unwrap_err(),
+            BackendSpecError::EmptyDecorator {
+                spec: "cim+".to_string()
+            }
+        );
+        let err = "cim+bogus".parse::<BackendSpec>().unwrap_err();
+        assert_eq!(
+            err,
+            BackendSpecError::UnknownDecorator {
+                spec: "cim+bogus".to_string(),
+                decorator: "bogus".to_string(),
+            }
+        );
+        // The CoreError conversion keeps the message.
+        let core: CoreError = err.into();
+        assert!(core.to_string().contains("bogus"));
+        assert!(core.to_string().contains("faulty"));
+    }
+
+    #[test]
+    fn registry_parse_validates_base_membership() {
+        let r = BackendRegistry::standard();
+        assert_eq!(r.parse("cim").unwrap(), BackendSpec::bare("cim"));
+        assert!(r.parse("cim+faulty").unwrap().is_faulty());
+        let err = r.parse("fpga+faulty").unwrap_err();
+        assert!(err.to_string().contains("fpga"));
+        assert!(err.to_string().contains("cim, systolic"));
+        assert!(r.parse("cim+bogus").is_err());
+        // create_spec builds a parsed spec directly.
+        let space = DesignSpace::nacim_cifar10();
+        let spec = r.parse("cim+faulty").unwrap();
+        let backend = r.create_spec(&spec, &space).unwrap();
+        assert_eq!(backend.id(), "faulty");
     }
 
     #[test]

@@ -1,0 +1,910 @@
+//! The shared, cross-run evaluation cache: [`CacheStore`] and
+//! [`CacheSession`].
+//!
+//! PR 2 introduced the content-addressed memo table as a per-pipeline
+//! [`EvalCache`] embedded in [`crate::Checkpoint`]. That shape is right
+//! for a one-shot CLI run but wrong for a job server: when many searches
+//! share one process, most of the throughput win comes from *cross-run*
+//! admission — user B's search hitting entries user A's search already
+//! paid for. This module extracts the memo table into a standalone,
+//! process-wide [`CacheStore`]:
+//!
+//! - **concurrent** — a cheaply cloneable handle over a
+//!   `parking_lot::Mutex`; every pipeline (and every shard of a
+//!   supervised fleet) can share one store;
+//! - **capacity-bounded with deterministic eviction** — a FIFO admission
+//!   queue; when the store exceeds its bound the *oldest admission* is
+//!   evicted. Two stores fed the same admission sequence evict the same
+//!   entries in the same order, so a bounded store stays reproducible;
+//! - **persistable** — checksummed JSON via the same atomic-save path as
+//!   checkpoints, so a server restart rehydrates its fleet-wide table;
+//! - **keyed exactly as before** — entries live under the evaluator-pair
+//!   context fingerprint (which embeds the `{backend-id}/{digest}`
+//!   namespace), so entries can never cross backends or evaluator
+//!   configurations;
+//! - **per-session stat views** — a [`CacheSession`] is one run's window
+//!   onto the store. Lookups and admissions go to the shared table, but
+//!   hit/miss/insert counters are session-local, and a hit on an entry
+//!   admitted by a *different* session is additionally counted as a
+//!   [`SessionStats::cross_run_hits`] — the number the serve acceptance
+//!   criterion observes.
+//!
+//! Consistency argument (why sharing is safe): every in-tree evaluator is
+//! a pure function of `(design, evaluator configuration)`, and the
+//! context fingerprint pins the configuration. Therefore any two sessions
+//! that agree on the context compute — and admit — identical values for
+//! identical keys, and serving one session's entry to another cannot
+//! change any observable result. Eviction only ever *removes* memoized
+//! values, forcing a recompute of the same pure function. Hence a shared
+//! store is observation-equivalent to per-run caches, which is what keeps
+//! a served job byte-identical to the same seeded search run offline.
+
+use crate::evaluate::HwMetrics;
+use crate::{CoreError, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Hit/miss/insert counters of one cache view (see also [`SessionStats`],
+/// which adds the cross-run split).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the wrapped evaluator.
+    pub misses: u64,
+    /// Results admitted into the cache.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-session counters: one run's window onto a shared [`CacheStore`].
+///
+/// `hits`/`misses`/`inserts` mirror the classic [`CacheStats`] semantics
+/// exactly (a single-session store behaves bit-for-bit like the old
+/// per-run cache). `cross_run_hits` additionally counts the hits served
+/// by entries some *other* session admitted — the multi-tenant payoff.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Lookups served from the store (own + cross-run).
+    pub hits: u64,
+    /// Lookups that fell through to the wrapped evaluator.
+    pub misses: u64,
+    /// Results this session admitted.
+    pub inserts: u64,
+    /// Hits served by an entry admitted by a different session (or loaded
+    /// from a persisted store). Always `<= hits`.
+    pub cross_run_hits: u64,
+}
+
+impl SessionStats {
+    /// The classic hit/miss/insert view, for run reports.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            inserts: self.inserts,
+        }
+    }
+}
+
+/// Store-wide counters aggregated across every session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups served from the store, all sessions.
+    pub hits: u64,
+    /// Lookups that missed, all sessions.
+    pub misses: u64,
+    /// Entries admitted by live sessions (absorbed snapshots not counted).
+    pub inserts: u64,
+    /// Hits where the requesting session was not the admitting session.
+    pub cross_run_hits: u64,
+    /// Entries dropped by the capacity bound, oldest-admission-first.
+    pub evictions: u64,
+}
+
+/// A serializable snapshot of one context's memo table.
+///
+/// This is the type that rides inside [`crate::Checkpoint`] (field
+/// `eval_cache`): a resumed run re-absorbs it into its store via
+/// [`crate::pipeline::EvalPipeline::restore_cache`]. Counters are
+/// deliberately absent — they are session state, owned by
+/// [`CacheSession`], and were never serialized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalCache {
+    /// Fingerprint of the evaluator pair that produced the entries.
+    context: String,
+    /// design text → accuracy in `[0, 1]`.
+    accuracy: BTreeMap<String, f64>,
+    /// design text → metrics (`None` = constraint violation, a valid and
+    /// deterministic outcome worth memoizing).
+    hardware: BTreeMap<String, Option<HwMetrics>>,
+}
+
+impl EvalCache {
+    /// An empty snapshot bound to an evaluator-context fingerprint.
+    pub fn new(context: impl Into<String>) -> Self {
+        EvalCache {
+            context: context.into(),
+            accuracy: BTreeMap::new(),
+            hardware: BTreeMap::new(),
+        }
+    }
+
+    /// The evaluator-context fingerprint the entries belong to.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Number of memoized entries (accuracy + hardware).
+    pub fn len(&self) -> usize {
+        self.accuracy.len() + self.hardware.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.accuracy.is_empty() && self.hardware.is_empty()
+    }
+
+    /// Serializes the snapshot to checkpoint-compatible JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize eval cache: {e}")))
+    }
+
+    /// Deserializes a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| CoreError::Checkpoint(format!("parse eval cache: {e}")))
+    }
+}
+
+/// Which half of the memo table an entry lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum EntryKind {
+    Accuracy,
+    Hardware,
+}
+
+/// One admission, in FIFO order — the eviction unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Admission {
+    context: String,
+    kind: EntryKind,
+    key: String,
+}
+
+/// A memoized value plus the id of the session that admitted it. Owner 0
+/// is the reserved "persisted store" pseudo-session (live session ids
+/// start at 1), so entries rehydrated from disk count as cross-run for
+/// every session that hits them.
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    owner: u64,
+}
+
+#[derive(Debug, Default)]
+struct ContextTable {
+    accuracy: BTreeMap<String, Entry<f64>>,
+    hardware: BTreeMap<String, Entry<Option<HwMetrics>>>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    capacity: Option<usize>,
+    contexts: BTreeMap<String, ContextTable>,
+    admissions: VecDeque<Admission>,
+    stats: StoreStats,
+    next_session: u64,
+}
+
+/// The persisted wire format: contexts plus the admission order (the
+/// order must survive a round-trip or a bounded store would evict
+/// differently after a restart).
+#[derive(Serialize, Deserialize)]
+struct StoreSnapshot {
+    version: u32,
+    capacity: Option<usize>,
+    contexts: BTreeMap<String, ContextSnapshot>,
+    admissions: Vec<Admission>,
+}
+
+#[derive(Serialize, Deserialize, Default)]
+struct ContextSnapshot {
+    accuracy: BTreeMap<String, f64>,
+    hardware: BTreeMap<String, Option<HwMetrics>>,
+}
+
+const STORE_VERSION: u32 = 1;
+
+/// The shared, cross-run memo table. Cloning the handle shares the store.
+///
+/// See the [module docs](self) for the design; use
+/// [`CacheStore::session`] to obtain a per-run [`CacheSession`] view.
+#[derive(Clone)]
+pub struct CacheStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("CacheStore")
+            .field("entries", &g.admissions.len())
+            .field("contexts", &g.contexts.len())
+            .field("capacity", &g.capacity)
+            .finish()
+    }
+}
+
+impl Default for CacheStore {
+    fn default() -> Self {
+        CacheStore::new()
+    }
+}
+
+impl CacheStore {
+    /// An empty, unbounded store.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// An empty store bounded to `capacity` entries (clamped to ≥ 1).
+    /// When full, the oldest admission is evicted first — deterministic
+    /// under identical admission order.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::build(Some(capacity.max(1)))
+    }
+
+    fn build(capacity: Option<usize>) -> Self {
+        CacheStore {
+            inner: Arc::new(Mutex::new(StoreInner {
+                capacity,
+                contexts: BTreeMap::new(),
+                admissions: VecDeque::new(),
+                stats: StoreStats::default(),
+                next_session: 0,
+            })),
+        }
+    }
+
+    /// Opens a per-run session view bound to an evaluator-context
+    /// fingerprint. Each session gets a unique id; entries it admits are
+    /// owned by it, and its counters are independent of every other
+    /// session's.
+    pub fn session(&self, context: impl Into<String>) -> CacheSession {
+        let id = {
+            let mut g = self.inner.lock();
+            g.next_session += 1;
+            g.next_session
+        };
+        CacheSession {
+            store: self.clone(),
+            context: context.into(),
+            id,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Total memoized entries across all contexts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().admissions.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
+    /// Number of distinct evaluator contexts with at least one entry.
+    pub fn contexts(&self) -> usize {
+        self.inner.lock().contexts.len()
+    }
+
+    /// Store-wide counters aggregated across all sessions.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Snapshots one context's entries as a checkpoint-compatible
+    /// [`EvalCache`] (empty when the context is unknown).
+    pub fn snapshot(&self, context: &str) -> EvalCache {
+        let g = self.inner.lock();
+        let mut cache = EvalCache::new(context);
+        if let Some(table) = g.contexts.get(context) {
+            for (k, e) in &table.accuracy {
+                cache.accuracy.insert(k.clone(), e.value);
+            }
+            for (k, e) in &table.hardware {
+                cache.hardware.insert(k.clone(), e.value.clone());
+            }
+        }
+        cache
+    }
+
+    /// Serializes the whole store (entries + admission order) to
+    /// checksummed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        let g = self.inner.lock();
+        let mut contexts = BTreeMap::new();
+        for (ctx, table) in &g.contexts {
+            let mut snap = ContextSnapshot::default();
+            for (k, e) in &table.accuracy {
+                snap.accuracy.insert(k.clone(), e.value);
+            }
+            for (k, e) in &table.hardware {
+                snap.hardware.insert(k.clone(), e.value.clone());
+            }
+            contexts.insert(ctx.clone(), snap);
+        }
+        let snapshot = StoreSnapshot {
+            version: STORE_VERSION,
+            capacity: g.capacity,
+            contexts,
+            admissions: g.admissions.iter().cloned().collect(),
+        };
+        crate::checkpoint::to_checksummed_json(&snapshot)
+    }
+
+    /// Rebuilds a store from [`CacheStore::to_json`] output. Entries are
+    /// owned by the reserved pseudo-session 0, so every live session that
+    /// hits them counts a cross-run hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] for malformed or corrupt JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let value = crate::checkpoint::from_checksummed_json(json)?;
+        let snapshot: StoreSnapshot = serde_json::from_value(value)
+            .map_err(|e| CoreError::Checkpoint(format!("parse cache store: {e}")))?;
+        let store = Self::build(snapshot.capacity);
+        {
+            let mut g = store.inner.lock();
+            for (ctx, snap) in snapshot.contexts {
+                let table = g.contexts.entry(ctx).or_default();
+                for (k, v) in snap.accuracy {
+                    table.accuracy.insert(k, Entry { value: v, owner: 0 });
+                }
+                for (k, v) in snap.hardware {
+                    table.hardware.insert(k, Entry { value: v, owner: 0 });
+                }
+            }
+            // Admission order drives eviction; keep only records that
+            // describe a live entry, then append any entry the admission
+            // list missed (deterministically, in map order) so the
+            // FIFO-length == entry-count invariant holds.
+            let mut seen: VecDeque<Admission> = VecDeque::new();
+            for adm in snapshot.admissions {
+                let live = g
+                    .contexts
+                    .get(&adm.context)
+                    .is_some_and(|t| match adm.kind {
+                        EntryKind::Accuracy => t.accuracy.contains_key(&adm.key),
+                        EntryKind::Hardware => t.hardware.contains_key(&adm.key),
+                    });
+                if live && !seen.contains(&adm) {
+                    seen.push_back(adm);
+                }
+            }
+            for (ctx, table) in &g.contexts {
+                for k in table.accuracy.keys() {
+                    let adm = Admission {
+                        context: ctx.clone(),
+                        kind: EntryKind::Accuracy,
+                        key: k.clone(),
+                    };
+                    if !seen.contains(&adm) {
+                        seen.push_back(adm);
+                    }
+                }
+                for k in table.hardware.keys() {
+                    let adm = Admission {
+                        context: ctx.clone(),
+                        kind: EntryKind::Hardware,
+                        key: k.clone(),
+                    };
+                    if !seen.contains(&adm) {
+                        seen.push_back(adm);
+                    }
+                }
+            }
+            g.admissions = seen;
+            Self::evict_to_capacity(&mut g);
+        }
+        Ok(store)
+    }
+
+    /// Atomically persists the store to `path` (tmp + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        crate::checkpoint::atomic_save(path, &self.to_json()?)
+    }
+
+    /// Loads a store persisted by [`CacheStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] when the file is unreadable or
+    /// corrupt.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Checkpoint(format!("read cache store {path:?}: {e}")))?;
+        Self::from_json(&json)
+    }
+
+    /// Merges a snapshot's entries into the store under `owner`'s id.
+    /// Existing entries keep their original owner (values are identical
+    /// by the purity argument). Non-finite values are refused, exactly as
+    /// at live admission.
+    fn absorb(&self, snapshot: &EvalCache, owner: u64) {
+        let mut g = self.inner.lock();
+        for (k, v) in &snapshot.accuracy {
+            if v.is_finite() {
+                Self::admit_accuracy(&mut g, &snapshot.context, k.clone(), *v, owner);
+            }
+        }
+        for (k, v) in &snapshot.hardware {
+            if v.as_ref().map_or(true, HwMetrics::is_finite) {
+                Self::admit_hardware(&mut g, &snapshot.context, k.clone(), v.clone(), owner);
+            }
+        }
+    }
+
+    /// Inserts an accuracy entry if absent; returns true when the key is
+    /// newly admitted (false when an identical entry already existed).
+    fn admit_accuracy(
+        g: &mut StoreInner,
+        context: &str,
+        key: String,
+        value: f64,
+        owner: u64,
+    ) -> bool {
+        let table = g.contexts.entry(context.to_string()).or_default();
+        if table.accuracy.contains_key(&key) {
+            return false;
+        }
+        table.accuracy.insert(key.clone(), Entry { value, owner });
+        g.admissions.push_back(Admission {
+            context: context.to_string(),
+            kind: EntryKind::Accuracy,
+            key,
+        });
+        Self::evict_to_capacity(g);
+        true
+    }
+
+    /// Inserts a hardware entry if absent; returns true when newly
+    /// admitted.
+    fn admit_hardware(
+        g: &mut StoreInner,
+        context: &str,
+        key: String,
+        value: Option<HwMetrics>,
+        owner: u64,
+    ) -> bool {
+        let table = g.contexts.entry(context.to_string()).or_default();
+        if table.hardware.contains_key(&key) {
+            return false;
+        }
+        table.hardware.insert(key.clone(), Entry { value, owner });
+        g.admissions.push_back(Admission {
+            context: context.to_string(),
+            kind: EntryKind::Hardware,
+            key,
+        });
+        Self::evict_to_capacity(g);
+        true
+    }
+
+    /// Drops oldest admissions until the capacity bound holds.
+    fn evict_to_capacity(g: &mut StoreInner) {
+        let Some(cap) = g.capacity else { return };
+        while g.admissions.len() > cap {
+            let Some(adm) = g.admissions.pop_front() else {
+                break;
+            };
+            let mut empty = false;
+            if let Some(table) = g.contexts.get_mut(&adm.context) {
+                match adm.kind {
+                    EntryKind::Accuracy => {
+                        table.accuracy.remove(&adm.key);
+                    }
+                    EntryKind::Hardware => {
+                        table.hardware.remove(&adm.key);
+                    }
+                }
+                empty = table.accuracy.is_empty() && table.hardware.is_empty();
+            }
+            if empty {
+                g.contexts.remove(&adm.context);
+            }
+            g.stats.evictions += 1;
+        }
+    }
+}
+
+/// One run's view onto a shared [`CacheStore`]: same lookup/admission
+/// semantics as the old per-run cache, plus session-local counters with a
+/// cross-run split. Obtained via [`CacheStore::session`]; owned by one
+/// pipeline (not `Clone` — counters must have exactly one writer).
+#[derive(Debug)]
+pub struct CacheSession {
+    store: CacheStore,
+    context: String,
+    id: u64,
+    stats: SessionStats,
+}
+
+impl CacheSession {
+    /// The evaluator-context fingerprint this session reads and writes.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// The unique session id (1-based; 0 is the persisted-store owner).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shared store this session is a view onto.
+    pub fn store(&self) -> &CacheStore {
+        &self.store
+    }
+
+    /// Session-local counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Zeroes the session counters (a resumed run reports its own rate).
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+    }
+
+    /// Looks up a memoized accuracy, counting a hit or miss.
+    pub fn lookup_accuracy(&mut self, key: &str) -> Option<f64> {
+        let mut g = self.store.inner.lock();
+        let found = g
+            .contexts
+            .get(&self.context)
+            .and_then(|t| t.accuracy.get(key))
+            .map(|e| (e.value, e.owner));
+        drop(g);
+        self.count(found.map(|(_, owner)| owner));
+        found.map(|(v, _)| v)
+    }
+
+    /// Looks up memoized hardware metrics, counting a hit or miss.
+    pub fn lookup_hardware(&mut self, key: &str) -> Option<Option<HwMetrics>> {
+        let mut g = self.store.inner.lock();
+        let found = g
+            .contexts
+            .get(&self.context)
+            .and_then(|t| t.hardware.get(key))
+            .map(|e| (e.value.clone(), e.owner));
+        drop(g);
+        self.count(found.as_ref().map(|(_, owner)| *owner));
+        found.map(|(v, _)| v)
+    }
+
+    /// Ticks hit/miss (and cross-run) counters on both the session and
+    /// the store.
+    fn count(&mut self, hit_owner: Option<u64>) {
+        let mut g = self.store.inner.lock();
+        match hit_owner {
+            Some(owner) => {
+                self.stats.hits += 1;
+                g.stats.hits += 1;
+                if owner != self.id {
+                    self.stats.cross_run_hits += 1;
+                    g.stats.cross_run_hits += 1;
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                g.stats.misses += 1;
+            }
+        }
+    }
+
+    /// Admits an accuracy result; returns true when the value was
+    /// admitted (finite). Non-finite results are refused — admitting them
+    /// would break the JSON round-trip (serde_json cannot represent NaN)
+    /// and re-serve poison.
+    pub fn insert_accuracy(&mut self, key: String, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        let mut g = self.store.inner.lock();
+        CacheStore::admit_accuracy(&mut g, &self.context, key, value, self.id);
+        g.stats.inserts += 1;
+        drop(g);
+        self.stats.inserts += 1;
+        true
+    }
+
+    /// Admits a hardware result; returns true when the value was admitted
+    /// (finite, or `None` = a deterministic constraint violation).
+    pub fn insert_hardware(&mut self, key: String, value: Option<HwMetrics>) -> bool {
+        if !value.as_ref().map_or(true, HwMetrics::is_finite) {
+            return false;
+        }
+        let mut g = self.store.inner.lock();
+        CacheStore::admit_hardware(&mut g, &self.context, key, value, self.id);
+        g.stats.inserts += 1;
+        drop(g);
+        self.stats.inserts += 1;
+        true
+    }
+
+    /// Snapshots this session's context for checkpointing.
+    pub fn snapshot(&self) -> EvalCache {
+        self.store.snapshot(&self.context)
+    }
+
+    /// Absorbs a checkpoint snapshot into the store under this session's
+    /// ownership (a resumed run's rehydrated entries serve *own* hits,
+    /// not cross-run hits). Returns false — and absorbs nothing — when
+    /// the snapshot's context fingerprint does not match this session's.
+    pub fn absorb(&mut self, snapshot: &EvalCache) -> bool {
+        if snapshot.context != self.context {
+            return false;
+        }
+        self.store.absorb(snapshot, self.id);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw(latency: f64) -> Option<HwMetrics> {
+        Some(HwMetrics {
+            energy_pj: 1.0,
+            latency_ns: latency,
+            area_mm2: 2.0,
+            leakage_uw: 3.0,
+        })
+    }
+
+    #[test]
+    fn single_session_mirrors_classic_cache_semantics() {
+        let store = CacheStore::new();
+        let mut s = store.session("ctx");
+        assert_eq!(s.lookup_accuracy("d1"), None);
+        assert!(s.insert_accuracy("d1".into(), 0.9));
+        assert_eq!(s.lookup_accuracy("d1"), Some(0.9));
+        assert!(!s.insert_accuracy("nan".into(), f64::NAN));
+        let st = s.stats();
+        assert_eq!(
+            (st.hits, st.misses, st.inserts, st.cross_run_hits),
+            (1, 1, 1, 0)
+        );
+        assert_eq!(st.cache_stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn cross_run_hits_are_counted_per_session() {
+        let store = CacheStore::new();
+        let mut a = store.session("ctx");
+        let mut b = store.session("ctx");
+        a.insert_accuracy("d".into(), 0.5);
+        assert_eq!(a.lookup_accuracy("d"), Some(0.5));
+        assert_eq!(a.stats().cross_run_hits, 0, "own hits are not cross-run");
+        assert_eq!(b.lookup_accuracy("d"), Some(0.5));
+        assert_eq!(b.stats().cross_run_hits, 1);
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(store.stats().cross_run_hits, 1);
+    }
+
+    #[test]
+    fn contexts_are_isolated() {
+        let store = CacheStore::new();
+        let mut a = store.session("ctx-a");
+        let mut b = store.session("ctx-b");
+        a.insert_hardware("d".into(), hw(1.0));
+        assert_eq!(b.lookup_hardware("d"), None);
+        assert_eq!(store.contexts(), 1);
+        b.insert_hardware("d".into(), None);
+        assert_eq!(store.contexts(), 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_deterministic() {
+        let run = |cap: usize| {
+            let store = CacheStore::with_capacity(cap);
+            let mut s = store.session("ctx");
+            for i in 0..10 {
+                s.insert_accuracy(format!("d{i}"), i as f64 / 10.0);
+            }
+            let survivors: Vec<bool> = (0..10)
+                .map(|i| {
+                    let mut probe = store.session("ctx");
+                    probe.lookup_accuracy(&format!("d{i}")).is_some()
+                })
+                .collect();
+            (survivors, store.stats().evictions, store.len())
+        };
+        let (a, ev_a, len_a) = run(3);
+        let (b, ev_b, len_b) = run(3);
+        assert_eq!(a, b, "identical admission order evicts identically");
+        assert_eq!((ev_a, len_a), (ev_b, len_b));
+        assert_eq!(ev_a, 7);
+        assert_eq!(len_a, 3);
+        // Oldest-first: only the last `cap` admissions survive.
+        assert_eq!(
+            a,
+            vec![false, false, false, false, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let store = CacheStore::with_capacity(0);
+        let mut s = store.session("ctx");
+        s.insert_accuracy("d".into(), 0.1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn persistence_roundtrips_entries_and_admission_order() {
+        let store = CacheStore::with_capacity(4);
+        let mut s = store.session("ctx");
+        for i in 0..4 {
+            s.insert_accuracy(format!("d{i}"), i as f64 / 10.0);
+        }
+        s.insert_hardware("d0".into(), hw(2.0));
+        assert_eq!(store.stats().evictions, 1, "d0-accuracy evicted");
+
+        let json = store.to_json().unwrap();
+        let back = CacheStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.capacity(), Some(4));
+        assert_eq!(
+            back.snapshot("ctx"),
+            store.snapshot("ctx"),
+            "entries survive the round-trip"
+        );
+
+        // Eviction continues from the persisted admission order: the next
+        // admission on both stores drops the same oldest entry.
+        let mut s1 = store.session("ctx");
+        let mut s2 = back.session("ctx");
+        s1.insert_hardware("dX".into(), None);
+        s2.insert_hardware("dX".into(), None);
+        assert_eq!(store.snapshot("ctx"), back.snapshot("ctx"));
+
+        // Rehydrated entries are owned by pseudo-session 0 → cross-run.
+        let mut probe = back.session("ctx");
+        assert!(probe.lookup_hardware("d0").is_some());
+        assert_eq!(probe.stats().cross_run_hits, 1);
+    }
+
+    #[test]
+    fn corrupt_json_is_refused() {
+        let store = CacheStore::new();
+        store.session("ctx").insert_accuracy("d".into(), 0.5);
+        let json = store.to_json().unwrap();
+        let tampered = json.replace("0.5", "0.7");
+        assert!(
+            CacheStore::from_json(&tampered).is_err(),
+            "checksum must catch tampering"
+        );
+        assert!(CacheStore::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_and_faithful() {
+        let path = std::env::temp_dir().join(format!(
+            "lcda-cache-store-{}-roundtrip.json",
+            std::process::id()
+        ));
+        let store = CacheStore::new();
+        let mut s = store.session("ctx");
+        s.insert_accuracy("d".into(), 0.25);
+        s.insert_hardware("d".into(), hw(3.0));
+        store.save(&path).unwrap();
+        let back = CacheStore::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.snapshot("ctx"), store.snapshot("ctx"));
+        assert!(
+            CacheStore::load(&std::env::temp_dir().join("lcda-cache-store-missing.json")).is_err()
+        );
+    }
+
+    #[test]
+    fn absorb_respects_context_and_ownership() {
+        let store = CacheStore::new();
+        let mut donor = store.session("ctx");
+        donor.insert_accuracy("d".into(), 0.5);
+        let snapshot = donor.snapshot();
+
+        let other = CacheStore::new();
+        let mut wrong = other.session("different");
+        assert!(!wrong.absorb(&snapshot));
+        assert!(other.is_empty());
+
+        let mut right = other.session("ctx");
+        assert!(right.absorb(&snapshot));
+        assert_eq!(other.len(), 1);
+        // Absorbing session owns the entries: hits are not cross-run.
+        assert_eq!(right.lookup_accuracy("d"), Some(0.5));
+        assert_eq!(right.stats().cross_run_hits, 0);
+        assert_eq!(right.stats().hits, 1);
+    }
+
+    #[test]
+    fn duplicate_admission_keeps_first_owner() {
+        let store = CacheStore::new();
+        let mut a = store.session("ctx");
+        let mut b = store.session("ctx");
+        a.insert_accuracy("d".into(), 0.5);
+        b.insert_accuracy("d".into(), 0.5);
+        assert_eq!(store.len(), 1, "no duplicate entries");
+        assert_eq!(a.lookup_accuracy("d"), Some(0.5));
+        assert_eq!(a.stats().cross_run_hits, 0, "first admitter still owns");
+        assert_eq!(b.lookup_accuracy("d"), Some(0.5));
+        assert_eq!(b.stats().cross_run_hits, 1);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = CacheStore::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    let mut s = store.session("ctx");
+                    for i in 0..50 {
+                        let key = format!("d{}", (t * 50 + i) % 75);
+                        if s.lookup_accuracy(&key).is_none() {
+                            s.insert_accuracy(key, 0.5);
+                        }
+                    }
+                    s.stats()
+                })
+            })
+            .collect();
+        let stats: Vec<SessionStats> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(store.len(), 75);
+        let total: u64 = stats.iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -339,6 +339,7 @@ pub struct CoDesignBuilder {
     registry: BackendRegistry,
     threads: usize,
     caching: bool,
+    store: Option<crate::cache::CacheStore>,
     journal: Journal,
     retry: EvalRetryPolicy,
 }
@@ -422,6 +423,20 @@ impl CoDesignBuilder {
         self.caching(false)
     }
 
+    /// Binds the run's memo table to a shared, cross-run
+    /// [`crate::cache::CacheStore`] instead of a private per-run one:
+    /// results this run admits become visible to every other run on the
+    /// same store, and vice versa. Hit/miss counters stay per-run
+    /// ([`CoDesign::session_stats`] reports the cross-run split). Sharing
+    /// never changes results — every evaluator is a pure function of
+    /// `(design, configuration)` and entries are namespaced by the
+    /// evaluator-context fingerprint. Ignored when caching is disabled.
+    #[must_use]
+    pub fn cache_store(mut self, store: &crate::cache::CacheStore) -> Self {
+        self.store = Some(store.clone());
+        self
+    }
+
     /// Attaches a run journal (default: disabled). Every phase of the
     /// wired run — episode loop, evaluation pipeline, cache, Monte-Carlo
     /// batches, backend cost calls, LLM middleware — streams its events
@@ -478,6 +493,9 @@ impl CoDesignBuilder {
         };
         let mut pipeline = EvalPipeline::new(accuracy, hardware);
         pipeline.set_caching(self.caching);
+        if let Some(store) = &self.store {
+            pipeline.attach_store(store);
+        }
         pipeline.set_threads(self.threads);
         pipeline.set_journal(self.journal.clone());
         pipeline.set_retry_policy(self.retry);
@@ -530,6 +548,7 @@ impl CoDesign {
             registry: BackendRegistry::standard(),
             threads: 1,
             caching: true,
+            store: None,
             journal: Journal::disabled(),
             retry: EvalRetryPolicy::default(),
         }
@@ -559,117 +578,6 @@ impl CoDesign {
         })
     }
 
-    /// LCDA with the pretrained (paper-observed GPT-4) persona.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::ExpertLlm)")]
-    pub fn with_expert_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::ExpertLlm)
-            .build()
-    }
-
-    /// LCDA with the fine-tuned persona (misconceptions corrected —
-    /// the paper's future-work model).
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(
-        note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::FinetunedLlm)"
-    )]
-    pub fn with_finetuned_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::FinetunedLlm)
-            .build()
-    }
-
-    /// LCDA-naive (Fig. 5): the prompt omits the co-design framing and the
-    /// model has no domain knowledge.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::NaiveLlm)")]
-    pub fn with_naive_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::NaiveLlm)
-            .build()
-    }
-
-    /// LCDA with the adaptive model: pretrained knowledge as a prior plus
-    /// an online ridge-regression correction fitted to the rewards in the
-    /// prompt history.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(
-        note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::AdaptiveLlm)"
-    )]
-    pub fn with_adaptive_llm(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::AdaptiveLlm)
-            .build()
-    }
-
-    /// The NACIM baseline: REINFORCE controller.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::Rl)")]
-    pub fn with_rl(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::Rl)
-            .build()
-    }
-
-    /// The genetic-algorithm baseline.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::Genetic)")]
-    pub fn with_genetic(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::Genetic)
-            .build()
-    }
-
-    /// The random-search floor.
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::Random)")]
-    pub fn with_random(space: DesignSpace, config: CoDesignConfig) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::Random)
-            .build()
-    }
-
-    /// LCDA with the pretrained persona behind the full resilience
-    /// middleware stack (see [`OptimizerSpec::ResilientLlm`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns configuration errors.
-    #[deprecated(
-        note = "use CoDesign::builder(space, config).optimizer(OptimizerSpec::ResilientLlm { plan })"
-    )]
-    pub fn with_resilient_llm(
-        space: DesignSpace,
-        config: CoDesignConfig,
-        plan: FaultPlan,
-    ) -> Result<Self> {
-        Self::builder(space, config)
-            .optimizer(OptimizerSpec::ResilientLlm { plan })
-            .build()
-    }
-
     /// Replaces the accuracy evaluator (e.g. with the trained one). The
     /// evaluation cache is rebound to the new evaluator pair.
     pub fn with_accuracy_evaluator(mut self, eval: Box<dyn AccuracyEvaluator>) -> Self {
@@ -697,6 +605,13 @@ impl CoDesign {
     /// caching is disabled).
     pub fn cache_stats(&self) -> CacheStats {
         self.pipeline.stats()
+    }
+
+    /// This run's cache-session counters including the cross-run split —
+    /// hits served by entries another run admitted into a shared
+    /// [`crate::cache::CacheStore`] (see [`CoDesignBuilder::cache_store`]).
+    pub fn session_stats(&self) -> crate::cache::SessionStats {
+        self.pipeline.session_stats()
     }
 
     /// Runs Algorithm 2 to completion.
@@ -794,7 +709,7 @@ impl CoDesign {
         )
         .with_backend(&self.backend);
         if let Some(cache) = self.pipeline.cache() {
-            cp = cp.with_eval_cache(cache.clone());
+            cp = cp.with_eval_cache(cache);
         }
         cp
     }
@@ -1001,26 +916,6 @@ mod tests {
             assert_eq!(outcome.history.len(), 3, "{name}");
             assert!(!outcome.optimizer.is_empty());
         }
-    }
-
-    #[test]
-    fn deprecated_constructors_still_match_the_builder() {
-        // The shims must stay bit-identical to their builder replacements
-        // until they are removed.
-        #[allow(deprecated)]
-        let legacy = CoDesign::with_expert_llm(DesignSpace::nacim_cifar10(), cfg(4, 17))
-            .unwrap()
-            .run()
-            .unwrap();
-        let modern = build(
-            DesignSpace::nacim_cifar10(),
-            cfg(4, 17),
-            OptimizerSpec::ExpertLlm,
-        )
-        .unwrap()
-        .run()
-        .unwrap();
-        assert_eq!(legacy, modern);
     }
 
     #[test]

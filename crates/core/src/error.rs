@@ -35,6 +35,10 @@ pub enum CoreError {
     /// does not match the run, or a fleet whose surviving shards cannot
     /// produce a result.
     Shard(String),
+    /// The run was cancelled cooperatively (e.g. a served job's cancel
+    /// request observed at an episode boundary). Not a fault: the
+    /// partial work up to the cancellation point is valid.
+    Cancelled(String),
 }
 
 impl CoreError {
@@ -60,6 +64,7 @@ impl fmt::Display for CoreError {
             CoreError::EvalFault(msg) => write!(f, "transient evaluation fault: {msg}"),
             CoreError::EvalPanic(msg) => write!(f, "evaluator panicked: {msg}"),
             CoreError::Shard(msg) => write!(f, "shard: {msg}"),
+            CoreError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
         }
     }
 }
@@ -77,7 +82,8 @@ impl std::error::Error for CoreError {
             | CoreError::Journal(_)
             | CoreError::EvalFault(_)
             | CoreError::EvalPanic(_)
-            | CoreError::Shard(_) => None,
+            | CoreError::Shard(_)
+            | CoreError::Cancelled(_) => None,
         }
     }
 }
@@ -148,6 +154,10 @@ mod tests {
         assert!(!s.is_transient());
         assert!(s.source().is_none());
         assert!(s.to_string().contains("shard"));
+        let c = CoreError::Cancelled("job-3".into());
+        assert!(!c.is_transient());
+        assert!(c.source().is_none());
+        assert!(c.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -112,11 +112,6 @@ pub trait HardwareCostEvaluator {
     fn set_journal(&mut self, _journal: crate::journal::Journal) {}
 }
 
-/// The NeuroSim-style evaluator's historical name; the implementation now
-/// lives in the backend layer as [`crate::backend::CimBackend`].
-#[deprecated(since = "0.3.0", note = "use `backend::CimBackend` (or the registry)")]
-pub type NeurosimCostEvaluator = crate::backend::CimBackend;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,15 +158,5 @@ mod tests {
         m.energy_pj = 1.0;
         m.latency_ns = f64::INFINITY;
         assert!(!m.is_finite());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn neurosim_alias_still_constructs() {
-        use crate::space::DesignSpace;
-        let space = DesignSpace::nacim_cifar10();
-        let mut eval = NeurosimCostEvaluator::new(space.clone());
-        assert_eq!(eval.name(), "cim");
-        assert!(eval.cost(&space.reference_design()).unwrap().is_some());
     }
 }

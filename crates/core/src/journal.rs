@@ -273,6 +273,52 @@ pub enum JournalEvent {
         /// Points on the merged front.
         points: u64,
     },
+    /// A serve job passed admission validation and was queued. First
+    /// record of every per-job journal file.
+    JobAdmitted {
+        /// Job id (`job-N`), the journal file's key.
+        job: String,
+        /// Optimizer spec name requested.
+        optimizer: String,
+        /// Validated backend spec (canonical form).
+        backend: String,
+        /// Episode budget.
+        episodes: u32,
+        /// Master seed.
+        seed: u64,
+    },
+    /// A worker picked the job up and started its search.
+    JobStarted {
+        /// Job id (`job-N`).
+        job: String,
+    },
+    /// The job reached a terminal state; last job-lifecycle record of
+    /// its journal file.
+    JobEnded {
+        /// Job id (`job-N`).
+        job: String,
+        /// Terminal state name (`done` / `failed` / `cancelled`).
+        state: String,
+    },
+    /// The job's session view of the shared cross-run cache at
+    /// completion: its own hit/miss/insert counters plus the cross-run
+    /// split and the store-wide totals at that instant.
+    SharedCache {
+        /// Job id (`job-N`).
+        job: String,
+        /// Session lookups served from the store.
+        hits: u64,
+        /// Session lookups that fell through to the evaluators.
+        misses: u64,
+        /// Entries this session admitted.
+        inserts: u64,
+        /// Session hits served by entries another run admitted.
+        cross_run_hits: u64,
+        /// Entries resident in the shared store.
+        store_entries: u64,
+        /// Store-wide evictions so far.
+        store_evictions: u64,
+    },
 }
 
 impl JournalEvent {
@@ -307,6 +353,10 @@ impl JournalEvent {
             | JournalEvent::ShardQuarantined { .. }
             | JournalEvent::ShardBarrier { .. }
             | JournalEvent::ShardMerge { .. } => "shard",
+            JournalEvent::JobAdmitted { .. }
+            | JournalEvent::JobStarted { .. }
+            | JournalEvent::JobEnded { .. } => "job",
+            JournalEvent::SharedCache { .. } => "cache",
         }
     }
 }
@@ -707,6 +757,21 @@ pub struct RunReport {
     /// one shard was quarantined before the run finished).
     #[serde(default)]
     pub partial_fleet: bool,
+    /// Serve jobs admitted into the queue.
+    #[serde(default)]
+    pub jobs_admitted: u64,
+    /// Serve jobs that reached a terminal state.
+    #[serde(default)]
+    pub jobs_ended: u64,
+    /// Shared-cache hits served by entries another session inserted
+    /// (cross-run reuse through the [`CacheStore`]).
+    ///
+    /// [`CacheStore`]: crate::cache::CacheStore
+    #[serde(default)]
+    pub cross_run_hits: u64,
+    /// Entries evicted from the shared store under its capacity bound.
+    #[serde(default)]
+    pub store_evictions: u64,
     /// Best episode reward, when the run recorded its end.
     pub best_reward: Option<f64>,
     /// Per-phase event counts and simulated time.
@@ -786,6 +851,17 @@ impl RunReport {
                     if *quarantined > 0 {
                         report.partial_fleet = true;
                     }
+                }
+                JournalEvent::JobAdmitted { .. } => report.jobs_admitted += 1,
+                JournalEvent::JobStarted { .. } => {}
+                JournalEvent::JobEnded { .. } => report.jobs_ended += 1,
+                JournalEvent::SharedCache {
+                    cross_run_hits,
+                    store_evictions,
+                    ..
+                } => {
+                    report.cross_run_hits += cross_run_hits;
+                    report.store_evictions += store_evictions;
                 }
             }
         }
@@ -896,6 +972,20 @@ impl RunReport {
                     "  partial fleet: true  (quarantined shards excluded from later barriers)"
                 );
             }
+        }
+        if self.jobs_admitted > 0 || self.jobs_ended > 0 {
+            let _ = writeln!(
+                out,
+                "  serve jobs       {} admitted / {} ended",
+                self.jobs_admitted, self.jobs_ended
+            );
+        }
+        if self.cross_run_hits > 0 || self.store_evictions > 0 {
+            let _ = writeln!(
+                out,
+                "  shared cache     {} cross-run hits / {} evictions",
+                self.cross_run_hits, self.store_evictions
+            );
         }
         if self.truncated {
             let _ = writeln!(

@@ -61,6 +61,7 @@ mod error;
 
 pub mod analysis;
 pub mod backend;
+pub mod cache;
 pub mod checkpoint;
 pub mod codesign;
 pub mod evaluate;
@@ -70,15 +71,17 @@ pub mod mo;
 pub mod pareto;
 pub mod pipeline;
 pub mod reward;
+pub mod serve;
 pub mod shard;
 pub mod space;
 pub mod surrogate;
 pub mod trained;
 
 pub use backend::{
-    BackendRegistry, CimBackend, FaultyBackend, HardwareBackend, SystolicBackend, DEFAULT_BACKEND,
-    FAULTY_DECORATOR,
+    BackendDecorator, BackendRegistry, BackendSpec, BackendSpecError, CimBackend, FaultyBackend,
+    HardwareBackend, SystolicBackend, DEFAULT_BACKEND, FAULTY_DECORATOR,
 };
+pub use cache::{CacheSession, CacheStore, SessionStats, StoreStats};
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use codesign::{
     CoDesign, CoDesignBuilder, CoDesignConfig, CoDesignConfigBuilder, EpisodeRecord, OptimizerSpec,
@@ -89,6 +92,7 @@ pub use fault::{EvalFault, EvalFaultPlan, ShardFault, ShardFaultPlan};
 pub use journal::{Journal, JournalEvent, JournalRecord, RunReport};
 pub use pipeline::{CacheStats, EvalCache, EvalPipeline, EvalRetryPolicy};
 pub use reward::Objective;
+pub use serve::{JobId, JobServer, JobSpec, JobState, JobStatus, ServeConfig, ServerStats};
 pub use shard::{FrontPoint, ShardManifest, ShardOutcome, ShardPlan, ShardSummary, Supervisor};
 
 /// Convenience result alias.

@@ -16,7 +16,10 @@
 //!
 //! [`EvalPipeline`] therefore wraps the two evaluators behind a single
 //! facade (it implements both evaluator traits itself) and adds a
-//! content-addressed [`EvalCache`]:
+//! content-addressed memo table — a per-run [`CacheSession`] view onto a
+//! [`crate::cache::CacheStore`] (private to the pipeline by default,
+//! shared fleet-wide when one is attached via
+//! [`EvalPipeline::attach_store`]):
 //!
 //! - **keys** are the candidate's canonical rollout text (its full
 //!   content, e.g. `[[32,3],…]| hw: [128,8,2,rram]`) — content-addressed,
@@ -37,7 +40,7 @@
 //!   previous run's. The memoized *entries* are lifetime state and do
 //!   persist.
 //!
-//! The cache serializes to checkpoint-compatible JSON
+//! The cache snapshots to checkpoint-compatible JSON
 //! ([`EvalCache::to_json`]) and rides inside [`crate::Checkpoint`], so a
 //! resumed run rehydrates its memo table and re-proposed designs stay
 //! cheap across kills. When a [`Journal`] is attached, every lookup and
@@ -45,14 +48,15 @@
 //! event at exactly the points the counters tick, so a journal's
 //! aggregated cache stats always equal [`EvalPipeline::stats`].
 
+use crate::cache::{CacheSession, CacheStore, SessionStats};
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
 use crate::journal::{CacheKind, Journal, JournalEvent};
 use crate::{CoreError, Result};
 use lcda_llm::design::CandidateDesign;
 use lcda_llm::middleware::SimClock;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use crate::cache::{CacheStats, EvalCache};
 
 /// A stable 64-bit FNV-1a fingerprint of evaluator-identity strings,
 /// rendered as fixed-width hex. Used by evaluators to compress their
@@ -72,149 +76,6 @@ pub fn stable_fingerprint(parts: &[&str]) -> String {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     format!("{h:016x}")
-}
-
-/// Hit/miss/insert counters of an [`EvalCache`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CacheStats {
-    /// Lookups served from the cache.
-    pub hits: u64,
-    /// Lookups that fell through to the wrapped evaluator.
-    pub misses: u64,
-    /// Results admitted into the cache.
-    pub inserts: u64,
-}
-
-impl CacheStats {
-    /// Fraction of lookups served from the cache (0 when none happened).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// The content-addressed evaluation memo table.
-///
-/// Accuracy and hardware results are stored separately (an LLM optimizer
-/// may ask for one without the other), both keyed by the design's
-/// canonical rollout text. `BTreeMap` keeps the JSON serialization
-/// deterministic, so identical runs write byte-identical checkpoints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EvalCache {
-    /// Fingerprint of the evaluator pair that produced the entries.
-    context: String,
-    /// design text → accuracy in `[0, 1]`.
-    accuracy: BTreeMap<String, f64>,
-    /// design text → metrics (`None` = constraint violation, a valid and
-    /// deterministic outcome worth memoizing).
-    hardware: BTreeMap<String, Option<HwMetrics>>,
-    /// Session-local counters: never serialized — persisting them made a
-    /// resumed run inherit the previous run's hit-rate and made checkpoint
-    /// bytes depend on lookup patterns.
-    #[serde(skip)]
-    stats: CacheStats,
-}
-
-impl EvalCache {
-    /// An empty cache bound to an evaluator-context fingerprint.
-    pub fn new(context: impl Into<String>) -> Self {
-        EvalCache {
-            context: context.into(),
-            accuracy: BTreeMap::new(),
-            hardware: BTreeMap::new(),
-            stats: CacheStats::default(),
-        }
-    }
-
-    /// The evaluator-context fingerprint the entries belong to.
-    pub fn context(&self) -> &str {
-        &self.context
-    }
-
-    /// Number of memoized entries (accuracy + hardware).
-    pub fn len(&self) -> usize {
-        self.accuracy.len() + self.hardware.len()
-    }
-
-    /// True when nothing is memoized.
-    pub fn is_empty(&self) -> bool {
-        self.accuracy.is_empty() && self.hardware.is_empty()
-    }
-
-    /// The session-local hit/miss/insert counters (zeroed on rehydrate;
-    /// see [`EvalPipeline::restore_cache`]).
-    pub fn stats(&self) -> CacheStats {
-        self.stats
-    }
-
-    fn lookup_accuracy(&mut self, key: &str) -> Option<f64> {
-        let found = self.accuracy.get(key).copied();
-        self.count(found.is_some());
-        found
-    }
-
-    fn lookup_hardware(&mut self, key: &str) -> Option<Option<HwMetrics>> {
-        let found = self.hardware.get(key).cloned();
-        self.count(found.is_some());
-        found
-    }
-
-    fn count(&mut self, hit: bool) {
-        if hit {
-            self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
-        }
-    }
-
-    /// Returns true when the value was admitted (finite).
-    fn insert_accuracy(&mut self, key: String, value: f64) -> bool {
-        // Non-finite results are quarantined upstream; admitting them here
-        // would break the JSON round-trip (serde_json cannot represent
-        // NaN) and re-serve poison.
-        if value.is_finite() {
-            self.accuracy.insert(key, value);
-            self.stats.inserts += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Returns true when the value was admitted (finite or infeasible).
-    fn insert_hardware(&mut self, key: String, value: Option<HwMetrics>) -> bool {
-        if value.as_ref().map_or(true, HwMetrics::is_finite) {
-            self.hardware.insert(key, value);
-            self.stats.inserts += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Serializes the cache to checkpoint-compatible JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Checkpoint`] when serialization fails.
-    pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| CoreError::Checkpoint(format!("serialize eval cache: {e}")))
-    }
-
-    /// Deserializes a cache from JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Checkpoint`] for malformed JSON.
-    pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| CoreError::Checkpoint(format!("parse eval cache: {e}")))
-    }
 }
 
 /// Bounded retry policy for failed evaluations.
@@ -258,7 +119,10 @@ impl Default for EvalRetryPolicy {
 pub struct EvalPipeline {
     accuracy: Box<dyn AccuracyEvaluator>,
     hardware: Box<dyn HardwareCostEvaluator>,
-    cache: Option<EvalCache>,
+    /// The store sessions bind to: a fresh private store per pipeline
+    /// until a shared one is attached ([`EvalPipeline::attach_store`]).
+    store: CacheStore,
+    cache: Option<CacheSession>,
     context: String,
     journal: Journal,
     retry: EvalRetryPolicy,
@@ -271,20 +135,27 @@ impl std::fmt::Debug for EvalPipeline {
             .field("accuracy", &self.accuracy.name())
             .field("hardware", &self.hardware.name())
             .field("context", &self.context)
-            .field("cached_entries", &self.cache.as_ref().map(EvalCache::len))
+            .field(
+                "cached_entries",
+                &self.cache.as_ref().map(|s| s.snapshot().len()),
+            )
             .finish()
     }
 }
 
 impl EvalPipeline {
-    /// Wraps an evaluator pair with caching enabled.
+    /// Wraps an evaluator pair with caching enabled (over a fresh private
+    /// [`CacheStore`]; attach a shared one with
+    /// [`EvalPipeline::attach_store`]).
     pub fn new(
         accuracy: Box<dyn AccuracyEvaluator>,
         hardware: Box<dyn HardwareCostEvaluator>,
     ) -> Self {
         let context = Self::context_of(accuracy.as_ref(), hardware.as_ref());
+        let store = CacheStore::new();
         EvalPipeline {
-            cache: Some(EvalCache::new(context.clone())),
+            cache: Some(store.session(context.clone())),
+            store,
             accuracy,
             hardware,
             context,
@@ -305,12 +176,13 @@ impl EvalPipeline {
         self
     }
 
-    /// Enables or disables memoization in place. Enabling starts from an
-    /// empty table; disabling drops the current one.
+    /// Enables or disables memoization in place. Enabling opens a fresh
+    /// session on the pipeline's store; disabling drops the current one
+    /// (entries stay in the store; session counters are lost).
     pub fn set_caching(&mut self, enabled: bool) {
         if enabled {
             if self.cache.is_none() {
-                self.cache = Some(EvalCache::new(self.context.clone()));
+                self.cache = Some(self.store.session(self.context.clone()));
             }
         } else {
             self.cache = None;
@@ -322,27 +194,52 @@ impl EvalPipeline {
         self.cache.is_some()
     }
 
-    /// The current memo table, for checkpointing.
-    pub fn cache(&self) -> Option<&EvalCache> {
-        self.cache.as_ref()
+    /// Rebinds the pipeline onto a shared [`CacheStore`]: admissions
+    /// become visible to every other pipeline on the same store (and
+    /// vice versa), while hit/miss counters stay session-local. The
+    /// caching on/off choice is preserved; an active session is replaced
+    /// by a fresh one on the shared store (counters restart from zero).
+    pub fn attach_store(&mut self, store: &CacheStore) {
+        self.store = store.clone();
+        if self.cache.is_some() {
+            self.cache = Some(self.store.session(self.context.clone()));
+        }
+    }
+
+    /// The store this pipeline's sessions bind to.
+    pub fn cache_store(&self) -> &CacheStore {
+        &self.store
+    }
+
+    /// A snapshot of this pipeline's memo table (its context's entries in
+    /// the store), for checkpointing. `None` when caching is off.
+    pub fn cache(&self) -> Option<EvalCache> {
+        self.cache.as_ref().map(CacheSession::snapshot)
     }
 
     /// Hit/miss/insert counters (zeroes when caching is disabled).
     pub fn stats(&self) -> CacheStats {
+        self.session_stats().cache_stats()
+    }
+
+    /// Session counters including the cross-run split (hits served by
+    /// entries another session admitted into a shared store).
+    pub fn session_stats(&self) -> SessionStats {
         self.cache
             .as_ref()
-            .map(EvalCache::stats)
+            .map(CacheSession::stats)
             .unwrap_or_default()
     }
 
-    /// Replaces the accuracy evaluator. The cache is rebound to the new
-    /// evaluator pair: old entries are dropped (they describe a different
-    /// evaluator) but the caching on/off choice is preserved.
+    /// Replaces the accuracy evaluator. The cache session is rebound to
+    /// the new evaluator pair's context — old entries are unreachable
+    /// from it (they describe a different evaluator) but the caching
+    /// on/off choice is preserved.
     pub fn replace_accuracy(&mut self, accuracy: Box<dyn AccuracyEvaluator>) {
         self.accuracy = accuracy;
         self.context = Self::context_of(self.accuracy.as_ref(), self.hardware.as_ref());
         if self.cache.is_some() {
-            self.cache = Some(EvalCache::new(self.context.clone()));
+            self.cache = Some(self.store.session(self.context.clone()));
         }
     }
 
@@ -372,23 +269,26 @@ impl EvalPipeline {
         self.clock = clock;
     }
 
-    /// Rehydrates the memo table from a checkpoint snapshot.
+    /// Rehydrates the memo table from a checkpoint snapshot by absorbing
+    /// it into the pipeline's store under this session's ownership.
     ///
     /// Returns `true` when the snapshot was adopted. A snapshot whose
     /// context fingerprint does not match this pipeline's evaluators (or a
     /// pipeline with caching disabled) is refused — serving entries from a
     /// different evaluator configuration would silently corrupt results.
     ///
-    /// The memoized *entries* carry over; the [`CacheStats`] counters are
+    /// The memoized *entries* carry over; the session counters are
     /// session state and restart from zero, so a resumed run reports its
-    /// own hit-rate rather than inheriting the previous run's.
-    pub fn restore_cache(&mut self, mut snapshot: EvalCache) -> bool {
-        if self.cache.is_some() && snapshot.context == self.context {
-            snapshot.stats = CacheStats::default();
-            self.cache = Some(snapshot);
-            true
-        } else {
-            false
+    /// own hit-rate rather than inheriting the previous run's. Absorbed
+    /// entries are owned by the absorbing session: the resumed run's hits
+    /// on them are *own* hits, not cross-run hits.
+    pub fn restore_cache(&mut self, snapshot: EvalCache) -> bool {
+        match &mut self.cache {
+            Some(session) if session.absorb(&snapshot) => {
+                session.reset_stats();
+                true
+            }
+            _ => false,
         }
     }
 
@@ -700,7 +600,7 @@ mod tests {
         let d = DesignSpace::nacim_cifar10().reference_design();
         let mut cim = pipeline(1);
         cim.evaluate(&d).unwrap();
-        let snapshot = cim.cache().unwrap().clone();
+        let snapshot = cim.cache().unwrap();
 
         let mut sys = systolic_pipeline(1);
         assert!(!sys.restore_cache(snapshot));
@@ -716,7 +616,7 @@ mod tests {
         let d = DesignSpace::nacim_cifar10().reference_design();
         let mut p = pipeline(1);
         p.evaluate(&d).unwrap();
-        let snapshot = p.cache().unwrap().clone();
+        let snapshot = p.cache().unwrap();
 
         // Different surrogate seed → different context fingerprint.
         let mut other = pipeline(2);
@@ -777,24 +677,60 @@ mod tests {
         p.evaluate(&d).unwrap();
         assert_ne!(p.stats(), CacheStats::default());
 
-        // Checkpoint bytes must not depend on lookup patterns.
+        // Checkpoint bytes must not depend on lookup patterns: the
+        // snapshot carries entries only, never counters.
         let json = p.cache().unwrap().to_json().unwrap();
         assert!(!json.contains("hits"), "counters must not be serialized");
-        assert_eq!(
-            EvalCache::from_json(&json).unwrap().stats(),
-            CacheStats::default()
-        );
 
-        // Even an in-memory snapshot with live counters is adopted with
-        // zeroed session stats — the resumed run reports its own rate.
-        let dirty = p.cache().unwrap().clone();
-        assert_ne!(dirty.stats(), CacheStats::default());
+        // A restored snapshot is adopted with zeroed session stats — the
+        // resumed run reports its own rate, and its hits on rehydrated
+        // entries are *own* hits (not cross-run: it owns what it absorbs).
+        let snapshot = p.cache().unwrap();
         let mut q = pipeline(1);
-        assert!(q.restore_cache(dirty));
+        assert!(q.restore_cache(snapshot));
         assert_eq!(q.stats(), CacheStats::default());
         let _ = q.evaluate(&d).unwrap();
         assert_eq!(q.stats().hits, 2, "rehydrated entries still serve hits");
         assert_eq!(q.stats().misses, 0);
+        assert_eq!(q.session_stats().cross_run_hits, 0);
+    }
+
+    #[test]
+    fn shared_store_serves_cross_run_hits_without_changing_results() {
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        let store = crate::cache::CacheStore::new();
+
+        let mut first = pipeline(7);
+        first.attach_store(&store);
+        let a = first.evaluate(&d).unwrap();
+        assert_eq!(first.session_stats().cross_run_hits, 0);
+
+        // A second pipeline (same evaluator config → same context) on the
+        // same store is served entirely from the first run's admissions —
+        // and the result is bit-identical to a private-cache evaluation.
+        let mut second = pipeline(7);
+        second.attach_store(&store);
+        let b = second.evaluate(&d).unwrap();
+        assert_eq!(a, b);
+        let stats = second.session_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.cross_run_hits, 2, "both lookups served cross-run");
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.inserts, 0);
+
+        let mut private = pipeline(7);
+        assert_eq!(private.evaluate(&d).unwrap(), b);
+    }
+
+    #[test]
+    fn attach_store_preserves_the_caching_choice() {
+        let store = crate::cache::CacheStore::new();
+        let mut off = pipeline(0).without_cache();
+        off.attach_store(&store);
+        assert!(!off.caching(), "attaching must not re-enable caching");
+        let d = DesignSpace::nacim_cifar10().reference_design();
+        off.evaluate(&d).unwrap();
+        assert!(store.is_empty(), "uncached pipeline admits nothing");
     }
 
     #[test]

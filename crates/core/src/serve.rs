@@ -1,0 +1,1237 @@
+//! Co-design-as-a-service: a multi-tenant job server over one shared
+//! [`CacheStore`].
+//!
+//! [`JobServer`] runs co-design searches on behalf of HTTP clients. Each
+//! submitted [`JobSpec`] becomes a job with a typed lifecycle
+//! ([`JobState`]: queued → running → done/failed/cancelled), executed by
+//! a fixed worker pool. All jobs evaluate through the server's one
+//! [`CacheStore`], so a design evaluated by any tenant is free for every
+//! later tenant with the same evaluator context — the per-session
+//! [`SessionStats::cross_run_hits`] counter makes that reuse visible per
+//! job.
+//!
+//! The server speaks minimal HTTP/1.1 over [`std::net::TcpListener`] —
+//! no framework, no new dependencies:
+//!
+//! | method & path            | effect                                       |
+//! |--------------------------|----------------------------------------------|
+//! | `POST /jobs`             | submit a [`JobSpec`] (JSON body) → `202`     |
+//! | `GET /jobs/{id}`         | job status + per-session cache stats         |
+//! | `GET /jobs/{id}/result`  | the finished run's JSON outcome              |
+//! | `POST /jobs/{id}/cancel` | cancel a queued or running job               |
+//! | `GET /jobs/{id}/journal` | live-stream the job's JSONL journal (chunked)|
+//! | `GET /stats`             | job counts + shared-store counters           |
+//! | `POST /shutdown`         | stop accepting work and exit the serve loop  |
+//!
+//! # Determinism
+//!
+//! A served job's result is **byte-identical** to the same search run
+//! offline (`lcda search --json`): the worker builds the exact pipeline
+//! the CLI builds, caching never changes values (only cost), and the
+//! stored result is the same `serde_json::to_string_pretty` rendering
+//! (plus the CLI's trailing newline). The shared store can only turn
+//! misses into hits of *identical* values, because entries are keyed by
+//! the evaluator-context fingerprint that already namespaces every
+//! backend and seed-sensitive evaluator.
+//!
+//! # Journal isolation
+//!
+//! Every job writes its own journal file, `job-<n>.jsonl`, under the
+//! configured journal directory. Concurrent jobs therefore cannot
+//! interleave records — there is no shared sink to race on — and each
+//! file carries the job's full lifecycle (`job_admitted` …
+//! `job_ended`) plus the run's own events.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::backend::{BackendRegistry, BackendSpec, DEFAULT_BACKEND};
+use crate::cache::{CacheStore, SessionStats, StoreStats};
+use crate::codesign::{CoDesign, CoDesignConfig, OptimizerSpec};
+use crate::journal::{Journal, JournalEvent};
+use crate::reward::Objective;
+use crate::space::DesignSpace;
+use crate::{CoreError, Result};
+
+/// How long an idle worker or acceptor sleeps between shutdown checks.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Identifier of one submitted job, rendered as `job-<n>`.
+///
+/// The id doubles as the job's journal-file key (`job-<n>.jsonl`) and
+/// its URL path segment (`/jobs/job-<n>`). Ids are allocated densely
+/// from 1 in admission order and never reused within a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The numeric index behind the id (1-based admission order).
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl FromStr for JobId {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let index = s
+            .strip_prefix("job-")
+            .and_then(|n| n.parse::<u64>().ok())
+            .filter(|n| *n > 0)
+            .ok_or_else(|| CoreError::InvalidConfig(format!("invalid job id `{s}`")))?;
+        Ok(JobId(index))
+    }
+}
+
+impl Serialize for JobId {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for JobId {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+/// Lifecycle state of a served job.
+///
+/// The machine has exactly five states and four legal edges:
+///
+/// ```text
+/// queued ──► running ──► done
+///    │           ├─────► failed
+///    └───────────┴─────► cancelled
+/// ```
+///
+/// Terminal states (`done` / `failed` / `cancelled`) are absorbing; the
+/// server enforces the edges via [`JobState::can_advance`], so a record
+/// can never, say, resurrect from `cancelled` to `running`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobState {
+    /// Admitted and waiting for a free worker.
+    Queued,
+    /// A worker is executing the search.
+    Running,
+    /// The search finished; the result JSON is available.
+    Done,
+    /// The search errored; the error message is available.
+    Failed,
+    /// The job was cancelled (while queued, or cooperatively at an
+    /// episode boundary while running).
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lower-case name (`queued`, `running`, `done`, `failed`,
+    /// `cancelled`) — the same token the JSON encoding uses.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// True for absorbing states: `done`, `failed`, `cancelled`.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Whether the lifecycle permits a `self → next` transition.
+    pub fn can_advance(self, next: JobState) -> bool {
+        matches!(
+            (self, next),
+            (JobState::Queued, JobState::Running)
+                | (JobState::Queued, JobState::Cancelled)
+                | (JobState::Running, JobState::Done)
+                | (JobState::Running, JobState::Failed)
+                | (JobState::Running, JobState::Cancelled)
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn default_optimizer() -> String {
+    "expert".to_string()
+}
+
+fn default_objective() -> String {
+    "energy".to_string()
+}
+
+fn default_backend() -> String {
+    DEFAULT_BACKEND.to_string()
+}
+
+fn default_episodes() -> u32 {
+    20
+}
+
+fn default_threads() -> usize {
+    1
+}
+
+fn default_cache() -> bool {
+    true
+}
+
+/// A search request, as submitted to `POST /jobs`.
+///
+/// Every field has the same default the `lcda search` CLI uses, so the
+/// empty spec `{}` is the CLI's default run. Unknown fields are
+/// rejected at parse time (a `"epsodes"` typo must not silently run 20
+/// episodes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct JobSpec {
+    /// Optimizer name, as in `lcda search --optimizer` (default
+    /// `expert`). The resilient optimizer runs fault-free here; fault
+    /// injection stays a CLI/testing concern.
+    #[serde(default = "default_optimizer")]
+    pub optimizer: String,
+    /// Objective name: `energy` or `latency` (default `energy`).
+    #[serde(default = "default_objective")]
+    pub objective: String,
+    /// Hardware backend spec, e.g. `cim` or `systolic+faulty`
+    /// (default `cim`). Validated against [`BackendRegistry::standard`]
+    /// at admission, before the job is queued.
+    #[serde(default = "default_backend")]
+    pub backend: String,
+    /// Episode budget (default 20).
+    #[serde(default = "default_episodes")]
+    pub episodes: u32,
+    /// Master seed (default 0).
+    #[serde(default)]
+    pub seed: u64,
+    /// Evaluator worker threads; results are bit-identical for every
+    /// value (default 1).
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Whether the job evaluates through the server's shared
+    /// [`CacheStore`] (default true). Disabling it only costs time:
+    /// cached and uncached runs produce identical results.
+    #[serde(default = "default_cache")]
+    pub cache: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            optimizer: default_optimizer(),
+            objective: default_objective(),
+            backend: default_backend(),
+            episodes: default_episodes(),
+            seed: 0,
+            threads: default_threads(),
+            cache: default_cache(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// Resolves the objective name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for anything but `energy`/`latency`.
+    pub fn parse_objective(&self) -> Result<Objective> {
+        match self.objective.as_str() {
+            "energy" => Ok(Objective::AccuracyEnergy),
+            "latency" => Ok(Objective::AccuracyLatency),
+            other => Err(CoreError::InvalidConfig(format!(
+                "unknown objective `{other}` (energy|latency)"
+            ))),
+        }
+    }
+
+    /// Resolves the optimizer name to an [`OptimizerSpec`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for unknown names.
+    pub fn parse_optimizer(&self) -> Result<OptimizerSpec> {
+        use lcda_llm::middleware::FaultPlan;
+        match self.optimizer.as_str() {
+            "expert" => Ok(OptimizerSpec::ExpertLlm),
+            "finetuned" => Ok(OptimizerSpec::FinetunedLlm),
+            "adaptive" => Ok(OptimizerSpec::AdaptiveLlm),
+            "naive" => Ok(OptimizerSpec::NaiveLlm),
+            "rl" => Ok(OptimizerSpec::Rl),
+            "genetic" => Ok(OptimizerSpec::Genetic),
+            "random" => Ok(OptimizerSpec::Random),
+            "resilient" => Ok(OptimizerSpec::ResilientLlm {
+                plan: FaultPlan::none(),
+            }),
+            other => Err(CoreError::InvalidConfig(format!(
+                "unknown optimizer `{other}`"
+            ))),
+        }
+    }
+
+    /// Parses and validates the backend spec against the standard
+    /// registry — the admission gate for `POST /jobs`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for grammar errors or unknown bases.
+    pub fn parse_backend(&self) -> Result<BackendSpec> {
+        BackendRegistry::standard().parse(&self.backend)
+    }
+
+    /// Full admission validation: backend, optimizer, objective, and
+    /// the numeric bounds the episode loop requires.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CoreError::InvalidConfig`] found, so a rejected
+    /// submission points at one concrete problem.
+    pub fn validate(&self) -> Result<BackendSpec> {
+        let backend = self.parse_backend()?;
+        self.parse_optimizer()?;
+        self.parse_objective()?;
+        if self.episodes == 0 {
+            return Err(CoreError::InvalidConfig(
+                "episodes must be at least 1".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(CoreError::InvalidConfig(
+                "threads must be at least 1".into(),
+            ));
+        }
+        Ok(backend)
+    }
+}
+
+/// Configuration for [`JobServer::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (default `127.0.0.1:0` — an ephemeral port; read
+    /// the bound address back via [`JobServer::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs (default 2, clamped to ≥ 1). With
+    /// one worker, jobs run strictly in admission order.
+    pub workers: usize,
+    /// Entry bound for the shared [`CacheStore`] (default unbounded).
+    /// Ignored when `cache_path` loads a persisted store, which carries
+    /// its own capacity.
+    pub cache_capacity: Option<usize>,
+    /// Persist the shared store here: loaded at bind when the file
+    /// exists, saved at shutdown. Entries loaded from disk count as
+    /// cross-run hits for every session.
+    pub cache_path: Option<PathBuf>,
+    /// Directory for per-job journals (`job-<n>.jsonl`). `None`
+    /// disables journaling and the `/journal` endpoint.
+    pub journal_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: None,
+            cache_path: None,
+            journal_dir: None,
+        }
+    }
+}
+
+/// A point-in-time view of one job, as returned by `GET /jobs/{id}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The job's id.
+    pub job: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The spec as admitted.
+    pub spec: JobSpec,
+    /// Error message, for `failed` jobs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// The job's session view of the shared cache, recorded when the
+    /// job reached a terminal state (absent before that).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cache: Option<SessionStats>,
+}
+
+/// Server-wide counters, as returned by `GET /stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Jobs per lifecycle state name.
+    pub jobs: BTreeMap<String, u64>,
+    /// Shared-store counters across all sessions.
+    pub store: StoreStats,
+    /// Entries currently resident in the shared store.
+    pub store_entries: u64,
+    /// The store's capacity bound, if any.
+    pub store_capacity: Option<usize>,
+}
+
+/// One job's mutable record inside the server.
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    error: Option<String>,
+    /// The finished run's outcome: `serde_json::to_string_pretty` plus
+    /// a trailing newline — byte-identical to `lcda search --json`.
+    result: Option<String>,
+    stats: Option<SessionStats>,
+    cancel: Arc<AtomicBool>,
+    journal: Journal,
+    journal_path: Option<PathBuf>,
+}
+
+/// State shared by the acceptor, the workers, and the [`JobServer`]
+/// handle.
+struct ServerState {
+    store: CacheStore,
+    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    queue: Sender<u64>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    journal_dir: Option<PathBuf>,
+}
+
+impl ServerState {
+    /// Validates and admits a job: allocates the id, opens the per-job
+    /// journal, records `job_admitted`, and queues it for a worker.
+    fn submit(&self, spec: JobSpec) -> Result<JobId> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(CoreError::Cancelled("server is shutting down".into()));
+        }
+        let backend = spec.validate()?;
+        let id = JobId(self.next_id.fetch_add(1, Ordering::SeqCst) + 1);
+        let journal_path = self
+            .journal_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{id}.jsonl")));
+        let journal = match &journal_path {
+            Some(path) => Journal::to_file(path)?,
+            None => Journal::disabled(),
+        };
+        journal.record(JournalEvent::JobAdmitted {
+            job: id.to_string(),
+            optimizer: spec.optimizer.clone(),
+            backend: backend.to_string(),
+            episodes: spec.episodes,
+            seed: spec.seed,
+        });
+        let record = JobRecord {
+            spec,
+            state: JobState::Queued,
+            error: None,
+            result: None,
+            stats: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            journal,
+            journal_path,
+        };
+        self.jobs.lock().insert(id.index(), record);
+        self.queue
+            .send(id.index())
+            .map_err(|_| CoreError::Cancelled("server is shutting down".into()))?;
+        Ok(id)
+    }
+
+    fn status(&self, id: JobId) -> Option<JobStatus> {
+        let jobs = self.jobs.lock();
+        jobs.get(&id.index()).map(|rec| JobStatus {
+            job: id,
+            state: rec.state,
+            spec: rec.spec.clone(),
+            error: rec.error.clone(),
+            cache: rec.stats,
+        })
+    }
+
+    /// The finished result JSON, only for `done` jobs.
+    fn result(&self, id: JobId) -> Option<String> {
+        let jobs = self.jobs.lock();
+        jobs.get(&id.index()).and_then(|rec| rec.result.clone())
+    }
+
+    /// Cancels a job: a queued job goes terminal immediately; a running
+    /// job gets its flag set and cancels cooperatively at the next
+    /// episode boundary; terminal jobs are left untouched.
+    fn cancel(&self, id: JobId) -> Option<JobStatus> {
+        {
+            let mut jobs = self.jobs.lock();
+            let rec = jobs.get_mut(&id.index())?;
+            match rec.state {
+                JobState::Queued => {
+                    rec.state = JobState::Cancelled;
+                    rec.journal.record(JournalEvent::JobEnded {
+                        job: id.to_string(),
+                        state: JobState::Cancelled.name().to_string(),
+                    });
+                    if let Err(e) = rec.journal.finish() {
+                        rec.error.get_or_insert(format!("journal: {e}"));
+                    }
+                }
+                JobState::Running => rec.cancel.store(true, Ordering::SeqCst),
+                _ => {}
+            }
+        }
+        self.status(id)
+    }
+
+    fn stats(&self) -> ServerStats {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for rec in self.jobs.lock().values() {
+            *counts.entry(rec.state.name().to_string()).or_insert(0) += 1;
+        }
+        ServerStats {
+            jobs: counts,
+            store: self.store.stats(),
+            store_entries: self.store.len() as u64,
+            store_capacity: self.store.capacity(),
+        }
+    }
+}
+
+/// The threaded job server. See the [module docs](self) for the HTTP
+/// surface; every endpoint is also available as a method for in-process
+/// use ([`JobServer::submit`], [`JobServer::status`], …).
+pub struct JobServer {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    cache_path: Option<PathBuf>,
+}
+
+impl fmt::Debug for JobServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl JobServer {
+    /// Binds the listener, spawns the worker pool and the acceptor, and
+    /// returns a handle. With `addr` port 0, the OS picks an ephemeral
+    /// port — read it back via [`JobServer::addr`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the address cannot be bound;
+    /// checkpoint/journal errors when a persisted store fails to load
+    /// or the journal directory cannot be created.
+    pub fn bind(config: ServeConfig) -> Result<JobServer> {
+        let store = match &config.cache_path {
+            Some(path) if path.exists() => CacheStore::load(path)?,
+            _ => match config.cache_capacity {
+                Some(cap) => CacheStore::with_capacity(cap),
+                None => CacheStore::new(),
+            },
+        };
+        if let Some(dir) = &config.journal_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CoreError::Journal(format!("create {}: {e}", dir.display())))?;
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| CoreError::InvalidConfig(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CoreError::InvalidConfig(format!("local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| CoreError::InvalidConfig(format!("nonblocking listener: {e}")))?;
+        let (tx, rx) = unbounded::<u64>();
+        let state = Arc::new(ServerState {
+            store,
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: tx,
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            journal_dir: config.journal_dir.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let st = Arc::clone(&state);
+                let rx: Receiver<u64> = rx.clone();
+                thread::spawn(move || worker_loop(&st, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let st = Arc::clone(&state);
+            thread::spawn(move || acceptor_loop(&st, &listener))
+        };
+        Ok(JobServer {
+            state,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            cache_path: config.cache_path,
+        })
+    }
+
+    /// The bound listen address (with the real port when 0 was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared cross-run store every cached job evaluates through.
+    pub fn store(&self) -> &CacheStore {
+        &self.state.store
+    }
+
+    /// Submits a job in-process — the same admission path `POST /jobs`
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the spec fails validation;
+    /// [`CoreError::Cancelled`] when the server is shutting down.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId> {
+        self.state.submit(spec)
+    }
+
+    /// The job's current status, or `None` for unknown ids.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.state.status(id)
+    }
+
+    /// The finished result JSON (pretty-printed, trailing newline), or
+    /// `None` while the job has not reached `done`.
+    pub fn result(&self, id: JobId) -> Option<String> {
+        self.state.result(id)
+    }
+
+    /// Cancels the job; returns its post-cancel status, or `None` for
+    /// unknown ids.
+    pub fn cancel(&self, id: JobId) -> Option<JobStatus> {
+        self.state.cancel(id)
+    }
+
+    /// Server-wide job counts and shared-store counters.
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+
+    /// True once `POST /shutdown` (or [`JobServer::shutdown`]) was
+    /// requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops the server: no new admissions, workers drain their current
+    /// job and exit, the acceptor closes, and — when configured — the
+    /// shared store is persisted to `cache_path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed store save; the threads are joined either
+    /// way.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.cache_path.take() {
+            self.state.store.save(&path)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until shutdown is requested (e.g. by `POST /shutdown`),
+    /// then performs [`JobServer::shutdown`]. This is the `lcda serve`
+    /// main loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JobServer::shutdown`] failures.
+    pub fn wait(self) -> Result<()> {
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(POLL);
+        }
+        self.shutdown()
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker: pull job ids until shutdown, executing each to a terminal
+/// state.
+fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<u64>) {
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(index) => run_job(state, JobId(index)),
+            Err(RecvTimeoutError::Timeout) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Executes one job end to end: claim (queued → running), search,
+/// journal the shared-cache view, and land in a terminal state.
+fn run_job(state: &Arc<ServerState>, id: JobId) {
+    let (spec, cancel, journal) = {
+        let mut jobs = state.jobs.lock();
+        let Some(rec) = jobs.get_mut(&id.index()) else {
+            return;
+        };
+        // A queued job cancelled before any worker claimed it is
+        // already terminal; respect the state machine and walk away.
+        if !rec.state.can_advance(JobState::Running) {
+            return;
+        }
+        rec.state = JobState::Running;
+        (
+            rec.spec.clone(),
+            Arc::clone(&rec.cancel),
+            rec.journal.clone(),
+        )
+    };
+    journal.record(JournalEvent::JobStarted {
+        job: id.to_string(),
+    });
+    let (next, result, error, stats) = execute(state, id, &spec, &cancel, &journal);
+    journal.record(JournalEvent::JobEnded {
+        job: id.to_string(),
+        state: next.name().to_string(),
+    });
+    let journal_error = journal.finish().err().map(|e| format!("journal: {e}"));
+    let mut jobs = state.jobs.lock();
+    if let Some(rec) = jobs.get_mut(&id.index()) {
+        if rec.state.can_advance(next) {
+            rec.state = next;
+        }
+        rec.result = result;
+        rec.stats = stats;
+        rec.error = error.or(journal_error);
+    }
+}
+
+/// Runs the search itself. Returns the terminal state plus the result
+/// JSON / error message / session stats to publish.
+fn execute(
+    state: &Arc<ServerState>,
+    id: JobId,
+    spec: &JobSpec,
+    cancel: &Arc<AtomicBool>,
+    journal: &Journal,
+) -> (
+    JobState,
+    Option<String>,
+    Option<String>,
+    Option<SessionStats>,
+) {
+    let built = (|| -> Result<CoDesign> {
+        let objective = spec.parse_objective()?;
+        let optimizer = spec.parse_optimizer()?;
+        let config = CoDesignConfig::builder(objective)
+            .episodes(spec.episodes)
+            .seed(spec.seed)
+            .build();
+        CoDesign::builder(DesignSpace::nacim_cifar10(), config)
+            .optimizer(optimizer)
+            .backend(&spec.backend)
+            .threads(spec.threads)
+            .caching(spec.cache)
+            .cache_store(&state.store)
+            .journal(journal.clone())
+            .build()
+    })();
+    let mut run = match built {
+        Ok(run) => run,
+        Err(e) => return (JobState::Failed, None, Some(e.to_string()), None),
+    };
+    let outcome = run.run_resumable(None, |_| {
+        if cancel.load(Ordering::SeqCst) {
+            Err(CoreError::Cancelled(format!("{id} cancel requested")))
+        } else {
+            Ok(())
+        }
+    });
+    let stats = run.session_stats();
+    let store_stats = state.store.stats();
+    journal.record(JournalEvent::SharedCache {
+        job: id.to_string(),
+        hits: stats.hits,
+        misses: stats.misses,
+        inserts: stats.inserts,
+        cross_run_hits: stats.cross_run_hits,
+        store_entries: state.store.len() as u64,
+        store_evictions: store_stats.evictions,
+    });
+    match outcome {
+        Ok(outcome) => match serde_json::to_string_pretty(&outcome) {
+            // The trailing newline matches `lcda search --json`'s
+            // `println!`, keeping served results `cmp`-equal to the
+            // offline run.
+            Ok(json) => (JobState::Done, Some(json + "\n"), None, Some(stats)),
+            Err(e) => (
+                JobState::Failed,
+                None,
+                Some(format!("encode outcome: {e}")),
+                Some(stats),
+            ),
+        },
+        Err(CoreError::Cancelled(_)) => (JobState::Cancelled, None, None, Some(stats)),
+        Err(e) => (JobState::Failed, None, Some(e.to_string()), Some(stats)),
+    }
+}
+
+/// Acceptor: poll the nonblocking listener, spawning one short-lived
+/// thread per connection, until shutdown.
+fn acceptor_loop(state: &Arc<ServerState>, listener: &TcpListener) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let st = Arc::clone(state);
+                thread::spawn(move || {
+                    let _ = handle_connection(&st, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request, routes it, writes one response, closes.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return respond_json(&mut stream, 400, r#"{"error":"malformed request"}"#);
+    };
+    let method = method.to_string();
+    let path = target.split('?').next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if !body.is_empty() {
+        reader.read_exact(&mut body)?;
+    }
+    route(state, &mut stream, &method, &path, &body)
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let trimmed = path.trim_matches('/');
+    let segments: Vec<&str> = if trimmed.is_empty() {
+        Vec::new()
+    } else {
+        trimmed.split('/').collect()
+    };
+    match (method, segments.as_slice()) {
+        ("POST", ["jobs"]) => {
+            if state.shutdown.load(Ordering::SeqCst) {
+                return respond_json(stream, 503, r#"{"error":"server is shutting down"}"#);
+            }
+            let spec: JobSpec = match serde_json::from_slice(body) {
+                Ok(spec) => spec,
+                Err(e) => return respond_error(stream, 400, &format!("invalid job spec: {e}")),
+            };
+            match state.submit(spec) {
+                Ok(id) => {
+                    let payload = serde_json::json!({ "job": id, "state": JobState::Queued });
+                    respond_json(stream, 202, &payload.to_string())
+                }
+                Err(e @ CoreError::Cancelled(_)) => respond_error(stream, 503, &e.to_string()),
+                Err(e) => respond_error(stream, 400, &e.to_string()),
+            }
+        }
+        ("GET", ["jobs", raw]) => match raw.parse::<JobId>() {
+            Err(e) => respond_error(stream, 400, &e.to_string()),
+            Ok(id) => match state.status(id) {
+                Some(status) => reply_value(stream, 200, &status),
+                None => not_found(stream),
+            },
+        },
+        ("GET", ["jobs", raw, "result"]) => match raw.parse::<JobId>() {
+            Err(e) => respond_error(stream, 400, &e.to_string()),
+            Ok(id) => match (state.status(id), state.result(id)) {
+                (Some(_), Some(result)) => {
+                    respond(stream, 200, "application/json", result.as_bytes())
+                }
+                (Some(status), None) => respond_error(
+                    stream,
+                    409,
+                    &format!("{id} is {}; no result available", status.state),
+                ),
+                (None, _) => not_found(stream),
+            },
+        },
+        ("POST", ["jobs", raw, "cancel"]) => match raw.parse::<JobId>() {
+            Err(e) => respond_error(stream, 400, &e.to_string()),
+            Ok(id) => match state.cancel(id) {
+                Some(status) => reply_value(stream, 200, &status),
+                None => not_found(stream),
+            },
+        },
+        ("GET", ["jobs", raw, "journal"]) => match raw.parse::<JobId>() {
+            Err(e) => respond_error(stream, 400, &e.to_string()),
+            Ok(id) => stream_journal(state, stream, id),
+        },
+        ("GET", ["stats"]) => reply_value(stream, 200, &state.stats()),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            respond_json(stream, 200, r#"{"shutdown":true}"#)
+        }
+        _ => not_found(stream),
+    }
+}
+
+/// Live-streams the job's JSONL journal with chunked transfer encoding,
+/// following the file until the job is terminal and fully flushed.
+fn stream_journal(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    id: JobId,
+) -> std::io::Result<()> {
+    let path = {
+        let jobs = state.jobs.lock();
+        match jobs.get(&id.index()) {
+            Some(rec) => rec.journal_path.clone(),
+            None => return not_found(stream),
+        }
+    };
+    let Some(path) = path else {
+        return respond_error(stream, 404, "journaling is disabled on this server");
+    };
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+          Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    let mut offset = 0usize;
+    loop {
+        // Terminal state is read *before* the file: the journal is
+        // finished before the state flips, so terminal + no new bytes
+        // means the stream is complete.
+        let terminal = {
+            let jobs = state.jobs.lock();
+            jobs.get(&id.index())
+                .map(|rec| rec.state.is_terminal())
+                .unwrap_or(true)
+        };
+        let bytes = std::fs::read(&path).unwrap_or_default();
+        if bytes.len() > offset {
+            let chunk = &bytes[offset..];
+            write!(stream, "{:x}\r\n", chunk.len())?;
+            stream.write_all(chunk)?;
+            stream.write_all(b"\r\n")?;
+            stream.flush()?;
+            offset = bytes.len();
+            continue;
+        }
+        if terminal || state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        thread::sleep(POLL);
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Serializes `value` and writes it as a JSON response.
+fn reply_value<T: Serialize>(
+    stream: &mut TcpStream,
+    status: u16,
+    value: &T,
+) -> std::io::Result<()> {
+    match serde_json::to_string(value) {
+        Ok(json) => respond_json(stream, status, &json),
+        Err(e) => respond_error(stream, 500, &format!("encode response: {e}")),
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    let payload = serde_json::json!({ "error": message });
+    respond_json(stream, status, &payload.to_string())
+}
+
+fn not_found(stream: &mut TcpStream) -> std::io::Result<()> {
+    respond_json(stream, 404, r#"{"error":"not found"}"#)
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    respond(stream, status, "application/json", body.as_bytes())
+}
+
+/// Writes one complete `Connection: close` HTTP/1.1 response.
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_round_trips_display_parse_and_serde() {
+        let id = JobId(7);
+        assert_eq!(id.to_string(), "job-7");
+        assert_eq!("job-7".parse::<JobId>().unwrap(), id);
+        assert!("job-0".parse::<JobId>().is_err());
+        assert!("7".parse::<JobId>().is_err());
+        assert!("job-x".parse::<JobId>().is_err());
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "\"job-7\"");
+        let back: JobId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn job_state_machine_permits_exactly_the_lifecycle_edges() {
+        use JobState::*;
+        let all = [Queued, Running, Done, Failed, Cancelled];
+        let legal = [
+            (Queued, Running),
+            (Queued, Cancelled),
+            (Running, Done),
+            (Running, Failed),
+            (Running, Cancelled),
+        ];
+        for from in all {
+            for to in all {
+                assert_eq!(
+                    from.can_advance(to),
+                    legal.contains(&(from, to)),
+                    "{from} -> {to}"
+                );
+            }
+        }
+        for s in [Done, Failed, Cancelled] {
+            assert!(s.is_terminal());
+        }
+        for s in [Queued, Running] {
+            assert!(!s.is_terminal());
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_the_cli_default_run() {
+        let spec: JobSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec, JobSpec::default());
+        assert_eq!(spec.optimizer, "expert");
+        assert_eq!(spec.backend, DEFAULT_BACKEND);
+        assert_eq!(spec.episodes, 20);
+        assert!(spec.cache);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn admission_rejects_bad_specs_with_typed_errors() {
+        let bad = JobSpec {
+            backend: "cim+bogus".into(),
+            ..JobSpec::default()
+        };
+        let err = bad.validate().unwrap_err().to_string();
+        assert!(err.contains("unknown backend decorator"), "{err}");
+
+        let bad = JobSpec {
+            optimizer: "bayesian".into(),
+            ..JobSpec::default()
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = JobSpec {
+            objective: "power".into(),
+            ..JobSpec::default()
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = JobSpec {
+            episodes: 0,
+            ..JobSpec::default()
+        };
+        assert!(bad.validate().is_err());
+
+        // Unknown fields are a parse error, not a silent default.
+        assert!(serde_json::from_str::<JobSpec>(r#"{"epsodes": 3}"#).is_err());
+    }
+
+    #[test]
+    fn in_process_lifecycle_runs_a_job_to_done() {
+        let server = JobServer::bind(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let id = server
+            .submit(JobSpec {
+                episodes: 2,
+                seed: 11,
+                ..JobSpec::default()
+            })
+            .unwrap();
+        assert_eq!(id.to_string(), "job-1");
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = server.status(id).unwrap();
+            if status.state.is_terminal() {
+                assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+            thread::sleep(Duration::from_millis(20));
+        }
+        let result = server.result(id).unwrap();
+        assert!(result.ends_with('\n'));
+        let outcome: serde_json::Value = serde_json::from_str(&result).unwrap();
+        assert_eq!(outcome["history"].as_array().unwrap().len(), 2);
+        let stats = server.status(id).unwrap().cache.unwrap();
+        assert_eq!(stats.cross_run_hits, 0, "first tenant has nothing to reuse");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn submitting_a_bad_spec_never_allocates_a_job() {
+        let server = JobServer::bind(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let err = server
+            .submit(JobSpec {
+                backend: "fpga".into(),
+                ..JobSpec::default()
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown hardware backend"));
+        assert!(server.stats().jobs.is_empty());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_is_immediate_and_terminal() {
+        // Zero workers is clamped to one; instead, saturate the single
+        // worker with a long job so the second stays queued.
+        let server = JobServer::bind(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let long = server
+            .submit(JobSpec {
+                episodes: 40,
+                ..JobSpec::default()
+            })
+            .unwrap();
+        let queued = server
+            .submit(JobSpec {
+                episodes: 40,
+                seed: 1,
+                ..JobSpec::default()
+            })
+            .unwrap();
+        let status = server.cancel(queued).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        // Cancel is idempotent on terminal jobs.
+        assert_eq!(server.cancel(queued).unwrap().state, JobState::Cancelled);
+        // Cancel the long job too so shutdown does not wait 40 episodes.
+        let _ = server.cancel(long);
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while !server.status(long).unwrap().state.is_terminal() {
+            assert!(std::time::Instant::now() < deadline, "cancel never landed");
+            thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown().unwrap();
+    }
+}

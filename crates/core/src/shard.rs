@@ -419,6 +419,7 @@ pub struct Supervisor {
     backend: String,
     registry: BackendRegistry,
     caching: bool,
+    store: Option<crate::cache::CacheStore>,
     threads: usize,
     journal: Journal,
     faults: ShardFaultPlan,
@@ -449,6 +450,7 @@ impl Supervisor {
             backend: crate::backend::DEFAULT_BACKEND.to_string(),
             registry: BackendRegistry::standard(),
             caching: true,
+            store: None,
             threads: 1,
             journal: Journal::disabled(),
             faults: ShardFaultPlan::none(),
@@ -482,6 +484,19 @@ impl Supervisor {
     #[must_use]
     pub fn caching(mut self, enabled: bool) -> Self {
         self.caching = enabled;
+        self
+    }
+
+    /// Binds every shard's memo table to a shared, cross-run
+    /// [`crate::cache::CacheStore`]: admissions are fleet-wide (a design
+    /// one shard evaluated is a hit for every other shard — and for any
+    /// other run sharing the store), while each shard keeps its own
+    /// session counters. Sharing never changes fleet results: evaluators
+    /// are pure and entries are namespaced by the evaluator-context
+    /// fingerprint. Ignored when caching is disabled.
+    #[must_use]
+    pub fn cache_store(mut self, store: &crate::cache::CacheStore) -> Self {
+        self.store = Some(store.clone());
         self
     }
 
@@ -624,6 +639,9 @@ impl Supervisor {
             self.registry.create(&self.backend, &self.space)?;
         let mut pipeline = EvalPipeline::new(accuracy, hardware);
         pipeline.set_caching(self.caching);
+        if let Some(store) = &self.store {
+            pipeline.attach_store(store);
+        }
         pipeline.set_threads(self.threads);
         pipeline.set_clock(clock.clone());
         Ok(ShardRunner {

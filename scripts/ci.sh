@@ -82,3 +82,54 @@ if ./target/release/lcda report "$journal_dir/torn.jsonl" > /dev/null 2>&1; then
     exit 1
 fi
 ./target/release/lcda report "$journal_dir/torn.jsonl" --allow-truncated > /dev/null
+
+# Serve smoke: start the job server with one worker (jobs run strictly
+# in admission order), submit two identical-seed jobs, and require
+#   (a) the second job to report nonzero cross-run hits from the shared
+#       cache seeded by the first, and
+#   (b) both served results to be byte-identical to the offline
+#       `lcda search --json` output for the same seed.
+./target/release/lcda serve --addr 127.0.0.1:0 --workers 1 \
+    --journal-dir "$journal_dir/serve-journals" > "$journal_dir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*listening on http://##p' "$journal_dir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ci: serve never printed its address" >&2; exit 1; }
+serve_spec='{"episodes": 3, "seed": 21}'
+curl -sf -X POST -d "$serve_spec" "http://$addr/jobs" > /dev/null
+curl -sf -X POST -d "$serve_spec" "http://$addr/jobs" > /dev/null
+for job in job-1 job-2; do
+    state=""
+    for _ in $(seq 1 600); do
+        state=$(curl -sf "http://$addr/jobs/$job" \
+            | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+        [ "$state" = "done" ] && break
+        if [ "$state" = "failed" ] || [ "$state" = "cancelled" ]; then
+            echo "ci: serve $job landed in state $state" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    [ "$state" = "done" ] || { echo "ci: serve $job never finished" >&2; exit 1; }
+done
+cross=$(curl -sf "http://$addr/jobs/job-2" \
+    | sed -n 's/.*"cross_run_hits":\([0-9]*\).*/\1/p')
+[ -n "$cross" ] && [ "$cross" -gt 0 ] \
+    || { echo "ci: job-2 saw no cross-run cache hits (got '$cross')" >&2; exit 1; }
+curl -sf "http://$addr/jobs/job-1/result" > "$journal_dir/serve_1.json"
+curl -sf "http://$addr/jobs/job-2/result" > "$journal_dir/serve_2.json"
+./target/release/lcda search --episodes 3 --seed 21 --json \
+    > "$journal_dir/serve_offline.json"
+cmp "$journal_dir/serve_1.json" "$journal_dir/serve_offline.json"
+cmp "$journal_dir/serve_2.json" "$journal_dir/serve_offline.json"
+# Per-job journals exist, are job-isolated, and parse with `lcda report`.
+./target/release/lcda report "$journal_dir/serve-journals/job-1.jsonl" \
+    | grep -q "serve jobs"
+./target/release/lcda report "$journal_dir/serve-journals/job-2.jsonl" \
+    | grep -q "shared cache"
+curl -sf -X POST "http://$addr/shutdown" > /dev/null
+wait "$serve_pid"

@@ -3,6 +3,7 @@
 //! ```sh
 //! lcda search --optimizer expert --objective energy --episodes 20 --seed 42
 //! lcda search --optimizer resilient --fault-rate 0.2 --checkpoint run.json --resume
+//! lcda serve --workers 2 --journal-dir runs --cache store.json
 //! lcda evaluate --design "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] | hw: [128,8,2,rram]"
 //! lcda front --episodes 240 --seed 1
 //! lcda reference
@@ -22,6 +23,7 @@ USAGE:
 
 COMMANDS:
     search      run a co-design search
+    serve       run searches as HTTP jobs over one shared cross-run cache
     evaluate    score one design (accuracy, energy, latency, reward)
     front       evolve the accuracy-cost Pareto front with NSGA-II
     reference   print the ISAAC reference design's metrics
@@ -63,6 +65,20 @@ SEARCH OPTIONS:
     --shard-stall-ticks <ms>    heartbeat silence before a shard is
                                 declared hung and killed  (default 10000)
     --json                                                   emit JSON
+
+SERVE OPTIONS:
+    --addr <host:port>      listen address; port 0 picks an ephemeral port,
+                            printed on stdout at startup (default 127.0.0.1:0)
+    --workers <n>           concurrent search workers; with 1, jobs run
+                            strictly in admission order      (default 2)
+    --cache-capacity <n>    entry bound for the shared cross-run cache,
+                            evicting oldest admissions first (default unbounded)
+    --cache <path>          persist the shared cache across restarts
+    --journal-dir <dir>     write one JSONL journal per job (job-<n>.jsonl)
+                            and enable GET /jobs/<id>/journal streaming
+    endpoints: POST /jobs · GET /jobs/<id> · GET /jobs/<id>/result
+               POST /jobs/<id>/cancel · GET /jobs/<id>/journal
+               GET /stats · POST /shutdown
 
 EVALUATE OPTIONS:
     --design <rollout text>     e.g. \"[[32,3],...,[128,3]] | hw: [128,8,2,rram]\"
@@ -180,18 +196,14 @@ impl Args {
         }
     }
 
-    /// The hardware backend name (decorators included), validated against
-    /// the standard registry so a typo fails before any work starts.
-    fn backend(&self) -> Result<String, String> {
+    /// The hardware backend spec (decorators included), parsed through
+    /// the registry's typed grammar so a typo fails before any work
+    /// starts — and fails pointing at the exact bad segment.
+    fn backend(&self) -> Result<BackendSpec, String> {
         let name = self.get("--backend").unwrap_or(DEFAULT_BACKEND);
-        let registry = BackendRegistry::standard();
-        if !registry.resolves(name) {
-            return Err(format!(
-                "unknown backend `{name}` (known: {}; optional decorator: +{FAULTY_DECORATOR})",
-                registry.names().join(", ")
-            ));
-        }
-        Ok(name.to_string())
+        BackendRegistry::standard()
+            .parse(name)
+            .map_err(|e| format!("unknown backend `{name}`: {e}"))
     }
 }
 
@@ -206,6 +218,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "search" => cmd_search(&args),
+        "serve" => cmd_serve(&args),
         "evaluate" => cmd_evaluate(&args),
         "front" => cmd_front(&args),
         "reference" => cmd_reference(&args),
@@ -262,8 +275,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     }
     let eval_fault_rate = args.probability("--eval-fault-rate", 0.0)?;
     let eval_fault_seed = args.num("--eval-fault-seed", seed)?;
-    let faulty_backend = backend.split('+').any(|part| part == FAULTY_DECORATOR);
-    if !faulty_backend
+    if !backend.is_faulty()
         && (args.get("--eval-fault-rate").is_some() || args.get("--eval-fault-seed").is_some())
     {
         return Err(format!(
@@ -352,7 +364,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         plan.stall_ticks = args.num("--shard-stall-ticks", plan.stall_ticks)?;
         let mut fleet = Supervisor::new(space, config, plan)
             .optimizer(spec)
-            .backend(&backend)
+            .backend(backend.to_string())
             .registry(registry)
             .threads(threads)
             .caching(!args.flag("--no-cache"))
@@ -410,7 +422,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         .transpose()?;
     let run = CoDesign::builder(space, config)
         .optimizer(spec)
-        .backend(&backend)
+        .backend(backend.to_string())
         .registry(registry)
         .threads(threads)
         .caching(!args.flag("--no-cache"))
@@ -479,6 +491,41 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.validate(
+        &[
+            "--addr",
+            "--workers",
+            "--cache-capacity",
+            "--cache",
+            "--journal-dir",
+        ],
+        &[],
+    )?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = args.get("--addr") {
+        config.addr = addr.to_string();
+    }
+    config.workers = args.num_usize("--workers", config.workers)?;
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if args.get("--cache-capacity").is_some() {
+        let capacity = args.num_usize("--cache-capacity", 1)?;
+        if capacity == 0 {
+            return Err("--cache-capacity must be at least 1".into());
+        }
+        config.cache_capacity = Some(capacity);
+    }
+    config.cache_path = args.get("--cache").map(PathBuf::from);
+    config.journal_dir = args.get("--journal-dir").map(PathBuf::from);
+    let server = JobServer::bind(config).map_err(|e| e.to_string())?;
+    // Stdout is line-buffered, so the address line is visible to a
+    // supervising script even when redirected to a file.
+    println!("lcda serve listening on http://{}", server.addr());
+    server.wait().map_err(|e| e.to_string())
+}
+
 /// Scores one design text and prints it — shared by `evaluate` and
 /// `reference`.
 fn evaluate_design_text(
@@ -542,7 +589,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         .get("--design")
         .ok_or("evaluate requires --design <rollout text>")?;
     let objective = args.objective()?;
-    let backend = args.backend()?;
+    let backend = args.backend()?.to_string();
     let journal = match args.get("--journal") {
         Some(path) => Journal::to_file(std::path::Path::new(path)).map_err(|e| e.to_string())?,
         None => Journal::disabled(),
@@ -579,7 +626,7 @@ fn cmd_reference(args: &Args) -> Result<(), String> {
     args.validate(&["--backend"], &["--json"])?;
     let space = DesignSpace::nacim_cifar10();
     let text = space.reference_design().to_response_text();
-    let backend = args.backend()?;
+    let backend = args.backend()?.to_string();
     evaluate_design_text(
         &text,
         Objective::AccuracyEnergy,

@@ -51,9 +51,10 @@ pub mod prelude {
     //! use lcda::prelude::*;
     //! ```
     pub use lcda_core::backend::{
-        BackendRegistry, CimBackend, FaultyBackend, HardwareBackend, SystolicBackend,
-        DEFAULT_BACKEND, FAULTY_DECORATOR,
+        BackendRegistry, BackendSpec, BackendSpecError, CimBackend, FaultyBackend, HardwareBackend,
+        SystolicBackend, DEFAULT_BACKEND, FAULTY_DECORATOR,
     };
+    pub use lcda_core::cache::{CacheSession, CacheStore, SessionStats, StoreStats};
     pub use lcda_core::checkpoint::{Checkpoint, CheckpointStore};
     pub use lcda_core::codesign::{
         CoDesign, CoDesignBuilder, CoDesignConfig, EpisodeRecord, OptimizerSpec, Outcome,
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use lcda_core::journal::{Journal, JournalEvent, JournalRecord, RunReport};
     pub use lcda_core::pipeline::{CacheStats, EvalCache, EvalPipeline, EvalRetryPolicy};
     pub use lcda_core::reward::Objective;
+    pub use lcda_core::serve::{JobId, JobServer, JobSpec, JobState, ServeConfig};
     pub use lcda_core::shard::{
         FrontPoint, ShardManifest, ShardManifestStore, ShardOutcome, ShardPlan, ShardSummary,
         Supervisor,

@@ -1,0 +1,127 @@
+//! Integration tests for the shared cross-run [`CacheStore`]:
+//! observation-equivalence with private per-run caches, deterministic
+//! capacity-bounded eviction, and persistence.
+
+use lcda::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn run_once(store: Option<&CacheStore>, episodes: u32, seed: u64) -> (Outcome, SessionStats) {
+    let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(episodes)
+        .seed(seed)
+        .build();
+    let mut builder = CoDesign::builder(DesignSpace::nacim_cifar10(), config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .backend("cim");
+    if let Some(store) = store {
+        builder = builder.cache_store(store);
+    }
+    let mut run = builder.build().expect("build");
+    let outcome = run.run().expect("run");
+    (outcome, run.session_stats())
+}
+
+#[test]
+fn shared_store_changes_cost_but_never_results() {
+    // Baseline: a private per-run cache.
+    let (private, _) = run_once(None, 4, 3);
+
+    // Two tenants sharing one store, run back to back.
+    let store = CacheStore::new();
+    let (first, stats1) = run_once(Some(&store), 4, 3);
+    let (second, stats2) = run_once(Some(&store), 4, 3);
+
+    assert_eq!(first, private, "a shared store must not change results");
+    assert_eq!(second, private, "a warmed store must not change results");
+    assert_eq!(stats1.cross_run_hits, 0);
+    assert!(stats1.inserts > 0);
+    assert!(
+        stats2.cross_run_hits > 0,
+        "the second tenant must reuse the first's entries: {stats2:?}"
+    );
+    assert_eq!(stats2.misses, 0);
+    assert_eq!(stats2.inserts, 0);
+}
+
+#[test]
+fn persisted_store_serves_cross_run_hits_after_reload() {
+    let store = CacheStore::new();
+    let (original, _) = run_once(Some(&store), 3, 17);
+
+    let path = std::env::temp_dir().join(format!(
+        "lcda-cache-store-reload-{}.json",
+        std::process::id()
+    ));
+    store.save(&path).expect("save");
+    let reloaded = CacheStore::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(reloaded.len(), store.len());
+    let (resumed, stats) = run_once(Some(&reloaded), 3, 17);
+    assert_eq!(resumed, original, "persistence must not change results");
+    assert!(
+        stats.cross_run_hits > 0,
+        "entries loaded from disk count as cross-run reuse: {stats:?}"
+    );
+    assert_eq!(stats.misses, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single session over an unbounded shared store is
+    /// observation-equivalent to a plain map: same lookup answers, same
+    /// insert outcomes, and the stats ledger balances.
+    #[test]
+    fn session_mirrors_a_plain_map(
+        ops in proptest::collection::vec((0u8..24, 0.0f64..1.0, prop::bool::ANY), 1..80)
+    ) {
+        let store = CacheStore::new();
+        let mut session = store.session("ctx");
+        let mut model: BTreeMap<String, f64> = BTreeMap::new();
+        let mut lookups = 0u64;
+        for (key, value, is_insert) in ops {
+            let key = format!("k{key}");
+            if is_insert {
+                // Finite values are always accepted; on a duplicate key
+                // the first admission wins, so the model only inserts
+                // when the key is absent.
+                prop_assert!(session.insert_accuracy(key.clone(), value));
+                model.entry(key.clone()).or_insert(value);
+            } else {
+                lookups += 1;
+                prop_assert_eq!(session.lookup_accuracy(&key), model.get(&key).copied());
+            }
+        }
+        let stats = session.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+        prop_assert_eq!(stats.cross_run_hits, 0u64);
+        prop_assert_eq!(store.len(), model.len());
+    }
+
+    /// Two capacity-bounded stores fed the identical admission order
+    /// evict identically: same survivors, same serialized bytes.
+    #[test]
+    fn capacity_eviction_is_deterministic(
+        keys in proptest::collection::vec(0u8..32, 1..60),
+        capacity in 1usize..8
+    ) {
+        let a = CacheStore::with_capacity(capacity);
+        let b = CacheStore::with_capacity(capacity);
+        let mut sa = a.session("ctx");
+        let mut sb = b.session("ctx");
+        for (i, key) in keys.iter().enumerate() {
+            let value = f64::from(*key) + i as f64 / 1000.0;
+            sa.insert_accuracy(format!("k{key}"), value);
+            sb.insert_accuracy(format!("k{key}"), value);
+        }
+        prop_assert!(a.len() <= capacity);
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.stats().evictions, b.stats().evictions);
+        prop_assert_eq!(
+            a.to_json().expect("serialize a"),
+            b.to_json().expect("serialize b")
+        );
+    }
+}

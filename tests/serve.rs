@@ -1,0 +1,315 @@
+//! Integration tests for `lcda serve`: the HTTP job API, shared
+//! cross-run caching, byte-identity with offline runs, and per-job
+//! journal isolation.
+
+use lcda::core::serve::JobStatus;
+use lcda::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`. Chunked
+/// responses are decoded transparently.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: lcda\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    stream.flush().expect("flush");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf8 response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        decode_chunked(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+/// Minimal chunked-transfer decoder for test responses.
+fn decode_chunked(mut payload: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let Some((size_line, rest)) = payload.split_once("\r\n") else {
+            break;
+        };
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&rest[..size]);
+        payload = &rest[size + 2..]; // skip the chunk's trailing CRLF
+    }
+    out
+}
+
+fn wait_terminal(server: &JobServer, id: JobId) -> JobStatus {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = server.status(id).expect("known job");
+        if status.state.is_terminal() {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{id} never reached a terminal state"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn served_job_is_byte_identical_to_the_offline_search() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let (status, body) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"episodes": 3, "seed": 9}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let accepted: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(accepted["job"], "job-1");
+    assert_eq!(accepted["state"], "queued");
+
+    let done = wait_terminal(&server, "job-1".parse().unwrap());
+    assert_eq!(
+        done.state,
+        lcda::core::serve::JobState::Done,
+        "{:?}",
+        done.error
+    );
+
+    let (status, served) = http(server.addr(), "GET", "/jobs/job-1/result", "");
+    assert_eq!(status, 200);
+
+    // The same search, run offline exactly as `lcda search --json` does.
+    let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(3)
+        .seed(9)
+        .build();
+    let outcome = CoDesign::builder(DesignSpace::nacim_cifar10(), config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .backend("cim")
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let offline = format!("{}\n", serde_json::to_string_pretty(&outcome).unwrap());
+    assert_eq!(served, offline, "served result must be byte-identical");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn second_identical_job_reuses_the_shared_store() {
+    // One worker: jobs run strictly in admission order, so the second
+    // job deterministically finds every evaluation already memoized.
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let spec = r#"{"episodes": 3, "seed": 4}"#;
+    let (s1, _) = http(server.addr(), "POST", "/jobs", spec);
+    let (s2, _) = http(server.addr(), "POST", "/jobs", spec);
+    assert_eq!((s1, s2), (202, 202));
+    let first = wait_terminal(&server, "job-1".parse().unwrap());
+    let second = wait_terminal(&server, "job-2".parse().unwrap());
+    assert_eq!(first.state, lcda::core::serve::JobState::Done);
+    assert_eq!(second.state, lcda::core::serve::JobState::Done);
+
+    let stats1 = first.cache.expect("terminal jobs publish stats");
+    let stats2 = second.cache.expect("terminal jobs publish stats");
+    assert_eq!(
+        stats1.cross_run_hits, 0,
+        "first tenant has nothing to reuse"
+    );
+    assert!(stats1.inserts > 0, "first tenant must seed the store");
+    assert!(
+        stats2.cross_run_hits > 0,
+        "second tenant must hit the first tenant's entries: {stats2:?}"
+    );
+    assert_eq!(stats2.misses, 0, "an identical rerun misses nothing");
+    assert_eq!(stats2.inserts, 0, "an identical rerun admits nothing new");
+
+    let (_, r1) = http(server.addr(), "GET", "/jobs/job-1/result", "");
+    let (_, r2) = http(server.addr(), "GET", "/jobs/job-2/result", "");
+    assert_eq!(r1, r2, "shared caching must not change results");
+
+    let (status, body) = http(server.addr(), "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let stats: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(stats["jobs"]["done"], 2, "{body}");
+    assert!(stats["store"]["cross_run_hits"].as_u64().unwrap() > 0);
+    assert!(stats["store_entries"].as_u64().unwrap() > 0);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn admission_is_validated_over_http() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let (status, body) = http(server.addr(), "POST", "/jobs", r#"{"backend": "fpga"}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown hardware backend"), "{body}");
+
+    let (status, body) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"backend": "cim+bogus"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown backend decorator"), "{body}");
+
+    let (status, body) = http(server.addr(), "POST", "/jobs", r#"{"epsodes": 3}"#);
+    assert_eq!(status, 400, "unknown fields must be rejected: {body}");
+
+    let (status, _) = http(server.addr(), "POST", "/jobs", "not json");
+    assert_eq!(status, 400);
+
+    let (status, _) = http(server.addr(), "GET", "/jobs/job-99", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(server.addr(), "GET", "/jobs/banana", "");
+    assert_eq!(status, 400);
+    let (status, _) = http(server.addr(), "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Nothing was admitted.
+    assert!(server.stats().jobs.is_empty());
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cancel_over_http_and_result_conflict() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    // Saturate the single worker, then cancel the queued second job.
+    let (s1, _) = http(server.addr(), "POST", "/jobs", r#"{"episodes": 40}"#);
+    let (s2, _) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"episodes": 40, "seed": 1}"#,
+    );
+    assert_eq!((s1, s2), (202, 202));
+    let (status, body) = http(server.addr(), "POST", "/jobs/job-2/cancel", "");
+    assert_eq!(status, 200);
+    let cancelled: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(cancelled["state"], "cancelled", "{body}");
+
+    let (status, body) = http(server.addr(), "GET", "/jobs/job-2/result", "");
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("cancelled"), "{body}");
+
+    // Cancel the running job too; it lands terminal at an episode
+    // boundary without blocking shutdown for 40 episodes.
+    let (status, _) = http(server.addr(), "POST", "/jobs/job-1/cancel", "");
+    assert_eq!(status, 200);
+    let first = wait_terminal(&server, "job-1".parse().unwrap());
+    assert!(
+        first.state == lcda::core::serve::JobState::Cancelled
+            || first.state == lcda::core::serve::JobState::Done,
+        "cancel must land terminally, got {}",
+        first.state
+    );
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn per_job_journals_never_interleave() {
+    let dir = std::env::temp_dir().join(format!("lcda-serve-journals-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = JobServer::bind(ServeConfig {
+        workers: 2,
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    // Two overlapping jobs on two workers: with a shared sink their
+    // records would interleave; with per-job files they cannot.
+    let (s1, _) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"episodes": 3, "seed": 5}"#,
+    );
+    let (s2, _) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"episodes": 3, "seed": 6}"#,
+    );
+    assert_eq!((s1, s2), (202, 202));
+    wait_terminal(&server, "job-1".parse().unwrap());
+    wait_terminal(&server, "job-2".parse().unwrap());
+
+    for (file, job, seed) in [
+        ("job-1.jsonl", "job-1", 5u64),
+        ("job-2.jsonl", "job-2", 6u64),
+    ] {
+        let text = std::fs::read_to_string(dir.join(file)).expect("journal file");
+        let mut kinds = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let record: serde_json::Value = serde_json::from_str(line).expect("journal line");
+            // Every job-tagged record in this file belongs to this job —
+            // the no-interleaving assertion.
+            if let Some(tag) = record.get("job").and_then(|j| j.as_str()) {
+                assert_eq!(tag, job, "foreign record in {file}: {line}");
+            }
+            if record["event"] == "run_start" {
+                assert_eq!(record["seed"].as_u64(), Some(seed), "{file}: {line}");
+            }
+            kinds.push(record["event"].as_str().unwrap_or_default().to_string());
+        }
+        for required in ["job_admitted", "job_started", "shared_cache", "job_ended"] {
+            assert!(
+                kinds.iter().any(|k| k == required),
+                "{file} missing {required}"
+            );
+        }
+        // The lifecycle closes the file: job_ended is the final record.
+        assert_eq!(
+            kinds.last().map(String::as_str),
+            Some("job_ended"),
+            "{file}"
+        );
+
+        // The streaming endpoint serves exactly the file's bytes.
+        let (status, streamed) = http(server.addr(), "GET", &format!("/jobs/{job}/journal"), "");
+        assert_eq!(status, 200);
+        assert_eq!(streamed, text, "journal stream must match the file");
+
+        // And `lcda report` understands the job events.
+        let report = RunReport::from_jsonl(&text).expect("report");
+        assert_eq!(report.jobs_admitted, 1);
+        assert_eq!(report.jobs_ended, 1);
+    }
+    server.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
