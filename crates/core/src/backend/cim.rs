@@ -7,9 +7,36 @@
 //! of lowering that used to live on [`DesignSpace`]: candidate →
 //! [`ChipConfig`] (the hardware half of the rollout) and candidate →
 //! [`LayerWorkload`] list (the crossbar view of the network).
+//!
+//! # Hierarchy lowering
+//!
+//! Since the hardware-as-data refactor the platform is a declarative
+//! [`HwHierarchy`] (the default is [`HwHierarchy::isaac`], identical to
+//! the shipped `configs/hw/isaac.json` preset). The lowering rules, also
+//! documented in DESIGN.md §14:
+//!
+//! - `chip.global_buffer_kb`, `crossbar.dac_bits`, `crossbar.adc_share`,
+//!   `device.feature_nm` become the fixed [`ChipConfig`] platform
+//!   constants;
+//! - `crossbar.max_rc` caps simultaneously activated rows: the neurosim
+//!   crossbar serializes each input cycle into `⌈rows/max_rc⌉`
+//!   activation rounds (omitted → all rows fire at once);
+//! - the chip/core NoC cost matrices fold into a multiplicative latency
+//!   factor ([`HwHierarchy::noc_latency_factor`]) applied to the rolled-up
+//!   chip latency — exactly `1.0` for single-node tiers, so trivial
+//!   hierarchies reproduce the pre-refactor model bit-for-bit;
+//! - the hierarchy's `crossbar` geometry and `device` cell describe the
+//!   platform's *reference* array; each candidate's searched hardware
+//!   knobs (`xbar_size`, `cell_bits`, `adc_bits`, `tech`) override them
+//!   per evaluation — those axes are what the search explores;
+//! - the `(energy, latency)` calibration stays a global constant pinned
+//!   to the default ISAAC anchors: a per-hierarchy calibration would
+//!   silently erase the real differences between chips, which are
+//!   exactly what a hierarchy sweep is supposed to measure.
 
 use super::{backend_fingerprint, HardwareBackend};
 use crate::evaluate::{HardwareCostEvaluator, HwMetrics};
+use crate::hwconfig::HwHierarchy;
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
 use lcda_llm::design::CandidateDesign;
@@ -19,51 +46,6 @@ use lcda_neurosim::device::DeviceTech;
 use lcda_neurosim::isaac;
 use lcda_neurosim::mapper::{LayerWorkload, Precision};
 use lcda_neurosim::NeurosimError;
-use serde::{Deserialize, Serialize};
-
-/// Fixed (non-searched) constants of the CiM platform — the values the
-/// paper holds constant while the LLM explores the rest.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CimBackendConfig {
-    /// On-chip activation buffer, KB.
-    pub buffer_kb: u32,
-    /// DAC resolution, bits.
-    pub dac_bits: u8,
-    /// Columns sharing one ADC.
-    pub adc_share: u32,
-    /// Technology feature size, nm.
-    pub feature_nm: f64,
-    /// Latency accounting mode (the paper's FPS normalization is
-    /// single-image latency, i.e. sequential).
-    pub latency_mode: LatencyMode,
-    /// Global `(energy, latency)` calibration factors, computed **once**
-    /// from the default ISAAC configuration and applied to *every*
-    /// candidate chip. A per-candidate calibration would silently erase
-    /// the real differences between hardware choices (ADC resolution,
-    /// cell precision, array size), which are exactly what the search is
-    /// supposed to explore.
-    pub calibration: (f64, f64),
-}
-
-impl CimBackendConfig {
-    /// The paper's platform constants, calibrated to the ISAAC anchors.
-    pub fn paper_default() -> Self {
-        CimBackendConfig {
-            buffer_kb: 64,
-            dac_bits: 1,
-            adc_share: 8,
-            feature_nm: 32.0,
-            latency_mode: LatencyMode::Sequential,
-            calibration: isaac_calibration(),
-        }
-    }
-}
-
-impl Default for CimBackendConfig {
-    fn default() -> Self {
-        CimBackendConfig::paper_default()
-    }
-}
 
 // The ISAAC default config is a compile-time constant validated by the
 // neurosim crate's own tests; calibration over it cannot fail at runtime,
@@ -77,37 +59,58 @@ fn isaac_calibration() -> (f64, f64) {
 }
 
 /// The NeuroSim-style hardware cost backend: builds the candidate's
-/// calibrated chip and evaluates its workloads.
+/// calibrated chip from the declarative hierarchy and evaluates its
+/// workloads.
 #[derive(Debug, Clone)]
 pub struct CimBackend {
     space: DesignSpace,
-    config: CimBackendConfig,
+    hw: HwHierarchy,
+    /// Latency accounting mode (the paper's FPS normalization is
+    /// single-image latency, i.e. sequential). A modeling choice, not
+    /// hardware — deliberately not part of the hierarchy.
+    latency_mode: LatencyMode,
+    /// Global `(energy, latency)` calibration factors, computed **once**
+    /// from the default ISAAC configuration and applied to *every*
+    /// candidate chip (see the module docs for why).
+    calibration: (f64, f64),
 }
 
 impl CimBackend {
-    /// Creates the backend for a design space with the paper's platform
-    /// constants.
+    /// Creates the backend for a design space on the paper's platform —
+    /// the built-in [`HwHierarchy::isaac`] hierarchy.
     pub fn new(space: DesignSpace) -> Self {
         CimBackend {
             space,
-            config: CimBackendConfig::paper_default(),
+            hw: HwHierarchy::isaac(),
+            latency_mode: LatencyMode::Sequential,
+            calibration: isaac_calibration(),
         }
     }
 
-    /// Overrides the platform constants (builder style).
-    #[must_use]
-    pub fn with_config(mut self, config: CimBackendConfig) -> Self {
-        self.config = config;
-        self
+    /// Creates the backend on an explicit hardware hierarchy (validated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending field
+    /// when the hierarchy fails [`HwHierarchy::validate`].
+    pub fn from_hierarchy(space: DesignSpace, hw: HwHierarchy) -> Result<Self> {
+        hw.validate()?;
+        Ok(CimBackend {
+            space,
+            hw,
+            latency_mode: LatencyMode::Sequential,
+            calibration: isaac_calibration(),
+        })
     }
 
-    /// The platform constants in use.
-    pub fn config(&self) -> &CimBackendConfig {
-        &self.config
+    /// The hardware hierarchy in use.
+    pub fn hw(&self) -> &HwHierarchy {
+        &self.hw
     }
 
     /// The chip configuration a candidate's hardware choice describes,
-    /// calibrated to the ISAAC anchors.
+    /// calibrated to the ISAAC anchors: the hierarchy's platform
+    /// constants plus the candidate's searched knobs.
     ///
     /// # Errors
     ///
@@ -119,19 +122,20 @@ impl CimBackend {
             rows: design.hw.xbar_size,
             cols: design.hw.xbar_size,
             cell_bits: design.hw.cell_bits,
-            dac_bits: self.config.dac_bits,
+            dac_bits: self.hw.crossbar.dac_bits,
             adc_bits: design.hw.adc_bits,
-            adc_share: self.config.adc_share,
+            adc_share: self.hw.crossbar.adc_share,
             tech,
-            feature_nm: self.config.feature_nm,
+            feature_nm: self.hw.device.feature_nm,
+            max_rc: self.hw.crossbar.max_rc,
         };
         Ok(ChipConfig {
             xbar,
             precision: Precision::int8(),
-            buffer_kb: self.config.buffer_kb,
+            buffer_kb: self.hw.chip.global_buffer_kb,
             area_budget_mm2: self.space.area_budget_mm2,
-            latency_mode: self.config.latency_mode,
-            calibration: self.config.calibration,
+            latency_mode: self.latency_mode,
+            calibration: self.calibration,
         })
     }
 
@@ -167,12 +171,25 @@ impl HardwareCostEvaluator for CimBackend {
         let chip = Chip::new(config).map_err(CoreError::from)?;
         let layers = self.lower(design)?;
         match chip.evaluate_checked(&layers) {
-            Ok(report) => Ok(Some(HwMetrics {
-                energy_pj: report.energy_pj,
-                latency_ns: report.latency_ns,
-                area_mm2: report.area_mm2,
-                leakage_uw: report.leakage_uw,
-            })),
+            Ok(report) => {
+                // Multi-node hierarchies pay the NoC transmission cost on
+                // top of the compute roll-up; trivial topologies have a
+                // factor of exactly 1.0 and skip the multiplication, so
+                // the preset hierarchies stay bit-identical to the
+                // pre-refactor model.
+                let noc = self.hw.noc_latency_factor();
+                let latency_ns = if noc == 1.0 {
+                    report.latency_ns
+                } else {
+                    report.latency_ns * noc
+                };
+                Ok(Some(HwMetrics {
+                    energy_pj: report.energy_pj,
+                    latency_ns,
+                    area_mm2: report.area_mm2,
+                    leakage_uw: report.leakage_uw,
+                }))
+            }
             Err(NeurosimError::ConstraintViolation { .. }) => Ok(None),
             Err(e) => Err(e.into()),
         }
@@ -184,11 +201,11 @@ impl HardwareCostEvaluator for CimBackend {
 
     fn fingerprint(&self) -> String {
         // The space carries everything design-dependent (the chip-config
-        // mapping, workloads, area budget); the config carries the fixed
-        // platform constants and calibration.
+        // mapping, workloads, area budget); the hierarchy carries the
+        // platform. Its canonical JSON joins the digest, so two different
+        // chips can never share memo entries.
         let space = serde_json::to_string(&self.space).unwrap_or_default();
-        let config = serde_json::to_string(&self.config).unwrap_or_default();
-        backend_fingerprint(self.id(), &[&space, &config])
+        backend_fingerprint(self.id(), &[&space, &self.hw.canonical_json()])
     }
 }
 
@@ -198,8 +215,12 @@ impl HardwareBackend for CimBackend {
     }
 
     fn config_json(&self) -> Result<String> {
-        serde_json::to_string(&self.config)
+        serde_json::to_string(&self.hw)
             .map_err(|e| CoreError::Checkpoint(format!("serialize cim config: {e}")))
+    }
+
+    fn hierarchy(&self) -> Option<&HwHierarchy> {
+        Some(&self.hw)
     }
 }
 
@@ -303,22 +324,93 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_is_namespaced_and_config_sensitive() {
+    fn default_equals_builtin_isaac_hierarchy() {
+        // The golden-equivalence guarantee at the unit level: `new` and
+        // `from_hierarchy(isaac)` are the same backend — same platform
+        // constants, same fingerprint, same metrics.
+        let space = DesignSpace::nacim_cifar10();
+        let mut a = CimBackend::new(space.clone());
+        let mut b = CimBackend::from_hierarchy(space.clone(), HwHierarchy::isaac()).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let d = space.reference_design();
+        assert_eq!(a.cost(&d).unwrap(), b.cost(&d).unwrap());
+        assert_eq!(a.hw(), b.hw());
+    }
+
+    #[test]
+    fn fingerprint_is_namespaced_and_hierarchy_sensitive() {
         let space = DesignSpace::nacim_cifar10();
         let a = CimBackend::new(space.clone());
         assert!(a.fingerprint().starts_with("cim/"));
-        let mut cfg = CimBackendConfig::paper_default();
-        cfg.buffer_kb = 128;
-        let b = CimBackend::new(space).with_config(cfg);
+        let mut hw = HwHierarchy::isaac();
+        hw.chip.global_buffer_kb = 128;
+        let b = CimBackend::from_hierarchy(space, hw).unwrap();
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
-    fn config_json_roundtrips() {
+    fn invalid_hierarchy_is_rejected_at_construction() {
+        let mut hw = HwHierarchy::isaac();
+        hw.crossbar.rows = 0;
+        let err = CimBackend::from_hierarchy(DesignSpace::nacim_cifar10(), hw).unwrap_err();
+        assert!(err.to_string().contains("crossbar.rows"), "{err}");
+    }
+
+    #[test]
+    fn buffer_and_periphery_come_from_the_hierarchy() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut hw = HwHierarchy::isaac();
+        hw.chip.global_buffer_kb = 128;
+        hw.crossbar.dac_bits = 2;
+        let backend = CimBackend::from_hierarchy(space.clone(), hw).unwrap();
+        let chip = backend.chip_config(&space.reference_design()).unwrap();
+        assert_eq!(chip.buffer_kb, 128);
+        assert_eq!(chip.xbar.dac_bits, 2);
+    }
+
+    #[test]
+    fn max_rc_serializes_activation_and_slows_the_chip() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut unlimited = CimBackend::new(space.clone());
+        let mut hw = HwHierarchy::isaac();
+        hw.crossbar.max_rc = Some(32); // 128 rows / 32 → 4 rounds
+        let mut limited = CimBackend::from_hierarchy(space, hw).unwrap();
+        let mu = unlimited.cost(&d).unwrap().unwrap();
+        let ml = limited.cost(&d).unwrap().unwrap();
+        assert!(
+            ml.latency_ns > mu.latency_ns,
+            "activation-limited chip must be slower: {} vs {}",
+            ml.latency_ns,
+            mu.latency_ns
+        );
+        // Energy is first-order unchanged: the same total charge is
+        // delivered, just over more rounds.
+        assert_eq!(ml.energy_pj, mu.energy_pj);
+    }
+
+    #[test]
+    fn multi_core_noc_cost_stretches_latency() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut single = CimBackend::new(space.clone());
+        let mut hw = HwHierarchy::isaac();
+        hw.chip.cores = [2, 1];
+        hw.chip.noc.cost = vec![vec![0.0, 0.5], vec![0.5, 0.0]];
+        let mut meshed = CimBackend::from_hierarchy(space, hw.clone()).unwrap();
+        let ms = single.cost(&d).unwrap().unwrap();
+        let mm = meshed.cost(&d).unwrap().unwrap();
+        let factor = hw.noc_latency_factor();
+        assert!((mm.latency_ns - ms.latency_ns * factor).abs() < 1e-6);
+        assert_eq!(mm.energy_pj, ms.energy_pj);
+    }
+
+    #[test]
+    fn config_json_is_the_hierarchy() {
         let backend = CimBackend::new(DesignSpace::nacim_cifar10());
         let json = backend.config_json().unwrap();
-        let back: CimBackendConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.buffer_kb, 64);
-        assert_eq!(back.latency_mode, LatencyMode::Sequential);
+        let back: HwHierarchy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, HwHierarchy::isaac());
+        assert_eq!(backend.hierarchy(), Some(&HwHierarchy::isaac()));
     }
 }

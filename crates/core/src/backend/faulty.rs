@@ -123,6 +123,12 @@ impl HardwareBackend for FaultyBackend {
         }))
         .map_err(|e| CoreError::Checkpoint(format!("serialize faulty config: {e}")))
     }
+
+    fn hierarchy(&self) -> Option<&crate::hwconfig::HwHierarchy> {
+        // Fault injection does not change the chip: the decorated
+        // backend's hierarchy (and therefore its digest) is the run's.
+        self.inner.hierarchy()
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +217,15 @@ mod tests {
         let _ = faulty.cost(&design);
         journal.finish().unwrap();
         assert!(buffer.contents().contains("\"event\":\"eval_fault\""));
+    }
+
+    #[test]
+    fn hierarchy_delegates_to_the_inner_backend() {
+        let (faulty, _, _) = wrap(EvalFaultPlan::none());
+        assert_eq!(
+            faulty.hierarchy(),
+            Some(&crate::hwconfig::HwHierarchy::isaac())
+        );
     }
 
     #[test]

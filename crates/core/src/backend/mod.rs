@@ -31,6 +31,7 @@
 
 use crate::evaluate::HardwareCostEvaluator;
 use crate::fault::EvalFaultPlan;
+use crate::hwconfig::HwHierarchy;
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
 use lcda_llm::middleware::SimClock;
@@ -74,6 +75,15 @@ pub trait HardwareBackend: HardwareCostEvaluator {
     ///
     /// Returns [`CoreError::Checkpoint`] when serialization fails.
     fn config_json(&self) -> Result<String>;
+
+    /// The declarative hardware hierarchy this backend was built on, when
+    /// it has one. Decorators delegate to the wrapped backend; backends
+    /// registered by downstream crates may return `None`. The hierarchy's
+    /// [`HwHierarchy::digest`] is what joins the checkpoint stamp and the
+    /// journal `hw_config` event.
+    fn hierarchy(&self) -> Option<&HwHierarchy> {
+        None
+    }
 }
 
 /// Builds the namespaced fingerprint every backend must use:
@@ -85,8 +95,9 @@ pub fn backend_fingerprint(id: &str, parts: &[&str]) -> String {
 }
 
 /// Constructor signature stored in the registry: backends are built from
-/// the design space alone, with their own defaults for everything else.
-pub type BackendCtor = fn(&DesignSpace) -> Result<Box<dyn HardwareBackend>>;
+/// the design space plus an optional hardware hierarchy — `None` means
+/// the backend's built-in default platform.
+pub type BackendCtor = fn(&DesignSpace, Option<&HwHierarchy>) -> Result<Box<dyn HardwareBackend>>;
 
 /// A decorator that wraps a base backend, named after `+` in a spec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +146,11 @@ pub enum BackendSpecError {
         /// The unrecognized token after `+`.
         decorator: String,
     },
+    /// An `@` with nothing after it (`cim@`).
+    EmptyConfig {
+        /// The offending spec string.
+        spec: String,
+    },
 }
 
 impl fmt::Display for BackendSpecError {
@@ -152,6 +168,13 @@ impl fmt::Display for BackendSpecError {
                     "unknown backend decorator `{decorator}` in `{spec}` (known: {FAULTY_DECORATOR})"
                 )
             }
+            BackendSpecError::EmptyConfig { spec } => {
+                write!(
+                    f,
+                    "backend spec `{spec}` has an empty `@` hardware config \
+                     (expected a JSON file path or inline `{{…}}` blob)"
+                )
+            }
         }
     }
 }
@@ -164,14 +187,21 @@ impl From<BackendSpecError> for CoreError {
     }
 }
 
-/// A parsed, validated backend name: `base(+decorator)*`.
+/// A parsed, validated backend name: `base(+decorator)*(@config)?`.
 ///
 /// This replaces the ad-hoc string splitting the CLI used to do: a spec
 /// parses exactly once — at the flag boundary, or at serve-job admission
 /// — into a typed value, and everything downstream consumes the type.
 /// Parsing validates the *grammar* (typed [`BackendSpecError`]s);
 /// [`BackendRegistry::parse`] additionally validates that the base name
-/// is registered.
+/// is registered and that any `@config` hardware hierarchy loads and
+/// validates.
+///
+/// The optional `@config` suffix names the hardware hierarchy the
+/// backend should be built on: a JSON file path
+/// (`cim@configs/hw/isaac.json`) or an inline JSON blob
+/// (`cim@{"name":…}`). Everything after the first `@` is the config
+/// source, verbatim — inline blobs may contain `+` or further `@`s.
 ///
 /// ```
 /// use lcda_core::backend::BackendSpec;
@@ -179,19 +209,23 @@ impl From<BackendSpecError> for CoreError {
 /// assert_eq!(spec.base(), "cim");
 /// assert!(spec.is_faulty());
 /// assert!("cim+bogus".parse::<BackendSpec>().is_err());
+/// let cfg: BackendSpec = "cim@configs/hw/isaac.json".parse().unwrap();
+/// assert_eq!(cfg.config(), Some("configs/hw/isaac.json"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackendSpec {
     base: String,
     decorators: Vec<BackendDecorator>,
+    config: Option<String>,
 }
 
 impl BackendSpec {
-    /// A bare spec for a base backend, no decorators.
+    /// A bare spec for a base backend, no decorators, default hardware.
     pub fn bare(base: impl Into<String>) -> Self {
         BackendSpec {
             base: base.into(),
             decorators: Vec::new(),
+            config: None,
         }
     }
 
@@ -209,15 +243,52 @@ impl BackendSpec {
     pub fn is_faulty(&self) -> bool {
         self.decorators.contains(&BackendDecorator::Faulty)
     }
+
+    /// The raw `@config` hardware-config source (file path or inline
+    /// JSON), when the spec carries one.
+    pub fn config(&self) -> Option<&str> {
+        self.config.as_deref()
+    }
+
+    /// The spec without its `@config` suffix — the canonical *identity*
+    /// string stamped into checkpoints and journals. Two specs naming
+    /// the same chip through different sources (a file vs. the same JSON
+    /// inline) resolve to the same identity; the hierarchy *digest* is
+    /// what distinguishes actual hardware differences.
+    pub fn identity(&self) -> BackendSpec {
+        BackendSpec {
+            base: self.base.clone(),
+            decorators: self.decorators.clone(),
+            config: None,
+        }
+    }
+
+    /// Resolves the `@config` source into a validated [`HwHierarchy`]
+    /// (`None` when the spec names the backend's default platform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] distinguishing an unreadable
+    /// file from unparseable or invalid content, always naming the
+    /// source.
+    pub fn hardware(&self) -> Result<Option<HwHierarchy>> {
+        match &self.config {
+            None => Ok(None),
+            Some(source) => HwHierarchy::from_source(source).map(Some),
+        }
+    }
 }
 
 impl fmt::Display for BackendSpec {
-    /// Renders the canonical spec string (`cim+faulty`), round-tripping
-    /// through [`FromStr`].
+    /// Renders the canonical spec string (`cim+faulty@isaac.json`),
+    /// round-tripping through [`FromStr`].
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.base)?;
         for deco in &self.decorators {
             write!(f, "+{}", deco.name())?;
+        }
+        if let Some(config) = &self.config {
+            write!(f, "@{config}")?;
         }
         Ok(())
     }
@@ -227,7 +298,18 @@ impl FromStr for BackendSpec {
     type Err = BackendSpecError;
 
     fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
-        let mut parts = s.split('+');
+        // The config source is split off first so inline JSON blobs can
+        // contain `+` (and further `@`s) without confusing the grammar.
+        let (head, config) = match s.split_once('@') {
+            Some((_, config)) if config.is_empty() => {
+                return Err(BackendSpecError::EmptyConfig {
+                    spec: s.to_string(),
+                });
+            }
+            Some((head, config)) => (head, Some(config.to_string())),
+            None => (s, None),
+        };
+        let mut parts = head.split('+');
         let base = parts.next().unwrap_or_default();
         if base.is_empty() {
             return Err(BackendSpecError::EmptyBase {
@@ -254,6 +336,7 @@ impl FromStr for BackendSpec {
         Ok(BackendSpec {
             base: base.to_string(),
             decorators,
+            config,
         })
     }
 }
@@ -287,12 +370,23 @@ impl BackendRegistry {
     }
 
     /// The in-tree backends: `cim` (NeuroSim-style CiM, the default) and
-    /// `systolic` (digital systolic-array baseline).
+    /// `systolic` (digital systolic-array baseline). Each constructor
+    /// accepts an optional [`HwHierarchy`]; `None` selects the built-in
+    /// preset platform ([`HwHierarchy::isaac`] /
+    /// [`HwHierarchy::systolic_256`]).
     pub fn standard() -> Self {
         let mut r = BackendRegistry::empty();
-        r.register("cim", |space| Ok(Box::new(CimBackend::new(space.clone()))));
-        r.register("systolic", |space| {
-            Ok(Box::new(SystolicBackend::new(space.clone())))
+        r.register("cim", |space, hw| {
+            Ok(match hw {
+                Some(hw) => Box::new(CimBackend::from_hierarchy(space.clone(), hw.clone())?),
+                None => Box::new(CimBackend::new(space.clone())),
+            })
+        });
+        r.register("systolic", |space, hw| {
+            Ok(match hw {
+                Some(hw) => Box::new(SystolicBackend::from_hierarchy(space.clone(), hw.clone())?),
+                None => Box::new(SystolicBackend::new(space.clone())),
+            })
         });
         r
     }
@@ -328,17 +422,22 @@ impl BackendRegistry {
     }
 
     /// Parses and fully validates a backend spec string: the grammar
-    /// (via [`BackendSpec::from_str`]) plus registry membership of the
-    /// base name. This is the admission-time check the CLI and the serve
-    /// job intake share — a spec that parses here is guaranteed to
+    /// (via [`BackendSpec::from_str`]), registry membership of the base
+    /// name, and — when the spec carries an `@config` suffix — that the
+    /// hardware hierarchy loads and validates. This is the
+    /// admission-time check the CLI and the serve job intake share — a
+    /// spec that parses here is guaranteed to
     /// [`create`](BackendRegistry::create_spec) later (modulo backend
-    /// construction failures).
+    /// construction failures and the config source changing underneath).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] (carrying the typed
-    /// [`BackendSpecError`] message for grammar faults, or the known-name
-    /// listing for an unregistered base).
+    /// Returns [`CoreError::InvalidConfig`], distinguishing the failure
+    /// classes: the typed [`BackendSpecError`] message for grammar
+    /// faults, the known-name listing for an unregistered base, and the
+    /// [`HwHierarchy`] load error (file-not-readable vs.
+    /// unparseable/invalid content, naming the offending field path) for
+    /// a bad `@config`.
     pub fn parse(&self, name: &str) -> Result<BackendSpec> {
         let spec: BackendSpec = name.parse()?;
         if !self.contains(spec.base()) {
@@ -348,6 +447,9 @@ impl BackendRegistry {
                 self.names().join(", ")
             )));
         }
+        // Validate the hardware config at admission time so a bad file
+        // or blob is reported here — not as a queued-then-failed job.
+        spec.hardware()?;
         Ok(spec)
     }
 
@@ -370,17 +472,46 @@ impl BackendRegistry {
     }
 
     /// Instantiates an already-parsed [`BackendSpec`] over a design
-    /// space, applying its decorators left to right.
+    /// space, resolving its `@config` hierarchy (if any) and applying
+    /// its decorators left to right.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] when the spec's base is not
-    /// registered and propagates backend construction errors.
+    /// registered or its hardware config does not resolve, and
+    /// propagates backend construction errors.
     pub fn create_spec(
         &self,
         spec: &BackendSpec,
         space: &DesignSpace,
     ) -> Result<Box<dyn HardwareBackend>> {
+        self.create_spec_with(spec, space, None)
+    }
+
+    /// Instantiates an already-parsed [`BackendSpec`] over a design
+    /// space on an explicitly supplied hardware hierarchy (the channel
+    /// `lcda serve` job specs and the CLI `--hw-config` flag use). A
+    /// spec that *also* carries an `@config` suffix is rejected — two
+    /// competing hardware sources would make the resolved chip
+    /// ambiguous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unregistered base, an
+    /// ambiguous double hardware config, or an invalid hierarchy, and
+    /// propagates backend construction errors.
+    pub fn create_spec_with(
+        &self,
+        spec: &BackendSpec,
+        space: &DesignSpace,
+        hw: Option<&HwHierarchy>,
+    ) -> Result<Box<dyn HardwareBackend>> {
+        if hw.is_some() && spec.config().is_some() {
+            return Err(CoreError::InvalidConfig(format!(
+                "backend spec `{spec}` already names a hardware config; \
+                 it cannot be combined with a separate hw config"
+            )));
+        }
         let ctor = self.ctors.get(spec.base()).ok_or_else(|| {
             CoreError::InvalidConfig(format!(
                 "unknown hardware backend `{}` (known: {})",
@@ -388,7 +519,8 @@ impl BackendRegistry {
                 self.names().join(", ")
             ))
         })?;
-        let mut backend = ctor(space)?;
+        let spec_hw = spec.hardware()?;
+        let mut backend = ctor(space, hw.or(spec_hw.as_ref()))?;
         for deco in spec.decorators() {
             match deco {
                 BackendDecorator::Faulty => {
@@ -453,7 +585,9 @@ mod tests {
     fn custom_backend_registration() {
         let mut r = BackendRegistry::empty();
         assert!(r.names().is_empty());
-        r.register("cim", |space| Ok(Box::new(CimBackend::new(space.clone()))));
+        r.register("cim", |space, _hw| {
+            Ok(Box::new(CimBackend::new(space.clone())))
+        });
         assert!(r.contains("cim"));
         assert!(!r.contains("systolic"));
     }
@@ -524,6 +658,94 @@ mod tests {
         let core: CoreError = err.into();
         assert!(core.to_string().contains("bogus"));
         assert!(core.to_string().contains("faulty"));
+    }
+
+    #[test]
+    fn config_suffix_parses_and_round_trips() {
+        let spec: BackendSpec = "cim@configs/hw/isaac.json".parse().unwrap();
+        assert_eq!(spec.base(), "cim");
+        assert_eq!(spec.config(), Some("configs/hw/isaac.json"));
+        assert_eq!(spec.to_string(), "cim@configs/hw/isaac.json");
+        assert_eq!(spec.to_string().parse::<BackendSpec>().unwrap(), spec);
+        assert_eq!(spec.identity(), BackendSpec::bare("cim"));
+
+        // Decorators compose before the config suffix…
+        let deco: BackendSpec = "cim+faulty@chip.json".parse().unwrap();
+        assert!(deco.is_faulty());
+        assert_eq!(deco.config(), Some("chip.json"));
+
+        // …and inline JSON blobs keep `+`/`@` characters verbatim.
+        let inline: BackendSpec = "cim@{\"a+b\":\"c@d\"}".parse().unwrap();
+        assert_eq!(inline.config(), Some("{\"a+b\":\"c@d\"}"));
+
+        assert_eq!(
+            "cim@".parse::<BackendSpec>().unwrap_err(),
+            BackendSpecError::EmptyConfig {
+                spec: "cim@".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn registry_parse_distinguishes_the_config_failure_classes() {
+        let r = BackendRegistry::standard();
+        // Unknown backend, even with a plausible config.
+        let err = r.parse("fpga@chip.json").unwrap_err().to_string();
+        assert!(err.contains("unknown hardware backend"), "{err}");
+        // Known backend, unreadable file.
+        let err = r
+            .parse("cim@/nonexistent/chip.json")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("not readable"), "{err}");
+        assert!(!err.contains("unknown hardware backend"), "{err}");
+        // Known backend, invalid inline content names the field path.
+        let mut bad: serde_json::Value =
+            serde_json::from_str(&crate::hwconfig::HwHierarchy::isaac().canonical_json()).unwrap();
+        bad["crossbar"]["rows"] = serde_json::json!(0);
+        let err = r.parse(&format!("cim@{bad}")).unwrap_err().to_string();
+        assert!(err.contains("crossbar.rows"), "{err}");
+    }
+
+    #[test]
+    fn inline_config_builds_a_configured_backend() {
+        let r = BackendRegistry::standard();
+        let space = DesignSpace::nacim_cifar10();
+        let mut hw = crate::hwconfig::HwHierarchy::isaac();
+        hw.chip.global_buffer_kb = 128;
+        let spec = r.parse(&format!("cim@{}", hw.canonical_json())).unwrap();
+        let configured = r.create_spec(&spec, &space).unwrap();
+        let default = r.create("cim", &space).unwrap();
+        assert_eq!(configured.hierarchy(), Some(&hw));
+        assert_ne!(configured.fingerprint(), default.fingerprint());
+        // The identical hierarchy inline reproduces the default exactly.
+        let same = r
+            .create(
+                &format!(
+                    "cim@{}",
+                    crate::hwconfig::HwHierarchy::isaac().canonical_json()
+                ),
+                &space,
+            )
+            .unwrap();
+        assert_eq!(same.fingerprint(), default.fingerprint());
+    }
+
+    #[test]
+    fn explicit_hw_conflicts_with_a_config_suffix() {
+        let r = BackendRegistry::standard();
+        let space = DesignSpace::nacim_cifar10();
+        let hw = crate::hwconfig::HwHierarchy::isaac();
+        let spec = r.parse(&format!("cim@{}", hw.canonical_json())).unwrap();
+        let err = r
+            .create_spec_with(&spec, &space, Some(&hw))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot be combined"), "{err}");
+        // Without the suffix the explicit hierarchy is accepted.
+        let spec = r.parse("cim").unwrap();
+        let backend = r.create_spec_with(&spec, &space, Some(&hw)).unwrap();
+        assert_eq!(backend.hierarchy(), Some(&hw));
     }
 
     #[test]

@@ -20,28 +20,32 @@
 //! cost surface (digital MACs scale with work, not with crossbar count)
 //! evaluated behind the same [`HardwareBackend`] seam, which is exactly
 //! what a cross-architecture co-design study needs.
+//!
+//! # Hierarchy lowering
+//!
+//! The platform is a declarative [`HwHierarchy`] (the default is
+//! [`HwHierarchy::systolic_256`], identical to the shipped
+//! `configs/hw/systolic_256.json` preset): the `crossbar` tier's
+//! `rows`/`cols` are the PE-array geometry, `chip.global_buffer_kb` is
+//! the global buffer, and the mandatory `digital` section carries the
+//! energy/area/leakage constants and the dataflow. The chip/core NoC
+//! cost matrices fold into the same multiplicative latency factor the
+//! CiM backend uses ([`HwHierarchy::noc_latency_factor`]); a hierarchy
+//! without a `digital` section is rejected at construction.
 
 use super::{backend_fingerprint, HardwareBackend};
 use crate::evaluate::{HardwareCostEvaluator, HwMetrics};
+use crate::hwconfig::HwHierarchy;
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
 use lcda_llm::design::CandidateDesign;
 use serde::{Deserialize, Serialize};
 
-/// Which tensor stays resident in the PE array between cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum Dataflow {
-    /// Weights are pinned per tile (TPU-style); inputs re-stream once per
-    /// column tile and partial sums spill once per row tile.
-    WeightStationary,
-    /// Outputs accumulate in place (ShiDianNao-style); each PE owns one
-    /// output element for `K` cycles, weights and inputs re-stream.
-    OutputStationary,
-}
+pub use crate::hwconfig::Dataflow;
 
-/// The digital accelerator's fixed platform constants. All energies are
-/// pJ, areas µm², int8 operands (1 byte/element).
+/// The digital accelerator's platform constants, as lowered from an
+/// [`HwHierarchy`]. All energies are pJ, areas µm², int8 operands
+/// (1 byte/element).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SystolicConfig {
     /// PE array rows (reduction dimension).
@@ -74,7 +78,8 @@ pub struct SystolicConfig {
 
 impl SystolicConfig {
     /// A 32×32 weight-stationary array at 1 GHz with a 256 KB global
-    /// buffer — Eyeriss-class constants at a 32 nm-ish node.
+    /// buffer — Eyeriss-class constants at a 32 nm-ish node. Equal to
+    /// lowering [`HwHierarchy::systolic_256`].
     pub fn baseline() -> Self {
         SystolicConfig {
             pe_rows: 32,
@@ -93,40 +98,38 @@ impl SystolicConfig {
         }
     }
 
-    /// Validates the constants are physically meaningful.
+    /// Lowers a validated hierarchy into the backend's constants: PE
+    /// geometry from the `crossbar` tier, global buffer from the `chip`
+    /// tier, everything else from the `digital` section.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for zero-sized arrays or
-    /// non-positive clock/energy/area constants.
-    pub fn validate(&self) -> Result<()> {
-        if self.pe_rows == 0 || self.pe_cols == 0 {
-            return Err(CoreError::InvalidConfig(
-                "systolic PE array dimensions must be nonzero".into(),
-            ));
-        }
-        if !self.clock_ghz.is_finite() || self.clock_ghz <= 0.0 {
-            return Err(CoreError::InvalidConfig(format!(
-                "systolic clock must be positive, got {} GHz",
-                self.clock_ghz
-            )));
-        }
-        let constants = [
-            self.mac_energy_pj,
-            self.sram_energy_pj_per_byte,
-            self.dram_energy_pj_per_byte,
-            self.pe_area_um2,
-            self.glb_area_um2_per_kb,
-            self.overhead_mm2,
-            self.pe_leakage_uw,
-            self.glb_leakage_uw_per_kb,
-        ];
-        if constants.iter().any(|c| !c.is_finite() || *c < 0.0) {
-            return Err(CoreError::InvalidConfig(
-                "systolic energy/area/leakage constants must be finite and non-negative".into(),
-            ));
-        }
-        Ok(())
+    /// Returns [`CoreError::InvalidConfig`] when the hierarchy has no
+    /// `digital` section — a CiM-only hierarchy cannot drive a digital
+    /// array.
+    pub fn from_hierarchy(hw: &HwHierarchy) -> Result<Self> {
+        let d = hw.digital.as_ref().ok_or_else(|| {
+            CoreError::InvalidConfig(format!(
+                "hierarchy `{}` has no `digital` section: the systolic backend \
+                 needs digital cost constants (see configs/hw/systolic_256.json)",
+                hw.name
+            ))
+        })?;
+        Ok(SystolicConfig {
+            pe_rows: hw.crossbar.rows,
+            pe_cols: hw.crossbar.cols,
+            clock_ghz: d.clock_ghz,
+            glb_kb: hw.chip.global_buffer_kb,
+            mac_energy_pj: d.mac_energy_pj,
+            sram_energy_pj_per_byte: d.sram_energy_pj_per_byte,
+            dram_energy_pj_per_byte: d.dram_energy_pj_per_byte,
+            pe_area_um2: d.pe_area_um2,
+            glb_area_um2_per_kb: d.glb_area_um2_per_kb,
+            overhead_mm2: d.overhead_mm2,
+            pe_leakage_uw: d.pe_leakage_uw,
+            glb_leakage_uw_per_kb: d.glb_leakage_uw_per_kb,
+            dataflow: d.dataflow,
+        })
     }
 }
 
@@ -170,27 +173,42 @@ impl SystolicLayer {
 #[derive(Debug, Clone)]
 pub struct SystolicBackend {
     space: DesignSpace,
+    hw: HwHierarchy,
     config: SystolicConfig,
 }
 
 impl SystolicBackend {
-    /// Creates the backend for a design space with [`SystolicConfig::baseline`]
-    /// constants.
+    /// Creates the backend for a design space on the built-in
+    /// [`HwHierarchy::systolic_256`] hierarchy ([`SystolicConfig::baseline`]
+    /// constants).
     pub fn new(space: DesignSpace) -> Self {
         SystolicBackend {
             space,
+            hw: HwHierarchy::systolic_256(),
             config: SystolicConfig::baseline(),
         }
     }
 
-    /// Overrides the platform constants (builder style).
-    #[must_use]
-    pub fn with_config(mut self, config: SystolicConfig) -> Self {
-        self.config = config;
-        self
+    /// Creates the backend on an explicit hardware hierarchy (validated;
+    /// must carry a `digital` section).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending field
+    /// when the hierarchy fails [`HwHierarchy::validate`] or has no
+    /// digital cost constants.
+    pub fn from_hierarchy(space: DesignSpace, hw: HwHierarchy) -> Result<Self> {
+        hw.validate()?;
+        let config = SystolicConfig::from_hierarchy(&hw)?;
+        Ok(SystolicBackend { space, hw, config })
     }
 
-    /// The platform constants in use.
+    /// The hardware hierarchy in use.
+    pub fn hw(&self) -> &HwHierarchy {
+        &self.hw
+    }
+
+    /// The lowered platform constants in use.
     pub fn config(&self) -> &SystolicConfig {
         &self.config
     }
@@ -298,7 +316,6 @@ impl SystolicBackend {
 
 impl HardwareCostEvaluator for SystolicBackend {
     fn cost(&mut self, design: &CandidateDesign) -> Result<Option<HwMetrics>> {
-        self.config.validate()?;
         let area_mm2 = self.area_mm2();
         if area_mm2 > self.space.area_budget_mm2 {
             return Ok(None);
@@ -315,6 +332,15 @@ impl HardwareCostEvaluator for SystolicBackend {
             dram_bytes += self.layer_dram_bytes(layer);
         }
         let latency_ns = cycles as f64 / self.config.clock_ghz;
+        // Multi-node hierarchies pay the NoC transmission cost (exactly
+        // 1.0 for the trivial preset topologies — skipped to stay
+        // bit-identical to the pre-refactor model).
+        let noc = self.hw.noc_latency_factor();
+        let latency_ns = if noc == 1.0 {
+            latency_ns
+        } else {
+            latency_ns * noc
+        };
         let energy_pj = macs as f64 * self.config.mac_energy_pj
             + sram_bytes as f64 * self.config.sram_energy_pj_per_byte
             + dram_bytes as f64 * self.config.dram_energy_pj_per_byte;
@@ -332,8 +358,7 @@ impl HardwareCostEvaluator for SystolicBackend {
 
     fn fingerprint(&self) -> String {
         let space = serde_json::to_string(&self.space).unwrap_or_default();
-        let config = serde_json::to_string(&self.config).unwrap_or_default();
-        backend_fingerprint(self.id(), &[&space, &config])
+        backend_fingerprint(self.id(), &[&space, &self.hw.canonical_json()])
     }
 }
 
@@ -343,14 +368,28 @@ impl HardwareBackend for SystolicBackend {
     }
 
     fn config_json(&self) -> Result<String> {
-        serde_json::to_string(&self.config)
+        serde_json::to_string(&self.hw)
             .map_err(|e| CoreError::Checkpoint(format!("serialize systolic config: {e}")))
+    }
+
+    fn hierarchy(&self) -> Option<&HwHierarchy> {
+        Some(&self.hw)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// An explicit hierarchy with the given PE geometry, otherwise the
+    /// built-in systolic platform.
+    fn hw_with_array(rows: u32, cols: u32) -> HwHierarchy {
+        let mut hw = HwHierarchy::systolic_256();
+        hw.crossbar.rows = rows;
+        hw.crossbar.cols = cols;
+        hw.crossbar.adc_share = 1;
+        hw
+    }
 
     #[test]
     fn reference_design_yields_finite_positive_metrics() {
@@ -411,14 +450,30 @@ mod tests {
     }
 
     #[test]
+    fn default_equals_builtin_systolic_hierarchy() {
+        // Golden equivalence at the unit level: `new` and
+        // `from_hierarchy(systolic_256)` are the same backend, and the
+        // lowering of the built-in hierarchy is exactly the baseline
+        // constants.
+        let space = DesignSpace::nacim_cifar10();
+        let mut a = SystolicBackend::new(space.clone());
+        let mut b =
+            SystolicBackend::from_hierarchy(space.clone(), HwHierarchy::systolic_256()).unwrap();
+        assert_eq!(
+            SystolicConfig::from_hierarchy(&HwHierarchy::systolic_256()).unwrap(),
+            SystolicConfig::baseline()
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let d = space.reference_design();
+        assert_eq!(a.cost(&d).unwrap(), b.cost(&d).unwrap());
+    }
+
+    #[test]
     fn bigger_arrays_are_faster_but_larger() {
         let space = DesignSpace::nacim_cifar10();
         let d = space.reference_design();
         let mut small = SystolicBackend::new(space.clone());
-        let mut cfg = SystolicConfig::baseline();
-        cfg.pe_rows = 64;
-        cfg.pe_cols = 64;
-        let mut big = SystolicBackend::new(space).with_config(cfg);
+        let mut big = SystolicBackend::from_hierarchy(space, hw_with_array(64, 64)).unwrap();
         let ms = small.cost(&d).unwrap().unwrap();
         let mb = big.cost(&d).unwrap().unwrap();
         assert!(mb.latency_ns < ms.latency_ns);
@@ -430,21 +485,41 @@ mod tests {
         let space = DesignSpace::nacim_cifar10();
         let d = space.reference_design();
         let mut ws = SystolicBackend::new(space.clone());
-        let mut cfg = SystolicConfig::baseline();
-        cfg.dataflow = Dataflow::OutputStationary;
-        let mut os = SystolicBackend::new(space).with_config(cfg);
+        let mut hw = HwHierarchy::systolic_256();
+        if let Some(dc) = &mut hw.digital {
+            dc.dataflow = Dataflow::OutputStationary;
+        }
+        let mut os = SystolicBackend::from_hierarchy(space, hw).unwrap();
         let mw = ws.cost(&d).unwrap().unwrap();
         let mo = os.cost(&d).unwrap().unwrap();
         assert_ne!(mw.energy_pj, mo.energy_pj);
     }
 
     #[test]
-    fn invalid_config_is_an_error_not_invalid_design() {
+    fn invalid_hierarchy_is_rejected_at_construction() {
         let space = DesignSpace::nacim_cifar10();
-        let mut cfg = SystolicConfig::baseline();
-        cfg.pe_rows = 0;
-        let mut eval = SystolicBackend::new(space.clone()).with_config(cfg);
-        assert!(eval.cost(&space.reference_design()).is_err());
+        let mut hw = HwHierarchy::systolic_256();
+        hw.crossbar.rows = 0;
+        let err = SystolicBackend::from_hierarchy(space.clone(), hw).unwrap_err();
+        assert!(err.to_string().contains("crossbar.rows"), "{err}");
+        // A CiM hierarchy (no digital section) cannot drive this backend.
+        let err = SystolicBackend::from_hierarchy(space, HwHierarchy::isaac()).unwrap_err();
+        assert!(err.to_string().contains("digital"), "{err}");
+    }
+
+    #[test]
+    fn noc_cost_stretches_latency() {
+        let space = DesignSpace::nacim_cifar10();
+        let d = space.reference_design();
+        let mut single = SystolicBackend::new(space.clone());
+        let mut hw = HwHierarchy::systolic_256();
+        hw.core.crossbars = [2, 1];
+        hw.core.noc.cost = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut meshed = SystolicBackend::from_hierarchy(space, hw.clone()).unwrap();
+        let ms = single.cost(&d).unwrap().unwrap();
+        let mm = meshed.cost(&d).unwrap().unwrap();
+        assert!((mm.latency_ns - ms.latency_ns * hw.noc_latency_factor()).abs() < 1e-6);
+        assert_eq!(mm.energy_pj, ms.energy_pj);
     }
 
     #[test]
@@ -469,16 +544,23 @@ mod tests {
         let space = DesignSpace::nacim_cifar10();
         let sys = SystolicBackend::new(space.clone());
         assert!(sys.fingerprint().starts_with("systolic/"));
-        let cim = super::super::CimBackend::new(space);
+        let cim = super::super::CimBackend::new(space.clone());
         assert_ne!(sys.fingerprint(), cim.fingerprint());
+        // And the fingerprint is hierarchy-sensitive.
+        let other = SystolicBackend::from_hierarchy(space, hw_with_array(64, 64)).unwrap();
+        assert_ne!(sys.fingerprint(), other.fingerprint());
     }
 
     #[test]
-    fn config_json_roundtrips() {
+    fn config_json_is_the_hierarchy() {
         let backend = SystolicBackend::new(DesignSpace::nacim_cifar10());
         let json = backend.config_json().unwrap();
-        let back: SystolicConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, SystolicConfig::baseline());
-        assert_eq!(back.dataflow, Dataflow::WeightStationary);
+        let back: HwHierarchy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, HwHierarchy::systolic_256());
+        assert_eq!(
+            back.digital.map(|d| d.dataflow),
+            Some(Dataflow::WeightStationary)
+        );
+        assert_eq!(backend.hierarchy(), Some(&HwHierarchy::systolic_256()));
     }
 }

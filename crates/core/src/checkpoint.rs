@@ -203,6 +203,14 @@ pub struct Checkpoint {
     /// so they load and resume unchanged.
     #[serde(default = "default_backend_name")]
     pub backend: String,
+    /// Digest of the resolved [`crate::hwconfig::HwHierarchy`] the
+    /// history was evaluated under (see
+    /// [`crate::hwconfig::HwHierarchy::digest`]). Checkpoints written
+    /// before hardware became data carry no such field and load as
+    /// `None`; resume only rejects a checkpoint whose *recorded* digest
+    /// disagrees with the resuming run's hierarchy.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hw_digest: Option<String>,
     /// Every completed episode, in order.
     pub history: Vec<EpisodeRecord>,
     /// The conversation transcript, for LLM-driven runs.
@@ -229,6 +237,7 @@ impl Checkpoint {
             config,
             optimizer: optimizer.into(),
             backend: default_backend_name(),
+            hw_digest: None,
             history,
             transcript,
             eval_cache: None,
@@ -246,6 +255,13 @@ impl Checkpoint {
     #[must_use]
     pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
         self.backend = backend.into();
+        self
+    }
+
+    /// Stamps the hardware hierarchy digest (builder style).
+    #[must_use]
+    pub fn with_hw_digest(mut self, digest: Option<String>) -> Self {
+        self.hw_digest = digest;
         self
     }
 

@@ -16,6 +16,7 @@
 use crate::backend::{BackendRegistry, DEFAULT_BACKEND};
 use crate::checkpoint::Checkpoint;
 use crate::evaluate::{AccuracyEvaluator, HardwareCostEvaluator, HwMetrics};
+use crate::hwconfig::HwHierarchy;
 use crate::journal::{Journal, JournalEvent};
 use crate::pipeline::{CacheStats, EvalPipeline, EvalRetryPolicy};
 use crate::reward::{Objective, INVALID_REWARD};
@@ -336,6 +337,7 @@ pub struct CoDesignBuilder {
     accuracy: Option<Box<dyn AccuracyEvaluator>>,
     hardware: Option<Box<dyn HardwareCostEvaluator>>,
     backend: String,
+    hw: Option<HwHierarchy>,
     registry: BackendRegistry,
     threads: usize,
     caching: bool,
@@ -390,6 +392,17 @@ impl CoDesignBuilder {
     #[must_use]
     pub fn backend(mut self, name: impl Into<String>) -> Self {
         self.backend = name.into();
+        self
+    }
+
+    /// Supplies a declarative hardware hierarchy for the registry backend
+    /// to lower from (default: the backend's builtin hierarchy). Resolved
+    /// and validated in [`CoDesignBuilder::build`]. Conflicts with a
+    /// backend spec that already carries an `@config` suffix, and with an
+    /// explicit [`CoDesignBuilder::hardware_evaluator`].
+    #[must_use]
+    pub fn hw_config(mut self, hw: HwHierarchy) -> Self {
+        self.hw = Some(hw);
         self
     }
 
@@ -480,16 +493,35 @@ impl CoDesignBuilder {
                 self.config.seed,
             ))
         });
-        let (hardware, backend) = match self.hardware {
+        let (hardware, backend, hw_stamp) = match self.hardware {
             Some(eval) => {
+                if self.hw.is_some() {
+                    return Err(CoreError::InvalidConfig(
+                        "an explicit hardware evaluator cannot be combined with a \
+                         hardware hierarchy config (the evaluator bypasses lowering)"
+                            .into(),
+                    ));
+                }
                 let name = eval.name().to_string();
-                (eval, name)
+                (eval, name, None)
             }
             None => {
-                let b: Box<dyn HardwareCostEvaluator> =
-                    self.registry.create(&self.backend, &self.space)?;
-                (b, self.backend)
+                let spec = self.registry.parse(&self.backend)?;
+                let backend =
+                    self.registry
+                        .create_spec_with(&spec, &self.space, self.hw.as_ref())?;
+                // The checkpoint/journal stamp is the config-less spec:
+                // `cim@isaac.json` and plain `cim` are the same backend;
+                // the hierarchy *digest* below is what tells actual
+                // hardware apart.
+                let stamp = backend.hierarchy().map(|hw| (hw.digest(), hw.summary()));
+                let b: Box<dyn HardwareCostEvaluator> = backend;
+                (b, spec.identity().to_string(), stamp)
             }
+        };
+        let (hw_digest, hw_summary) = match hw_stamp {
+            Some((digest, summary)) => (Some(digest), Some(summary)),
+            None => (None, None),
         };
         let mut pipeline = EvalPipeline::new(accuracy, hardware);
         pipeline.set_caching(self.caching);
@@ -504,6 +536,8 @@ impl CoDesignBuilder {
             space: self.space,
             config: self.config,
             backend,
+            hw_digest,
+            hw_summary,
             optimizer,
             pipeline,
             journal: self.journal,
@@ -517,6 +551,8 @@ pub struct CoDesign {
     space: DesignSpace,
     config: CoDesignConfig,
     backend: String,
+    hw_digest: Option<String>,
+    hw_summary: Option<String>,
     optimizer: Box<dyn Optimizer>,
     pipeline: EvalPipeline,
     journal: Journal,
@@ -545,6 +581,7 @@ impl CoDesign {
             accuracy: None,
             hardware: None,
             backend: DEFAULT_BACKEND.to_string(),
+            hw: None,
             registry: BackendRegistry::standard(),
             threads: 1,
             caching: true,
@@ -572,6 +609,8 @@ impl CoDesign {
             space,
             config,
             backend,
+            hw_digest: None,
+            hw_summary: None,
             optimizer,
             pipeline: EvalPipeline::new(accuracy, hardware),
             journal: Journal::disabled(),
@@ -589,6 +628,14 @@ impl CoDesign {
     /// `systolic`, or a custom evaluator's name).
     pub fn backend(&self) -> &str {
         &self.backend
+    }
+
+    /// Digest of the hardware hierarchy this run's backend lowered from
+    /// (`None` when the run was wired with a custom evaluator that does
+    /// not expose one). Stamped into checkpoints and the journal's
+    /// `hw_config` event.
+    pub fn hw_digest(&self) -> Option<&str> {
+        self.hw_digest.as_deref()
     }
 
     /// The evaluation pipeline (cache inspection, thread control).
@@ -666,6 +713,13 @@ impl CoDesign {
             seed: self.config.seed,
             resumed: history.len() as u64,
         });
+        if let (Some(digest), Some(summary)) = (&self.hw_digest, &self.hw_summary) {
+            self.journal.record(JournalEvent::HwConfig {
+                backend: self.backend.clone(),
+                digest: digest.clone(),
+                summary: summary.clone(),
+            });
+        }
         for episode in history.len() as u32..self.config.episodes {
             let design = self.optimizer.propose()?;
             let record = self.evaluate_design(episode, design)?;
@@ -707,7 +761,8 @@ impl CoDesign {
             history.to_vec(),
             self.optimizer.transcript().cloned(),
         )
-        .with_backend(&self.backend);
+        .with_backend(&self.backend)
+        .with_hw_digest(self.hw_digest.clone());
         if let Some(cache) = self.pipeline.cache() {
             cp = cp.with_eval_cache(cache);
         }
@@ -739,6 +794,18 @@ impl CoDesign {
                 "checkpoint was produced under hardware backend `{}` but \
                  this run uses `{}`",
                 cp.backend, self.backend
+            )));
+        }
+        // A checkpoint without a recorded digest (pre-hierarchy format, or
+        // a custom evaluator) is accepted; a recorded digest must match —
+        // same backend id lowered from different hardware is a different
+        // run.
+        if cp.hw_digest.is_some() && cp.hw_digest != self.hw_digest {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint was produced under hardware hierarchy digest `{}` \
+                 but this run's backend lowered from `{}`",
+                cp.hw_digest.as_deref().unwrap_or("-"),
+                self.hw_digest.as_deref().unwrap_or("-")
             )));
         }
         if cp.history.len() as u32 > self.config.episodes {
@@ -1235,6 +1302,89 @@ mod tests {
             CoreError::Checkpoint(msg) => assert!(msg.contains("backend")),
             other => panic!("expected checkpoint error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hw_config_is_stamped_into_checkpoints_and_the_journal() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut hw = HwHierarchy::isaac();
+        hw.chip.global_buffer_kb = 128;
+        let digest = hw.digest();
+        let (journal, buf) = Journal::in_memory();
+        let mut snaps: Vec<crate::Checkpoint> = Vec::new();
+        let mut run = CoDesign::builder(space, cfg(2, 9))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .hw_config(hw)
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(run.hw_digest(), Some(digest.as_str()));
+        run.run_resumable(None, |cp| {
+            snaps.push(cp.clone());
+            Ok(())
+        })
+        .unwrap();
+        let cp = snaps.pop().unwrap();
+        assert_eq!(cp.backend, "cim");
+        assert_eq!(cp.hw_digest.as_deref(), Some(digest.as_str()));
+        let text = buf.contents();
+        assert!(text.contains("\"event\":\"hw_config\""), "{text}");
+        assert!(text.contains(&digest), "{text}");
+        let report = crate::RunReport::from_jsonl(&text).unwrap();
+        assert!(report.hw_config.unwrap().starts_with(&digest));
+    }
+
+    #[test]
+    fn replay_rejects_cross_hierarchy_checkpoint() {
+        let space = DesignSpace::nacim_cifar10();
+        let mut snaps: Vec<crate::Checkpoint> = Vec::new();
+        build(space.clone(), cfg(2, 31), OptimizerSpec::ExpertLlm)
+            .unwrap()
+            .run_resumable(None, |cp| {
+                snaps.push(cp.clone());
+                Ok(())
+            })
+            .unwrap();
+        let cp = snaps.pop().unwrap();
+        assert_eq!(
+            cp.hw_digest.as_deref(),
+            Some(HwHierarchy::isaac().digest().as_str()),
+            "the default cim run must record the builtin hierarchy digest"
+        );
+        let mut hw = HwHierarchy::isaac();
+        hw.crossbar.adc_share = 4;
+        let err = CoDesign::builder(space.clone(), cfg(2, 31))
+            .optimizer(OptimizerSpec::ExpertLlm)
+            .hw_config(hw)
+            .build()
+            .unwrap()
+            .run_resumable(Some(cp.clone()), |_| Ok(()))
+            .unwrap_err();
+        match err {
+            CoreError::Checkpoint(msg) => assert!(msg.contains("hierarchy"), "{msg}"),
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+        // A legacy checkpoint without a digest still resumes.
+        let mut legacy = cp;
+        legacy.hw_digest = None;
+        build(space, cfg(2, 31), OptimizerSpec::ExpertLlm)
+            .unwrap()
+            .run_resumable(Some(legacy), |_| Ok(()))
+            .unwrap();
+    }
+
+    #[test]
+    fn hw_config_conflicts_with_an_explicit_hardware_evaluator() {
+        let space = DesignSpace::nacim_cifar10();
+        let err = CoDesign::builder(space.clone(), cfg(2, 1))
+            .hardware_evaluator(Box::new(crate::backend::CimBackend::new(space)))
+            .hw_config(HwHierarchy::isaac())
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("hardware hierarchy config"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -72,6 +72,18 @@ pub enum JournalEvent {
         /// Episodes restored from a checkpoint before the loop started.
         resumed: u64,
     },
+    /// The resolved hardware hierarchy the run's backend lowered from
+    /// (emitted right after [`JournalEvent::RunStart`] when the backend
+    /// exposes one).
+    HwConfig {
+        /// Backend identity the hierarchy was lowered for.
+        backend: String,
+        /// Stable digest of the hierarchy's canonical JSON — the same
+        /// value that namespaces the backend's cache fingerprint.
+        digest: String,
+        /// One-line tier summary (`chip 1x1 · xbar 128x128 · …`).
+        summary: String,
+    },
     /// The episode loop finished.
     RunEnd {
         /// Total completed episodes (including resumed ones).
@@ -326,6 +338,7 @@ impl JournalEvent {
     pub fn phase(&self) -> &'static str {
         match self {
             JournalEvent::RunStart { .. }
+            | JournalEvent::HwConfig { .. }
             | JournalEvent::RunEnd { .. }
             | JournalEvent::CheckpointSaved { .. } => "run",
             JournalEvent::Episode { .. } => "episode",
@@ -772,6 +785,10 @@ pub struct RunReport {
     /// Entries evicted from the shared store under its capacity bound.
     #[serde(default)]
     pub store_evictions: u64,
+    /// Hardware-hierarchy summary recorded at run start (`hw_config`
+    /// event), when the run's backend exposed one: `"{digest} {summary}"`.
+    #[serde(default)]
+    pub hw_config: Option<String>,
     /// Best episode reward, when the run recorded its end.
     pub best_reward: Option<f64>,
     /// Per-phase event counts and simulated time.
@@ -798,6 +815,11 @@ impl RunReport {
             prev_t = Some(record.t_ms);
             match &record.event {
                 JournalEvent::RunStart { .. } => {}
+                JournalEvent::HwConfig {
+                    digest, summary, ..
+                } => {
+                    report.hw_config = Some(format!("{digest} {summary}"));
+                }
                 JournalEvent::RunEnd { best_reward, .. } => {
                     report.best_reward = Some(*best_reward);
                 }
@@ -955,6 +977,9 @@ impl RunReport {
             self.eval_faults, self.eval_retries, self.eval_panics, self.eval_quarantined
         );
         let _ = writeln!(out, "  checkpoints      {}", self.checkpoints);
+        if let Some(hw) = &self.hw_config {
+            let _ = writeln!(out, "  hw config        {hw}");
+        }
         if self.shard_heartbeats > 0 || self.shard_barriers > 0 || self.partial_fleet {
             let _ = writeln!(
                 out,
@@ -1152,6 +1177,28 @@ mod tests {
         let table = report.render();
         assert!(table.contains("best reward"));
         assert!(table.contains("hit-rate 0.0%"));
+    }
+
+    #[test]
+    fn hw_config_event_round_trips_and_lands_in_the_report() {
+        let (j, buf) = Journal::in_memory();
+        j.record(JournalEvent::HwConfig {
+            backend: "cim".into(),
+            digest: "abc123".into(),
+            summary: "chip 1x1 · xbar 128x128".into(),
+        });
+        j.finish().unwrap();
+        let text = buf.contents();
+        assert!(text.contains("\"event\":\"hw_config\""), "{text}");
+        let record: JournalRecord = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(record.event.phase(), "run");
+        let report = RunReport::from_jsonl(&text).unwrap();
+        assert_eq!(
+            report.hw_config.as_deref(),
+            Some("abc123 chip 1x1 · xbar 128x128")
+        );
+        let table = report.render();
+        assert!(table.contains("hw config        abc123"), "{table}");
     }
 
     #[test]

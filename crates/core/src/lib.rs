@@ -66,6 +66,7 @@ pub mod checkpoint;
 pub mod codesign;
 pub mod evaluate;
 pub mod fault;
+pub mod hwconfig;
 pub mod journal;
 pub mod mo;
 pub mod pareto;
@@ -89,6 +90,10 @@ pub use codesign::{
 };
 pub use error::CoreError;
 pub use fault::{EvalFault, EvalFaultPlan, ShardFault, ShardFaultPlan};
+pub use hwconfig::{
+    ChipTier, CoreTier, CrossbarTier, Dataflow, DeviceTier, DigitalCosts, HwHierarchy, NocKind,
+    NocSpec,
+};
 pub use journal::{Journal, JournalEvent, JournalRecord, RunReport};
 pub use pipeline::{CacheStats, EvalCache, EvalPipeline, EvalRetryPolicy};
 pub use reward::Objective;

@@ -60,6 +60,7 @@ use serde::{Deserialize, Serialize};
 use crate::backend::{BackendRegistry, BackendSpec, DEFAULT_BACKEND};
 use crate::cache::{CacheStore, SessionStats, StoreStats};
 use crate::codesign::{CoDesign, CoDesignConfig, OptimizerSpec};
+use crate::hwconfig::HwHierarchy;
 use crate::journal::{Journal, JournalEvent};
 use crate::reward::Objective;
 use crate::space::DesignSpace;
@@ -219,7 +220,7 @@ fn default_cache() -> bool {
 /// empty spec `{}` is the CLI's default run. Unknown fields are
 /// rejected at parse time (a `"epsodes"` typo must not silently run 20
 /// episodes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct JobSpec {
     /// Optimizer name, as in `lcda search --optimizer` (default
@@ -250,6 +251,12 @@ pub struct JobSpec {
     /// cached and uncached runs produce identical results.
     #[serde(default = "default_cache")]
     pub cache: bool,
+    /// Declarative hardware hierarchy for the backend to lower from
+    /// (default: the backend's builtin). Validated at admission — a
+    /// malformed hierarchy is a `400`, never a queued-then-failed job.
+    /// Conflicts with a `backend` spec that carries an `@config` suffix.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hw: Option<HwHierarchy>,
 }
 
 impl Default for JobSpec {
@@ -262,6 +269,7 @@ impl Default for JobSpec {
             seed: 0,
             threads: default_threads(),
             cache: default_cache(),
+            hw: None,
         }
     }
 }
@@ -325,6 +333,15 @@ impl JobSpec {
     /// submission points at one concrete problem.
     pub fn validate(&self) -> Result<BackendSpec> {
         let backend = self.parse_backend()?;
+        if let Some(hw) = &self.hw {
+            if backend.config().is_some() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "backend spec `{backend}` already names a hardware config; \
+                     it cannot be combined with the `hw` object"
+                )));
+            }
+            hw.validate()?;
+        }
         self.parse_optimizer()?;
         self.parse_objective()?;
         if self.episodes == 0 {
@@ -782,14 +799,17 @@ fn execute(
             .episodes(spec.episodes)
             .seed(spec.seed)
             .build();
-        CoDesign::builder(DesignSpace::nacim_cifar10(), config)
+        let mut builder = CoDesign::builder(DesignSpace::nacim_cifar10(), config)
             .optimizer(optimizer)
             .backend(&spec.backend)
             .threads(spec.threads)
             .caching(spec.cache)
             .cache_store(&state.store)
-            .journal(journal.clone())
-            .build()
+            .journal(journal.clone());
+        if let Some(hw) = &spec.hw {
+            builder = builder.hw_config(hw.clone());
+        }
+        builder.build()
     })();
     let mut run = match built {
         Ok(run) => run,

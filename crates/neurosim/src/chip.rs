@@ -251,7 +251,14 @@ impl Chip {
                 .map(|g| m.cols_in_group(g, xbar.cols))
                 .max()
                 .unwrap_or(1);
-            let t_act = xbar.activation_latency_ns(worst_cols);
+            // A MaxRC activation limit serializes each input-bit cycle
+            // into ⌈rows/max_rc⌉ analog rounds (unlimited → 1, leaving
+            // the roll-up untouched).
+            let mut t_act = xbar.activation_latency_ns(worst_cols);
+            let rounds = xbar.activation_rounds();
+            if rounds > 1 {
+                t_act *= f64::from(rounds);
+            }
             let acc_stages = (u32::BITS - m.row_groups.leading_zeros()).saturating_sub(1);
             let t_acc = f64::from(acc_stages) * ShiftAdd.latency_ns();
             let t_digital = layer.logical_cols() as f64 * DigitalUnit.latency_per_op_ns();
@@ -388,6 +395,24 @@ mod tests {
     fn empty_network_rejected() {
         let chip = Chip::new(ChipConfig::isaac_default()).unwrap();
         assert!(chip.evaluate(&[]).is_err());
+    }
+
+    #[test]
+    fn max_rc_slows_latency_but_not_energy() {
+        let unlimited = Chip::new(ChipConfig::isaac_default()).unwrap();
+        let mut cfg = ChipConfig::isaac_default();
+        cfg.xbar.max_rc = Some(32); // 128 rows → 4 activation rounds
+        let limited = Chip::new(cfg).unwrap();
+        let ru = unlimited.evaluate(&tiny_net()).unwrap();
+        let rl = limited.evaluate(&tiny_net()).unwrap();
+        assert!(rl.latency_ns > ru.latency_ns);
+        assert_eq!(rl.energy_pj, ru.energy_pj);
+        assert_eq!(rl.area_mm2, ru.area_mm2);
+        // A limit equal to the row count is a no-op, bit for bit.
+        let mut cfg = ChipConfig::isaac_default();
+        cfg.xbar.max_rc = Some(128);
+        let noop = Chip::new(cfg).unwrap().evaluate(&tiny_net()).unwrap();
+        assert_eq!(noop.latency_ns, ru.latency_ns);
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub struct CrossbarConfig {
     pub tech: DeviceTech,
     /// Process feature size, nanometres.
     pub feature_nm: f64,
+    /// Maximum word lines activated simultaneously (the CIM-MLC `MaxRC`
+    /// parameter). `None` — the default, and the wire format of configs
+    /// predating the field — means the full array fires at once; a limit
+    /// below `rows` serializes each input cycle into
+    /// [`CrossbarConfig::activation_rounds`] sequential rounds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_rc: Option<u32>,
 }
 
 impl CrossbarConfig {
@@ -75,6 +82,7 @@ impl CrossbarConfig {
             adc_share: 8,
             tech: DeviceTech::Rram,
             feature_nm: 32.0,
+            max_rc: None,
         }
     }
 
@@ -100,6 +108,14 @@ impl CrossbarConfig {
             return Err(NeurosimError::InvalidConfig(
                 "feature size must be positive".to_string(),
             ));
+        }
+        if let Some(max_rc) = self.max_rc {
+            if max_rc == 0 || max_rc > self.rows {
+                return Err(NeurosimError::InvalidConfig(format!(
+                    "max_rc {} must be in 1..=rows ({})",
+                    max_rc, self.rows
+                )));
+            }
         }
         self.params().check_cell_bits(self.cell_bits)?;
         Adc::new(self.adc_bits)?;
@@ -128,6 +144,17 @@ impl CrossbarConfig {
     pub fn dac(&self) -> Dac {
         Dac {
             bits: self.dac_bits,
+        }
+    }
+
+    /// Sequential activation rounds needed to drive the array's rows
+    /// under the `max_rc` simultaneous-activation limit: `⌈rows/max_rc⌉`,
+    /// or 1 when unlimited. Each input-bit cycle repeats its analog read
+    /// once per round.
+    pub fn activation_rounds(&self) -> u32 {
+        match self.max_rc {
+            Some(max_rc) if max_rc > 0 => self.rows.div_ceil(max_rc),
+            _ => 1,
         }
     }
 
@@ -224,6 +251,36 @@ mod tests {
         c.tech = DeviceTech::SttMram;
         c.cell_bits = 2; // STT is single-bit
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn max_rc_bounds_and_rounds() {
+        let mut c = CrossbarConfig::isaac_default();
+        assert_eq!(c.activation_rounds(), 1);
+        c.max_rc = Some(0);
+        assert!(c.validate().is_err());
+        c.max_rc = Some(129); // above rows
+        assert!(c.validate().is_err());
+        c.max_rc = Some(128);
+        c.validate().unwrap();
+        assert_eq!(c.activation_rounds(), 1);
+        c.max_rc = Some(32);
+        c.validate().unwrap();
+        assert_eq!(c.activation_rounds(), 4);
+        c.max_rc = Some(100);
+        assert_eq!(c.activation_rounds(), 2);
+    }
+
+    #[test]
+    fn max_rc_is_optional_on_the_wire() {
+        // Configs serialized before the field existed deserialize with
+        // max_rc = None, and a None round-trips invisibly.
+        let c = CrossbarConfig::isaac_default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("max_rc"), "{json}");
+        let back: CrossbarConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.max_rc, None);
     }
 
     #[test]

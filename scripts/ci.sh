@@ -11,16 +11,44 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+journal_dir="$(mktemp -d)"
+trap 'rm -rf "$journal_dir"' EXIT
+
 # Smoke-run the benches (one iteration each) so changes that *break* a
 # bench are caught here; real timings come from `cargo bench`. This also
-# exercises the BENCH_eval.json writer in eval_pipeline.
+# exercises the BENCH_eval.json writer in eval_pipeline, which overwrites
+# the committed baseline in place — park the committed copy first.
+cp artifacts/BENCH_eval.json "$journal_dir/bench_committed.json"
 cargo bench -p lcda-bench -- --test
+
+# Perf-regression gate: the machine-portable *ratio* metrics (Monte-Carlo
+# thread speedup, cache-hit speedup) must stay within 25% of the
+# committed baseline. Absolute nanoseconds are machine-local and not
+# compared.
+python3 - "$journal_dir/bench_committed.json" artifacts/BENCH_eval.json << 'PY'
+import json, sys
+committed = json.load(open(sys.argv[1]))
+measured = json.load(open(sys.argv[2]))
+failures = []
+for group in ("mc", "cache"):
+    want = committed[group]["speedup"]
+    got = measured[group]["speedup"]
+    if got < want * 0.75:
+        failures.append(
+            f"{group}.speedup: measured {got:.2f}x vs committed baseline "
+            f"{want:.2f}x (>25% regression)"
+        )
+for f in failures:
+    print(f"ci: bench regression: {f}", file=sys.stderr)
+sys.exit(1 if failures else 0)
+PY
+# Restore the committed baseline: the smoke run's absolute timings are
+# machine-local noise and must not churn the tree.
+cp "$journal_dir/bench_committed.json" artifacts/BENCH_eval.json
 
 # Journal smoke: a short search must stream a JSONL journal that
 # `lcda report` parses back, and identically seeded runs must write
 # byte-identical journals (the determinism contract).
-journal_dir="$(mktemp -d)"
-trap 'rm -rf "$journal_dir"' EXIT
 ./target/release/lcda search --episodes 3 --seed 7 \
     --journal "$journal_dir/run_a.jsonl" > /dev/null
 ./target/release/lcda search --episodes 3 --seed 7 \
@@ -55,6 +83,13 @@ fi
 ./target/release/lcda search --episodes 4 --seed 9 --json \
     > "$journal_dir/clean.json"
 cmp "$journal_dir/faulty.json" "$journal_dir/clean.json"
+
+# Hardware-as-data smoke: a search lowered from the shipped ISAAC
+# hierarchy preset must be byte-identical to the default backend's run
+# (the preset is golden-equivalent to the builtin).
+./target/release/lcda search --episodes 4 --seed 9 --json \
+    --backend cim@configs/hw/isaac.json > "$journal_dir/hw_preset.json"
+cmp "$journal_dir/hw_preset.json" "$journal_dir/clean.json"
 
 # Sharded chaos smoke: kill -9 a supervised fleet mid-run, resume it
 # from the coordinator manifest, and require the merged Pareto front to

@@ -34,10 +34,15 @@ SEARCH OPTIONS:
     --optimizer <expert|finetuned|adaptive|naive|rl|genetic|random|resilient>
                                                              (default expert)
     --objective <energy|latency>                             (default energy)
-    --backend <name>        hardware cost model: cim or systolic, with an
+    --backend <spec>        hardware cost model: cim or systolic, with an
                             optional +faulty decorator injecting the
-                            --eval-fault plan (e.g. cim+faulty)
+                            --eval-fault plan (e.g. cim+faulty) and an
+                            optional @<path> hardware hierarchy config
+                            (e.g. cim@configs/hw/isaac.json)
                                                              (default cim)
+    --hw-config <path>      declarative hardware hierarchy JSON for the
+                            backend to lower from; sugar for the
+                            --backend @<path> suffix (see configs/hw/)
     --episodes <n>                                           (default 20)
     --seed <n>                                               (default 0)
     --checkpoint <path>     write a JSON checkpoint after every episode
@@ -83,7 +88,8 @@ SERVE OPTIONS:
 EVALUATE OPTIONS:
     --design <rollout text>     e.g. \"[[32,3],...,[128,3]] | hw: [128,8,2,rram]\"
     --objective <energy|latency>
-    --backend <cim|systolic>
+    --backend <cim|systolic>    with optional @<path> hierarchy config
+    --hw-config <path>      declarative hardware hierarchy JSON
     --journal <path>        stream a JSONL event journal of the evaluation
     --json
 
@@ -196,14 +202,35 @@ impl Args {
         }
     }
 
-    /// The hardware backend spec (decorators included), parsed through
-    /// the registry's typed grammar so a typo fails before any work
-    /// starts — and fails pointing at the exact bad segment.
+    /// The hardware backend spec (decorators and `@config` included),
+    /// parsed through the registry's typed grammar so a typo fails
+    /// before any work starts — and fails pointing at the exact bad
+    /// segment. The registry's errors already distinguish an unknown
+    /// backend name from a missing or invalid hardware config file, so
+    /// they pass through unprefixed.
     fn backend(&self) -> Result<BackendSpec, String> {
         let name = self.get("--backend").unwrap_or(DEFAULT_BACKEND);
-        BackendRegistry::standard()
+        let spec = BackendRegistry::standard()
             .parse(name)
-            .map_err(|e| format!("unknown backend `{name}`: {e}"))
+            .map_err(|e| e.to_string())?;
+        match self.get("--hw-config") {
+            None => Ok(spec),
+            // --hw-config is sugar for the spec's `@config` suffix: fold
+            // it in and re-parse, so the hierarchy is validated here and
+            // every downstream path (single run, shards, serve handoff)
+            // sees one canonical spec.
+            Some(source) => {
+                if spec.config().is_some() {
+                    return Err(format!(
+                        "--backend `{spec}` already names a hardware config; \
+                         drop --hw-config or the `@` suffix"
+                    ));
+                }
+                BackendRegistry::standard()
+                    .parse(&format!("{spec}@{source}"))
+                    .map_err(|e| e.to_string())
+            }
+        }
     }
 }
 
@@ -244,6 +271,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             "--optimizer",
             "--objective",
             "--backend",
+            "--hw-config",
             "--episodes",
             "--seed",
             "--checkpoint",
@@ -582,7 +610,13 @@ fn evaluate_design_text(
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
     args.validate(
-        &["--design", "--objective", "--backend", "--journal"],
+        &[
+            "--design",
+            "--objective",
+            "--backend",
+            "--hw-config",
+            "--journal",
+        ],
         &["--json"],
     )?;
     let text = args

@@ -210,6 +210,82 @@ fn faulty_systolic_search_is_bit_identical_to_its_clean_twin() {
 }
 
 #[test]
+fn preset_hierarchies_are_golden_equivalent_to_the_builtins() {
+    // The shipped JSON presets are the builtin hierarchies as data:
+    // loading them must reproduce the default backends' metrics AND
+    // cache fingerprints bit-for-bit.
+    let space = DesignSpace::nacim_cifar10();
+    let d = space.reference_design();
+    let registry = BackendRegistry::standard();
+    for (name, preset) in [("cim", "isaac.json"), ("systolic", "systolic_256.json")] {
+        let path = format!("{}/configs/hw/{preset}", env!("CARGO_MANIFEST_DIR"));
+        let mut configured: Box<dyn HardwareCostEvaluator> = registry
+            .create(&format!("{name}@{path}"), &space)
+            .unwrap_or_else(|e| panic!("{preset} loads: {e}"));
+        let mut default: Box<dyn HardwareCostEvaluator> =
+            registry.create(name, &space).expect("builtin");
+        assert_eq!(
+            configured.fingerprint(),
+            default.fingerprint(),
+            "{preset}: preset and builtin must share one cache namespace"
+        );
+        let lowered = configured.cost(&d).unwrap().expect("within budget");
+        let builtin = default.cost(&d).unwrap().expect("within budget");
+        assert_eq!(
+            (lowered.energy_pj, lowered.latency_ns, lowered.area_mm2),
+            (builtin.energy_pj, builtin.latency_ns, builtin.area_mm2),
+            "{preset}: metrics must be bit-identical to the builtin"
+        );
+    }
+}
+
+#[test]
+fn distinct_hierarchy_files_namespace_disjoint_fingerprints() {
+    use lcda::core::HwHierarchy;
+    let space = DesignSpace::nacim_cifar10();
+    let registry = BackendRegistry::standard();
+    let dir = std::env::temp_dir().join(format!("lcda-hw-files-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let a = dir.join("a.json");
+    std::fs::write(&a, HwHierarchy::isaac().canonical_json()).unwrap();
+    let mut bigger = HwHierarchy::isaac();
+    bigger.chip.global_buffer_kb = 128;
+    let b = dir.join("b.json");
+    std::fs::write(&b, bigger.canonical_json()).unwrap();
+
+    let from_a: Box<dyn HardwareCostEvaluator> = registry
+        .create(&format!("cim@{}", a.display()), &space)
+        .unwrap();
+    let from_b: Box<dyn HardwareCostEvaluator> = registry
+        .create(&format!("cim@{}", b.display()), &space)
+        .unwrap();
+    assert_ne!(
+        from_a.fingerprint(),
+        from_b.fingerprint(),
+        "different hierarchy files targeting the same backend must not \
+         share cache entries"
+    );
+    // Both fingerprints stay inside the backend's namespace.
+    assert!(from_a.fingerprint().starts_with("cim/"));
+    assert!(from_b.fingerprint().starts_with("cim/"));
+
+    // And the pipeline enforces the split: a memo table filled under
+    // hierarchy A is refused wholesale by a pipeline lowered from B.
+    let d = space.reference_design();
+    let mut pa = EvalPipeline::new(Box::new(SurrogateEvaluator::new(space.clone(), 7)), from_a);
+    pa.evaluate(&d).unwrap();
+    let snapshot = pa.cache().expect("caching on").clone();
+    assert!(!snapshot.is_empty());
+    let mut pb = EvalPipeline::new(Box::new(SurrogateEvaluator::new(space, 7)), from_b);
+    assert!(
+        !pb.restore_cache(snapshot),
+        "hierarchy A's memo table must be refused under hierarchy B"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn full_search_runs_under_the_systolic_backend() {
     let space = DesignSpace::nacim_cifar10();
     let config = CoDesignConfig::builder(Objective::AccuracyLatency)

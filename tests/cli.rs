@@ -147,8 +147,87 @@ fn evaluate_backends_disagree_on_cost() {
 fn unknown_backend_is_rejected_with_known_names() {
     let (ok, _, stderr) = lcda(&["reference", "--backend", "fpga"]);
     assert!(!ok);
-    assert!(stderr.contains("unknown backend"), "{stderr}");
+    assert!(stderr.contains("unknown hardware backend"), "{stderr}");
     assert!(stderr.contains("cim, systolic"), "{stderr}");
+}
+
+#[test]
+fn hw_config_failure_classes_are_distinguished() {
+    // A missing config file is not an "unknown backend".
+    let (ok, _, stderr) = lcda(&["reference", "--backend", "cim@/nonexistent/hierarchy.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("not readable"), "{stderr}");
+    assert!(!stderr.contains("unknown hardware backend"), "{stderr}");
+
+    // A malformed hierarchy is rejected naming the offending path,
+    // before any search work starts.
+    let dir = std::env::temp_dir().join(format!("lcda-cli-hw-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    let mut doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string("configs/hw/isaac.json").unwrap()).unwrap();
+    doc["crossbar"]["rows"] = serde_json::json!(0);
+    std::fs::write(&bad, doc.to_string()).unwrap();
+    let (ok, _, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--hw-config",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("crossbar.rows"), "{stderr}");
+
+    // An unknown field in the config is a parse error, not a silent
+    // default.
+    doc["crossbar"]["rows"] = serde_json::json!(128);
+    doc["crossbar"]["rws"] = serde_json::json!(64);
+    std::fs::write(&bad, doc.to_string()).unwrap();
+    let (ok, _, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--hw-config",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("rws"), "{stderr}");
+
+    // --hw-config and an @config suffix cannot both name a hierarchy.
+    let (ok, _, stderr) = lcda(&[
+        "search",
+        "--episodes",
+        "2",
+        "--backend",
+        "cim@configs/hw/isaac.json",
+        "--hw-config",
+        "configs/hw/isaac.json",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("already names a hardware config"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn preset_hierarchy_reproduces_the_builtin_reference() {
+    // The shipped isaac preset is the builtin hierarchy as data: lowering
+    // through it must reproduce the ISAAC anchors bit-for-bit.
+    let (ok, stdout, stderr) = lcda(&[
+        "reference",
+        "--backend",
+        "cim@configs/hw/isaac.json",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, default_out, _) = lcda(&["reference", "--json"]);
+    assert!(ok);
+    assert_eq!(
+        stdout, default_out,
+        "preset-configured and default runs must be byte-identical"
+    );
 }
 
 #[test]

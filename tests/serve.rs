@@ -203,6 +203,144 @@ fn admission_is_validated_over_http() {
 }
 
 #[test]
+fn malformed_hw_configs_are_rejected_at_admission_over_http() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+
+    let mut hw = serde_json::to_value(lcda::core::HwHierarchy::isaac()).unwrap();
+    hw["chip"]["noc"]["cost"] = serde_json::json!([[0.0, 1.0]]);
+    let spec = serde_json::json!({ "hw": hw }).to_string();
+    let (status, body) = http(server.addr(), "POST", "/jobs", &spec);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("chip.noc.cost"), "{body}");
+
+    let mut hw = serde_json::to_value(lcda::core::HwHierarchy::isaac()).unwrap();
+    hw["crossbar"]["rows"] = serde_json::json!(0);
+    let spec = serde_json::json!({ "hw": hw }).to_string();
+    let (status, body) = http(server.addr(), "POST", "/jobs", &spec);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("crossbar.rows"), "{body}");
+
+    let mut hw = serde_json::to_value(lcda::core::HwHierarchy::isaac()).unwrap();
+    hw["core"]["bus_gb_s"] = serde_json::json!(-1.0);
+    let spec = serde_json::json!({ "hw": hw }).to_string();
+    let (status, body) = http(server.addr(), "POST", "/jobs", &spec);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("core.bus_gb_s"), "{body}");
+
+    let mut hw = serde_json::to_value(lcda::core::HwHierarchy::isaac()).unwrap();
+    hw["crossbar"]["rws"] = serde_json::json!(64);
+    let spec = serde_json::json!({ "hw": hw }).to_string();
+    let (status, body) = http(server.addr(), "POST", "/jobs", &spec);
+    assert_eq!(status, 400, "unknown hw fields must be rejected: {body}");
+
+    // A backend spec with its own `@config` cannot also carry `hw`.
+    let hw = serde_json::to_value(lcda::core::HwHierarchy::isaac()).unwrap();
+    let spec = serde_json::json!({ "backend": "cim@configs/hw/isaac.json", "hw": hw }).to_string();
+    let (status, body) = http(server.addr(), "POST", "/jobs", &spec);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("cannot be combined"), "{body}");
+
+    // None of the rejected specs was queued.
+    assert!(server.stats().jobs.is_empty());
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn distinct_hierarchies_partition_the_shared_store() {
+    use lcda::core::HwHierarchy;
+    // One worker: strictly sequential jobs make the cross-run counters
+    // deterministic.
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+
+    // Job 1: the default backend (builtin isaac hierarchy).
+    let (s1, _) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"episodes": 3, "seed": 4}"#,
+    );
+    // Job 2: same search on different hardware — bigger global buffer.
+    let mut custom = HwHierarchy::isaac();
+    custom.chip.global_buffer_kb = 128;
+    let spec2 = serde_json::json!({
+        "episodes": 3, "seed": 4,
+        "hw": serde_json::to_value(&custom).unwrap(),
+    })
+    .to_string();
+    let (s2, _) = http(server.addr(), "POST", "/jobs", &spec2);
+    // Job 3: an explicit hw object equal to the builtin — the golden
+    // equivalence: it must share job 1's cache entries bit-for-bit.
+    let spec3 = serde_json::json!({
+        "episodes": 3, "seed": 4,
+        "hw": serde_json::to_value(HwHierarchy::isaac()).unwrap(),
+    })
+    .to_string();
+    let (s3, _) = http(server.addr(), "POST", "/jobs", &spec3);
+    assert_eq!((s1, s2, s3), (202, 202, 202));
+
+    let first = wait_terminal(&server, "job-1".parse().unwrap());
+    let second = wait_terminal(&server, "job-2".parse().unwrap());
+    let third = wait_terminal(&server, "job-3".parse().unwrap());
+    for status in [&first, &second, &third] {
+        assert_eq!(
+            status.state,
+            lcda::core::serve::JobState::Done,
+            "{:?}",
+            status.error
+        );
+    }
+
+    // An identical rerun misses nothing (see
+    // `second_identical_job_reuses_the_shared_store`), so job 2's misses
+    // prove the custom hierarchy's fingerprints are disjoint from job
+    // 1's: its hardware lookups could not be served by the default run.
+    let stats2 = second.cache.expect("terminal jobs publish stats");
+    assert!(
+        stats2.misses > 0,
+        "a different hierarchy must namespace its own hardware entries: {stats2:?}"
+    );
+    assert!(
+        stats2.inserts > 0,
+        "the custom hierarchy seeds its own entries: {stats2:?}"
+    );
+
+    // Golden equivalence end-to-end: an explicit hw object equal to the
+    // builtin produces the very same fingerprints, so job 3 is a pure
+    // cross-run replay of job 1.
+    let stats3 = third.cache.expect("terminal jobs publish stats");
+    assert_eq!(
+        stats3.misses, 0,
+        "builtin-equal hw misses nothing: {stats3:?}"
+    );
+    assert_eq!(
+        stats3.inserts, 0,
+        "builtin-equal hw admits nothing: {stats3:?}"
+    );
+    assert!(
+        stats3.cross_run_hits > 0,
+        "an hw object equal to the builtin must reuse the default run's \
+         entries: {stats3:?}"
+    );
+
+    // Different hardware, different results; identical hardware,
+    // identical bytes.
+    let (_, r1) = http(server.addr(), "GET", "/jobs/job-1/result", "");
+    let (_, r2) = http(server.addr(), "GET", "/jobs/job-2/result", "");
+    let (_, r3) = http(server.addr(), "GET", "/jobs/job-3/result", "");
+    assert_eq!(r1, r3, "builtin-equal hw must reproduce the default run");
+    assert_ne!(r1, r2, "a bigger buffer changes area, so results differ");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
 fn cancel_over_http_and_result_conflict() {
     let server = JobServer::bind(ServeConfig {
         workers: 1,
