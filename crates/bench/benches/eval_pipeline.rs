@@ -1,8 +1,10 @@
-//! Criterion bench for the evaluation pipeline: parallel Monte-Carlo
-//! accuracy (sequential vs 4 worker threads, 32 trials) and memoized
-//! re-evaluation (cold vs cache-hit). Besides the Criterion groups, the
-//! bench writes `artifacts/BENCH_eval.json` — the machine-readable perf
-//! baseline future PRs diff against.
+//! Criterion bench for the evaluation pipeline: Monte-Carlo accuracy
+//! (sequential vs 4 worker threads vs the fused one-GEMM-per-layer
+//! engine, 32 trials), int8 inference, the blocked GEMM microkernel vs
+//! the scalar reference, and memoized re-evaluation (cold vs cache-hit).
+//! Besides the Criterion groups, the bench writes
+//! `artifacts/BENCH_eval.json` — the machine-readable perf baseline
+//! future PRs diff against.
 
 use criterion::{criterion_group, Criterion};
 use lcda_core::backend::CimBackend;
@@ -12,8 +14,9 @@ use lcda_core::space::DesignSpace;
 use lcda_core::surrogate::SurrogateEvaluator;
 use lcda_dnn::arch::Architecture;
 use lcda_dnn::dataset::SynthCifar;
-use lcda_dnn::mc_eval::{mc_accuracy, McEvalConfig};
+use lcda_dnn::mc_eval::{mc_accuracy, McEvalConfig, McStrategy, Precision};
 use lcda_dnn::network::Network;
+use lcda_tensor::ops::{gemm_f32, gemm_ref};
 use lcda_variation::VariationConfig;
 use std::hint::black_box;
 use std::time::Instant;
@@ -21,20 +24,48 @@ use std::time::Instant;
 const MC_TRIALS: u32 = 32;
 const MC_THREADS: usize = 4;
 
+/// GEMM microbenchmark shape: deep enough to exercise the KC panel loop,
+/// wide enough to exercise the NC panel loop.
+const GEMM_M: usize = 64;
+const GEMM_K: usize = 256;
+const GEMM_N: usize = 256;
+
 fn mc_fixture() -> (Network, SynthCifar) {
     let net = Architecture::tiny_test().build(3).expect("valid arch");
     let data = SynthCifar::generate_classes(48, 8, 4, 17).expect("valid dataset");
     (net, data)
 }
 
+/// Per-trial strategy config: the historical baseline the committed
+/// `sequential_ns`/`parallel_ns` numbers track, so their ratio stays
+/// comparable across versions.
 fn mc_cfg(threads: usize) -> McEvalConfig {
     McEvalConfig {
         trials: MC_TRIALS,
         variation: VariationConfig::rram_moderate(),
         seed: 9,
-        elapsed_seconds: 0.0,
         threads,
+        strategy: McStrategy::PerTrial,
+        precision: Precision::F32,
     }
+}
+
+fn fused_cfg(precision: Precision) -> McEvalConfig {
+    McEvalConfig {
+        strategy: McStrategy::Fused,
+        precision,
+        ..mc_cfg(1)
+    }
+}
+
+fn gemm_operands() -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..GEMM_M * GEMM_K)
+        .map(|i| ((i % 251) as f32) / 125.5 - 1.0)
+        .collect();
+    let b: Vec<f32> = (0..GEMM_K * GEMM_N)
+        .map(|i| ((i % 241) as f32) / 120.5 - 1.0)
+        .collect();
+    (a, b)
 }
 
 fn surrogate_pipeline() -> (EvalPipeline, lcda_llm::design::CandidateDesign) {
@@ -61,6 +92,39 @@ fn bench(c: &mut Criterion) {
                     .unwrap()
                     .mean,
             )
+        })
+    });
+    g.bench_function("mc_accuracy_32trials_fused", |b| {
+        b.iter(|| {
+            black_box(
+                mc_accuracy(&mut net, &data, &fused_cfg(Precision::F32))
+                    .unwrap()
+                    .mean,
+            )
+        })
+    });
+    g.bench_function("mc_accuracy_32trials_fused_int8", |b| {
+        b.iter(|| {
+            black_box(
+                mc_accuracy(&mut net, &data, &fused_cfg(Precision::Int8))
+                    .unwrap()
+                    .mean,
+            )
+        })
+    });
+    let (ga, gb) = gemm_operands();
+    g.bench_function("gemm_blocked_64x256x256", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; GEMM_M * GEMM_N];
+            gemm_f32(GEMM_M, GEMM_K, GEMM_N, &ga, &gb, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function("gemm_scalar_64x256x256", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; GEMM_M * GEMM_N];
+            gemm_ref(GEMM_M, GEMM_K, GEMM_N, &ga, &gb, &mut out);
+            black_box(out[0])
         })
     });
     g.bench_function("pipeline_cold_eval", |b| {
@@ -101,6 +165,31 @@ fn write_artifact() -> std::io::Result<()> {
                 .mean,
         )
     });
+    let mc_fused = time_ns(3, || {
+        f64::from(
+            mc_accuracy(&mut net, &data, &fused_cfg(Precision::F32))
+                .unwrap()
+                .mean,
+        )
+    });
+    let mc_int8 = time_ns(3, || {
+        f64::from(
+            mc_accuracy(&mut net, &data, &fused_cfg(Precision::Int8))
+                .unwrap()
+                .mean,
+        )
+    });
+    let (ga, gb) = gemm_operands();
+    let gemm_blocked = time_ns(20, || {
+        let mut out = vec![0.0f32; GEMM_M * GEMM_N];
+        gemm_f32(GEMM_M, GEMM_K, GEMM_N, &ga, &gb, &mut out);
+        f64::from(out[0])
+    });
+    let gemm_scalar = time_ns(20, || {
+        let mut out = vec![0.0f32; GEMM_M * GEMM_N];
+        gemm_ref(GEMM_M, GEMM_K, GEMM_N, &ga, &gb, &mut out);
+        f64::from(out[0])
+    });
     let cold = time_ns(10, || {
         let (mut p, d) = surrogate_pipeline();
         p.evaluate(&d).unwrap().0
@@ -129,6 +218,17 @@ fn write_artifact() -> std::io::Result<()> {
             "sequential_ns": mc_seq,
             "parallel_ns": mc_par,
             "speedup": mc_seq / mc_par,
+            "fused_ns": mc_fused,
+            "fused_speedup": mc_seq / mc_fused,
+            "int8_ns": mc_int8,
+        },
+        "gemm": {
+            "m": GEMM_M,
+            "k": GEMM_K,
+            "n": GEMM_N,
+            "scalar_ns": gemm_scalar,
+            "blocked_ns": gemm_blocked,
+            "speedup": gemm_scalar / gemm_blocked,
         },
         "cache": {
             "cold_eval_ns": cold,

@@ -11,7 +11,7 @@ use crate::journal::{Journal, JournalEvent};
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
 use lcda_dnn::dataset::SynthCifar;
-use lcda_dnn::mc_eval::{mc_accuracy, McEvalConfig};
+use lcda_dnn::mc_eval::{mc_accuracy, McEvalConfig, Precision};
 use lcda_dnn::trainer::{TrainConfig, Trainer};
 use lcda_llm::design::CandidateDesign;
 
@@ -32,6 +32,11 @@ pub struct TrainedEvalConfig {
     /// Worker threads for the Monte-Carlo trial fan-out; bit-identical
     /// for every value (see [`lcda_dnn::mc_eval::McEvalConfig::threads`]).
     pub threads: usize,
+    /// Inference precision for the Monte-Carlo forward pass. [`Precision::F32`]
+    /// (the default) reproduces the historical results bit-for-bit;
+    /// [`Precision::Int8`] models a quantized crossbar readout and gets its
+    /// own cache fingerprint token.
+    pub precision: Precision,
 }
 
 impl TrainedEvalConfig {
@@ -44,6 +49,23 @@ impl TrainedEvalConfig {
             mc_trials: 4,
             seed: 0,
             threads: 1,
+            precision: Precision::F32,
+        }
+    }
+
+    /// A configuration sized for interactive CLI searches: big enough to
+    /// rank designs meaningfully, small enough that an episode finishes in
+    /// seconds rather than minutes (the [`Default`] config is the faithful
+    /// but slow one).
+    pub fn search_default() -> Self {
+        TrainedEvalConfig {
+            train_samples: 256,
+            test_samples: 96,
+            epochs: 8,
+            mc_trials: 8,
+            seed: 0,
+            threads: 1,
+            precision: Precision::F32,
         }
     }
 }
@@ -57,6 +79,7 @@ impl Default for TrainedEvalConfig {
             mc_trials: 16,
             seed: 0,
             threads: 1,
+            precision: Precision::F32,
         }
     }
 }
@@ -126,8 +149,9 @@ impl AccuracyEvaluator for TrainedEvaluator {
                 trials: self.config.mc_trials,
                 variation,
                 seed: self.config.seed.wrapping_add(0x4D43),
-                elapsed_seconds: 0.0,
                 threads: self.config.threads,
+                precision: self.config.precision,
+                ..McEvalConfig::default()
             },
         )?;
         self.journal.record(JournalEvent::McBatch {
@@ -145,19 +169,25 @@ impl AccuracyEvaluator for TrainedEvaluator {
     fn fingerprint(&self) -> String {
         // threads is deliberately excluded: results are bit-identical for
         // every thread count, so a cache written at 1 thread must serve a
-        // run at 8.
+        // run at 8. The execution strategy is excluded for the same
+        // reason (fused == per-trial, bit for bit). Precision is NOT:
+        // int8 produces different numbers, so it appends a token — and
+        // only appends, so every pre-existing f32 fingerprint is
+        // byte-stable across this change.
         let space = serde_json::to_string(&self.space).unwrap_or_default();
-        format!(
-            "trained/{}",
-            crate::pipeline::stable_fingerprint(&[
-                &space,
-                &self.config.train_samples.to_string(),
-                &self.config.test_samples.to_string(),
-                &self.config.epochs.to_string(),
-                &self.config.mc_trials.to_string(),
-                &self.config.seed.to_string(),
-            ])
-        )
+        let mut parts = vec![
+            space,
+            self.config.train_samples.to_string(),
+            self.config.test_samples.to_string(),
+            self.config.epochs.to_string(),
+            self.config.mc_trials.to_string(),
+            self.config.seed.to_string(),
+        ];
+        if self.config.precision == Precision::Int8 {
+            parts.push("int8".to_string());
+        }
+        let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+        format!("trained/{}", crate::pipeline::stable_fingerprint(&refs))
     }
 
     fn set_threads(&mut self, threads: usize) {
@@ -201,5 +231,28 @@ mod tests {
         assert_eq!(parallel.fingerprint(), serial_fp);
         let b = parallel.accuracy(&d).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int8_gets_its_own_fingerprint() {
+        let space = DesignSpace::tiny_test();
+        let f32_eval =
+            TrainedEvaluator::new(space.clone(), TrainedEvalConfig::fast_test()).unwrap();
+        let mut int8_cfg = TrainedEvalConfig::fast_test();
+        int8_cfg.precision = Precision::Int8;
+        let int8_eval = TrainedEvaluator::new(space, int8_cfg).unwrap();
+        // An int8 cache entry must never satisfy an f32 lookup.
+        assert_ne!(f32_eval.fingerprint(), int8_eval.fingerprint());
+    }
+
+    #[test]
+    fn int8_evaluation_runs_and_stays_in_range() {
+        let space = DesignSpace::tiny_test();
+        let mut cfg = TrainedEvalConfig::fast_test();
+        cfg.precision = Precision::Int8;
+        let mut eval = TrainedEvaluator::new(space.clone(), cfg).unwrap();
+        let d = space.choices.decode(&[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
+        let acc = eval.accuracy(&d).unwrap();
+        assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
     }
 }

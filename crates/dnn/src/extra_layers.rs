@@ -129,6 +129,36 @@ impl BatchNorm2dLayer {
         Ok(Tensor::from_vec(input.shape().clone(), out)?)
     }
 
+    /// Immutable eval-mode forward using running statistics: the same
+    /// per-element expression as [`BatchNorm2dLayer::forward`] with
+    /// `training = false`, so outputs are bit-identical, but nothing is
+    /// cached or mutated (needed by the shared-network inference path).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for non-NCHW input.
+    #[allow(clippy::needless_range_loop)] // per-channel index form mirrors the math
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let (n, c, h, w) = self.check(input)?;
+        let plane = h * w;
+        let src = input.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for ch in 0..c {
+            let mean = self.running_mean[ch];
+            let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+            let g = self.gamma.value.as_slice()[ch];
+            let b = self.beta.value.as_slice()[ch];
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    let xh = (src[i] - mean) * inv_std;
+                    out[i] = g * xh + b;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(input.shape().clone(), out)?)
+    }
+
     /// Backward pass (training mode only).
     ///
     /// # Errors
@@ -302,6 +332,18 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
         assert!(max_diff < 0.05, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn batchnorm_infer_matches_eval_forward_bitwise() {
+        let mut bn = BatchNorm2dLayer::new(3);
+        let x = sample_input();
+        for _ in 0..5 {
+            bn.forward(&x, true).unwrap();
+        }
+        let y_eval = bn.forward(&x, false).unwrap();
+        let y_infer = bn.infer(&x).unwrap();
+        assert_eq!(y_eval.as_slice(), y_infer.as_slice());
     }
 
     #[test]

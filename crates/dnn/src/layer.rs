@@ -5,7 +5,7 @@ use crate::extra_layers::{BatchNorm2dLayer, DropoutLayer};
 use crate::{DnnError, Result};
 use lcda_tensor::init::Init;
 use lcda_tensor::ops::{
-    avgpool_global_backward, avgpool_global_forward, conv2d_backward, conv2d_forward,
+    avgpool_global_backward, avgpool_global_forward, conv2d_backward, conv2d_forward, conv2d_infer,
     maxpool2_backward, maxpool2_forward, relu_backward, relu_forward, Conv2dParams, ConvGeometry,
 };
 use lcda_tensor::rng::SeedRng;
@@ -37,7 +37,7 @@ pub struct Conv2dLayer {
     pub weight: Param,
     /// Per-output-channel bias.
     pub bias: Param,
-    cols_cache: Vec<Tensor>,
+    cols_cache: Option<Tensor>,
 }
 
 impl Conv2dLayer {
@@ -55,7 +55,7 @@ impl Conv2dLayer {
             params,
             weight: Param::new(weight),
             bias: Param::new(bias),
-            cols_cache: Vec::new(),
+            cols_cache: None,
         })
     }
 }
@@ -81,6 +81,19 @@ impl LinearLayer {
             input_cache: None,
         }
     }
+}
+
+/// Dense forward body shared by training, inference and the fused
+/// Monte-Carlo engine: `x · W` then a per-element bias add.
+pub(crate) fn linear_apply(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let mut out = input.matmul(weight)?;
+    let (n, o) = (out.shape().dims()[0], out.shape().dims()[1]);
+    for r in 0..n {
+        for c in 0..o {
+            out.as_mut_slice()[r * o + c] += bias.as_slice()[c];
+        }
+    }
+    Ok(out)
 }
 
 /// One layer of a network, with cached state from the last forward pass.
@@ -151,19 +164,11 @@ impl Layer {
             Layer::Conv2d(l) => {
                 let (out, cache) =
                     conv2d_forward(input, &l.weight.value, &l.bias.value, &l.params)?;
-                l.cols_cache = cache;
+                l.cols_cache = Some(cache);
                 Ok(out)
             }
             Layer::Linear(l) => {
-                let out = input.matmul(&l.weight.value)?;
-                let (n, o) = (out.shape().dims()[0], out.shape().dims()[1]);
-                let mut out = out;
-                for r in 0..n {
-                    for c in 0..o {
-                        let idx = r * o + c;
-                        out.as_mut_slice()[idx] += l.bias.value.as_slice()[c];
-                    }
-                }
+                let out = linear_apply(input, &l.weight.value, &l.bias.value)?;
                 l.input_cache = Some(input.clone());
                 Ok(out)
             }
@@ -190,6 +195,39 @@ impl Layer {
         }
     }
 
+    /// Inference-only forward pass: identical math to
+    /// [`Layer::forward`] in evaluation mode (`training = false`), but
+    /// immutable — it writes no caches, so evaluation hot paths (MC
+    /// trials, `Network::predict`) skip every cache clone and can share
+    /// one network across threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        match self {
+            Layer::BatchNorm2d(l) => l.infer(input),
+            // Eval-mode dropout is the identity.
+            Layer::Dropout(_) => Ok(input.clone()),
+            Layer::Conv2d(l) => Ok(conv2d_infer(
+                input,
+                &l.weight.value,
+                &l.bias.value,
+                &l.params,
+            )?),
+            Layer::Linear(l) => linear_apply(input, &l.weight.value, &l.bias.value),
+            Layer::Relu { .. } => Ok(relu_forward(input)),
+            Layer::MaxPool2 { .. } => Ok(maxpool2_forward(input)?.0),
+            Layer::GlobalAvgPool { .. } => Ok(avgpool_global_forward(input)?),
+            Layer::Flatten { .. } => {
+                let d = input.shape().dims();
+                let n = d[0];
+                let rest: usize = d[1..].iter().product();
+                Ok(input.reshape(&[n, rest])?)
+            }
+        }
+    }
+
     /// Backward pass; accumulates parameter gradients and returns the
     /// gradient with respect to the layer input.
     ///
@@ -201,8 +239,10 @@ impl Layer {
             Layer::BatchNorm2d(l) => l.backward(d_out),
             Layer::Dropout(l) => l.backward(d_out),
             Layer::Conv2d(l) => {
-                let (d_in, d_w, d_b) =
-                    conv2d_backward(d_out, &l.weight.value, &l.cols_cache, &l.params)?;
+                let cols = l.cols_cache.as_ref().ok_or_else(|| {
+                    DnnError::InvalidTraining("conv backward before forward".to_string())
+                })?;
+                let (d_in, d_w, d_b) = conv2d_backward(d_out, &l.weight.value, cols, &l.params)?;
                 l.weight.grad.axpy(1.0, &d_w)?;
                 l.bias.grad.axpy(1.0, &d_b)?;
                 Ok(d_in)
@@ -355,6 +395,28 @@ mod tests {
         assert!(layer.backward(&Tensor::from_slice(&[1.0])).is_err());
         let mut layer = Layer::flatten();
         assert!(layer.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut r = rng();
+        let geom = ConvGeometry::new(3, 8, 8, 3, 1, 1).unwrap();
+        let mut layers = vec![
+            Layer::Conv2d(Conv2dLayer::new(geom, 4, &mut r).unwrap()),
+            Layer::relu(),
+            Layer::maxpool2(),
+            Layer::flatten(),
+            Layer::Linear(LinearLayer::new(4 * 4 * 4, 3, &mut r)),
+        ];
+        let mut x_mut = Tensor::ones(Shape::d4(2, 3, 8, 8));
+        let mut x_ref = x_mut.clone();
+        for layer in &mut layers {
+            x_mut = layer.forward(&x_mut, false).unwrap();
+        }
+        for layer in &layers {
+            x_ref = layer.infer(&x_ref).unwrap();
+        }
+        assert_eq!(x_mut.as_slice(), x_ref.as_slice());
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod error;
 pub mod arch;
 pub mod dataset;
 pub mod extra_layers;
+mod fused;
 pub mod layer;
 pub mod mc_eval;
 pub mod metrics;

@@ -13,6 +13,31 @@ use lcda_variation::montecarlo::{stream_seed, try_run_parallel, McStats, TryRunE
 use lcda_variation::weights::WeightPerturber;
 use lcda_variation::VariationConfig;
 
+/// Numeric precision of the Monte-Carlo inference forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full f32 inference (bit-identical to the training forward pass).
+    F32,
+    /// Int8 inference: per-tensor symmetric quantization of weights and
+    /// activations with exact i32 accumulation — models the low-precision
+    /// readout of a CiM crossbar. Deterministic, but numerically distinct
+    /// from f32, so eval-cache fingerprints must (and do) distinguish it.
+    Int8,
+}
+
+/// How Monte-Carlo trials are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum McStrategy {
+    /// Clone the network once per trial and run a full forward pass per
+    /// chip instance. Simple, and the reference the fused path is pinned
+    /// against.
+    PerTrial,
+    /// Batch all trial-perturbed weight matrices of a layer into one GEMM
+    /// (see [`crate::fused`]). Bit-identical to [`McStrategy::PerTrial`]
+    /// in f32, just faster.
+    Fused,
+}
+
 /// Configuration of a Monte-Carlo accuracy evaluation.
 #[derive(Debug, Clone)]
 pub struct McEvalConfig {
@@ -30,6 +55,11 @@ pub struct McEvalConfig {
     /// derives its own seed and runs on its own copy of the network; the
     /// knob only trades wall-clock for cores.
     pub threads: usize,
+    /// Trial execution strategy (fused batching by default; ignored for
+    /// int8, which always runs on the fused engine).
+    pub strategy: McStrategy,
+    /// Inference precision (f32 by default; int8 is opt-in).
+    pub precision: Precision,
 }
 
 impl Default for McEvalConfig {
@@ -40,6 +70,8 @@ impl Default for McEvalConfig {
             seed: 0,
             elapsed_seconds: 0.0,
             threads: 1,
+            strategy: McStrategy::Fused,
+            precision: Precision::F32,
         }
     }
 }
@@ -49,6 +81,20 @@ impl McEvalConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the trial execution strategy (builder style).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: McStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the inference precision (builder style).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -67,12 +113,16 @@ pub fn clean_accuracy(network: &mut Network, data: &SynthCifar) -> Result<f32> {
 /// matrices the way crossbar programming would, measure accuracy, restore
 /// the clean weights.
 ///
-/// Trials fan out across `config.threads` workers via
-/// [`lcda_variation::montecarlo::try_run_parallel`], each on its own clone
-/// of the network, so any thread count is bit-identical to the sequential
-/// path. Each weight matrix within a trial draws from its own random
-/// stream ([`stream_seed`]), so no `(trial, matrix)` pair ever aliases
-/// another.
+/// With [`McStrategy::Fused`] (the default) or [`Precision::Int8`], trials
+/// run on the fused engine ([`crate::fused`]), which batches every trial's
+/// perturbed weights into one GEMM per layer; its f32 results are
+/// bit-identical to the per-trial path below. With
+/// [`McStrategy::PerTrial`] in f32, trials fan out across `config.threads`
+/// workers via [`lcda_variation::montecarlo::try_run_parallel`], each on
+/// its own clone of the network, so any thread count is bit-identical to
+/// the sequential path. Each weight matrix within a trial draws from its
+/// own random stream ([`stream_seed`]), so no `(trial, matrix)` pair ever
+/// aliases another.
 ///
 /// # Errors
 ///
@@ -83,6 +133,9 @@ pub fn mc_accuracy(
     data: &SynthCifar,
     config: &McEvalConfig,
 ) -> Result<McStats> {
+    if config.strategy == McStrategy::Fused || config.precision == Precision::Int8 {
+        return crate::fused::mc_accuracy_fused(network, data, config);
+    }
     let w_max = network.max_abs_weight().max(1e-3);
     let perturber = WeightPerturber::new(config.variation.clone(), w_max);
     let template: &Network = network;
@@ -134,9 +187,7 @@ mod tests {
             &McEvalConfig {
                 trials: 3,
                 variation: VariationConfig::ideal(),
-                seed: 0,
-                elapsed_seconds: 0.0,
-                threads: 1,
+                ..McEvalConfig::default()
             },
         )
         .unwrap();
@@ -155,8 +206,7 @@ mod tests {
                 trials: 12,
                 variation: VariationConfig::rram_severe(),
                 seed: 1,
-                elapsed_seconds: 0.0,
-                threads: 1,
+                ..McEvalConfig::default()
             },
         )
         .unwrap();
@@ -181,10 +231,8 @@ mod tests {
         let (mut net, data) = trained_network_and_data();
         let cfg = McEvalConfig {
             trials: 5,
-            variation: VariationConfig::rram_moderate(),
             seed: 9,
-            elapsed_seconds: 0.0,
-            threads: 1,
+            ..McEvalConfig::default()
         };
         let a = mc_accuracy(&mut net, &data, &cfg).unwrap();
         let b = mc_accuracy(&mut net, &data, &cfg).unwrap();
@@ -196,10 +244,8 @@ mod tests {
         let (mut net, data) = trained_network_and_data();
         let base = McEvalConfig {
             trials: 8,
-            variation: VariationConfig::rram_moderate(),
             seed: 4,
-            elapsed_seconds: 0.0,
-            threads: 1,
+            ..McEvalConfig::default()
         };
         let seq = mc_accuracy(&mut net, &data, &base).unwrap();
         for threads in [2, 3, 8, 64] {
@@ -228,6 +274,124 @@ mod tests {
             ..McEvalConfig::default()
         };
         assert!(mc_accuracy(&mut net, &data, &cfg).is_err());
+        let per_trial = cfg.with_strategy(McStrategy::PerTrial);
+        assert!(mc_accuracy(&mut net, &data, &per_trial).is_err());
+    }
+
+    #[test]
+    fn fused_is_bit_identical_to_per_trial_sequential() {
+        let (mut net, data) = trained_network_and_data();
+        let base = McEvalConfig {
+            trials: 7,
+            seed: 13,
+            ..McEvalConfig::default()
+        };
+        let reference = mc_accuracy(
+            &mut net,
+            &data,
+            &base.clone().with_strategy(McStrategy::PerTrial),
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let fused = mc_accuracy(
+                &mut net,
+                &data,
+                &base
+                    .clone()
+                    .with_strategy(McStrategy::Fused)
+                    .with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(reference, fused, "fused threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_trial_threads_match_fused() {
+        // Cross-check the other axis: the per-trial fan-out at several
+        // thread counts also lands exactly on the fused result.
+        let (mut net, data) = trained_network_and_data();
+        let base = McEvalConfig {
+            trials: 6,
+            seed: 2,
+            ..McEvalConfig::default()
+        };
+        let fused = mc_accuracy(&mut net, &data, &base).unwrap();
+        for threads in [1, 2, 4] {
+            let per_trial = mc_accuracy(
+                &mut net,
+                &data,
+                &base
+                    .clone()
+                    .with_strategy(McStrategy::PerTrial)
+                    .with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(fused, per_trial, "per-trial threads={threads}");
+        }
+    }
+
+    #[test]
+    fn int8_is_deterministic_and_thread_invariant() {
+        let (mut net, data) = trained_network_and_data();
+        let cfg = McEvalConfig {
+            trials: 5,
+            seed: 3,
+            precision: Precision::Int8,
+            ..McEvalConfig::default()
+        };
+        let a = mc_accuracy(&mut net, &data, &cfg).unwrap();
+        let b = mc_accuracy(&mut net, &data, &cfg).unwrap();
+        assert_eq!(a, b);
+        for threads in [2, 4] {
+            let par = mc_accuracy(&mut net, &data, &cfg.clone().with_threads(threads)).unwrap();
+            assert_eq!(a, par, "int8 threads={threads}");
+        }
+        // Int8 routes to the fused engine regardless of the strategy knob.
+        let forced = mc_accuracy(
+            &mut net,
+            &data,
+            &cfg.clone().with_strategy(McStrategy::PerTrial),
+        )
+        .unwrap();
+        assert_eq!(a, forced);
+    }
+
+    #[test]
+    fn int8_tracks_f32_under_ideal_variation() {
+        let (mut net, data) = trained_network_and_data();
+        let clean = clean_accuracy(&mut net, &data).unwrap();
+        let stats = mc_accuracy(
+            &mut net,
+            &data,
+            &McEvalConfig {
+                trials: 2,
+                variation: VariationConfig::ideal(),
+                precision: Precision::Int8,
+                ..McEvalConfig::default()
+            },
+        )
+        .unwrap();
+        // Quantization costs some accuracy but must stay in the same
+        // ballpark on this easy synthetic task.
+        assert!(
+            (stats.mean - clean).abs() < 0.25,
+            "int8 mean {} strayed too far from f32 clean {clean}",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn int8_weights_restored_after_evaluation() {
+        let (mut net, data) = trained_network_and_data();
+        let before = net.snapshot_weights();
+        let cfg = McEvalConfig {
+            trials: 3,
+            precision: Precision::Int8,
+            ..McEvalConfig::default()
+        };
+        mc_accuracy(&mut net, &data, &cfg).unwrap();
+        assert_eq!(net.snapshot_weights(), before);
     }
 }
 
@@ -261,7 +425,7 @@ mod retention_tests {
                     variation: variation.clone(),
                     seed: 5,
                     elapsed_seconds: secs,
-                    threads: 1,
+                    ..McEvalConfig::default()
                 },
             )
             .unwrap()

@@ -132,17 +132,29 @@ impl Network {
         result
     }
 
-    /// Class predictions for a batch.
+    /// Cache-free inference forward pass: bit-identical to an eval-mode
+    /// [`Network::forward`] but immutable, so one network can serve many
+    /// concurrent evaluation threads without cloning its layer caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Class predictions for a batch (argmax of [`Network::infer`] logits,
+    /// first occurrence on ties).
     ///
     /// # Errors
     ///
     /// Propagates shape errors.
-    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>> {
-        let was_training = self.training;
-        self.training = false;
-        let result = self.forward(input);
-        self.training = was_training;
-        let logits = result?;
+    pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.infer(input)?;
         let (n, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
         let mut out = Vec::with_capacity(n);
         for r in 0..n {
@@ -214,6 +226,21 @@ impl Network {
                 _ => {}
             }
         }
+    }
+
+    /// The crossbar-mapped weight matrices (not biases) in network order —
+    /// the same order and set as [`Network::perturb_weight_matrices`],
+    /// which is what keeps the fused Monte-Carlo engine's per-matrix
+    /// `stream_seed` indices aligned with the per-trial path.
+    pub fn weight_matrices(&self) -> Vec<&Tensor> {
+        self.layers
+            .iter()
+            .filter_map(|layer| match layer {
+                Layer::Conv2d(l) => Some(&l.weight.value),
+                Layer::Linear(l) => Some(&l.weight.value),
+                _ => None,
+            })
+            .collect()
     }
 
     /// The largest absolute weight value across all weight matrices —
@@ -342,6 +369,33 @@ mod tests {
     fn max_abs_weight_positive_after_init() {
         let net = tiny_net();
         assert!(net.max_abs_weight() > 0.0);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_bitwise() {
+        let mut net = tiny_net();
+        let mut rng = SeedRng::new(9);
+        let (x, _) = random_batch(3, &mut rng);
+        net.set_training(false);
+        let via_forward = net.forward(&x).unwrap();
+        let via_infer = net.infer(&x).unwrap();
+        assert_eq!(via_forward.as_slice(), via_infer.as_slice());
+    }
+
+    #[test]
+    fn weight_matrices_match_perturbation_order() {
+        let mut net = Architecture::tiny_test()
+            .with_batch_norm()
+            .build(5)
+            .unwrap();
+        let via_accessor: Vec<Vec<f32>> = net
+            .weight_matrices()
+            .iter()
+            .map(|w| w.as_slice().to_vec())
+            .collect();
+        let mut via_perturb = Vec::new();
+        net.perturb_weight_matrices(|w| via_perturb.push(w.to_vec()));
+        assert_eq!(via_accessor, via_perturb);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! 2-D convolution forward and backward passes.
+//!
+//! The forward pass lowers the whole batch with
+//! [`im2col_batch`](super::im2col::im2col_batch) and runs **one** GEMM per
+//! layer; per-output-element summation chains are identical to the old
+//! per-sample formulation, so results are bit-identical while the GEMM
+//! gets hardware-friendly shapes.
 
-use super::im2col::{col2im, im2col, ConvGeometry};
+use super::im2col::{col2im_batch, im2col_batch, ConvGeometry};
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// A convolution layer's hyper-parameters plus its geometry.
@@ -67,11 +73,64 @@ fn check_input(input: &Tensor, p: &Conv2dParams, op: &'static str) -> Result<usi
     Ok(d[0])
 }
 
-/// Convolution forward pass via im2col + matmul.
+fn check_operands(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: &Conv2dParams,
+    op: &'static str,
+) -> Result<usize> {
+    let n = check_input(input, params, op)?;
+    if weight.shape() != &params.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.shape().to_string(),
+            rhs: params.weight_shape().to_string(),
+            op,
+        });
+    }
+    if bias.shape() != &Shape::d1(params.out_channels) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: bias.shape().to_string(),
+            rhs: Shape::d1(params.out_channels).to_string(),
+            op,
+        });
+    }
+    Ok(n)
+}
+
+/// Shared forward body: lowers the batch once, runs one GEMM, scatters
+/// bias-added output planes. Returns `(output, batched patch matrix)`.
+fn conv2d_forward_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: &Conv2dParams,
+    n: usize,
+) -> Result<(Tensor, Tensor)> {
+    let geom = &params.geom;
+    let pc = geom.patch_cols();
+    let out_plane = params.out_channels * pc;
+    let cols = im2col_batch(input, geom)?; // (c_in*k*k, n*pc)
+    let prod = weight.matmul(&cols)?; // (c_out, n*pc)
+    let mut out = vec![0.0f32; n * out_plane];
+    for s in 0..n {
+        let dst = &mut out[s * out_plane..(s + 1) * out_plane];
+        for c in 0..params.out_channels {
+            let b = bias.as_slice()[c];
+            let src = &prod.as_slice()[c * n * pc + s * pc..c * n * pc + (s + 1) * pc];
+            for (d, &v) in dst[c * pc..(c + 1) * pc].iter_mut().zip(src) {
+                *d = v + b;
+            }
+        }
+    }
+    Ok((Tensor::from_vec(params.output_shape(n), out)?, cols))
+}
+
+/// Convolution forward pass via batched im2col + a single GEMM.
 ///
 /// `input` is `(n, c_in, h, w)`, `weight` is `(c_out, c_in*k*k)`, `bias` is
-/// `(c_out)`. Returns `(n, c_out, out_h, out_w)` and caches the per-sample
-/// patch matrices for the backward pass.
+/// `(c_out)`. Returns `(n, c_out, out_h, out_w)` and caches the batched
+/// patch matrix `(c_in*k*k, n * oh*ow)` for the backward pass.
 ///
 /// # Errors
 ///
@@ -81,66 +140,55 @@ pub fn conv2d_forward(
     weight: &Tensor,
     bias: &Tensor,
     params: &Conv2dParams,
-) -> Result<(Tensor, Vec<Tensor>)> {
-    let n = check_input(input, params, "conv2d_forward")?;
-    if weight.shape() != &params.weight_shape() {
-        return Err(TensorError::ShapeMismatch {
-            lhs: weight.shape().to_string(),
-            rhs: params.weight_shape().to_string(),
-            op: "conv2d_forward",
-        });
-    }
-    if bias.shape() != &Shape::d1(params.out_channels) {
-        return Err(TensorError::ShapeMismatch {
-            lhs: bias.shape().to_string(),
-            rhs: Shape::d1(params.out_channels).to_string(),
-            op: "conv2d_forward",
-        });
-    }
-    let geom = &params.geom;
-    let plane = geom.in_channels * geom.in_h * geom.in_w;
-    let out_plane = params.out_channels * geom.patch_cols();
-    let mut out = vec![0.0f32; n * out_plane];
-    let mut cols_cache = Vec::with_capacity(n);
-    for s in 0..n {
-        let sample = Tensor::from_vec(
-            Shape::d3(geom.in_channels, geom.in_h, geom.in_w),
-            input.as_slice()[s * plane..(s + 1) * plane].to_vec(),
-        )?;
-        let cols = im2col(&sample, geom)?;
-        let prod = weight.matmul(&cols)?; // (c_out, oh*ow)
-        let dst = &mut out[s * out_plane..(s + 1) * out_plane];
-        let pc = geom.patch_cols();
-        for c in 0..params.out_channels {
-            let b = bias.as_slice()[c];
-            for (d, &v) in dst[c * pc..(c + 1) * pc]
-                .iter_mut()
-                .zip(&prod.as_slice()[c * pc..(c + 1) * pc])
-            {
-                *d = v + b;
-            }
-        }
-        cols_cache.push(cols);
-    }
-    Ok((Tensor::from_vec(params.output_shape(n), out)?, cols_cache))
+) -> Result<(Tensor, Tensor)> {
+    let n = check_operands(input, weight, bias, params, "conv2d_forward")?;
+    conv2d_forward_impl(input, weight, bias, params, n)
+}
+
+/// Inference-only convolution forward: identical math to
+/// [`conv2d_forward`] but does not return the patch-matrix cache, so
+/// evaluation paths (Monte-Carlo trials, `Network::predict`) skip the
+/// cache allocation entirely.
+///
+/// # Errors
+///
+/// Returns shape errors when any operand disagrees with `params`.
+pub fn conv2d_infer(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let n = check_operands(input, weight, bias, params, "conv2d_infer")?;
+    conv2d_forward_impl(input, weight, bias, params, n).map(|(out, _)| out)
 }
 
 /// Convolution backward pass.
 ///
-/// Given `d_out` `(n, c_out, oh, ow)` and the cached patch matrices from
-/// [`conv2d_forward`], returns `(d_input, d_weight, d_bias)`.
+/// Given `d_out` `(n, c_out, oh, ow)` and the batched patch matrix cached
+/// by [`conv2d_forward`], returns `(d_input, d_weight, d_bias)`. The
+/// weight gradient is one fused GEMM over the whole batch (this changes
+/// float association versus a per-sample accumulation — gradients are
+/// tolerance-checked, not bit-pinned).
 ///
 /// # Errors
 ///
 /// Returns shape errors when operands disagree with `params` or the cache
-/// length does not match the batch.
+/// does not match the batch.
 pub fn conv2d_backward(
     d_out: &Tensor,
     weight: &Tensor,
-    cols_cache: &[Tensor],
+    cols_cache: &Tensor,
     params: &Conv2dParams,
 ) -> Result<(Tensor, Tensor, Tensor)> {
-    let n = cols_cache.len();
+    if d_out.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: d_out.shape().rank(),
+            op: "conv2d_backward",
+        });
+    }
+    let n = d_out.shape().dims()[0];
     if d_out.shape() != &params.output_shape(n) {
         return Err(TensorError::ShapeMismatch {
             lhs: d_out.shape().to_string(),
@@ -150,40 +198,39 @@ pub fn conv2d_backward(
     }
     let geom = &params.geom;
     let pc = geom.patch_cols();
-    let out_plane = params.out_channels * pc;
-    let plane = geom.in_channels * geom.in_h * geom.in_w;
-
-    let mut d_weight = Tensor::zeros(params.weight_shape());
-    let mut d_bias = Tensor::zeros(Shape::d1(params.out_channels));
-    let mut d_input = vec![0.0f32; n * plane];
-    let w_t = weight.transpose()?;
-
-    for (s, cols) in cols_cache.iter().enumerate() {
-        let d_mat = Tensor::from_vec(
-            Shape::d2(params.out_channels, pc),
-            d_out.as_slice()[s * out_plane..(s + 1) * out_plane].to_vec(),
-        )?;
-        // dW += dOut_mat * cols^T
-        let dw = d_mat.matmul(&cols.transpose()?)?;
-        d_weight.axpy(1.0, &dw)?;
-        // db += row sums of dOut_mat
-        for c in 0..params.out_channels {
-            let sum: f32 = d_mat.as_slice()[c * pc..(c + 1) * pc].iter().sum();
-            d_bias.as_mut_slice()[c] += sum;
-        }
-        // dInput = col2im(W^T * dOut_mat)
-        let d_cols = w_t.matmul(&d_mat)?;
-        let d_sample = col2im(&d_cols, geom)?;
-        d_input[s * plane..(s + 1) * plane].copy_from_slice(d_sample.as_slice());
+    if cols_cache.shape() != &Shape::d2(geom.patch_rows(), n * pc) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols_cache.shape().to_string(),
+            rhs: Shape::d2(geom.patch_rows(), n * pc).to_string(),
+            op: "conv2d_backward",
+        });
     }
-    Ok((
-        Tensor::from_vec(
-            Shape::d4(n, geom.in_channels, geom.in_h, geom.in_w),
-            d_input,
-        )?,
-        d_weight,
-        d_bias,
-    ))
+    let out_plane = params.out_channels * pc;
+
+    // Gather d_out (n, c_out, oh, ow) into column-batched layout
+    // (c_out, n*pc) matching the cached patch matrix.
+    let mut d_mat = vec![0.0f32; params.out_channels * n * pc];
+    for s in 0..n {
+        let src = &d_out.as_slice()[s * out_plane..(s + 1) * out_plane];
+        for c in 0..params.out_channels {
+            d_mat[c * n * pc + s * pc..c * n * pc + (s + 1) * pc]
+                .copy_from_slice(&src[c * pc..(c + 1) * pc]);
+        }
+    }
+    let d_mat = Tensor::from_vec(Shape::d2(params.out_channels, n * pc), d_mat)?;
+
+    // dW = dOut_mat * cols^T in one GEMM over the batch.
+    let d_weight = d_mat.matmul(&cols_cache.transpose()?)?;
+    // db = row sums of dOut_mat.
+    let mut d_bias = Tensor::zeros(Shape::d1(params.out_channels));
+    for c in 0..params.out_channels {
+        let sum: f32 = d_mat.as_slice()[c * n * pc..(c + 1) * n * pc].iter().sum();
+        d_bias.as_mut_slice()[c] = sum;
+    }
+    // dInput = col2im_batch(W^T * dOut_mat).
+    let d_cols = weight.transpose()?.matmul(&d_mat)?;
+    let d_input = col2im_batch(&d_cols, n, geom)?;
+    Ok((d_input, d_weight, d_bias))
 }
 
 /// Reference direct (nested-loop) convolution used to validate the im2col
@@ -326,6 +373,19 @@ mod tests {
                 "x[{idx}]: fd={fd} an={an}"
             );
         }
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut rng = SeedRng::new(11);
+        let geom = ConvGeometry::new(3, 8, 8, 3, 1, 1).unwrap();
+        let params = Conv2dParams::new(geom, 4).unwrap();
+        let input = rand_tensor(Shape::d4(2, 3, 8, 8), &mut rng);
+        let weight = rand_tensor(params.weight_shape(), &mut rng);
+        let bias = rand_tensor(Shape::d1(4), &mut rng);
+        let (full, _) = conv2d_forward(&input, &weight, &bias, &params).unwrap();
+        let lean = conv2d_infer(&input, &weight, &bias, &params).unwrap();
+        assert_eq!(full.as_slice(), lean.as_slice());
     }
 
     #[test]

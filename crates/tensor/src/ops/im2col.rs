@@ -182,6 +182,125 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
     Tensor::from_vec(Shape::d3(geom.in_channels, geom.in_h, geom.in_w), out)
 }
 
+/// Lowers a whole NCHW batch `(n, c, h, w)` into one
+/// `(c*k*k, n * out_h*out_w)` matrix.
+///
+/// Sample `s`'s patch matrix occupies the contiguous column block
+/// `[s * patch_cols, (s+1) * patch_cols)`, so each column block is exactly
+/// what [`im2col`] produces for that sample. Lowering the batch once lets
+/// convolution run as a single GEMM per layer instead of one GEMM per
+/// sample — and, crucially, the per-output-element summation chains are
+/// unchanged, so the batched forward stays bit-identical to the
+/// per-sample path.
+///
+/// # Errors
+///
+/// Returns a shape error when `input` is not `(n, c, h, w)` matching the
+/// geometry.
+pub fn im2col_batch(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
+    let dims = input.shape().dims();
+    if dims.len() != 4
+        || dims[1] != geom.in_channels
+        || dims[2] != geom.in_h
+        || dims[3] != geom.in_w
+    {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_string(),
+            rhs: format!("(n, {}, {}, {})", geom.in_channels, geom.in_h, geom.in_w),
+            op: "im2col_batch",
+        });
+    }
+    let batch = dims[0];
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = geom.patch_rows();
+    let pc = oh * ow;
+    let cols = batch * pc;
+    let plane = geom.in_channels * geom.in_h * geom.in_w;
+    let mut out = vec![0.0f32; rows * cols];
+    let k = geom.kernel;
+    for s in 0..batch {
+        let src = &input.as_slice()[s * plane..(s + 1) * plane];
+        let col_base = s * pc;
+        for c in 0..geom.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oy in 0..oh {
+                        let iy = (oy * geom.stride + ki) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * geom.stride + kj) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            let src_idx = (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
+                            out[row * cols + col_base + oy * ow + ox] = src[src_idx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(rows, cols), out)
+}
+
+/// Adjoint of [`im2col_batch`]: scatters a `(c*k*k, n * out_h*out_w)`
+/// gradient matrix back into an `(n, c, h, w)` input gradient,
+/// accumulating overlaps.
+///
+/// # Errors
+///
+/// Returns a shape error when `cols` does not match the geometry for a
+/// batch of `batch` samples.
+pub fn col2im_batch(cols: &Tensor, batch: usize, geom: &ConvGeometry) -> Result<Tensor> {
+    let pc = geom.patch_cols();
+    let want = Shape::d2(geom.patch_rows(), batch * pc);
+    if cols.shape() != &want {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.shape().to_string(),
+            rhs: want.to_string(),
+            op: "col2im_batch",
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_cols = batch * pc;
+    let plane = geom.in_channels * geom.in_h * geom.in_w;
+    let mut out = vec![0.0f32; batch * plane];
+    let src = cols.as_slice();
+    let k = geom.kernel;
+    for s in 0..batch {
+        let dst = &mut out[s * plane..(s + 1) * plane];
+        let col_base = s * pc;
+        for c in 0..geom.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oy in 0..oh {
+                        let iy = (oy * geom.stride + ki) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * geom.stride + kj) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            let dst_idx = (c * geom.in_h + iy as usize) * geom.in_w + ix as usize;
+                            dst[dst_idx] += src[row * n_cols + col_base + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(
+        Shape::d4(batch, geom.in_channels, geom.in_h, geom.in_w),
+        out,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +399,68 @@ mod tests {
         assert!(im2col(&wrong, &g).is_err());
         let wrong_cols = Tensor::zeros(Shape::d2(3, 3));
         assert!(col2im(&wrong_cols, &g).is_err());
+        let wrong_batch = Tensor::zeros(Shape::d4(2, 2, 3, 3));
+        assert!(im2col_batch(&wrong_batch, &g).is_err());
+        assert!(col2im_batch(&wrong_cols, 1, &g).is_err());
+    }
+
+    #[test]
+    fn im2col_batch_matches_per_sample() {
+        let g = ConvGeometry::new(2, 5, 5, 3, 2, 1).unwrap();
+        let mut rng = crate::rng::SeedRng::new(7);
+        let batch = 3;
+        let plane = 2 * 5 * 5;
+        let data: Vec<f32> = (0..batch * plane).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let input = Tensor::from_vec(Shape::d4(batch, 2, 5, 5), data.clone()).unwrap();
+        let cols = im2col_batch(&input, &g).unwrap();
+        let pc = g.patch_cols();
+        assert_eq!(cols.shape().dims(), &[g.patch_rows(), batch * pc]);
+        for s in 0..batch {
+            let sample = Tensor::from_vec(
+                Shape::d3(2, 5, 5),
+                data[s * plane..(s + 1) * plane].to_vec(),
+            )
+            .unwrap();
+            let single = im2col(&sample, &g).unwrap();
+            for row in 0..g.patch_rows() {
+                for j in 0..pc {
+                    assert_eq!(
+                        cols.as_slice()[row * batch * pc + s * pc + j],
+                        single.as_slice()[row * pc + j],
+                        "mismatch at sample {s} row {row} col {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_batch_matches_per_sample() {
+        let g = ConvGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let mut rng = crate::rng::SeedRng::new(13);
+        let batch = 2;
+        let (rows, pc) = (g.patch_rows(), g.patch_cols());
+        let data: Vec<f32> = (0..rows * batch * pc)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        let cols = Tensor::from_vec(Shape::d2(rows, batch * pc), data.clone()).unwrap();
+        let grad = col2im_batch(&cols, batch, &g).unwrap();
+        let plane = 2 * 4 * 4;
+        for s in 0..batch {
+            // Extract sample s's column block and run the single-sample adjoint.
+            let mut block = vec![0.0f32; rows * pc];
+            for row in 0..rows {
+                block[row * pc..(row + 1) * pc].copy_from_slice(
+                    &data[row * batch * pc + s * pc..row * batch * pc + (s + 1) * pc],
+                );
+            }
+            let single =
+                col2im(&Tensor::from_vec(Shape::d2(rows, pc), block).unwrap(), &g).unwrap();
+            assert_eq!(
+                &grad.as_slice()[s * plane..(s + 1) * plane],
+                single.as_slice(),
+                "sample {s} gradient mismatch"
+            );
+        }
     }
 }

@@ -260,20 +260,32 @@ impl Tensor {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
-    /// Population standard deviation of the elements.
+    /// Sample standard deviation of the elements (Bessel-corrected,
+    /// divides by `n - 1`); `0.0` for fewer than two elements.
+    ///
+    /// Sample variance is the workspace-wide convention — it matches
+    /// `lcda_variation::montecarlo::McStats`, which estimates accuracy
+    /// spread from a finite number of Monte-Carlo trials. This method
+    /// previously used the population divisor `n`, which silently
+    /// disagreed with the Monte-Carlo statistics (see DESIGN.md §15).
     pub fn std(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.data.len() < 2 {
             return 0.0;
         }
         let m = self.mean();
-        let var =
-            self.data.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.data.len() as f32;
+        let var = self.data.iter().map(|&x| (x - m) * (x - m)).sum::<f32>()
+            / (self.data.len() - 1) as f32;
         var.sqrt()
     }
 
     /// Matrix multiplication for rank-2 tensors: `(m,k) x (k,n) -> (m,n)`.
     ///
-    /// Uses a cache-friendly i-k-j loop order.
+    /// Runs on the blocked deterministic kernel [`crate::ops::gemm_f32`]:
+    /// bit-identical to the scalar i-k-j reference on every call, and with
+    /// no zero-skip shortcut, so `0 * NaN` / `0 * inf` products propagate
+    /// NaN to the output instead of being silently masked (an earlier fast
+    /// path skipped zero lhs elements and hid non-finite rhs values from
+    /// the NaN quarantine).
     ///
     /// # Errors
     ///
@@ -304,19 +316,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::ops::gemm_f32(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             shape: Shape::d2(m, n),
             data: out,
@@ -518,6 +518,36 @@ mod tests {
     fn std_of_constant_is_zero() {
         let a = Tensor::full(Shape::d1(10), 3.5);
         assert_eq!(a.std(), 0.0);
+    }
+
+    #[test]
+    fn std_is_sample_standard_deviation() {
+        // Hand-computed: mean 2.5, sum of squared deviations 5, sample
+        // variance 5/3 — the same convention (and the same pinned value)
+        // as lcda_variation::montecarlo::McStats::from_samples.
+        let a = Tensor::from_vec(Shape::d1(4), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((a.std() - (5.0f32 / 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_of_single_element_is_zero() {
+        let a = Tensor::from_vec(Shape::d1(1), vec![7.25]).unwrap();
+        assert_eq!(a.std(), 0.0);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_from_either_operand() {
+        // Regression: a zero-skip shortcut used to mask 0*NaN products.
+        let a = t2(1, 2, &[0.0, 0.0]);
+        let b = t2(2, 2, &[f32::NAN, 1.0, 2.0, 3.0]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.as_slice()[0].is_nan(), "NaN in rhs must reach the output");
+
+        let a = t2(2, 2, &[f32::NAN, 0.0, 0.0, 1.0]);
+        let b = t2(2, 1, &[0.0, 5.0]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.as_slice()[0].is_nan(), "NaN in lhs must reach the output");
+        assert_eq!(c.as_slice()[1], 5.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests of the tensor algebra and NN kernels.
 
 use lcda_tensor::ops::{
-    conv2d_forward, conv2d_forward_direct, cross_entropy_loss, maxpool2_forward, softmax_rows,
-    Conv2dParams, ConvGeometry,
+    conv2d_forward, conv2d_forward_direct, cross_entropy_loss, gemm_f32, gemm_ref,
+    maxpool2_forward, softmax_rows, Conv2dParams, ConvGeometry,
 };
 use lcda_tensor::{Shape, Tensor};
 use proptest::prelude::*;
@@ -108,6 +108,51 @@ proptest! {
         let (out, arg) = maxpool2_forward(&input).unwrap();
         for (o, &i) in out.as_slice().iter().zip(&arg) {
             prop_assert_eq!(*o, v[i]);
+        }
+    }
+
+    /// The blocked GEMM is *bit-identical* to the scalar i-k-j reference
+    /// for arbitrary shapes — the blocking only regroups which output
+    /// elements a pass produces, never any element's summation order.
+    #[test]
+    fn gemm_blocked_equals_reference_bitwise(
+        m in 1usize..20,
+        k in 1usize..140,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lcda_tensor::rng::SeedRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut blocked = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut blocked);
+        let mut reference = vec![0.0f32; m * n];
+        gemm_ref(m, k, n, &a, &b, &mut reference);
+        for (x, y) in blocked.iter().zip(&reference) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+        }
+    }
+
+    /// Repeated blocked-GEMM calls on the same operands are bit-identical
+    /// (no hidden state, no nondeterministic scheduling).
+    #[test]
+    fn gemm_deterministic_across_calls(
+        m in 1usize..12,
+        k in 1usize..96,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lcda_tensor::rng::SeedRng::new(seed.wrapping_add(7));
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut first = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut first);
+        for _ in 0..3 {
+            let mut again = vec![0.0f32; m * n];
+            gemm_f32(m, k, n, &a, &b, &mut again);
+            for (x, y) in first.iter().zip(&again) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 }

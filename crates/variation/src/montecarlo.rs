@@ -231,6 +231,16 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_has_zero_std() {
+        // The n == 1 guard of the sample-variance convention (shared with
+        // Tensor::std, which pins the same [1,2,3,4] -> sqrt(5/3) value).
+        let s = McStats::from_samples(&[0.75]).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 0.75);
+        assert_eq!((s.min, s.max), (0.75, 0.75));
+    }
+
+    #[test]
     fn empty_sample_rejected() {
         assert_eq!(McStats::from_samples(&[]), Err(VariationError::ZeroTrials));
         assert!(run(0, 0, |_, _| 0.0).is_err());

@@ -14,6 +14,10 @@ cargo test --workspace -q
 journal_dir="$(mktemp -d)"
 trap 'rm -rf "$journal_dir"' EXIT
 
+# GEMM equivalence smoke: the blocked microkernel must stay bit-identical
+# to the scalar reference (unit tests + proptests, all named gemm_*).
+cargo test -p lcda-tensor --release -q gemm_
+
 # Smoke-run the benches (one iteration each) so changes that *break* a
 # bench are caught here; real timings come from `cargo bench`. This also
 # exercises the BENCH_eval.json writer in eval_pipeline, which overwrites
@@ -22,20 +26,27 @@ cp artifacts/BENCH_eval.json "$journal_dir/bench_committed.json"
 cargo bench -p lcda-bench -- --test
 
 # Perf-regression gate: the machine-portable *ratio* metrics (Monte-Carlo
-# thread speedup, cache-hit speedup) must stay within 25% of the
-# committed baseline. Absolute nanoseconds are machine-local and not
-# compared.
+# thread and fused-engine speedups, blocked-GEMM speedup, cache-hit
+# speedup) must stay within 25% of the committed baseline. Absolute
+# nanoseconds are machine-local and not compared.
 python3 - "$journal_dir/bench_committed.json" artifacts/BENCH_eval.json << 'PY'
 import json, sys
 committed = json.load(open(sys.argv[1]))
 measured = json.load(open(sys.argv[2]))
 failures = []
-for group in ("mc", "cache"):
-    want = committed[group]["speedup"]
-    got = measured[group]["speedup"]
+for group, key in (
+    ("mc", "speedup"),
+    ("mc", "fused_speedup"),
+    ("cache", "speedup"),
+    ("gemm", "speedup"),
+):
+    if key not in committed.get(group, {}):
+        continue  # older baselines predate this metric
+    want = committed[group][key]
+    got = measured[group][key]
     if got < want * 0.75:
         failures.append(
-            f"{group}.speedup: measured {got:.2f}x vs committed baseline "
+            f"{group}.{key}: measured {got:.2f}x vs committed baseline "
             f"{want:.2f}x (>25% regression)"
         )
 for f in failures:

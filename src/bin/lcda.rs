@@ -53,6 +53,14 @@ SEARCH OPTIONS:
                             --journal, repair and extend the journal too
     --threads <n>           evaluator worker threads; results are
                             bit-identical for every value     (default 1)
+    --evaluator <surrogate|trained>
+                            accuracy evaluator: the fast analytic surrogate
+                            or real noise-injection training plus fused
+                            Monte-Carlo evaluation           (default surrogate)
+    --precision <f32|int8>  inference precision of the trained evaluator's
+                            Monte-Carlo forward pass; int8 models a
+                            quantized crossbar readout and is cached under
+                            its own fingerprint               (default f32)
     --no-cache              disable evaluation memoization
     --journal <path>        stream a JSONL event journal of the run
                             (deterministic: same seed, same bytes)
@@ -90,6 +98,8 @@ EVALUATE OPTIONS:
     --objective <energy|latency>
     --backend <cim|systolic>    with optional @<path> hierarchy config
     --hw-config <path>      declarative hardware hierarchy JSON
+    --evaluator <surrogate|trained>      accuracy evaluator (default surrogate)
+    --precision <f32|int8>  trained-evaluator inference precision (default f32)
     --journal <path>        stream a JSONL event journal of the evaluation
     --json
 
@@ -265,6 +275,38 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses `--evaluator`/`--precision` into an optional replacement for the
+/// default surrogate accuracy evaluator. Returns `None` for the surrogate
+/// (the default), so f32 surrogate runs are byte-identical to builds that
+/// predate these flags.
+fn parse_evaluator(args: &Args, seed: u64) -> Result<Option<Box<dyn AccuracyEvaluator>>, String> {
+    use lcda::dnn::mc_eval::Precision;
+    let precision = match args.get("--precision") {
+        None | Some("f32") => Precision::F32,
+        Some("int8") => Precision::Int8,
+        Some(other) => return Err(format!("unknown precision `{other}` (f32 or int8)")),
+    };
+    match args.get("--evaluator") {
+        None | Some("surrogate") => {
+            if args.get("--precision").is_some() {
+                return Err("--precision requires --evaluator trained".into());
+            }
+            Ok(None)
+        }
+        Some("trained") => {
+            let mut cfg = TrainedEvalConfig::search_default();
+            cfg.seed = seed;
+            cfg.precision = precision;
+            let eval = TrainedEvaluator::new(DesignSpace::nacim_cifar10(), cfg)
+                .map_err(|e| e.to_string())?;
+            Ok(Some(Box::new(eval)))
+        }
+        Some(other) => Err(format!(
+            "unknown evaluator `{other}` (surrogate or trained)"
+        )),
+    }
+}
+
 fn cmd_search(args: &Args) -> Result<(), String> {
     args.validate(
         &[
@@ -277,6 +319,8 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             "--checkpoint",
             "--keep-checkpoints",
             "--threads",
+            "--evaluator",
+            "--precision",
             "--journal",
             "--fault-rate",
             "--fault-seed",
@@ -312,6 +356,8 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         ));
     }
 
+    let evaluator = parse_evaluator(args, seed)?;
+
     let shards = match args.get("--shards") {
         None => None,
         Some(_) => {
@@ -322,6 +368,11 @@ fn cmd_search(args: &Args) -> Result<(), String> {
             Some(n)
         }
     };
+    if shards.is_some() && evaluator.is_some() {
+        // Shard workers construct their own evaluators from the spec; a
+        // single injected evaluator instance cannot be split across them.
+        return Err("--evaluator trained is not supported with --shards".into());
+    }
     if shards.is_none()
         && (args.get("--shard-restart-budget").is_some()
             || args.get("--shard-stall-ticks").is_some())
@@ -448,14 +499,17 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         .as_ref()
         .map(|path| CheckpointStore::new(path, keep_checkpoints).map_err(|e| e.to_string()))
         .transpose()?;
-    let run = CoDesign::builder(space, config)
+    let mut builder = CoDesign::builder(space, config)
         .optimizer(spec)
         .backend(backend.to_string())
         .registry(registry)
         .threads(threads)
         .caching(!args.flag("--no-cache"))
-        .journal(journal.clone())
-        .build();
+        .journal(journal.clone());
+    if let Some(eval) = evaluator {
+        builder = builder.accuracy_evaluator(eval);
+    }
+    let run = builder.build();
 
     let resume_from = match (&store, resume) {
         (Some(store), true) => match store.load_latest().map_err(|e| e.to_string())? {
@@ -562,6 +616,7 @@ fn evaluate_design_text(
     backend: &str,
     json: bool,
     journal: &Journal,
+    evaluator: Option<Box<dyn AccuracyEvaluator>>,
 ) -> Result<(), String> {
     let space = DesignSpace::nacim_cifar10();
     let design = parse_design(text, &space.choices).map_err(|e| e.to_string())?;
@@ -569,12 +624,14 @@ fn evaluate_design_text(
         .episodes(1)
         .seed(0)
         .build();
-    let mut scorer = CoDesign::builder(space, config)
+    let mut builder = CoDesign::builder(space, config)
         .optimizer(OptimizerSpec::Random)
         .backend(backend)
-        .journal(journal.clone())
-        .build()
-        .map_err(|e| e.to_string())?;
+        .journal(journal.clone());
+    if let Some(eval) = evaluator {
+        builder = builder.accuracy_evaluator(eval);
+    }
+    let mut scorer = builder.build().map_err(|e| e.to_string())?;
     let record = scorer
         .evaluate_design(0, design)
         .map_err(|e| e.to_string())?;
@@ -615,6 +672,8 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
             "--objective",
             "--backend",
             "--hw-config",
+            "--evaluator",
+            "--precision",
             "--journal",
         ],
         &["--json"],
@@ -624,11 +683,19 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         .ok_or("evaluate requires --design <rollout text>")?;
     let objective = args.objective()?;
     let backend = args.backend()?.to_string();
+    let evaluator = parse_evaluator(args, 0)?;
     let journal = match args.get("--journal") {
         Some(path) => Journal::to_file(std::path::Path::new(path)).map_err(|e| e.to_string())?,
         None => Journal::disabled(),
     };
-    evaluate_design_text(text, objective, &backend, args.flag("--json"), &journal)
+    evaluate_design_text(
+        text,
+        objective,
+        &backend,
+        args.flag("--json"),
+        &journal,
+        evaluator,
+    )
 }
 
 fn cmd_front(args: &Args) -> Result<(), String> {
@@ -667,6 +734,7 @@ fn cmd_reference(args: &Args) -> Result<(), String> {
         &backend,
         args.flag("--json"),
         &Journal::disabled(),
+        None,
     )
 }
 

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use lcda_core::space::DesignSpace;
     pub use lcda_core::surrogate::SurrogateEvaluator;
     pub use lcda_core::trained::{TrainedEvalConfig, TrainedEvaluator};
-    pub use lcda_dnn::mc_eval::McEvalConfig;
+    pub use lcda_dnn::mc_eval::{McEvalConfig, McStrategy, Precision};
     pub use lcda_llm::design::CandidateDesign;
     pub use lcda_llm::middleware::{FaultPlan, SimClock};
 }
