@@ -219,6 +219,10 @@ struct StoreInner {
     admissions: VecDeque<Admission>,
     stats: StoreStats,
     next_session: u64,
+    /// Monotonic mutation counter: bumped on every true admission and
+    /// eviction. A periodic flusher compares revisions to skip writing
+    /// an unchanged store ([`CacheStore::revision`]).
+    revision: u64,
 }
 
 /// The persisted wire format: contexts plus the admission order (the
@@ -287,6 +291,7 @@ impl CacheStore {
                 admissions: VecDeque::new(),
                 stats: StoreStats::default(),
                 next_session: 0,
+                revision: 0,
             })),
         }
     }
@@ -332,6 +337,13 @@ impl CacheStore {
     /// Store-wide counters aggregated across all sessions.
     pub fn stats(&self) -> StoreStats {
         self.inner.lock().stats
+    }
+
+    /// Monotonic mutation counter: changes exactly when the resident
+    /// entry set changes (admission or eviction). A periodic flusher
+    /// saves only when the revision moved since its last flush.
+    pub fn revision(&self) -> u64 {
+        self.inner.lock().revision
     }
 
     /// Snapshots one context's entries as a checkpoint-compatible
@@ -504,6 +516,7 @@ impl CacheStore {
             kind: EntryKind::Accuracy,
             key,
         });
+        g.revision += 1;
         Self::evict_to_capacity(g);
         true
     }
@@ -527,6 +540,7 @@ impl CacheStore {
             kind: EntryKind::Hardware,
             key,
         });
+        g.revision += 1;
         Self::evict_to_capacity(g);
         true
     }
@@ -554,6 +568,7 @@ impl CacheStore {
                 g.contexts.remove(&adm.context);
             }
             g.stats.evictions += 1;
+            g.revision += 1;
         }
     }
 }

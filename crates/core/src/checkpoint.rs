@@ -87,6 +87,32 @@ pub(crate) fn to_checksummed_json<T: Serialize>(artifact: &T) -> Result<String> 
         .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))
 }
 
+/// Serializes a durable artifact to **compact** single-line JSON with an
+/// embedded content checksum — the WAL-line variant of
+/// [`to_checksummed_json`] (a write-ahead log needs one record per
+/// line, so pretty printing is out).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] when serialization fails or the
+/// value does not form a JSON object.
+pub(crate) fn to_checksummed_compact_json<T: Serialize>(artifact: &T) -> Result<String> {
+    let mut value = serde_json::to_value(artifact)
+        .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
+    let digest = checksum_of(&value);
+    match value.as_object_mut() {
+        Some(obj) => {
+            obj.insert(CHECKSUM_KEY.to_string(), serde_json::Value::String(digest));
+        }
+        None => {
+            return Err(CoreError::Checkpoint(
+                "serialize: artifact did not form a JSON object".into(),
+            ))
+        }
+    }
+    serde_json::to_string(&value).map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))
+}
+
 /// Parses a checksummed JSON artifact, verifying and stripping the
 /// embedded checksum (when present — pre-checksum files pass
 /// unverified). Returns the cleaned value for `serde_json::from_value`.

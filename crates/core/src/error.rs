@@ -39,6 +39,13 @@ pub enum CoreError {
     /// request observed at an episode boundary). Not a fault: the
     /// partial work up to the cancellation point is valid.
     Cancelled(String),
+    /// The server's admission queue is full. The caller should back off
+    /// and retry; nothing was admitted or mutated.
+    Overloaded(String),
+    /// A job's wall-clock deadline expired. Enforced cooperatively at
+    /// episode boundaries, so the partial work up to the boundary is
+    /// valid but the job lands terminally `failed`. Never retried.
+    DeadlineExceeded(String),
 }
 
 impl CoreError {
@@ -65,6 +72,8 @@ impl fmt::Display for CoreError {
             CoreError::EvalPanic(msg) => write!(f, "evaluator panicked: {msg}"),
             CoreError::Shard(msg) => write!(f, "shard: {msg}"),
             CoreError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
+            CoreError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
+            CoreError::DeadlineExceeded(msg) => write!(f, "deadline_exceeded: {msg}"),
         }
     }
 }
@@ -83,7 +92,9 @@ impl std::error::Error for CoreError {
             | CoreError::EvalFault(_)
             | CoreError::EvalPanic(_)
             | CoreError::Shard(_)
-            | CoreError::Cancelled(_) => None,
+            | CoreError::Cancelled(_)
+            | CoreError::Overloaded(_)
+            | CoreError::DeadlineExceeded(_) => None,
         }
     }
 }
@@ -158,6 +169,14 @@ mod tests {
         assert!(!c.is_transient());
         assert!(c.source().is_none());
         assert!(c.to_string().contains("cancelled"));
+        let o = CoreError::Overloaded("queue full".into());
+        assert!(!o.is_transient());
+        assert!(o.source().is_none());
+        assert!(o.to_string().contains("overloaded"));
+        let d = CoreError::DeadlineExceeded("job-3 after 5s".into());
+        assert!(!d.is_transient());
+        assert!(d.source().is_none());
+        assert!(d.to_string().contains("deadline_exceeded"));
     }
 
     #[test]

@@ -331,6 +331,50 @@ pub enum JournalEvent {
         /// Store-wide evictions so far.
         store_evictions: u64,
     },
+    /// A job was re-admitted from the durable WAL after a server
+    /// restart (a `kill -9` survivor).
+    JobRecovered {
+        /// Job id (`job-N`).
+        job: String,
+        /// Ledger state at the crash (`queued` or `running`).
+        state: String,
+        /// Episodes already persisted in the job's latest checkpoint
+        /// generation (0 when the job restarts from scratch).
+        episodes_done: u64,
+    },
+    /// A job's wall-clock deadline expired; the job lands terminally
+    /// `failed: deadline_exceeded`.
+    JobDeadline {
+        /// Job id (`job-N`).
+        job: String,
+        /// The deadline that expired, seconds.
+        deadline_secs: u64,
+    },
+    /// A job execution attempt panicked; the panic was caught at the
+    /// worker boundary and the worker survived.
+    JobPanic {
+        /// Job id (`job-N`).
+        job: String,
+        /// Attempt number that panicked (1-based).
+        attempt: u32,
+        /// The panic payload, best effort.
+        message: String,
+    },
+    /// An admission was rejected with HTTP 429 because the bounded job
+    /// queue was full. Recorded in the server-level journal.
+    QueueRejected {
+        /// Jobs queued or running when the admission was rejected.
+        depth: u64,
+        /// The queue's capacity bound.
+        capacity: u64,
+    },
+    /// A journal-stream consumer stalled past the write timeout and was
+    /// disconnected; the job itself is unaffected. Recorded in the
+    /// server-level journal.
+    StreamDropped {
+        /// Job id (`job-N`) whose stream was dropped.
+        job: String,
+    },
 }
 
 impl JournalEvent {
@@ -368,7 +412,12 @@ impl JournalEvent {
             | JournalEvent::ShardMerge { .. } => "shard",
             JournalEvent::JobAdmitted { .. }
             | JournalEvent::JobStarted { .. }
-            | JournalEvent::JobEnded { .. } => "job",
+            | JournalEvent::JobEnded { .. }
+            | JournalEvent::JobRecovered { .. }
+            | JournalEvent::JobDeadline { .. }
+            | JournalEvent::JobPanic { .. }
+            | JournalEvent::QueueRejected { .. }
+            | JournalEvent::StreamDropped { .. } => "job",
             JournalEvent::SharedCache { .. } => "cache",
         }
     }
@@ -776,6 +825,22 @@ pub struct RunReport {
     /// Serve jobs that reached a terminal state.
     #[serde(default)]
     pub jobs_ended: u64,
+    /// Serve jobs re-admitted from the durable WAL after a restart.
+    #[serde(default)]
+    pub jobs_recovered: u64,
+    /// Serve jobs that hit their wall-clock deadline.
+    #[serde(default)]
+    pub jobs_deadline: u64,
+    /// Serve job attempts that panicked (worker survived each).
+    #[serde(default)]
+    pub job_panics: u64,
+    /// Admissions rejected with 429 because the bounded queue was full.
+    #[serde(default)]
+    pub queue_rejected: u64,
+    /// Journal-stream consumers disconnected for stalling past the
+    /// write timeout.
+    #[serde(default)]
+    pub streams_dropped: u64,
     /// Shared-cache hits served by entries another session inserted
     /// (cross-run reuse through the [`CacheStore`]).
     ///
@@ -877,6 +942,11 @@ impl RunReport {
                 JournalEvent::JobAdmitted { .. } => report.jobs_admitted += 1,
                 JournalEvent::JobStarted { .. } => {}
                 JournalEvent::JobEnded { .. } => report.jobs_ended += 1,
+                JournalEvent::JobRecovered { .. } => report.jobs_recovered += 1,
+                JournalEvent::JobDeadline { .. } => report.jobs_deadline += 1,
+                JournalEvent::JobPanic { .. } => report.job_panics += 1,
+                JournalEvent::QueueRejected { .. } => report.queue_rejected += 1,
+                JournalEvent::StreamDropped { .. } => report.streams_dropped += 1,
                 JournalEvent::SharedCache {
                     cross_run_hits,
                     store_evictions,
@@ -1003,6 +1073,22 @@ impl RunReport {
                 out,
                 "  serve jobs       {} admitted / {} ended",
                 self.jobs_admitted, self.jobs_ended
+            );
+        }
+        if self.jobs_recovered > 0
+            || self.jobs_deadline > 0
+            || self.job_panics > 0
+            || self.queue_rejected > 0
+            || self.streams_dropped > 0
+        {
+            let _ = writeln!(
+                out,
+                "  serve durability {} recovered / {} deadline / {} panics / {} rejected / {} streams dropped",
+                self.jobs_recovered,
+                self.jobs_deadline,
+                self.job_panics,
+                self.queue_rejected,
+                self.streams_dropped
             );
         }
         if self.cross_run_hits > 0 || self.store_evictions > 0 {

@@ -77,6 +77,7 @@ pub mod shard;
 pub mod space;
 pub mod surrogate;
 pub mod trained;
+pub mod wal;
 
 pub use backend::{
     BackendDecorator, BackendRegistry, BackendSpec, BackendSpecError, CimBackend, FaultyBackend,

@@ -1,0 +1,452 @@
+//! Durable write-ahead log for the [`serve`](crate::serve) job ledger.
+//!
+//! The job server's in-memory job table vanishes on `kill -9`. The WAL
+//! makes the *ledger* — which jobs exist, their specs, and their
+//! lifecycle transitions — durable: every admission and every state
+//! transition is appended to `jobs.wal.jsonl` (one checksummed JSON
+//! record per line, fsynced before the corresponding in-memory change
+//! is observable), so a restarted server can replay the file and
+//! reconstruct exactly which jobs were terminal, queued, or running at
+//! the instant of the crash.
+//!
+//! # Line format
+//!
+//! Each line is a compact [`WalRecord`] with the same embedded-checksum
+//! discipline checkpoints use (see `checkpoint.rs`): a stable FNV digest
+//! of the canonical JSON, verified on replay. A torn final line — the
+//! signature of a crash mid-append — is salvaged by truncating the file
+//! back to its longest valid prefix; corruption *before* the tail is a
+//! typed error, since a mid-file gap would silently drop transitions.
+//!
+//! # Replay semantics
+//!
+//! [`Wal::open`] returns the salvaged records in append order. The
+//! server folds them into a ledger ([`replay_ledger`]): an `admitted`
+//! record creates a job in `queued`; each `transition` record overwrites
+//! the job's state. Jobs that replay to a terminal state keep their
+//! on-disk artifacts (result file, journal); jobs that replay to
+//! `queued` or `running` are re-admitted in original admission order and
+//! resume from their newest checkpoint generation.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{from_checksummed_json, to_checksummed_compact_json};
+use crate::serve::{JobSpec, JobState};
+use crate::{CoreError, Result};
+
+/// File name of the job ledger inside the serve journal directory.
+pub const WAL_FILE: &str = "jobs.wal.jsonl";
+
+/// One durable ledger event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "entry", rename_all = "snake_case")]
+pub enum WalEntry {
+    /// A job passed admission validation and entered the queue.
+    Admitted {
+        /// Numeric job index (1-based admission order).
+        job: u64,
+        /// The spec as admitted — everything needed to re-run the job.
+        spec: JobSpec,
+    },
+    /// A job's lifecycle state changed.
+    Transition {
+        /// Numeric job index.
+        job: u64,
+        /// The state entered.
+        state: JobState,
+        /// Error message, for `failed` transitions.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        error: Option<String>,
+    },
+}
+
+impl WalEntry {
+    /// The numeric job index this entry concerns.
+    pub fn job(&self) -> u64 {
+        match self {
+            WalEntry::Admitted { job, .. } | WalEntry::Transition { job, .. } => *job,
+        }
+    }
+}
+
+/// One WAL line: a monotonic sequence number plus the entry payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Monotonic append index within the file (0-based).
+    pub seq: u64,
+    /// The ledger event.
+    #[serde(flatten)]
+    pub entry: WalEntry,
+}
+
+/// Encodes one WAL record as its on-disk line (compact JSON with an
+/// embedded content checksum; no trailing newline).
+///
+/// Public so tests can synthesize crash-state WAL files byte-exactly.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] when serialization fails.
+pub fn encode_line(record: &WalRecord) -> Result<String> {
+    to_checksummed_compact_json(record)
+}
+
+/// Decodes one on-disk WAL line, verifying its embedded checksum.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] for malformed JSON or a checksum
+/// mismatch.
+pub fn decode_line(line: &str) -> Result<WalRecord> {
+    let value = from_checksummed_json(line)?;
+    serde_json::from_value(value).map_err(|e| CoreError::Checkpoint(format!("wal record: {e}")))
+}
+
+/// A job's replayed ledger view: the spec as admitted, the last state
+/// the WAL recorded, and the error (when the last transition carried
+/// one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerJob {
+    /// The spec as admitted.
+    pub spec: JobSpec,
+    /// The last state the ledger recorded for this job.
+    pub state: JobState,
+    /// Error message from the last `failed` transition, if any.
+    pub error: Option<String>,
+}
+
+/// Folds replayed WAL records into the final per-job ledger, keyed by
+/// numeric job index (ascending == original admission order, since ids
+/// are allocated densely at admission).
+///
+/// Transitions for unknown jobs are ignored: they can only appear if an
+/// `admitted` line was lost to mid-file corruption, which
+/// [`Wal::open`] already rejects — tolerating them here keeps replay
+/// total.
+pub fn replay_ledger(records: &[WalRecord]) -> BTreeMap<u64, LedgerJob> {
+    let mut ledger: BTreeMap<u64, LedgerJob> = BTreeMap::new();
+    for record in records {
+        match &record.entry {
+            WalEntry::Admitted { job, spec } => {
+                ledger.entry(*job).or_insert_with(|| LedgerJob {
+                    spec: spec.clone(),
+                    state: JobState::Queued,
+                    error: None,
+                });
+            }
+            WalEntry::Transition { job, state, error } => {
+                if let Some(entry) = ledger.get_mut(job) {
+                    entry.state = *state;
+                    entry.error.clone_from(error);
+                }
+            }
+        }
+    }
+    ledger
+}
+
+/// The append handle: serializes appends behind a mutex and fsyncs
+/// every line before returning, so an acknowledged admission or
+/// transition survives `kill -9`.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    inner: Mutex<WalInner>,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `path`, salvaging a torn tail:
+    /// the longest prefix of checksummed-valid lines is kept, the torn
+    /// remainder (at most one crash's partial append) is truncated
+    /// away, and the replayed records are returned in append order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] for I/O failures or a
+    /// corrupted record *before* the final line (a mid-file gap would
+    /// silently lose transitions, so it is loud).
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+        let mut records = Vec::new();
+        let mut valid_len = 0u64;
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CoreError::Checkpoint(format!("read {}: {e}", path.display())))?;
+            let mut offset = 0usize;
+            let mut bad_line_start: Option<usize> = None;
+            for line in text.split_inclusive('\n') {
+                // A record missing its newline is the torn-tail case
+                // even when it decodes: the append was cut before the
+                // terminator, so the *next* append would corrupt it.
+                let complete = line.ends_with('\n');
+                match decode_line(line.trim_end_matches(['\n', '\r'])) {
+                    Ok(record) if complete => {
+                        records.push(record);
+                        offset += line.len();
+                    }
+                    _ => {
+                        bad_line_start = Some(offset);
+                        break;
+                    }
+                }
+            }
+            valid_len = offset as u64;
+            if let Some(start) = bad_line_start {
+                let bad_line_end = text[start..]
+                    .find('\n')
+                    .map_or(text.len(), |n| start + n + 1);
+                if bad_line_end < text.len() {
+                    // A bad line that is not the final line means
+                    // mid-file corruption: refuse to silently drop
+                    // acknowledged transitions.
+                    return Err(CoreError::Checkpoint(format!(
+                        "wal {}: corrupted record before the final line",
+                        path.display()
+                    )));
+                }
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| CoreError::Checkpoint(format!("open {}: {e}", path.display())))?;
+                file.set_len(valid_len).map_err(|e| {
+                    CoreError::Checkpoint(format!("truncate {}: {e}", path.display()))
+                })?;
+                file.sync_all()
+                    .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", path.display())))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| CoreError::Checkpoint(format!("open {}: {e}", path.display())))?;
+        let next_seq = records.last().map_or(0, |r| r.seq + 1);
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                inner: Mutex::new(WalInner { file, next_seq }),
+            },
+            records,
+        ))
+    }
+
+    /// The file this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry, fsyncing before returning its sequence
+    /// number. After this returns, the entry survives `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] on serialization or I/O
+    /// failure.
+    pub fn append(&self, entry: WalEntry) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let record = WalRecord {
+            seq: inner.next_seq,
+            entry,
+        };
+        let line = encode_line(&record)?;
+        inner
+            .file
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| CoreError::Checkpoint(format!("append {}: {e}", self.path.display())))?;
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", self.path.display())))?;
+        inner.next_seq = record.seq + 1;
+        Ok(record.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lcda-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn wal_round_trips_admissions_and_transitions() {
+        let d = dir("roundtrip");
+        let path = d.join(WAL_FILE);
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        wal.append(WalEntry::Admitted {
+            job: 1,
+            spec: JobSpec::default(),
+        })
+        .unwrap();
+        wal.append(WalEntry::Transition {
+            job: 1,
+            state: JobState::Running,
+            error: None,
+        })
+        .unwrap();
+        wal.append(WalEntry::Transition {
+            job: 1,
+            state: JobState::Failed,
+            error: Some("boom".into()),
+        })
+        .unwrap();
+        drop(wal);
+
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), [0, 1, 2]);
+        let ledger = replay_ledger(&records);
+        let job = &ledger[&1];
+        assert_eq!(job.state, JobState::Failed);
+        assert_eq!(job.error.as_deref(), Some("boom"));
+        assert_eq!(job.spec, JobSpec::default());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_and_appends_continue() {
+        let d = dir("torn");
+        let path = d.join(WAL_FILE);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(WalEntry::Admitted {
+            job: 1,
+            spec: JobSpec::default(),
+        })
+        .unwrap();
+        wal.append(WalEntry::Transition {
+            job: 1,
+            state: JobState::Running,
+            error: None,
+        })
+        .unwrap();
+        drop(wal);
+        // Tear the final line mid-record, as a kill mid-append would.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let keep = bytes.len() - 7;
+        bytes.truncate(keep);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "torn line dropped, prefix kept");
+        assert_eq!(records[0].seq, 0);
+        // The file was truncated back to the valid prefix, so the next
+        // append starts on a fresh line.
+        wal.append(WalEntry::Transition {
+            job: 1,
+            state: JobState::Failed,
+            error: Some("retry".into()),
+        })
+        .unwrap();
+        drop(wal);
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].seq, 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_loud() {
+        let d = dir("midfile");
+        let path = d.join(WAL_FILE);
+        let (wal, _) = Wal::open(&path).unwrap();
+        for job in 1..=3u64 {
+            wal.append(WalEntry::Admitted {
+                job,
+                spec: JobSpec::default(),
+            })
+            .unwrap();
+        }
+        drop(wal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("\"job\":1", "\"job\":9", 1);
+        assert_ne!(text, corrupted, "corruption must actually change a line");
+        std::fs::write(&path, corrupted).unwrap();
+        let err = Wal::open(&path).unwrap_err().to_string();
+        assert!(
+            err.contains("corrupted record before the final line") || err.contains("checksum"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn checksums_reject_bit_rot_on_the_final_line() {
+        let d = dir("bitrot");
+        let path = d.join(WAL_FILE);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(WalEntry::Admitted {
+            job: 1,
+            spec: JobSpec::default(),
+        })
+        .unwrap();
+        drop(wal);
+        // Flip a digit inside the record: the line still parses as JSON
+        // but the checksum no longer matches, so replay treats it as
+        // torn and drops it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rotted = text.replacen("\"seq\":0", "\"seq\":4", 1);
+        assert_ne!(text, rotted);
+        std::fs::write(&path, rotted).unwrap();
+        let (_, records) = Wal::open(&path).unwrap();
+        assert!(records.is_empty(), "rotted final line must not replay");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn ledger_orders_jobs_by_admission() {
+        let records = vec![
+            WalRecord {
+                seq: 0,
+                entry: WalEntry::Admitted {
+                    job: 1,
+                    spec: JobSpec::default(),
+                },
+            },
+            WalRecord {
+                seq: 1,
+                entry: WalEntry::Admitted {
+                    job: 2,
+                    spec: JobSpec::default(),
+                },
+            },
+            WalRecord {
+                seq: 2,
+                entry: WalEntry::Transition {
+                    job: 1,
+                    state: JobState::Running,
+                    error: None,
+                },
+            },
+            WalRecord {
+                seq: 3,
+                entry: WalEntry::Transition {
+                    job: 9,
+                    state: JobState::Done,
+                    error: None,
+                },
+            },
+        ];
+        let ledger = replay_ledger(&records);
+        assert_eq!(ledger.keys().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(ledger[&1].state, JobState::Running);
+        assert_eq!(ledger[&2].state, JobState::Queued);
+        assert!(!ledger.contains_key(&9), "orphan transitions are ignored");
+    }
+}

@@ -179,3 +179,74 @@ cmp "$journal_dir/serve_2.json" "$journal_dir/serve_offline.json"
     | grep -q "shared cache"
 curl -sf -X POST "http://$addr/shutdown" > /dev/null
 wait "$serve_pid"
+
+# Serve crash smoke: kill -9 the server mid-job, restart it on the same
+# --journal-dir, and require the recovered job's result to be
+# byte-identical to the uninterrupted offline run. The kill is racy by
+# design — a fast job that finishes first is restored terminally from
+# the ledger instead of re-run, and must compare equal all the same.
+./target/release/lcda serve --addr 127.0.0.1:0 --workers 1 \
+    --journal-dir "$journal_dir/serve-crash" > "$journal_dir/serve_crash_a.log" &
+crash_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*listening on http://##p' "$journal_dir/serve_crash_a.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ci: crash-smoke serve never printed its address" >&2; exit 1; }
+curl -sf -X POST -d '{"episodes": 3, "seed": 21}' "http://$addr/jobs" > /dev/null
+sleep 0.5
+kill -9 "$crash_pid" 2> /dev/null || true
+wait "$crash_pid" 2> /dev/null || true
+# Restart on the crashed ledger — with a one-slot queue for the
+# backpressure check below.
+./target/release/lcda serve --addr 127.0.0.1:0 --workers 1 \
+    --queue-capacity 1 \
+    --journal-dir "$journal_dir/serve-crash" > "$journal_dir/serve_crash_b.log" &
+crash_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*listening on http://##p' "$journal_dir/serve_crash_b.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ci: restarted serve never printed its address" >&2; exit 1; }
+state=""
+for _ in $(seq 1 600); do
+    state=$(curl -sf "http://$addr/jobs/job-1" \
+        | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$state" = "done" ] && break
+    if [ "$state" = "failed" ] || [ "$state" = "cancelled" ]; then
+        echo "ci: recovered job-1 landed in state $state" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "ci: recovered job-1 never finished" >&2; exit 1; }
+curl -sf "http://$addr/jobs/job-1/result" > "$journal_dir/serve_recovered.json"
+cmp "$journal_dir/serve_recovered.json" "$journal_dir/serve_offline.json"
+
+# Backpressure smoke: with a one-slot queue and one worker, a burst of
+# long jobs must hit a typed 429 — not a hang, not a dropped socket.
+code=""
+for _ in $(seq 1 6); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -d '{"episodes": 40, "seed": 99}' "http://$addr/jobs")
+    [ "$code" = "429" ] && break
+done
+[ "$code" = "429" ] || { echo "ci: full queue never returned 429 (last '$code')" >&2; exit 1; }
+# Liveness after overload, then drain the long jobs so shutdown does not
+# wait out 40 episodes (workers finish their current job at shutdown).
+curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
+for job in job-2 job-3 job-4 job-5 job-6 job-7; do
+    curl -s -X POST "http://$addr/jobs/$job/cancel" > /dev/null || true
+done
+for _ in $(seq 1 600); do
+    busy=$(curl -sf "http://$addr/healthz" \
+        | sed -n 's/.*"jobs_running":\([0-9]*\).*/\1/p')
+    [ "$busy" = "0" ] && break
+    sleep 0.1
+done
+curl -sf -X POST "http://$addr/shutdown" > /dev/null
+wait "$crash_pid"

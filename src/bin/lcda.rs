@@ -87,11 +87,27 @@ SERVE OPTIONS:
     --cache-capacity <n>    entry bound for the shared cross-run cache,
                             evicting oldest admissions first (default unbounded)
     --cache <path>          persist the shared cache across restarts
-    --journal-dir <dir>     write one JSONL journal per job (job-<n>.jsonl)
-                            and enable GET /jobs/<id>/journal streaming
+    --cache-flush-secs <n>  also flush the shared cache to --cache every n
+                            seconds (atomic; skipped when unchanged; 0
+                            disables periodic flushing)       (default 30)
+    --journal-dir <dir>     write one JSONL journal per job (job-<n>.jsonl),
+                            enable GET /jobs/<id>/journal streaming, and keep
+                            a durable job ledger (jobs.wal.jsonl) plus per-job
+                            checkpoints and result files: after kill -9, a
+                            restart on the same directory recovers every
+                            acknowledged job byte-identically
+    --queue-capacity <n>    bound on queued admissions; a full queue answers
+                            POST /jobs with 429 + Retry-After (default 1024)
+    --job-deadline <secs>   default wall-clock deadline per job, enforced at
+                            episode boundaries; expiry fails the job with a
+                            typed deadline_exceeded error (default none)
+    --job-retries <n>       retry budget per job for panics and transient
+                            evaluation faults; retries resume from the job's
+                            latest checkpoint                 (default 1)
+    --checkpoint-every <n>  per-job checkpoint cadence, episodes (default 1)
     endpoints: POST /jobs · GET /jobs/<id> · GET /jobs/<id>/result
                POST /jobs/<id>/cancel · GET /jobs/<id>/journal
-               GET /stats · POST /shutdown
+               GET /stats · GET /healthz · GET /readyz · POST /shutdown
 
 EVALUATE OPTIONS:
     --design <rollout text>     e.g. \"[[32,3],...,[128,3]] | hw: [128,8,2,rram]\"
@@ -580,7 +596,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "--workers",
             "--cache-capacity",
             "--cache",
+            "--cache-flush-secs",
             "--journal-dir",
+            "--queue-capacity",
+            "--job-deadline",
+            "--job-retries",
+            "--checkpoint-every",
         ],
         &[],
     )?;
@@ -600,7 +621,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         config.cache_capacity = Some(capacity);
     }
     config.cache_path = args.get("--cache").map(PathBuf::from);
+    config.cache_flush_secs = args.num("--cache-flush-secs", config.cache_flush_secs)?;
+    if args.get("--cache-flush-secs").is_some() && config.cache_path.is_none() {
+        return Err("--cache-flush-secs requires --cache <path>".into());
+    }
     config.journal_dir = args.get("--journal-dir").map(PathBuf::from);
+    config.queue_capacity = args.num_usize("--queue-capacity", config.queue_capacity)?;
+    if config.queue_capacity == 0 {
+        return Err("--queue-capacity must be at least 1".into());
+    }
+    if args.get("--job-deadline").is_some() {
+        config.job_deadline_secs = Some(args.num("--job-deadline", 0)?);
+    }
+    config.job_retries = args.num_u32("--job-retries", config.job_retries)?;
+    config.checkpoint_every = args.num_u32("--checkpoint-every", config.checkpoint_every)?;
+    if config.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
     let server = JobServer::bind(config).map_err(|e| e.to_string())?;
     // Stdout is line-buffered, so the address line is visible to a
     // supervising script even when redirected to a file.

@@ -58,6 +58,52 @@ fn decode_chunked(mut payload: &str) -> String {
     out
 }
 
+/// Like [`http`] but also returns the raw response head, so tests can
+/// assert on response headers (`Retry-After`, …).
+fn http_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: lcda\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    stream.flush().expect("flush");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf8 response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), payload.to_string())
+}
+
+/// Writes raw bytes over a fresh connection, half-closes, and returns
+/// `(status, full response text)`. The malformed-request tests need
+/// byte-level control the well-formed [`http`] helper cannot offer.
+fn raw_http(addr: SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send raw request");
+    stream.flush().expect("flush");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, text)
+}
+
 fn wait_terminal(server: &JobServer, id: JobId) -> JobStatus {
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
@@ -450,4 +496,284 @@ fn per_job_journals_never_interleave() {
     }
     server.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_never_wedge_the_server() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let oversized_request_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+    let oversized_headers = {
+        let mut request = String::from("GET /stats HTTP/1.1\r\n");
+        for i in 0..2000 {
+            request.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(16)));
+        }
+        request.push_str("\r\n");
+        request
+    };
+    let cases: Vec<(&str, Vec<u8>, u16, &str)> = vec![
+        ("empty request", Vec::new(), 400, "empty request"),
+        (
+            "garbage request line",
+            b"BLAH\r\n\r\n".to_vec(),
+            400,
+            "malformed request",
+        ),
+        (
+            "oversized request line",
+            oversized_request_line.into_bytes(),
+            400,
+            "request line too long",
+        ),
+        (
+            "oversized headers",
+            oversized_headers.into_bytes(),
+            400,
+            "headers too large",
+        ),
+        (
+            "truncated headers",
+            b"GET /stats HTTP/1.1\r\nHost: lcda\r\n".to_vec(),
+            400,
+            "truncated headers",
+        ),
+        (
+            "non-numeric content-length",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            400,
+            "invalid content-length",
+        ),
+        (
+            "oversized content-length",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n".to_vec(),
+            413,
+            "request body too large",
+        ),
+        (
+            "truncated body",
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"epi".to_vec(),
+            400,
+            "truncated request body",
+        ),
+    ];
+    for (name, bytes, want_status, want_text) in cases {
+        let (status, text) = raw_http(addr, &bytes);
+        assert_eq!(status, want_status, "{name}: {text}");
+        assert!(text.contains(want_text), "{name}: {text}");
+        // The request died alone: the server still answers the next
+        // well-formed connection.
+        let (ok, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(ok, 200, "server wedged after {name}: {body}");
+    }
+    assert!(
+        server.stats().jobs.is_empty(),
+        "no malformed request may be admitted"
+    );
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn health_and_readiness_endpoints_report_server_state() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let (status, body) = http(server.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(health["status"], "ok", "{body}");
+    assert_eq!(health["workers"], 3, "{body}");
+    assert_eq!(health["queue_depth"], 0, "{body}");
+    assert!(health["uptime_secs"].is_u64(), "{body}");
+
+    let (status, body) = http(server.addr(), "GET", "/readyz", "");
+    assert_eq!(status, 200, "{body}");
+    let ready: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(ready["ready"], true, "{body}");
+    assert_eq!(ready["shutting_down"], false, "{body}");
+    assert_eq!(ready["queue_capacity"], 1024, "{body}");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn full_queue_rejects_submissions_with_429_and_retry_after() {
+    // One worker and a one-slot queue: a burst of long jobs must
+    // overflow, and overflow is a typed, retryable rejection — not a
+    // hang, not a dropped connection.
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut admitted = Vec::new();
+    let mut rejected = 0u32;
+    for seed in 0..8u64 {
+        let spec = format!(r#"{{"episodes": 40, "seed": {seed}}}"#);
+        let (status, head, body) = http_full(server.addr(), "POST", "/jobs", &spec);
+        match status {
+            202 => {
+                let accepted: serde_json::Value = serde_json::from_str(&body).unwrap();
+                admitted.push(accepted["job"].as_str().expect("job id").to_string());
+            }
+            429 => {
+                rejected += 1;
+                assert!(
+                    head.to_ascii_lowercase().contains("retry-after: 1"),
+                    "429 must carry Retry-After: {head}"
+                );
+                assert!(body.contains("server overloaded"), "{body}");
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "eight instant submissions must overflow a one-slot queue"
+    );
+    assert!(!admitted.is_empty(), "the first submission always fits");
+
+    // Drain the backlog so shutdown does not wait out 40 episodes.
+    for job in &admitted {
+        let (status, body) = http(server.addr(), "POST", &format!("/jobs/{job}/cancel"), "");
+        assert_eq!(status, 200, "cancel {job}: {body}");
+    }
+    for job in &admitted {
+        wait_terminal(&server, job.parse().unwrap());
+    }
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn deadline_expiry_fails_the_job_with_a_typed_error_over_http() {
+    let server = JobServer::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    // A zero deadline expires at the first episode boundary.
+    let (status, body) = http(
+        server.addr(),
+        "POST",
+        "/jobs",
+        r#"{"episodes": 40, "deadline_secs": 0}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let done = wait_terminal(&server, "job-1".parse().unwrap());
+    assert_eq!(done.state, JobState::Failed, "{:?}", done.error);
+    assert!(
+        done.error
+            .as_deref()
+            .unwrap_or("")
+            .contains("deadline_exceeded"),
+        "deadline expiry must be a typed failure: {:?}",
+        done.error
+    );
+    // Deadline expiry is terminal — never retried.
+    assert_eq!(done.attempts, Some(1), "{:?}", done.attempts);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn kill_points_recover_byte_identically_from_the_wal_and_checkpoints() {
+    use lcda::core::wal::{encode_line, WalEntry, WalRecord, WAL_FILE};
+
+    // The uninterrupted reference run, with every per-episode checkpoint
+    // captured — exactly what a server checkpointing at cadence 1 writes.
+    let spec = JobSpec {
+        episodes: 3,
+        seed: 11,
+        ..JobSpec::default()
+    };
+    let config = CoDesignConfig::builder(Objective::AccuracyEnergy)
+        .episodes(3)
+        .seed(11)
+        .build();
+    let mut run = CoDesign::builder(DesignSpace::nacim_cifar10(), config)
+        .optimizer(OptimizerSpec::ExpertLlm)
+        .backend("cim")
+        .build()
+        .unwrap();
+    let mut checkpoints = Vec::new();
+    let outcome = run
+        .run_resumable(None, |cp| {
+            checkpoints.push(cp.clone());
+            Ok(())
+        })
+        .unwrap();
+    let offline = format!("{}\n", serde_json::to_string_pretty(&outcome).unwrap());
+    assert_eq!(checkpoints.len(), 3);
+
+    // Kill points: 0 = killed while the job was still queued (WAL has
+    // only the admission); k > 0 = killed mid-run after the k-th
+    // episode's checkpoint hit disk. Each case synthesizes the exact
+    // on-disk state `kill -9` leaves at that instant, then restarts on
+    // it and demands the uninterrupted bytes.
+    for kill_after in 0..=3usize {
+        let dir = std::env::temp_dir().join(format!(
+            "lcda-serve-killpoint-{}-{kill_after}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("journal dir");
+        let mut wal = encode_line(&WalRecord {
+            seq: 0,
+            entry: WalEntry::Admitted {
+                job: 1,
+                spec: spec.clone(),
+            },
+        })
+        .expect("encode admission");
+        wal.push('\n');
+        if kill_after > 0 {
+            let running = encode_line(&WalRecord {
+                seq: 1,
+                entry: WalEntry::Transition {
+                    job: 1,
+                    state: JobState::Running,
+                    error: None,
+                },
+            })
+            .expect("encode transition");
+            wal.push_str(&running);
+            wal.push('\n');
+            CheckpointStore::new(dir.join("job-1.ckpt.json"), 2)
+                .unwrap()
+                .save(&checkpoints[kill_after - 1])
+                .expect("save checkpoint");
+        }
+        std::fs::write(dir.join(WAL_FILE), wal).expect("write wal");
+
+        let server = JobServer::bind(ServeConfig {
+            workers: 1,
+            journal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .expect("bind on the crashed ledger");
+        let status = wait_terminal(&server, "job-1".parse().unwrap());
+        assert_eq!(
+            status.state,
+            JobState::Done,
+            "kill point {kill_after}: {:?}",
+            status.error
+        );
+        assert!(
+            status.recovered,
+            "kill point {kill_after}: a WAL-readmitted job must be flagged"
+        );
+        let (code, served) = http(server.addr(), "GET", "/jobs/job-1/result", "");
+        assert_eq!(code, 200, "kill point {kill_after}");
+        assert_eq!(
+            served, offline,
+            "kill point {kill_after}: recovery must be byte-identical"
+        );
+        server.shutdown().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
